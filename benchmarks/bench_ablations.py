@@ -1,0 +1,74 @@
+"""Ablations over FROTE's design knobs (DESIGN.md's design-choice sweeps).
+
+Not a paper table per se — the paper fixes k = 5, q = 0.5, τ = 200 and
+per-dataset η — but these sweeps validate that the defaults sit in sane
+regions and document sensitivity for downstream users.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_ablation, run_ablation
+
+from .conftest import once
+
+COMMON = dict(n_runs=2, frs_size=3, tcf=0.1, tau=8, random_state=42)
+
+
+def test_ablation_k_neighbours(benchmark, persist):
+    records = once(
+        benchmark,
+        lambda: run_ablation("car", "LR", parameter="k", values=(2, 5, 10), **COMMON),
+    )
+    persist("ablation_k", format_ablation(records))
+    assert {r["value"] for r in records} <= {2, 5, 10}
+
+
+def test_ablation_oversampling_fraction(benchmark, persist):
+    records = once(
+        benchmark,
+        lambda: run_ablation(
+            "car", "LR", parameter="q", values=(0.1, 0.5, 1.0), **COMMON
+        ),
+    )
+    persist("ablation_q", format_ablation(records))
+    # A larger augmentation budget can only allow more instances.
+    by_q = {}
+    for r in records:
+        by_q.setdefault(r["value"], []).append(r["n_added"])
+    qs = sorted(by_q)
+    means = [np.mean(by_q[q]) for q in qs]
+    assert means[0] <= means[-1] + 1e-9
+
+
+def test_ablation_eta_batch_size(benchmark, persist):
+    records = once(
+        benchmark,
+        lambda: run_ablation(
+            "car", "LR", parameter="eta", values=(5, 20, 60), **COMMON
+        ),
+    )
+    persist("ablation_eta", format_ablation(records))
+    assert records
+
+
+def test_ablation_mod_strategy(benchmark, persist):
+    """The paper's relabel / drop / none comparison as an ablation."""
+    records = once(
+        benchmark,
+        lambda: run_ablation(
+            "car",
+            "LR",
+            parameter="mod_strategy",
+            values=("none", "relabel", "drop"),
+            **COMMON,
+        ),
+    )
+    persist("ablation_mod_strategy", format_ablation(records))
+    by_mod = {}
+    for r in records:
+        by_mod.setdefault(r["value"], []).append(r["delta_j"])
+    # Relabel should be at least as strong as none (the paper's finding that
+    # augmentation-on-top-of-relabel is the best default).
+    if "relabel" in by_mod and "none" in by_mod:
+        assert np.mean(by_mod["relabel"]) >= np.mean(by_mod["none"]) - 0.1

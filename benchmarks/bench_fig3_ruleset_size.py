@@ -1,0 +1,58 @@
+"""Paper Figure 3 (and Figure 10): effect of feedback rule set size.
+
+The paper shows FROTE's improvement persists up to |F| = 20 rules.  At
+bench scale we sweep smaller sizes; the shape check is that the final J̄
+stays at or above the relabel-only J̄ for every size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_fig3, run_fig3
+
+from .conftest import once
+
+
+def test_fig3_breast_cancer(benchmark, persist):
+    """The main-paper figure uses Breast Cancer at tcf = 0.2."""
+    records = once(
+        benchmark,
+        lambda: run_fig3(
+            "breast_cancer",
+            "LR",
+            frs_sizes=(3, 5, 8),
+            tcf=0.2,
+            n_runs=3,
+            tau=8,
+            random_state=42,
+        ),
+    )
+    persist("fig3_breast_cancer_LR", format_fig3(records))
+    assert records
+    for size in {r["frs_size"] for r in records}:
+        size_recs = [r for r in records if r["frs_size"] == size]
+        med_final = np.median([r["j_final"] for r in size_recs])
+        med_mod = np.median([r["j_mod"] for r in size_recs])
+        assert med_final >= med_mod - 0.03, f"|F|={size}"
+
+
+@pytest.mark.parametrize("dataset", ["car", "nursery"])
+def test_fig10_additional_datasets(benchmark, persist, dataset):
+    """Supplement Figure 10 datasets (scaled)."""
+    records = once(
+        benchmark,
+        lambda: run_fig3(
+            dataset,
+            "LR",
+            frs_sizes=(5, 8),
+            tcf=0.2,
+            n_runs=2,
+            tau=8,
+            n=1200,
+            random_state=42,
+        ),
+    )
+    persist(f"fig10_{dataset}_LR", format_fig3(records))
+    # Large |F| may admit no conflict-free draw (the paper reports this
+    # too); the bench only requires the driver to run and report.
+    assert isinstance(records, list)

@@ -1,0 +1,40 @@
+"""Paper §6: the augmentation inflection point, measured.
+
+Sweeps augmentation with MRA-only acceptance and records the held-out
+decomposition.  Shape checks: MRA is (weakly) pushed up by the sweep, and
+when an inflection is found it coincides with an outside-coverage F1 drop.
+"""
+
+import numpy as np
+
+from repro.core import format_inflection, trace_inflection
+from repro.data import coverage_aware_split
+from repro.experiments import build_context, prepare_run
+
+from .conftest import once
+
+
+def test_inflection_sweep(benchmark, persist):
+    ctx = build_context("car", "LR", random_state=42)
+    rng = np.random.default_rng(0)
+    prepared = prepare_run(ctx, frs_size=3, tcf=0.2, rng=rng)
+    assert prepared is not None
+
+    trace = once(
+        benchmark,
+        lambda: trace_inflection(
+            prepared.train,
+            prepared.test,
+            ctx.algorithm,
+            prepared.frs,
+            eta=40,
+            max_iterations=12,
+            random_state=0,
+        ),
+    )
+    persist("inflection_car_LR", format_inflection(trace))
+    assert trace.mra[-1] >= trace.mra[0] - 0.05
+    idx = trace.inflection_index
+    if idx is not None:
+        # At the inflection, F1 must not be improving (the cost side).
+        assert trace.f1_outside[idx] <= trace.f1_outside[idx - 1] + 1e-9

@@ -1,0 +1,28 @@
+"""Paper Table 1: dataset properties, regenerated from the registry.
+
+Benchmarks dataset generation throughput and prints the Table 1 rows as
+produced by this library's synthetic generators.
+"""
+
+import pytest
+
+from repro.datasets import DATASETS, load_dataset, table1_rows
+from repro.experiments import format_table
+
+from .conftest import once
+
+
+def test_table1_properties(benchmark, persist):
+    rows = once(benchmark, table1_rows)
+    text = format_table(rows, title="Table 1 — dataset properties")
+    persist("table1_datasets", text)
+    assert len(rows) == 8
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_dataset_generation(benchmark, name):
+    """Generation speed per dataset at its default experiment size."""
+    ds = benchmark(load_dataset, name, random_state=0)
+    info = DATASETS[name]
+    assert ds.n_classes == info.n_labels
+    assert len(ds.X.schema) == info.n_features

@@ -1,0 +1,50 @@
+"""Paper Table 2 (and Tables 7/8): FROTE vs Overlay soft/hard constraints.
+
+Shape checks from the paper:
+
+* FROTE's ΔJ̄ is positive (it incorporates the feedback);
+* Overlay-Hard pays an outside-coverage F1 penalty that FROTE avoids
+  (ΔF FROTE >= ΔF Hard, in mean, with slack).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_table2, run_table2
+
+from .conftest import once
+
+
+@pytest.mark.parametrize("dataset", ["breast_cancer", "mushroom"])
+def test_table2_binary_datasets(benchmark, persist, dataset):
+    records = once(
+        benchmark,
+        lambda: run_table2(
+            dataset, "LR", n_runs=4, frs_size=3, tau=10, random_state=42
+        ),
+    )
+    text = "\n\n".join(
+        format_table2(records, metric=m)
+        for m in ("delta_j", "delta_mra", "delta_f1")
+    )
+    persist(f"table2_{dataset}_LR", text)
+    assert records
+    frote_dj = np.mean([r["frote"]["delta_j"] for r in records])
+    assert frote_dj > -0.05, "FROTE should not hurt J"
+    frote_df = np.mean([r["frote"]["delta_f1"] for r in records])
+    hard_df = np.mean([r["overlay_hard"]["delta_f1"] for r in records])
+    assert frote_df >= hard_df - 0.05, "FROTE should avoid Hard's F1 penalty"
+
+
+def test_table7_adult(benchmark, persist):
+    """Table 7: the Adult comparison."""
+    records = once(
+        benchmark,
+        lambda: run_table2(
+            "adult", "LGBM", n_runs=3, frs_size=3, tau=8, n=1200, random_state=42
+        ),
+    )
+    persist("table7_adult_LGBM", format_table2(records))
+    assert records
+    frote_dmra = np.mean([r["frote"]["delta_mra"] for r in records])
+    assert frote_dmra > 0.0, "FROTE must raise MRA on Adult"

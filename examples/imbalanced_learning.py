@@ -1,0 +1,51 @@
+"""Using the oversampling substrate standalone: SMOTE / Borderline-SMOTE.
+
+FROTE's generator builds on SMOTE-NC; the classic imbalance-correction
+versions are part of the public API and usable on their own, as shown here
+on a heavily imbalanced slice of the Adult-like dataset.
+
+Run:  python examples/imbalanced_learning.py
+"""
+
+import numpy as np
+
+from repro.data import stratified_split
+from repro.datasets import load_dataset
+from repro.metrics import f1_score
+from repro.models import paper_algorithm
+from repro.sampling import SMOTE, BorderlineSMOTE
+
+
+def main() -> None:
+    data = load_dataset("adult", n=2500, random_state=1)
+
+    # Manufacture a strong imbalance: keep only 5% of the positive class.
+    pos = np.flatnonzero(data.y == 1)
+    neg = np.flatnonzero(data.y == 0)
+    rng = np.random.default_rng(0)
+    keep = np.concatenate([neg, rng.choice(pos, size=max(len(pos) // 10, 25), replace=False)])
+    imbalanced = data.take(rng.permutation(keep))
+    print(f"Imbalanced dataset: {imbalanced}")
+
+    train, test = stratified_split(imbalanced, test_fraction=0.3, random_state=0)
+    algorithm = paper_algorithm("LGBM")
+
+    results = {}
+    results["no resampling"] = train
+    results["SMOTE-NC"] = SMOTE(k=5, random_state=0).fit_resample(train)
+    results["Borderline-SMOTE"] = BorderlineSMOTE(k=5, random_state=0).fit_resample(train)
+
+    print(f"\n{'method':20s} {'train size':>10s} {'minority F1 (test)':>20s}")
+    for name, resampled in results.items():
+        model = algorithm(resampled)
+        f1 = f1_score(test.y, model.predict(test.X), average="binary", n_classes=2)
+        print(f"{name:20s} {resampled.n:>10d} {f1:>20.3f}")
+
+    print(
+        "\nBoth oversamplers bring the classes to parity; Borderline-SMOTE "
+        "concentrates synthesis near the decision boundary (Han et al., 2005)."
+    )
+
+
+if __name__ == "__main__":
+    main()

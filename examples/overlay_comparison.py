@@ -1,0 +1,77 @@
+"""FROTE vs Overlay (Daly et al., 2021) — the paper's Table 2 in miniature.
+
+Overlay patches a frozen model post-hoc; FROTE edits the model by
+retraining on augmented data.  When feedback deviates substantially from
+the model's learned boundaries, Overlay's transformations degrade while
+FROTE incorporates the feedback directly.
+
+Run:  python examples/overlay_comparison.py
+"""
+
+import numpy as np
+
+from repro import FROTE, FroteConfig
+from repro.baselines import HARD, SOFT, Overlay
+from repro.core import evaluate_predictions
+from repro.data import coverage_aware_split
+from repro.datasets import load_dataset
+from repro.experiments import build_context, format_table
+from repro.rules import draw_conflict_free
+
+
+def main() -> None:
+    ctx = build_context("mushroom", "LR", n=1200, random_state=42)
+    rng = np.random.default_rng(42)
+    frs = draw_conflict_free(list(ctx.rule_pool), 3, ctx.dataset.X.schema, rng)
+    assert frs is not None
+    print("Feedback rules:")
+    for r in frs:
+        print(f"  {r}")
+
+    # Paper protocol: 50/50 splits for both coverage and outside populations.
+    split = coverage_aware_split(
+        ctx.dataset, frs.coverage_mask(ctx.dataset.X),
+        tcf=0.5, outside_test_fraction=0.5, random_state=rng,
+    )
+    model = ctx.algorithm(split.train)
+    test = split.test
+    base = evaluate_predictions(model.predict(test.X), test, frs)
+
+    rows = []
+    for name, mode in (("Overlay-Soft", SOFT), ("Overlay-Hard", HARD)):
+        overlay = Overlay(model, frs, split.train.X, mode=mode)
+        ev = evaluate_predictions(overlay.predict(test.X), test, frs)
+        rows.append(
+            {
+                "method": name,
+                "delta_J": ev.j_weighted() - base.j_weighted(),
+                "delta_MRA": ev.mra - base.mra,
+                "delta_F1": ev.f1_outside - base.f1_outside,
+                "retrains_model": "no",
+            }
+        )
+
+    frote = FROTE(ctx.algorithm, frs, FroteConfig(tau=15, q=0.5, eta=50, random_state=42))
+    result = frote.run(split.train)
+    ev = evaluate_predictions(result.model.predict(test.X), test, frs)
+    rows.append(
+        {
+            "method": "FROTE",
+            "delta_J": ev.j_weighted() - base.j_weighted(),
+            "delta_MRA": ev.mra - base.mra,
+            "delta_F1": ev.f1_outside - base.f1_outside,
+            "retrains_model": "yes",
+        }
+    )
+
+    print()
+    print(format_table(rows, title="Improvement over the unpatched model (test set)"))
+    print(
+        "\nNote: Overlay is a post-processing patch — fast, but it leaves the "
+        "underlying model unchanged and accumulates complexity per rule.  "
+        "FROTE bakes the feedback into the retrained model."
+    )
+
+
+if __name__ == "__main__":
+    main()

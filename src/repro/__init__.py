@@ -1,0 +1,59 @@
+"""FROTE: Feedback Rule-Driven Oversampling for Editing Models.
+
+Full reproduction of Alkan et al. (MLSYS 2022).  The public API surface:
+
+* :class:`repro.FROTE` / :func:`repro.run_frote` — the model-editing loop;
+* :mod:`repro.rules` — feedback rules (parse, learn, perturb, resolve);
+* :mod:`repro.models` — from-scratch LR / RF / GBDT classifiers and the
+  black-box training-algorithm wrapper;
+* :mod:`repro.datasets` — synthetic UCI-equivalent benchmark datasets;
+* :mod:`repro.baselines` — the Overlay post-processing baseline;
+* :mod:`repro.experiments` — drivers regenerating every paper table/figure.
+
+Quick start::
+
+    from repro import FROTE, FroteConfig, parse_rule, FeedbackRuleSet
+    from repro.models import paper_algorithm
+    from repro.datasets import load_dataset
+
+    data = load_dataset("adult")
+    rule = parse_rule("age < 29 AND education = 'bachelors' => >50K",
+                      data.X.schema, data.label_names)
+    frote = FROTE(paper_algorithm("RF"), FeedbackRuleSet((rule,)),
+                  FroteConfig(tau=30, q=0.5))
+    result = frote.run(data)
+    edited_model = result.model
+"""
+
+from repro.core import FROTE, Evaluation, FroteConfig, FroteResult, evaluate_model, run_frote
+from repro.data import Dataset, Schema, Table, make_schema
+from repro.rules import (
+    Clause,
+    FeedbackRule,
+    FeedbackRuleSet,
+    Predicate,
+    clause,
+    parse_rule,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "FROTE",
+    "FroteConfig",
+    "FroteResult",
+    "run_frote",
+    "Evaluation",
+    "evaluate_model",
+    "Dataset",
+    "Table",
+    "Schema",
+    "make_schema",
+    "Predicate",
+    "Clause",
+    "clause",
+    "FeedbackRule",
+    "FeedbackRuleSet",
+    "parse_rule",
+]

@@ -1,0 +1,10 @@
+"""Post-edit analysis: interpretable model comparison (paper §6)."""
+
+from repro.analysis.model_diff import (
+    ModelDiff,
+    diff_models,
+    explain_changes,
+    format_diff,
+)
+
+__all__ = ["ModelDiff", "diff_models", "explain_changes", "format_diff"]

@@ -1,0 +1,160 @@
+"""Interpretable model comparison — "what changed?" after an edit.
+
+Paper §6 recommends pairing FROTE with an interpretable comparison of the
+original and edited models (Nair et al., IJCAI 2021) so governance can
+verify that an edit changed *only* what the feedback intended.  This module
+provides that:
+
+* :func:`diff_models` — where the two models disagree, as a transition
+  matrix and per-feedback-rule attribution;
+* :func:`explain_changes` — conjunctive rules *describing the changed
+  region*, learned with the same greedy rule learner used for
+  explanations (the interpretable part of the diff).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.rules.learning import GreedyRuleLearner
+from repro.rules.rule import FeedbackRule
+from repro.rules.ruleset import FeedbackRuleSet
+
+
+@dataclass(frozen=True)
+class ModelDiff:
+    """Prediction-level difference between two models on one dataset.
+
+    Attributes
+    ----------
+    changed_mask:
+        Boolean mask over the dataset rows where predictions differ.
+    transitions:
+        ``(n_classes, n_classes)`` count matrix: entry (a, b) counts rows
+        predicted ``a`` by the first model and ``b`` by the second.
+    rule_attribution:
+        Per feedback rule (when an FRS is supplied): (covered, changed,
+        changed-and-now-agreeing) counts — did the edit move exactly the
+        rule's region, and in the intended direction?
+    outside_changed:
+        Rows changed *outside* all rule coverage — collateral movement the
+        governance check should scrutinize.
+    """
+
+    changed_mask: np.ndarray
+    transitions: np.ndarray
+    rule_attribution: tuple[tuple[int, int, int], ...]
+    outside_changed: int
+
+    @property
+    def n(self) -> int:
+        return int(self.changed_mask.size)
+
+    @property
+    def n_changed(self) -> int:
+        return int(self.changed_mask.sum())
+
+    @property
+    def changed_fraction(self) -> float:
+        return self.n_changed / self.n if self.n else 0.0
+
+
+def diff_models(
+    model_before,
+    model_after,
+    dataset: Dataset,
+    frs: FeedbackRuleSet | None = None,
+) -> ModelDiff:
+    """Compare two fitted models' predictions on ``dataset``."""
+    pred_a = np.asarray(model_before.predict(dataset.X), dtype=np.int64)
+    pred_b = np.asarray(model_after.predict(dataset.X), dtype=np.int64)
+    if pred_a.shape != (dataset.n,) or pred_b.shape != (dataset.n,):
+        raise ValueError("model predictions do not match the dataset length")
+    changed = pred_a != pred_b
+    k = dataset.n_classes
+    transitions = np.zeros((k, k), dtype=np.int64)
+    np.add.at(transitions, (pred_a, pred_b), 1)
+
+    attribution: list[tuple[int, int, int]] = []
+    covered_any = np.zeros(dataset.n, dtype=bool)
+    if frs is not None:
+        for rule in frs:
+            mask = rule.coverage_mask(dataset.X)
+            covered_any |= mask
+            changed_here = changed & mask
+            now_agree = changed_here & (pred_b == rule.target_class)
+            attribution.append(
+                (int(mask.sum()), int(changed_here.sum()), int(now_agree.sum()))
+            )
+    outside_changed = int((changed & ~covered_any).sum())
+    return ModelDiff(
+        changed_mask=changed,
+        transitions=transitions,
+        rule_attribution=tuple(attribution),
+        outside_changed=outside_changed,
+    )
+
+
+def explain_changes(
+    dataset: Dataset,
+    diff: ModelDiff,
+    *,
+    learner: GreedyRuleLearner | None = None,
+) -> list[FeedbackRule]:
+    """Learn conjunctive rules describing *where* the models disagree.
+
+    The changed/unchanged indicator becomes a binary target for the greedy
+    rule learner; the returned rules (target class 1 = "changed") are the
+    interpretable summary of the edit's footprint.
+    """
+    if diff.changed_mask.shape != (dataset.n,):
+        raise ValueError("diff does not match the dataset")
+    if diff.n_changed == 0:
+        return []
+    learner = learner or GreedyRuleLearner(
+        max_rules_per_class=4, max_conditions=3, min_coverage_fraction=0.005
+    )
+    target = diff.changed_mask.astype(np.int64)
+    return learner.learn(dataset.X, target, 2, classes=[1])
+
+
+def format_diff(
+    diff: ModelDiff,
+    label_names: tuple[str, ...],
+    *,
+    frs: FeedbackRuleSet | None = None,
+    change_rules: list[FeedbackRule] | None = None,
+) -> str:
+    """Human-readable diff report."""
+    lines = [
+        "Model comparison (before -> after)",
+        f"  rows compared:   {diff.n}",
+        f"  changed:         {diff.n_changed} ({100 * diff.changed_fraction:.1f}%)",
+    ]
+    k = len(label_names)
+    nonzero = [
+        (a, b)
+        for a in range(k)
+        for b in range(k)
+        if a != b and diff.transitions[a, b] > 0
+    ]
+    if nonzero:
+        lines.append("  transitions:")
+        for a, b in sorted(nonzero, key=lambda t: -diff.transitions[t[0], t[1]]):
+            lines.append(
+                f"    {label_names[a]} -> {label_names[b]}: "
+                f"{int(diff.transitions[a, b])}"
+            )
+    if diff.rule_attribution:
+        lines.append("  per feedback rule (covered / changed / now agreeing):")
+        for r, (cov, chg, agr) in enumerate(diff.rule_attribution):
+            name = f"rule {r}" if frs is None else (frs[r].name or f"rule {r}")
+            lines.append(f"    {name}: {cov} / {chg} / {agr}")
+        lines.append(f"  changed outside all rule coverage: {diff.outside_changed}")
+    if change_rules:
+        lines.append("  changed-region description:")
+        lines.extend(f"    {r.clause}" for r in change_rules)
+    return "\n".join(lines)

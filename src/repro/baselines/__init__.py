@@ -1,0 +1,5 @@
+"""Baselines FROTE is compared against (paper Table 2)."""
+
+from repro.baselines.overlay import HARD, SOFT, Overlay
+
+__all__ = ["Overlay", "SOFT", "HARD"]

@@ -1,0 +1,77 @@
+"""FROTE core: objective, base populations, selection, and the main loop."""
+
+from repro.core.audit import (
+    ORIGINAL,
+    RELABELLED,
+    SYNTHETIC,
+    EditAudit,
+    RowProvenance,
+)
+from repro.core.config import FroteConfig
+from repro.core.inflection import (
+    InflectionTrace,
+    format_inflection,
+    trace_inflection,
+)
+from repro.core.frote import FROTE, FroteResult, IterationRecord, run_frote
+from repro.core.ip import (
+    SelectionProblem,
+    build_selection_problem,
+    greedy_selection,
+    solve_lp_relaxation,
+    solve_selection,
+)
+from repro.core.modification import (
+    MOD_STRATEGIES,
+    ModificationResult,
+    apply_modification,
+)
+from repro.core.objective import Evaluation, evaluate_model, evaluate_predictions
+from repro.core.online_proxy import OnlineObjectiveProxy, OnlineProxySelector
+from repro.core.preselect import (
+    BasePopulation,
+    RulePopulation,
+    preselect_base_population,
+)
+from repro.core.selection import (
+    IPSelector,
+    RandomSelector,
+    SelectionContext,
+    make_selector,
+)
+
+__all__ = [
+    "FROTE",
+    "FroteConfig",
+    "FroteResult",
+    "IterationRecord",
+    "run_frote",
+    "Evaluation",
+    "evaluate_model",
+    "evaluate_predictions",
+    "BasePopulation",
+    "RulePopulation",
+    "preselect_base_population",
+    "RandomSelector",
+    "IPSelector",
+    "SelectionContext",
+    "make_selector",
+    "SelectionProblem",
+    "build_selection_problem",
+    "solve_selection",
+    "solve_lp_relaxation",
+    "greedy_selection",
+    "apply_modification",
+    "ModificationResult",
+    "MOD_STRATEGIES",
+    "OnlineObjectiveProxy",
+    "OnlineProxySelector",
+    "EditAudit",
+    "RowProvenance",
+    "ORIGINAL",
+    "RELABELLED",
+    "SYNTHETIC",
+    "InflectionTrace",
+    "trace_inflection",
+    "format_inflection",
+]

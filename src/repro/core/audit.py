@@ -1,0 +1,198 @@
+"""Edit lineage and audit records (paper §6, Broader Impact).
+
+The paper argues FROTE's edits are governable because "the original data,
+the feedback rules and the newly created dataset can be stored to
+transparently log the updates to the model and capture the lineage of the
+data" (citing the FactSheets framework).  This module provides that log:
+
+* :class:`RowProvenance` — per-row origin of the augmented dataset
+  (original / relabelled / synthetic, with generating rule and iteration);
+* :class:`EditAudit` — the run-level record: rules applied, modification
+  counts, acceptance history, and a serializable summary.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rules.ruleset import FeedbackRuleSet
+
+ORIGINAL = "original"
+RELABELLED = "relabelled"
+SYNTHETIC = "synthetic"
+
+
+@dataclass
+class RowProvenance:
+    """Origin of every row in an augmented dataset.
+
+    Attributes
+    ----------
+    kind:
+        Object array over rows: ``original`` / ``relabelled`` / ``synthetic``.
+    rule_index:
+        Generating (synthetic) or relabelling rule index; -1 for untouched
+        original rows.
+    iteration:
+        FROTE iteration that produced the row; -1 for input rows.
+    original_label:
+        For relabelled rows, the pre-edit label; -1 elsewhere.
+    """
+
+    kind: np.ndarray
+    rule_index: np.ndarray
+    iteration: np.ndarray
+    original_label: np.ndarray
+
+    @classmethod
+    def for_input(cls, n: int) -> "RowProvenance":
+        return cls(
+            kind=np.array([ORIGINAL] * n, dtype=object),
+            rule_index=np.full(n, -1, dtype=np.int64),
+            iteration=np.full(n, -1, dtype=np.int64),
+            original_label=np.full(n, -1, dtype=np.int64),
+        )
+
+    @property
+    def n(self) -> int:
+        return int(self.kind.size)
+
+    def mark_relabelled(
+        self, rows: np.ndarray, rule_indices: np.ndarray, original_labels: np.ndarray
+    ) -> None:
+        self.kind[rows] = RELABELLED
+        self.rule_index[rows] = rule_indices
+        self.original_label[rows] = original_labels
+
+    def extend_synthetic(
+        self, counts_per_rule: list[int], iteration: int
+    ) -> "RowProvenance":
+        """Return a new provenance with synthetic rows appended."""
+        add = int(sum(counts_per_rule))
+        rule_idx = np.concatenate(
+            [np.full(c, r, dtype=np.int64) for r, c in enumerate(counts_per_rule)]
+        ) if add else np.empty(0, dtype=np.int64)
+        return RowProvenance(
+            kind=np.concatenate([self.kind, np.array([SYNTHETIC] * add, dtype=object)]),
+            rule_index=np.concatenate([self.rule_index, rule_idx]),
+            iteration=np.concatenate(
+                [self.iteration, np.full(add, iteration, dtype=np.int64)]
+            ),
+            original_label=np.concatenate(
+                [self.original_label, np.full(add, -1, dtype=np.int64)]
+            ),
+        )
+
+    def drop_rows(self, mask: np.ndarray) -> "RowProvenance":
+        keep = ~np.asarray(mask, dtype=bool)
+        return RowProvenance(
+            kind=self.kind[keep],
+            rule_index=self.rule_index[keep],
+            iteration=self.iteration[keep],
+            original_label=self.original_label[keep],
+        )
+
+    def counts(self) -> dict[str, int]:
+        return {
+            k: int(np.sum(self.kind == k))
+            for k in (ORIGINAL, RELABELLED, SYNTHETIC)
+        }
+
+    def synthetic_by_rule(self) -> dict[int, int]:
+        """Synthetic row count per generating rule index."""
+        synth = self.kind == SYNTHETIC
+        out: dict[int, int] = {}
+        for r in np.unique(self.rule_index[synth]):
+            out[int(r)] = int(np.sum(synth & (self.rule_index == r)))
+        return out
+
+
+@dataclass
+class EditAudit:
+    """Run-level audit record suitable for a governance log."""
+
+    rules: list[str]
+    mod_strategy: str
+    n_input: int
+    n_relabelled: int
+    n_dropped: int
+    n_synthetic: int
+    iterations: int
+    accepted_iterations: int
+    initial_loss: float
+    final_loss: float
+    provenance: RowProvenance | None = None
+    metadata: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_run(
+        cls,
+        frs: FeedbackRuleSet,
+        result,  # FroteResult; not typed to avoid an import cycle
+        *,
+        mod_strategy: str,
+        metadata: dict | None = None,
+    ) -> "EditAudit":
+        return cls(
+            rules=[str(r) for r in frs],
+            mod_strategy=mod_strategy,
+            n_input=result.dataset.n - result.n_added,
+            n_relabelled=result.n_relabelled,
+            n_dropped=result.n_dropped,
+            n_synthetic=result.n_added,
+            iterations=result.iterations,
+            accepted_iterations=result.accepted_iterations,
+            initial_loss=result.initial_evaluation.loss_equal(),
+            final_loss=result.final_evaluation.loss_equal(),
+            provenance=getattr(result, "provenance", None),
+            metadata=dict(metadata or {}),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (provenance reduced to counts)."""
+        out = {
+            "rules": self.rules,
+            "mod_strategy": self.mod_strategy,
+            "n_input": self.n_input,
+            "n_relabelled": self.n_relabelled,
+            "n_dropped": self.n_dropped,
+            "n_synthetic": self.n_synthetic,
+            "iterations": self.iterations,
+            "accepted_iterations": self.accepted_iterations,
+            "initial_loss": self.initial_loss,
+            "final_loss": self.final_loss,
+            "metadata": self.metadata,
+        }
+        if self.provenance is not None:
+            out["provenance_counts"] = self.provenance.counts()
+            out["synthetic_by_rule"] = {
+                str(k): v for k, v in self.provenance.synthetic_by_rule().items()
+            }
+        return out
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self) -> str:
+        """Human-readable one-screen audit summary."""
+        lines = [
+            "FROTE edit audit",
+            f"  input rows:        {self.n_input}",
+            f"  relabelled:        {self.n_relabelled}",
+            f"  dropped:           {self.n_dropped}",
+            f"  synthetic added:   {self.n_synthetic}",
+            f"  iterations:        {self.accepted_iterations}/{self.iterations} accepted",
+            f"  loss:              {self.initial_loss:.4f} -> {self.final_loss:.4f}",
+            f"  mod strategy:      {self.mod_strategy}",
+            "  feedback rules:",
+        ]
+        lines.extend(f"    [{i}] {r}" for i, r in enumerate(self.rules))
+        if self.provenance is not None:
+            by_rule = self.provenance.synthetic_by_rule()
+            if by_rule:
+                lines.append("  synthetic per rule:")
+                lines.extend(f"    rule {k}: {v} rows" for k, v in sorted(by_rule.items()))
+        return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""FROTE configuration (the paper's user constraints and knobs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.rng import RandomState
+
+
+@dataclass(frozen=True)
+class FroteConfig:
+    """User constraints and hyper-parameters of Algorithm 1.
+
+    Parameters
+    ----------
+    tau:
+        Iteration limit τ — how many times the user is willing to run the
+        training algorithm (paper default 200).
+    q:
+        Oversampling fraction — allowed augmentation relative to ``|D|``
+        (paper default 0.5).
+    eta:
+        Instances generated per iteration.  ``None`` (default) uses the
+        paper's uniform quota ``q·|D|/τ``; the paper's experiments override
+        it per dataset (e.g. 200 for Adult, 20 for Breast Cancer).
+    k:
+        Nearest-neighbour count for generation and relaxation thresholds
+        (paper: 5, following SMOTE).
+    selection:
+        Base-instance selection strategy: ``"random"``, ``"ip"``, or
+        ``"online"``.
+    mod_strategy:
+        Input dataset choice applied before augmentation: ``"none"``,
+        ``"relabel"``, or ``"drop"``.
+    mra_weight:
+        Weight of the MRA term in the in-loop objective (paper: 0.5).
+    accept_equal:
+        Accept batches that leave the loss exactly unchanged (paper
+        requires strict improvement; kept as a knob for ablations).
+    random_state:
+        Seed for all stochastic steps (paper runs use 42).
+    """
+
+    tau: int = 200
+    q: float = 0.5
+    eta: int | None = None
+    k: int = 5
+    selection: str = "random"
+    mod_strategy: str = "relabel"
+    mra_weight: float = 0.5
+    accept_equal: bool = False
+    random_state: RandomState = 42
+
+    def __post_init__(self) -> None:
+        if self.tau < 1:
+            raise ValueError(f"tau must be >= 1, got {self.tau}")
+        if self.q <= 0:
+            raise ValueError(f"q must be positive, got {self.q}")
+        if self.eta is not None and self.eta < 1:
+            raise ValueError(f"eta must be >= 1, got {self.eta}")
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if not 0.0 <= self.mra_weight <= 1.0:
+            raise ValueError(f"mra_weight must be in [0, 1], got {self.mra_weight}")
+        if self.selection not in ("random", "ip", "online"):
+            raise ValueError(f"unknown selection strategy {self.selection!r}")
+        if self.mod_strategy not in ("none", "relabel", "drop"):
+            raise ValueError(f"unknown mod strategy {self.mod_strategy!r}")
+
+    def effective_eta(self, n: int) -> int:
+        """Per-iteration generation count: explicit η or the uniform quota."""
+        if self.eta is not None:
+            return self.eta
+        return max(1, int(round(self.q * n / self.tau)))
+
+    def oversampling_quota(self, n: int) -> int:
+        """Total augmentation budget ``q · |D|``."""
+        return int(self.q * n)

@@ -1,0 +1,117 @@
+"""The FROTE objective (paper Eq. 3) and its empirical estimators.
+
+The objective has two parts:
+
+* **MRA** (model-rule agreement): over instances covered by the FRS, the
+  expected agreement between the model's prediction and labels drawn from
+  each covering rule's distribution π (0-1 loss → agreement probability);
+* **outside-coverage performance**: F1 of the model against the original
+  labels on instances outside ``cov(F)``.
+
+Two weightings are used (paper §5.1 *Metrics*):
+
+* in the FROTE loop, a fixed 0.5/0.5 weighting of MRA and F1
+  (:meth:`Evaluation.j_equal`) because test coverage probabilities are
+  unknown during augmentation;
+* for reporting, rule terms weighted by empirical coverage probabilities
+  (:meth:`Evaluation.j_weighted`).
+
+Both are *complements* (``J̄ = 1 - J``): larger is better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.metrics.agreement import mra_probabilistic
+from repro.metrics.classification import default_f1
+from repro.rules.ruleset import FeedbackRuleSet
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Breakdown of one model evaluation against (dataset, FRS)."""
+
+    per_rule_mra: np.ndarray  # agreement per rule (NaN when rule uncovered)
+    per_rule_count: np.ndarray  # covered instances per rule (first-match)
+    mra: float  # coverage-weighted mean agreement over covered instances
+    f1_outside: float
+    n_covered: int
+    n_outside: int
+
+    @property
+    def n_total(self) -> int:
+        return self.n_covered + self.n_outside
+
+    def j_equal(self, mra_weight: float = 0.5) -> float:
+        """Fixed-weight objective complement used inside the FROTE loop."""
+        return mra_weight * self.mra + (1.0 - mra_weight) * self.f1_outside
+
+    def j_weighted(self) -> float:
+        """Coverage-probability-weighted objective complement (reported J̄)."""
+        if self.n_total == 0:
+            return 0.0
+        p_cov = self.n_covered / self.n_total
+        return p_cov * self.mra + (1.0 - p_cov) * self.f1_outside
+
+    def loss_equal(self, mra_weight: float = 0.5) -> float:
+        """The in-loop loss ĵ = 1 - ĵ̄ that FROTE minimizes."""
+        return 1.0 - self.j_equal(mra_weight)
+
+
+def evaluate_predictions(
+    y_pred: np.ndarray,
+    dataset: Dataset,
+    frs: FeedbackRuleSet,
+) -> Evaluation:
+    """Evaluate pre-computed predictions against the FRS and the dataset.
+
+    Covered instances are assigned to their first covering rule (rule sets
+    are conflict-free, so overlaps agree on π); agreement for rule r is
+    ``mean(π_r[pred])``.  Outside-coverage instances are scored with the
+    paper's F1 convention (binary F1 for 2 classes, macro otherwise).
+    """
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_pred.shape[0] != dataset.n:
+        raise ValueError("predictions length does not match dataset")
+    m = len(frs)
+    per_rule_mra = np.full(m, np.nan)
+    per_rule_count = np.zeros(m, dtype=np.int64)
+    if m == 0:
+        f1 = default_f1(dataset.y, y_pred, n_classes=dataset.n_classes)
+        return Evaluation(per_rule_mra, per_rule_count, 1.0, f1, 0, dataset.n)
+
+    assign = frs.assign(dataset.X)
+    covered = assign >= 0
+    n_covered = int(covered.sum())
+    weighted_sum = 0.0
+    for r, rule in enumerate(frs):
+        rows = assign == r
+        cnt = int(rows.sum())
+        per_rule_count[r] = cnt
+        if cnt == 0:
+            continue
+        agreement = mra_probabilistic(y_pred[rows], rule.pi_array())
+        per_rule_mra[r] = agreement
+        weighted_sum += agreement * cnt
+    mra = weighted_sum / n_covered if n_covered else 1.0
+    outside = ~covered
+    f1 = default_f1(
+        dataset.y[outside], y_pred[outside], n_classes=dataset.n_classes
+    )
+    return Evaluation(
+        per_rule_mra=per_rule_mra,
+        per_rule_count=per_rule_count,
+        mra=mra,
+        f1_outside=f1,
+        n_covered=n_covered,
+        n_outside=int(outside.sum()),
+    )
+
+
+def evaluate_model(model, dataset: Dataset, frs: FeedbackRuleSet) -> Evaluation:
+    """Predict with ``model`` on ``dataset`` and evaluate (one prediction pass)."""
+    return evaluate_predictions(model.predict(dataset.X), dataset, frs)

@@ -1,0 +1,125 @@
+"""Online-learning objective proxy (paper supplement, Eq. 7).
+
+Retraining the black-box algorithm A to score every candidate base instance
+is cubic in |D|; the supplement proposes approximating
+
+    J(A(D̂ ∪ Generate(B)), F)  ≈  Ĵ_D̂(OL(M̂, Generate(B)), F)
+
+where M̂ is a parametric surrogate of the current model (trained on D̂
+against the model's *predictions*) and OL applies online updates for the
+generated instances instead of retraining.
+
+:class:`OnlineProxySelector` uses this proxy as a base-instance selection
+strategy: candidate singletons are scored by the surrogate's post-update
+loss and the best-scoring η instances are selected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.objective import evaluate_predictions
+from repro.core.preselect import BasePopulation
+from repro.data.dataset import Dataset
+from repro.data.encoding import TabularEncoder
+from repro.models.online import OnlineLogisticRegression
+from repro.rules.ruleset import FeedbackRuleSet
+
+
+class OnlineObjectiveProxy:
+    """Surrogate-model evaluation of candidate augmentation batches."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        model_predictions: np.ndarray,
+        frs: FeedbackRuleSet,
+        *,
+        mra_weight: float = 0.5,
+        surrogate: OnlineLogisticRegression | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.frs = frs
+        self.mra_weight = mra_weight
+        self.encoder = TabularEncoder().fit(dataset.X)
+        self._X = self.encoder.transform(dataset.X)
+        self.surrogate = surrogate or OnlineLogisticRegression(epochs=3)
+        # Step 1 of the supplement: fit the surrogate to mimic the current
+        # model (its predictions, not the raw labels).
+        self.surrogate.fit(
+            self._X, np.asarray(model_predictions, dtype=np.int64),
+            n_classes=dataset.n_classes,
+        )
+
+    def baseline_loss(self) -> float:
+        """Loss ĵ of the unmodified surrogate over D̂."""
+        pred = self.surrogate.predict(self._X)
+        ev = evaluate_predictions(pred, self.dataset, self.frs)
+        return ev.loss_equal(self.mra_weight)
+
+    def score_batch(self, table, labels: np.ndarray) -> float:
+        """Loss ĵ after online-updating the surrogate on a candidate batch.
+
+        The surrogate state is cloned, so scoring has no side effects.
+        """
+        clone = self.surrogate.clone_state()
+        Xb = self.encoder.transform(table)
+        clone.partial_fit(Xb, np.asarray(labels, dtype=np.int64),
+                          n_classes=self.dataset.n_classes)
+        pred = clone.predict(self._X)
+        ev = evaluate_predictions(pred, self.dataset, self.frs)
+        return ev.loss_equal(self.mra_weight)
+
+
+class OnlineProxySelector:
+    """Selection strategy built on :class:`OnlineObjectiveProxy`.
+
+    Scores each base-population candidate as a singleton batch labelled by
+    its rule, then picks the η candidates with the lowest proxy loss
+    (per-rule, proportionally to the random allocation).  Complexity is
+    O(|P|·|D̂|) per iteration — the cost the supplement flags as the
+    bottleneck — so it is practical only for small datasets; it exists to
+    reproduce the supplement's analysis.
+    """
+
+    def __init__(self, *, max_candidates_per_rule: int = 50) -> None:
+        self.max_candidates_per_rule = max_candidates_per_rule
+
+    def select(self, bp: BasePopulation, eta: int, ctx) -> list[np.ndarray]:
+        from repro.core.selection import _allocate_per_rule
+
+        if ctx.model_predictions is None:
+            raise ValueError("online selection requires model predictions")
+        proxy = OnlineObjectiveProxy(
+            ctx.dataset, ctx.model_predictions, self._frs_from_ctx(ctx)
+        )
+        out: list[np.ndarray] = []
+        quotas = _allocate_per_rule(eta, len(bp))
+        for pop, quota in zip(bp.per_rule, quotas):
+            if pop.size == 0 or quota == 0:
+                out.append(np.empty(0, dtype=np.intp))
+                continue
+            n_cand = min(pop.size, self.max_candidates_per_rule)
+            cand_pos = ctx.rng.choice(pop.size, size=n_cand, replace=False)
+            rule = self._frs_from_ctx(ctx)[pop.rule_index]
+            scores = np.empty(n_cand)
+            for c, pos in enumerate(cand_pos):
+                row = ctx.dataset.X.take(pop.indices[[pos]])
+                label = np.array([rule.target_class], dtype=np.int64)
+                scores[c] = proxy.score_batch(row, label)
+            order = cand_pos[np.argsort(scores, kind="stable")]
+            chosen = order[:quota]
+            if chosen.size < quota:
+                extra = ctx.rng.choice(pop.size, size=quota - chosen.size, replace=True)
+                chosen = np.concatenate([chosen, extra])
+            out.append(chosen.astype(np.intp))
+        return out
+
+    def _frs_from_ctx(self, ctx) -> FeedbackRuleSet:
+        frs = getattr(ctx, "frs", None)
+        if frs is None:
+            raise ValueError(
+                "SelectionContext must carry the feedback rule set for the "
+                "online strategy (set ctx.frs)"
+            )
+        return frs

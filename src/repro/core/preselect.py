@@ -1,0 +1,107 @@
+"""Base population pre-selection — paper Algorithm 2 (PreSelectBP).
+
+FROTE maintains a per-rule base population ``P[r]``, initialized to the
+rule's coverage in the active dataset.  The synthetic instance generator
+needs at least ``k + 1`` covered instances per rule; rules with thinner
+coverage are *relaxed* to their maximal partial rule (minimum condition
+deletions, maximum resulting support) via
+:func:`repro.rules.relaxation.relax_rule`.
+
+Instances that match a rule exactly are *strongly covered*; instances that
+match only its relaxed form are *weakly covered*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.rules.relaxation import RelaxationResult, relax_rule
+from repro.rules.ruleset import FeedbackRuleSet
+
+
+@dataclass(frozen=True)
+class RulePopulation:
+    """Base population of one rule within the active dataset."""
+
+    rule_index: int
+    indices: np.ndarray  # dataset row indices of the (possibly relaxed) coverage
+    strong_mask: np.ndarray  # True where the row matches the unrelaxed rule
+    relaxation: RelaxationResult
+
+    @property
+    def size(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def was_relaxed(self) -> bool:
+        return self.relaxation.was_relaxed
+
+    @property
+    def n_strong(self) -> int:
+        return int(self.strong_mask.sum())
+
+
+@dataclass(frozen=True)
+class BasePopulation:
+    """Per-rule populations over one active dataset (the BP of Algorithm 1)."""
+
+    per_rule: tuple[RulePopulation, ...]
+
+    def __len__(self) -> int:
+        return len(self.per_rule)
+
+    def __getitem__(self, r: int) -> RulePopulation:
+        return self.per_rule[r]
+
+    @property
+    def union_indices(self) -> np.ndarray:
+        """Deduplicated union of all per-rule populations (the IP's ``P``)."""
+        if not self.per_rule:
+            return np.empty(0, dtype=np.intp)
+        return np.unique(np.concatenate([p.indices for p in self.per_rule]))
+
+    @property
+    def total_size(self) -> int:
+        return int(sum(p.size for p in self.per_rule))
+
+
+def preselect_base_population(
+    dataset: Dataset,
+    frs: FeedbackRuleSet,
+    *,
+    k: int = 5,
+) -> BasePopulation:
+    """Compute the per-rule base populations (Algorithm 2).
+
+    Each rule needs coverage of at least ``k + 1``; rules below the
+    threshold are relaxed.  Relaxation is recomputed against the *current*
+    dataset every time FROTE accepts a batch (Algorithm 1, line 15), which
+    this function supports by simply being re-invoked.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    min_coverage = k + 1
+    pops: list[RulePopulation] = []
+    for r, rule in enumerate(frs):
+        strong = rule.coverage_mask(dataset.X)
+        if int(strong.sum()) >= min_coverage:
+            relaxation = relax_rule(rule, dataset.X, min_coverage=1)
+            indices = np.flatnonzero(strong)
+            strong_mask = np.ones(indices.size, dtype=bool)
+        else:
+            relaxation = relax_rule(rule, dataset.X, min_coverage=min_coverage)
+            mask = relaxation.relaxed_mask(dataset.X)
+            indices = np.flatnonzero(mask)
+            strong_mask = strong[indices]
+        pops.append(
+            RulePopulation(
+                rule_index=r,
+                indices=indices,
+                strong_mask=strong_mask,
+                relaxation=relaxation,
+            )
+        )
+    return BasePopulation(tuple(pops))

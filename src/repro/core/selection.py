@@ -1,0 +1,140 @@
+"""Base-instance selection strategies (paper §4.1).
+
+Given the per-rule base populations and the per-iteration budget η, a
+strategy returns, for each rule, positions (into that rule's population) of
+the base instances to synthesize from:
+
+* **random** — per-rule uniform sampling (the paper's default; empirically
+  competitive, possibly because it avoids overfitting the training-set
+  objective);
+* **ip** — the integer program of Eq. 5 over Han-2005 borderline weights;
+* **online** — supplement's online-learning proxy: score candidate base
+  instances by the objective improvement predicted by an incrementally
+  updated surrogate model.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.ip import build_selection_problem, solve_selection
+from repro.core.preselect import BasePopulation
+from repro.data.dataset import Dataset
+from repro.sampling.borderline import classify_borderline
+
+
+class SelectionContext:
+    """Everything a strategy may consult when selecting base instances."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        model_predictions: np.ndarray | None,
+        *,
+        k: int,
+        rng: np.random.Generator,
+        frs=None,
+    ) -> None:
+        self.dataset = dataset
+        self.model_predictions = model_predictions
+        self.k = k
+        self.rng = rng
+        self.frs = frs  # needed by the online-proxy strategy
+
+
+class BaseInstanceSelector(Protocol):
+    """Strategy protocol: population + budget -> per-rule positions."""
+
+    def select(
+        self, bp: BasePopulation, eta: int, ctx: SelectionContext
+    ) -> list[np.ndarray]:
+        ...
+
+
+def _allocate_per_rule(eta: int, m: int) -> list[int]:
+    """Split the budget η as evenly as possible across m rules."""
+    if m == 0:
+        return []
+    base, rem = divmod(eta, m)
+    return [base + (1 if j < rem else 0) for j in range(m)]
+
+
+class RandomSelector:
+    """Uniform per-rule sampling from the base population (with replacement
+    when the quota exceeds the pool, so η instances are always produced)."""
+
+    def select(
+        self, bp: BasePopulation, eta: int, ctx: SelectionContext
+    ) -> list[np.ndarray]:
+        out: list[np.ndarray] = []
+        for pop, quota in zip(bp.per_rule, _allocate_per_rule(eta, len(bp))):
+            if pop.size == 0 or quota == 0:
+                out.append(np.empty(0, dtype=np.intp))
+                continue
+            replace = quota > pop.size
+            out.append(
+                ctx.rng.choice(pop.size, size=quota, replace=replace).astype(np.intp)
+            )
+        return out
+
+
+class IPSelector:
+    """Eq. 5 selection over borderline weights.
+
+    Weights follow the supplement: model-prediction neighbourhoods with
+    ``k = 10``, borderline points weighted 3, safe and noisy points 1.
+    """
+
+    def __init__(self, *, k_classify: int = 10, borderline_weight: float = 3.0) -> None:
+        self.k_classify = k_classify
+        self.borderline_weight = borderline_weight
+
+    def select(
+        self, bp: BasePopulation, eta: int, ctx: SelectionContext
+    ) -> list[np.ndarray]:
+        union = bp.union_indices
+        if union.size == 0:
+            return [np.empty(0, dtype=np.intp) for _ in bp.per_rule]
+        labels = (
+            ctx.model_predictions[union]
+            if ctx.model_predictions is not None
+            else ctx.dataset.y[union]
+        )
+        analysis = classify_borderline(
+            ctx.dataset.X.take(union),
+            labels,
+            k=self.k_classify,
+            weights={"noisy": 1.0, "safe": 1.0, "borderline": self.borderline_weight},
+        )
+        problem, candidates = build_selection_problem(
+            analysis.weights,
+            [pop.indices for pop in bp.per_rule],
+            k=ctx.k,
+            eta=eta,
+        )
+        chosen = solve_selection(problem)
+        chosen_rows = set(candidates[chosen].tolist())
+        out: list[np.ndarray] = []
+        for pop in bp.per_rule:
+            mask = np.fromiter(
+                (int(v) in chosen_rows for v in pop.indices),
+                dtype=bool,
+                count=pop.size,
+            )
+            out.append(np.flatnonzero(mask).astype(np.intp))
+        return out
+
+
+def make_selector(name: str) -> BaseInstanceSelector:
+    """Factory for the strategy names used in the paper's tables."""
+    if name == "random":
+        return RandomSelector()
+    if name == "ip":
+        return IPSelector()
+    if name == "online":
+        from repro.core.online_proxy import OnlineProxySelector
+
+        return OnlineProxySelector()
+    raise ValueError(f"unknown selection strategy {name!r}; use 'random', 'ip', or 'online'")

@@ -1,0 +1,41 @@
+"""Tabular data substrate: schemas, tables, datasets, encoders, splits."""
+
+from repro.data.dataset import Dataset
+from repro.data.encoding import OrdinalEncoder, StandardScaler, TabularEncoder
+from repro.data.io import (
+    infer_schema,
+    read_csv,
+    read_csv_text,
+    to_csv_text,
+    write_csv,
+)
+from repro.data.schema import CATEGORICAL, NUMERIC, ColumnSpec, Schema
+from repro.data.split import (
+    CoverageSplit,
+    coverage_aware_split,
+    stratified_split,
+    train_test_split,
+)
+from repro.data.table import Table, make_schema
+
+__all__ = [
+    "CATEGORICAL",
+    "NUMERIC",
+    "ColumnSpec",
+    "Schema",
+    "Table",
+    "make_schema",
+    "Dataset",
+    "TabularEncoder",
+    "OrdinalEncoder",
+    "StandardScaler",
+    "train_test_split",
+    "stratified_split",
+    "coverage_aware_split",
+    "CoverageSplit",
+    "read_csv",
+    "read_csv_text",
+    "write_csv",
+    "to_csv_text",
+    "infer_schema",
+]

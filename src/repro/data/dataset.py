@@ -1,0 +1,99 @@
+"""Labelled dataset: a :class:`~repro.data.table.Table` plus class labels."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.data.table import Table
+
+
+class Dataset:
+    """Features and labels travelling together.
+
+    Parameters
+    ----------
+    X:
+        Feature table.
+    y:
+        Integer class codes in ``[0, len(label_names))``, one per row of ``X``.
+    label_names:
+        Human-readable class names; codes index into this tuple.
+    """
+
+    __slots__ = ("X", "y", "label_names")
+
+    def __init__(self, X: Table, y: np.ndarray, label_names: Iterable[str]) -> None:
+        y = np.asarray(y, dtype=np.int64)
+        if y.ndim != 1:
+            raise ValueError(f"y must be 1-D, got shape {y.shape}")
+        if y.shape[0] != X.n_rows:
+            raise ValueError(
+                f"y has {y.shape[0]} labels but X has {X.n_rows} rows"
+            )
+        names = tuple(label_names)
+        if len(names) < 2:
+            raise ValueError(f"need at least 2 classes, got {names}")
+        if y.size and (y.min() < 0 or y.max() >= len(names)):
+            raise ValueError(
+                f"labels must be codes in [0, {len(names)}), "
+                f"got range [{y.min()}, {y.max()}]"
+            )
+        self.X = X
+        self.y = y
+        self.label_names = names
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Number of instances."""
+        return self.X.n_rows
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.label_names)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def class_counts(self) -> np.ndarray:
+        """Return per-class instance counts (length ``n_classes``)."""
+        return np.bincount(self.y, minlength=self.n_classes)
+
+    # ------------------------------------------------------------------ #
+    def take(self, indices: np.ndarray) -> "Dataset":
+        idx = np.asarray(indices, dtype=np.intp)
+        return Dataset(self.X.take(idx), self.y[idx], self.label_names)
+
+    def loc_mask(self, mask: np.ndarray) -> "Dataset":
+        m = np.asarray(mask, dtype=bool)
+        return Dataset(self.X.loc_mask(m), self.y[m], self.label_names)
+
+    def with_labels(self, y: np.ndarray) -> "Dataset":
+        """Return a copy with labels replaced (same features)."""
+        return Dataset(self.X, np.array(y, dtype=np.int64, copy=True), self.label_names)
+
+    @staticmethod
+    def concat(datasets: Iterable["Dataset"]) -> "Dataset":
+        """Row-wise concatenation; schemas and label vocabularies must match."""
+        datasets = list(datasets)
+        if not datasets:
+            raise ValueError("concat requires at least one dataset")
+        names = datasets[0].label_names
+        for d in datasets[1:]:
+            if d.label_names != names:
+                raise ValueError("cannot concat datasets with different label names")
+        X = Table.concat([d.X for d in datasets])
+        y = np.concatenate([d.y for d in datasets])
+        return Dataset(X, y, names)
+
+    def copy(self) -> "Dataset":
+        """Deep-ish copy (arrays copied, schema shared)."""
+        return self.take(np.arange(self.n))
+
+    def __repr__(self) -> str:
+        counts = ", ".join(
+            f"{name}={c}" for name, c in zip(self.label_names, self.class_counts())
+        )
+        return f"Dataset(n={self.n}, classes: {counts})"

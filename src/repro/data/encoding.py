@@ -1,0 +1,148 @@
+"""Feature encoders mapping :class:`~repro.data.table.Table` to matrices.
+
+The classifiers in :mod:`repro.models` operate on dense float matrices.  The
+:class:`TabularEncoder` bridges the gap: numeric columns are optionally
+standardized, categorical columns are one-hot encoded against the schema
+vocabulary (so unseen rows always encode consistently).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import Schema
+from repro.data.table import Table
+
+
+class StandardScaler:
+    """Per-feature standardization to zero mean / unit variance."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        self.mean_ = X.mean(axis=0) if X.shape[0] else np.zeros(X.shape[1])
+        std = X.std(axis=0) if X.shape[0] else np.ones(X.shape[1])
+        # Constant features scale to 1 so they transform to exactly zero.
+        self.scale_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        return (np.asarray(X, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class TabularEncoder:
+    """Encode a mixed-type table as a dense float matrix.
+
+    Numeric columns are standardized (optional); each categorical column of
+    cardinality ``c`` expands to ``c`` one-hot indicator columns.  The layout
+    is deterministic: numeric columns first (schema order), then one-hot
+    blocks (schema order).
+
+    Parameters
+    ----------
+    standardize:
+        Standardize numeric features using statistics from :meth:`fit`.
+    """
+
+    def __init__(self, *, standardize: bool = True) -> None:
+        self.standardize = standardize
+        self.schema_: Schema | None = None
+        self._scaler: StandardScaler | None = None
+        self._feature_names: list[str] | None = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, table: Table) -> "TabularEncoder":
+        self.schema_ = table.schema
+        names: list[str] = list(table.schema.numeric_names)
+        for col in table.schema.categorical_names:
+            spec = table.schema[col]
+            names.extend(f"{col}={cat}" for cat in spec.categories)
+        self._feature_names = names
+        if self.standardize and table.schema.numeric_names:
+            num = self._numeric_matrix(table)
+            self._scaler = StandardScaler().fit(num)
+        else:
+            self._scaler = None
+        return self
+
+    def transform(self, table: Table) -> np.ndarray:
+        if self.schema_ is None:
+            raise RuntimeError("TabularEncoder is not fitted")
+        if table.schema != self.schema_:
+            raise ValueError("table schema does not match the fitted schema")
+        blocks: list[np.ndarray] = []
+        if self.schema_.numeric_names:
+            num = self._numeric_matrix(table)
+            if self._scaler is not None:
+                num = self._scaler.transform(num)
+            blocks.append(num)
+        for col in self.schema_.categorical_names:
+            spec = self.schema_[col]
+            codes = table.column(col)
+            onehot = np.zeros((table.n_rows, len(spec.categories)), dtype=np.float64)
+            if table.n_rows:
+                onehot[np.arange(table.n_rows), codes] = 1.0
+            blocks.append(onehot)
+        if not blocks:
+            return np.zeros((table.n_rows, 0), dtype=np.float64)
+        return np.hstack(blocks)
+
+    def fit_transform(self, table: Table) -> np.ndarray:
+        return self.fit(table).transform(table)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        if self._feature_names is None:
+            raise RuntimeError("TabularEncoder is not fitted")
+        return tuple(self._feature_names)
+
+    @property
+    def n_features(self) -> int:
+        return len(self.feature_names)
+
+    def _numeric_matrix(self, table: Table) -> np.ndarray:
+        assert self.schema_ is not None or table.schema is not None
+        schema = self.schema_ or table.schema
+        cols = [table.column(n) for n in schema.numeric_names]
+        if not cols:
+            return np.zeros((table.n_rows, 0), dtype=np.float64)
+        return np.column_stack(cols).astype(np.float64, copy=False)
+
+
+class OrdinalEncoder:
+    """Encode a table as a compact matrix of raw values / integer codes.
+
+    Tree-based models can consume categorical codes directly (they split on
+    one-hot columns otherwise); this encoder keeps one column per feature:
+    numeric values as-is, categorical codes as floats.  Layout follows schema
+    order.
+    """
+
+    def __init__(self) -> None:
+        self.schema_: Schema | None = None
+
+    def fit(self, table: Table) -> "OrdinalEncoder":
+        self.schema_ = table.schema
+        return self
+
+    def transform(self, table: Table) -> np.ndarray:
+        if self.schema_ is None:
+            raise RuntimeError("OrdinalEncoder is not fitted")
+        if table.schema != self.schema_:
+            raise ValueError("table schema does not match the fitted schema")
+        cols = [table.column(n).astype(np.float64) for n in self.schema_.names]
+        if not cols:
+            return np.zeros((table.n_rows, 0), dtype=np.float64)
+        return np.column_stack(cols)
+
+    def fit_transform(self, table: Table) -> np.ndarray:
+        return self.fit(table).transform(table)

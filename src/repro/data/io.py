@@ -1,0 +1,165 @@
+"""CSV import/export for tables and datasets.
+
+Downstream users bring their own tabular data; this module round-trips
+:class:`~repro.data.dataset.Dataset` through plain CSV using only the
+standard library.  Column types are either declared via a
+:class:`~repro.data.schema.Schema` or inferred (a column is numeric when
+every non-empty value parses as a float; otherwise categorical with a
+vocabulary built from the observed values).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.schema import CATEGORICAL, NUMERIC, ColumnSpec, Schema
+from repro.data.table import Table
+
+
+def infer_schema(
+    header: list[str], rows: list[list[str]], *, exclude: Iterable[str] = ()
+) -> Schema:
+    """Infer a schema from CSV text: float-parsable columns are numeric."""
+    exclude = set(exclude)
+    specs: list[ColumnSpec] = []
+    for j, name in enumerate(header):
+        if name in exclude:
+            continue
+        values = [r[j] for r in rows if j < len(r)]
+        if _all_numeric(values):
+            specs.append(ColumnSpec(name, NUMERIC))
+        else:
+            vocab = tuple(dict.fromkeys(v for v in values if v != ""))
+            if len(vocab) < 2:
+                vocab = vocab + ("<other>",) * (2 - len(vocab))
+            specs.append(ColumnSpec(name, CATEGORICAL, vocab))
+    return Schema(tuple(specs))
+
+
+def _all_numeric(values: list[str]) -> bool:
+    saw_value = False
+    for v in values:
+        if v == "":
+            continue
+        saw_value = True
+        try:
+            float(v)
+        except ValueError:
+            return False
+    return saw_value
+
+
+def read_csv(
+    path: str | Path,
+    *,
+    label_column: str,
+    schema: Schema | None = None,
+    label_names: tuple[str, ...] | None = None,
+) -> Dataset:
+    """Load a CSV file into a :class:`Dataset`.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row.
+    label_column:
+        Column holding the class label.
+    schema:
+        Feature schema; inferred from the data when omitted.
+    label_names:
+        Class vocabulary; inferred (sorted unique labels) when omitted.
+    """
+    text = Path(path).read_text()
+    return read_csv_text(
+        text, label_column=label_column, schema=schema, label_names=label_names
+    )
+
+
+def read_csv_text(
+    text: str,
+    *,
+    label_column: str,
+    schema: Schema | None = None,
+    label_names: tuple[str, ...] | None = None,
+) -> Dataset:
+    """Parse CSV content (see :func:`read_csv`)."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("empty CSV input") from None
+    rows = [r for r in reader if r]
+    if label_column not in header:
+        raise ValueError(f"label column {label_column!r} not in header {header}")
+    label_j = header.index(label_column)
+    raw_labels = [r[label_j] for r in rows]
+    if label_names is None:
+        label_names = tuple(sorted(set(raw_labels)))
+    if len(label_names) < 2:
+        raise ValueError(f"need >= 2 classes, found {label_names}")
+    label_index = {name: i for i, name in enumerate(label_names)}
+    try:
+        y = np.array([label_index[v] for v in raw_labels], dtype=np.int64)
+    except KeyError as exc:
+        raise ValueError(f"label {exc.args[0]!r} not in label_names {label_names}") from None
+
+    if schema is None:
+        schema = infer_schema(header, rows, exclude=[label_column])
+    columns: dict[str, np.ndarray] = {}
+    for spec in schema:
+        if spec.name not in header:
+            raise ValueError(f"schema column {spec.name!r} missing from CSV header")
+        j = header.index(spec.name)
+        values = [r[j] for r in rows]
+        if spec.is_numeric:
+            columns[spec.name] = np.array(
+                [float(v) if v != "" else np.nan for v in values]
+            )
+            if np.isnan(columns[spec.name]).any():
+                raise ValueError(
+                    f"numeric column {spec.name!r} has missing values; "
+                    "impute before loading"
+                )
+        else:
+            codes = np.empty(len(values), dtype=np.int64)
+            for i, v in enumerate(values):
+                codes[i] = spec.code_of(v)
+            columns[spec.name] = codes
+    return Dataset(Table(schema, columns, copy=False), y, label_names)
+
+
+def write_csv(dataset: Dataset, path: str | Path, *, label_column: str = "label") -> None:
+    """Write a dataset to CSV (categoricals decoded to their string values)."""
+    Path(path).write_text(to_csv_text(dataset, label_column=label_column))
+
+
+def to_csv_text(dataset: Dataset, *, label_column: str = "label") -> str:
+    """Render a dataset as CSV content (see :func:`write_csv`)."""
+    if label_column in dataset.X.schema:
+        raise ValueError(
+            f"label column name {label_column!r} collides with a feature column"
+        )
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    names = list(dataset.X.schema.names)
+    writer.writerow(names + [label_column])
+    decoded = {}
+    for spec in dataset.X.schema:
+        if spec.is_categorical:
+            decoded[spec.name] = dataset.X.decoded(spec.name)
+    for i in range(dataset.n):
+        row = []
+        for spec in dataset.X.schema:
+            if spec.is_numeric:
+                row.append(repr(float(dataset.X.column(spec.name)[i])))
+            else:
+                row.append(decoded[spec.name][i])
+        row.append(dataset.label_names[int(dataset.y[i])])
+        writer.writerow(row)
+    return buf.getvalue()

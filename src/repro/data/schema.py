@@ -1,0 +1,124 @@
+"""Column and table schemas for mixed-type tabular data.
+
+A :class:`Schema` describes the columns of a :class:`~repro.data.table.Table`:
+each column is either *numeric* (stored as float64) or *categorical* (stored
+as int64 codes into a fixed string vocabulary).  Schemas are immutable and
+hashable so tables, rules, and encoders can cheaply assert they refer to the
+same feature space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+NUMERIC = "numeric"
+CATEGORICAL = "categorical"
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Description of a single feature column.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within a schema.
+    kind:
+        ``"numeric"`` or ``"categorical"``.
+    categories:
+        Vocabulary for categorical columns (ordered; codes index into it).
+        Must be empty for numeric columns.
+    """
+
+    name: str
+    kind: str
+    categories: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in (NUMERIC, CATEGORICAL):
+            raise ValueError(f"kind must be 'numeric' or 'categorical', got {self.kind!r}")
+        if self.kind == NUMERIC and self.categories:
+            raise ValueError(f"numeric column {self.name!r} must not define categories")
+        if self.kind == CATEGORICAL:
+            if len(self.categories) < 2:
+                raise ValueError(
+                    f"categorical column {self.name!r} needs >= 2 categories, "
+                    f"got {len(self.categories)}"
+                )
+            if len(set(self.categories)) != len(self.categories):
+                raise ValueError(f"categorical column {self.name!r} has duplicate categories")
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind == NUMERIC
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind == CATEGORICAL
+
+    def code_of(self, value: str) -> int:
+        """Return the integer code of a category value."""
+        try:
+            return self.categories.index(value)
+        except ValueError:
+            raise KeyError(
+                f"value {value!r} not in categories of column {self.name!r}: "
+                f"{self.categories}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered collection of :class:`ColumnSpec` with name lookup."""
+
+    columns: tuple[ColumnSpec, ...]
+    _index: dict[str, int] = field(init=False, repr=False, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate column names in schema: {dupes}")
+        object.__setattr__(self, "_index", {c.name: i for i, c in enumerate(self.columns)})
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[ColumnSpec]:
+        return iter(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __getitem__(self, name: str) -> ColumnSpec:
+        try:
+            return self.columns[self._index[name]]
+        except KeyError:
+            raise KeyError(f"no column named {name!r} in schema") from None
+
+    def position(self, name: str) -> int:
+        """Return the ordinal position of column ``name``."""
+        if name not in self._index:
+            raise KeyError(f"no column named {name!r} in schema")
+        return self._index[name]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def numeric_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns if c.is_numeric)
+
+    @property
+    def categorical_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns if c.is_categorical)
+
+    def __hash__(self) -> int:
+        return hash(self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.columns == other.columns

@@ -1,0 +1,145 @@
+"""Train/test splitting, including the paper's coverage-aware (tcf) split.
+
+FROTE's evaluation protocol (paper §5.1) partitions a dataset into the
+feedback-rule coverage set and its complement, sends 80% of the complement to
+train / 20% to test, and moves a *training coverage fraction* ``tcf`` of the
+coverage set into train (the rest into test).  ``tcf = 0`` models a brand-new
+rule with no support in the training data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.rng import RandomState, check_random_state
+from repro.utils.validation import check_fraction
+
+
+def train_test_split(
+    dataset: Dataset,
+    *,
+    test_fraction: float = 0.2,
+    random_state: RandomState = None,
+) -> tuple[Dataset, Dataset]:
+    """Uniform random split into (train, test)."""
+    test_fraction = check_fraction(test_fraction, name="test_fraction")
+    rng = check_random_state(random_state)
+    n = dataset.n
+    perm = rng.permutation(n)
+    n_test = int(round(n * test_fraction))
+    test_idx = perm[:n_test]
+    train_idx = perm[n_test:]
+    return dataset.take(train_idx), dataset.take(test_idx)
+
+
+@dataclass(frozen=True)
+class CoverageSplit:
+    """Result of :func:`coverage_aware_split`.
+
+    Attributes
+    ----------
+    train, test:
+        The two partitions.
+    train_coverage_mask, test_coverage_mask:
+        Boolean masks over the respective partitions marking rows that came
+        from the rule-coverage set.
+    """
+
+    train: Dataset
+    test: Dataset
+    train_coverage_mask: np.ndarray
+    test_coverage_mask: np.ndarray
+
+
+def coverage_aware_split(
+    dataset: Dataset,
+    coverage_mask: np.ndarray,
+    *,
+    tcf: float,
+    outside_test_fraction: float = 0.2,
+    random_state: RandomState = None,
+) -> CoverageSplit:
+    """Split ``dataset`` honouring the paper's tcf protocol.
+
+    Parameters
+    ----------
+    dataset:
+        Full dataset ``D``.
+    coverage_mask:
+        Boolean mask over ``dataset`` marking ``cov(F, D)``.
+    tcf:
+        Fraction of the coverage set assigned to the training partition.
+    outside_test_fraction:
+        Test share for the outside-coverage set (paper uses 20%).
+    """
+    tcf = check_fraction(tcf, name="tcf")
+    outside_test_fraction = check_fraction(
+        outside_test_fraction, name="outside_test_fraction"
+    )
+    rng = check_random_state(random_state)
+    mask = np.asarray(coverage_mask, dtype=bool)
+    if mask.shape != (dataset.n,):
+        raise ValueError(
+            f"coverage_mask shape {mask.shape} does not match dataset of {dataset.n}"
+        )
+
+    cov_idx = np.flatnonzero(mask)
+    out_idx = np.flatnonzero(~mask)
+
+    out_perm = rng.permutation(out_idx)
+    n_out_test = int(round(out_perm.size * outside_test_fraction))
+    out_test = out_perm[:n_out_test]
+    out_train = out_perm[n_out_test:]
+
+    cov_perm = rng.permutation(cov_idx)
+    n_cov_train = int(round(cov_perm.size * tcf))
+    cov_train = cov_perm[:n_cov_train]
+    cov_test = cov_perm[n_cov_train:]
+
+    train_idx = np.concatenate([out_train, cov_train])
+    test_idx = np.concatenate([out_test, cov_test])
+    train_cov_mask = np.zeros(train_idx.size, dtype=bool)
+    train_cov_mask[out_train.size :] = True
+    test_cov_mask = np.zeros(test_idx.size, dtype=bool)
+    test_cov_mask[out_test.size :] = True
+
+    # Shuffle within each partition so coverage rows are not clustered at the
+    # end (some learners are order-sensitive through batching).
+    train_shuffle = rng.permutation(train_idx.size)
+    test_shuffle = rng.permutation(test_idx.size)
+    return CoverageSplit(
+        train=dataset.take(train_idx[train_shuffle]),
+        test=dataset.take(test_idx[test_shuffle]),
+        train_coverage_mask=train_cov_mask[train_shuffle],
+        test_coverage_mask=test_cov_mask[test_shuffle],
+    )
+
+
+def stratified_split(
+    dataset: Dataset,
+    *,
+    test_fraction: float = 0.2,
+    random_state: RandomState = None,
+) -> tuple[Dataset, Dataset]:
+    """Class-stratified split into (train, test).
+
+    Keeps per-class proportions approximately equal across partitions, which
+    matters for the small high-class-count datasets (e.g. wine-like with 7
+    labels).
+    """
+    test_fraction = check_fraction(test_fraction, name="test_fraction")
+    rng = check_random_state(random_state)
+    train_parts: list[np.ndarray] = []
+    test_parts: list[np.ndarray] = []
+    for c in range(dataset.n_classes):
+        idx = np.flatnonzero(dataset.y == c)
+        perm = rng.permutation(idx)
+        n_test = int(round(perm.size * test_fraction))
+        test_parts.append(perm[:n_test])
+        train_parts.append(perm[n_test:])
+    train_idx = rng.permutation(np.concatenate(train_parts))
+    test_idx = rng.permutation(np.concatenate(test_parts))
+    return dataset.take(train_idx), dataset.take(test_idx)

@@ -1,0 +1,33 @@
+"""Synthetic UCI-equivalent datasets (paper Table 1)."""
+
+from repro.datasets.adult import load_adult
+from repro.datasets.base import (
+    BINARY_DATASETS,
+    DATASETS,
+    DatasetInfo,
+    load_dataset,
+    table1_rows,
+)
+from repro.datasets.breast_cancer import load_breast_cancer
+from repro.datasets.car import load_car
+from repro.datasets.contraceptive import load_contraceptive
+from repro.datasets.mushroom import load_mushroom
+from repro.datasets.nursery import load_nursery
+from repro.datasets.splice import load_splice
+from repro.datasets.wine import load_wine
+
+__all__ = [
+    "DATASETS",
+    "BINARY_DATASETS",
+    "DatasetInfo",
+    "load_dataset",
+    "table1_rows",
+    "load_adult",
+    "load_breast_cancer",
+    "load_car",
+    "load_contraceptive",
+    "load_mushroom",
+    "load_nursery",
+    "load_splice",
+    "load_wine",
+]

@@ -1,0 +1,84 @@
+"""Breast Cancer (WDBC) equivalent: 32 numeric features, 2 classes, 569 instances.
+
+The real WDBC features are strongly correlated size/shape statistics; the
+generator draws two class-conditional Gaussian clusters in a latent
+(size, texture, concavity) space and derives the 32 observed features from
+them with noise, reproducing the near-separable geometry the paper's box
+plots show (J̄ close to 1 for most configurations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.table import Table, make_schema
+from repro.datasets.synthetic import resolve_size
+from repro.utils.rng import RandomState, check_random_state
+
+PAPER_N = 569
+DEFAULT_N = 569
+
+LABELS = ("benign", "malignant")
+
+_STATS = ("mean", "se", "worst")
+_BASES = (
+    "radius",
+    "texture",
+    "perimeter",
+    "area",
+    "smoothness",
+    "compactness",
+    "concavity",
+    "concave-points",
+    "symmetry",
+    "fractal-dim",
+)
+# 10 bases x 3 stats = 30, plus 2 extra aggregates to match Table 1's 32.
+FEATURES = tuple(f"{b}-{s}" for s in _STATS for b in _BASES) + (
+    "cell-density",
+    "nucleus-score",
+)
+
+# How strongly each base feature separates the classes (malignant shift).
+_SHIFT = {
+    "radius": 1.8,
+    "texture": 0.9,
+    "perimeter": 1.8,
+    "area": 1.9,
+    "smoothness": 0.5,
+    "compactness": 1.2,
+    "concavity": 1.6,
+    "concave-points": 1.9,
+    "symmetry": 0.6,
+    "fractal-dim": 0.1,
+}
+
+
+def load_breast_cancer(n: int | None = None, *, random_state: RandomState = 0) -> Dataset:
+    """Generate the WDBC-equivalent dataset."""
+    rng = check_random_state(random_state)
+    n = resolve_size(n, PAPER_N, DEFAULT_N)
+    schema = make_schema(numeric=list(FEATURES))
+
+    # Class marginal matches WDBC (~37% malignant).
+    y = (rng.uniform(size=n) < 0.37).astype(np.int64)
+    # Latent severity: malignant cases score higher; modest overlap keeps
+    # the task realistic while staying nearly linearly separable (real WDBC
+    # logistic regression reaches ~0.97 accuracy).
+    severity = rng.normal(0.0, 0.8, n) + 3.0 * y
+
+    columns: dict[str, np.ndarray] = {}
+    for stat_i, stat in enumerate(_STATS):
+        stat_scale = (1.0, 0.35, 1.3)[stat_i]
+        for base in _BASES:
+            signal = _SHIFT[base] * stat_scale
+            noise = rng.normal(0.0, 1.0, n)
+            columns[f"{base}-{stat}"] = 10.0 + signal * severity + 1.5 * noise
+    columns["cell-density"] = 5.0 + 1.1 * severity + rng.normal(0, 1.5, n)
+    columns["nucleus-score"] = 1.0 + 0.9 * severity + rng.normal(0, 1.2, n)
+
+    # Mild label noise keeps the task non-trivial.
+    flip = rng.uniform(size=n) < 0.02
+    y[flip] = 1 - y[flip]
+    return Dataset(Table(schema, columns, copy=False), y, LABELS)

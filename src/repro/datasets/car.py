@@ -1,0 +1,94 @@
+"""Car Evaluation equivalent: 6 nominal features, 4 classes, 1 728 instances.
+
+Like Nursery, the real Car labels come from a hand-built rule hierarchy
+(price vs. technical characteristics); the generator plants an equivalent
+cascade.
+"""
+
+from __future__ import annotations
+
+from repro.data.dataset import Dataset
+from repro.data.table import make_schema
+from repro.datasets.synthetic import (
+    PlantedRule,
+    build_dataset,
+    resolve_size,
+    sample_categorical,
+)
+from repro.rules.clause import clause
+from repro.rules.predicate import Predicate
+from repro.utils.rng import RandomState, check_random_state
+
+PAPER_N = 1728
+DEFAULT_N = 1728
+
+LABELS = ("unacc", "acc", "good", "vgood")
+
+_BUYING = ("vhigh", "high", "med", "low")
+_MAINT = ("vhigh", "high", "med", "low")
+_DOORS = ("2", "3", "4", "5more")
+_PERSONS = ("2", "4", "more")
+_LUG_BOOT = ("small", "med", "big")
+_SAFETY = ("low", "med", "high")
+
+
+def load_car(n: int | None = None, *, random_state: RandomState = 0) -> Dataset:
+    """Generate the Car-Evaluation-equivalent dataset."""
+    rng = check_random_state(random_state)
+    n = resolve_size(n, PAPER_N, DEFAULT_N)
+    schema = make_schema(
+        categorical={
+            "buying": _BUYING,
+            "maint": _MAINT,
+            "doors": _DOORS,
+            "persons": _PERSONS,
+            "lug_boot": _LUG_BOOT,
+            "safety": _SAFETY,
+        }
+    )
+    columns = {
+        "buying": sample_categorical(rng, n, 4),
+        "maint": sample_categorical(rng, n, 4),
+        "doors": sample_categorical(rng, n, 4),
+        "persons": sample_categorical(rng, n, 3),
+        "lug_boot": sample_categorical(rng, n, 3),
+        "safety": sample_categorical(rng, n, 3),
+    }
+
+    rules = [
+        PlantedRule(clause(Predicate("safety", "==", "low")), 0),
+        PlantedRule(clause(Predicate("persons", "==", "2")), 0),
+        PlantedRule(
+            clause(
+                Predicate("buying", "==", "vhigh"),
+                Predicate("maint", "==", "vhigh"),
+            ),
+            0,
+        ),
+        PlantedRule(
+            clause(
+                Predicate("safety", "==", "high"),
+                Predicate("buying", "==", "low"),
+                Predicate("maint", "!=", "vhigh"),
+            ),
+            3,
+        ),
+        PlantedRule(
+            clause(
+                Predicate("safety", "==", "high"),
+                Predicate("lug_boot", "==", "big"),
+            ),
+            2,
+        ),
+        PlantedRule(
+            clause(
+                Predicate("buying", "==", "low"),
+                Predicate("safety", "==", "med"),
+            ),
+            2,
+        ),
+    ]
+
+    return build_dataset(
+        schema, columns, rules, LABELS, default_class=1, noise=0.05, rng=rng
+    )

@@ -1,0 +1,103 @@
+"""Nursery equivalent: 8 nominal features, 4 classes, 12 958 instances.
+
+The UCI Nursery labels are a hand-crafted hierarchical rule system over
+application attributes; the generator plants a comparable rule cascade
+(parents' occupation, family finance, housing, health) over the same-shaped
+schema.
+"""
+
+from __future__ import annotations
+
+from repro.data.dataset import Dataset
+from repro.data.table import make_schema
+from repro.datasets.synthetic import (
+    PlantedRule,
+    build_dataset,
+    resolve_size,
+    sample_categorical,
+)
+from repro.rules.clause import clause
+from repro.rules.predicate import Predicate
+from repro.utils.rng import RandomState, check_random_state
+
+PAPER_N = 12958
+DEFAULT_N = 2500
+
+LABELS = ("not_recom", "priority", "spec_prior", "very_recom")
+
+_PARENTS = ("usual", "pretentious", "great_pret")
+_HAS_NURS = ("proper", "less_proper", "improper", "critical", "very_crit")
+_FORM = ("complete", "completed", "incomplete", "foster")
+_CHILDREN = ("one", "two", "three", "more")
+_HOUSING = ("convenient", "less_conv", "critical")
+_FINANCE = ("convenient", "inconv")
+_SOCIAL = ("nonprob", "slightly_prob", "problematic")
+_HEALTH = ("recommended", "priority", "not_recom")
+
+
+def load_nursery(n: int | None = None, *, random_state: RandomState = 0) -> Dataset:
+    """Generate the Nursery-equivalent dataset."""
+    rng = check_random_state(random_state)
+    n = resolve_size(n, PAPER_N, DEFAULT_N)
+
+    schema = make_schema(
+        categorical={
+            "parents": _PARENTS,
+            "has_nurs": _HAS_NURS,
+            "form": _FORM,
+            "children": _CHILDREN,
+            "housing": _HOUSING,
+            "finance": _FINANCE,
+            "social": _SOCIAL,
+            "health": _HEALTH,
+        }
+    )
+    columns = {
+        "parents": sample_categorical(rng, n, len(_PARENTS)),
+        "has_nurs": sample_categorical(rng, n, len(_HAS_NURS)),
+        "form": sample_categorical(rng, n, len(_FORM)),
+        "children": sample_categorical(rng, n, len(_CHILDREN)),
+        "housing": sample_categorical(rng, n, len(_HOUSING)),
+        "finance": sample_categorical(rng, n, len(_FINANCE)),
+        "social": sample_categorical(rng, n, len(_SOCIAL)),
+        "health": sample_categorical(rng, n, len(_HEALTH)),
+    }
+
+    # Cascade mimicking the original hierarchy: health dominates, then
+    # parental/home conditions refine priority.
+    rules = [
+        PlantedRule(clause(Predicate("health", "==", "not_recom")), 0),
+        PlantedRule(
+            clause(
+                Predicate("health", "==", "recommended"),
+                Predicate("parents", "==", "usual"),
+                Predicate("finance", "==", "convenient"),
+            ),
+            3,
+        ),
+        PlantedRule(
+            clause(
+                Predicate("health", "==", "recommended"),
+                Predicate("social", "==", "nonprob"),
+            ),
+            3,
+        ),
+        PlantedRule(
+            clause(
+                Predicate("has_nurs", "==", "very_crit"),
+            ),
+            2,
+        ),
+        PlantedRule(
+            clause(
+                Predicate("parents", "==", "great_pret"),
+                Predicate("housing", "==", "critical"),
+            ),
+            2,
+        ),
+        PlantedRule(clause(Predicate("health", "==", "priority")), 1),
+    ]
+
+    return build_dataset(
+        schema, columns, rules, LABELS, default_class=1, noise=0.06, rng=rng
+    )

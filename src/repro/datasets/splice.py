@@ -1,0 +1,68 @@
+"""Splice-junction equivalent: 60 nominal (DNA base) features, 3 classes.
+
+Each feature is a base at one position of a 60-nucleotide window around a
+candidate splice junction.  The generator plants donor (EI, "GT" right of
+the junction) and acceptor (IE, "AG" left of the junction) consensus motifs
+with positional noise — the same conjunctive positional structure that
+makes rule learning effective on the real dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.table import Table, make_schema
+from repro.datasets.synthetic import resolve_size
+from repro.utils.rng import RandomState, check_random_state
+
+PAPER_N = 3190
+DEFAULT_N = 1600
+
+LABELS = ("EI", "IE", "N")
+
+BASES = ("A", "C", "G", "T")
+# Positions -30..-1, +1..+30 around the junction (UCI convention).
+POSITIONS = tuple(
+    f"pos{p:+d}" for p in list(range(-30, 0)) + list(range(1, 31))
+)
+_JUNCTION = 30  # index of pos+1 in POSITIONS
+
+
+def load_splice(n: int | None = None, *, random_state: RandomState = 0) -> Dataset:
+    """Generate the Splice-equivalent dataset."""
+    rng = check_random_state(random_state)
+    n = resolve_size(n, PAPER_N, DEFAULT_N)
+    schema = make_schema(categorical={p: BASES for p in POSITIONS})
+
+    # Class marginal roughly matches UCI splice: 25% EI, 25% IE, 50% N.
+    y = rng.choice(3, size=n, p=[0.25, 0.25, 0.5]).astype(np.int64)
+    codes = rng.integers(0, 4, size=(n, len(POSITIONS))).astype(np.int64)
+
+    g, t, a, c = BASES.index("G"), BASES.index("T"), BASES.index("A"), BASES.index("C")
+
+    def plant(rows: np.ndarray, col: int, base: int, fidelity: float) -> None:
+        keep = rng.uniform(size=rows.size) < fidelity
+        codes[rows[keep], col] = base
+
+    ei = np.flatnonzero(y == 0)
+    # Donor consensus: (C/A)AG | GT(A/G)AGT
+    plant(ei, _JUNCTION, g, 0.95)
+    plant(ei, _JUNCTION + 1, t, 0.95)
+    plant(ei, _JUNCTION + 2, a, 0.6)
+    plant(ei, _JUNCTION + 3, a, 0.7)
+    plant(ei, _JUNCTION + 4, g, 0.8)
+    plant(ei, _JUNCTION - 1, g, 0.8)
+    plant(ei, _JUNCTION - 2, a, 0.6)
+
+    ie = np.flatnonzero(y == 1)
+    # Acceptor consensus: pyrimidine tract then AG | G
+    plant(ie, _JUNCTION - 1, g, 0.95)
+    plant(ie, _JUNCTION - 2, a, 0.95)
+    plant(ie, _JUNCTION, g, 0.55)
+    for offset in range(3, 12):
+        pyrimidine = c if rng.uniform() < 0.5 else t
+        plant(ie, _JUNCTION - offset, pyrimidine, 0.55)
+
+    columns = {p: codes[:, i] for i, p in enumerate(POSITIONS)}
+    return Dataset(Table(schema, columns, copy=False), y, LABELS)

@@ -1,0 +1,80 @@
+"""Experiment drivers reproducing the paper's tables and figures."""
+
+from repro.experiments.figures import (
+    format_fig2,
+    format_fig3,
+    format_fig9,
+    run_fig2,
+    run_fig3,
+    run_fig9,
+)
+from repro.experiments.paper_suite import SCALES, build_suite, run_paper_suite
+from repro.experiments.persistence import (
+    ExperimentArchive,
+    load_records,
+    save_records,
+)
+from repro.experiments.report import BoxStats, ascii_boxplot, format_mean_std, format_table
+from repro.experiments.runner import (
+    PAPER_ETA,
+    RunMetrics,
+    RunResult,
+    default_config,
+    execute_run,
+    run_many,
+)
+from repro.experiments.setup import (
+    ExperimentContext,
+    PreparedRun,
+    build_context,
+    prepare_run,
+    probabilistic_variant,
+)
+from repro.experiments.tables import (
+    format_ablation,
+    format_table2,
+    format_table3,
+    format_table6,
+    run_ablation,
+    run_table2,
+    run_table3,
+    run_table6,
+)
+
+__all__ = [
+    "build_context",
+    "prepare_run",
+    "probabilistic_variant",
+    "ExperimentContext",
+    "PreparedRun",
+    "execute_run",
+    "run_many",
+    "default_config",
+    "RunResult",
+    "RunMetrics",
+    "PAPER_ETA",
+    "run_fig2",
+    "run_fig3",
+    "run_fig9",
+    "format_fig2",
+    "format_fig3",
+    "format_fig9",
+    "run_table2",
+    "run_table3",
+    "run_table6",
+    "run_ablation",
+    "format_table2",
+    "format_table3",
+    "format_table6",
+    "format_ablation",
+    "BoxStats",
+    "ascii_boxplot",
+    "format_table",
+    "format_mean_std",
+    "ExperimentArchive",
+    "save_records",
+    "load_records",
+    "run_paper_suite",
+    "build_suite",
+    "SCALES",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.experiments`` entry point."""
+
+from repro.experiments.cli import main
+
+raise SystemExit(main())

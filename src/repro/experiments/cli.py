@@ -1,0 +1,167 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro.experiments fig2   --dataset car --model LR
+    python -m repro.experiments fig3   --dataset breast_cancer --model LR
+    python -m repro.experiments fig9   --dataset adult --model LR
+    python -m repro.experiments table1
+    python -m repro.experiments table2 --dataset mushroom --model LR
+    python -m repro.experiments table3 --dataset car --model LR
+    python -m repro.experiments table6 --dataset mushroom
+    python -m repro.experiments ablation --dataset car --model LR --parameter k
+
+Common options: ``--runs`` (repetitions), ``--tau`` (FROTE iteration
+limit), ``--seed``, ``--save out.json`` (persist raw records).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.figures import (
+    format_fig2,
+    format_fig3,
+    format_fig9,
+    run_fig2,
+    run_fig3,
+    run_fig9,
+)
+from repro.experiments.persistence import save_records
+from repro.experiments.report import format_table
+from repro.experiments.tables import (
+    format_ablation,
+    format_table2,
+    format_table3,
+    format_table6,
+    run_ablation,
+    run_table2,
+    run_table3,
+    run_table6,
+)
+
+EXPERIMENTS = (
+    "fig2", "fig3", "fig9", "table1", "table2", "table3", "table6", "ablation", "all",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate FROTE paper tables and figures.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument("--dataset", default="car", help="dataset name (see repro.datasets)")
+    parser.add_argument("--model", default="LR", help="LR, RF, or LGBM")
+    parser.add_argument("--runs", type=int, default=5, help="repetitions per setting")
+    parser.add_argument("--tau", type=int, default=20, help="FROTE iteration limit")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--n", type=int, default=None, help="dataset size override")
+    parser.add_argument(
+        "--parameter",
+        default="k",
+        choices=("k", "q", "eta", "mod_strategy"),
+        help="knob for the ablation sweep",
+    )
+    parser.add_argument("--save", default=None, help="write raw records to this JSON path")
+    parser.add_argument(
+        "--scale",
+        default="bench",
+        choices=("smoke", "bench", "paper"),
+        help="scale for the 'all' suite",
+    )
+    return parser
+
+
+def run(args: argparse.Namespace) -> tuple[list[dict], str]:
+    """Dispatch one experiment; returns (records, rendered text)."""
+    common = dict(n_runs=args.runs, tau=args.tau, n=args.n, random_state=args.seed)
+    if args.experiment == "all":
+        from repro.experiments.paper_suite import run_paper_suite
+
+        reports = run_paper_suite(
+            scale=args.scale,
+            random_state=args.seed,
+            progress=lambda line: print(f"[suite] {line}", file=sys.stderr),
+        )
+        text = "\n\n".join(f"### {key}\n{report}" for key, report in reports.items())
+        records = [{"key": k} for k in reports]
+        return records, text
+    if args.experiment == "fig2":
+        records = run_fig2(args.dataset, args.model, **common)
+        return records, format_fig2(records)
+    if args.experiment == "fig3":
+        records = run_fig3(args.dataset, args.model, **common)
+        return records, format_fig3(records)
+    if args.experiment == "fig9":
+        records = run_fig9(args.dataset, args.model, **common)
+        return records, format_fig9(records)
+    if args.experiment == "table1":
+        from repro.datasets import table1_rows
+
+        records = table1_rows()
+        return records, format_table(records, title="Table 1 — dataset properties")
+    if args.experiment == "table2":
+        records = run_table2(args.dataset, args.model, **common)
+        text = "\n\n".join(
+            format_table2(records, metric=m)
+            for m in ("delta_j", "delta_mra", "delta_f1")
+        )
+        return records, text
+    if args.experiment == "table3":
+        records = run_table3(args.dataset, args.model, **common)
+        return records, format_table3(records)
+    if args.experiment == "table6":
+        records = run_table6(
+            args.dataset,
+            n_runs=args.runs,
+            tau=args.tau,
+            n=args.n,
+            random_state=args.seed,
+        )
+        return records, format_table6(records)
+    if args.experiment == "ablation":
+        values = {
+            "k": (2, 5, 10),
+            "q": (0.1, 0.5, 1.0),
+            "eta": (5, 20, 60),
+            "mod_strategy": ("none", "relabel", "drop"),
+        }[args.parameter]
+        records = run_ablation(
+            args.dataset,
+            args.model,
+            parameter=args.parameter,
+            values=values,
+            n_runs=args.runs,
+            tau=args.tau,
+            n=args.n,
+            random_state=args.seed,
+        )
+        return records, format_ablation(records)
+    raise ValueError(f"unknown experiment {args.experiment!r}")  # pragma: no cover
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    records, text = run(args)
+    print(text)
+    if args.save:
+        path = save_records(
+            args.experiment,
+            records,
+            args.save,
+            metadata={
+                "dataset": args.dataset,
+                "model": args.model,
+                "runs": args.runs,
+                "tau": args.tau,
+                "seed": args.seed,
+            },
+        )
+        print(f"\nrecords written to {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

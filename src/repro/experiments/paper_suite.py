@@ -1,0 +1,170 @@
+"""One-call reproduction of the paper's full experiment suite.
+
+``run_paper_suite`` executes every table/figure driver at a chosen scale
+and returns the rendered reports; the CLI exposes it as
+``python -m repro.experiments all``.  Scales:
+
+* ``smoke`` — seconds; 1 run, τ = 4 (CI sanity).
+* ``bench`` — minutes; the defaults the benchmark suite uses.
+* ``paper`` — hours; 30 runs, τ = 200, paper-size datasets (closest to
+  the published protocol this reproduction supports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.figures import (
+    format_fig2,
+    format_fig3,
+    format_fig9,
+    run_fig2,
+    run_fig3,
+    run_fig9,
+)
+from repro.experiments.report import format_table
+from repro.experiments.tables import (
+    format_ablation,
+    format_table2,
+    format_table3,
+    format_table6,
+    run_ablation,
+    run_table2,
+    run_table3,
+    run_table6,
+)
+
+SCALES = {
+    "smoke": {"n_runs": 1, "tau": 4, "n": 600},
+    "bench": {"n_runs": 3, "tau": 10, "n": None},
+    "paper": {"n_runs": 30, "tau": 200, "n": None},
+}
+
+
+@dataclass(frozen=True)
+class SuiteItem:
+    """One suite entry: experiment id, driver thunk, renderer."""
+
+    experiment: str
+    dataset: str
+    model: str
+    runner: Callable[[], list[dict]]
+    renderer: Callable[[list[dict]], str]
+
+
+def build_suite(
+    *,
+    scale: str = "bench",
+    datasets_fig2: tuple[str, ...] = ("car",),
+    models_fig2: tuple[str, ...] = ("LR", "RF"),
+    random_state: int = 42,
+) -> list[SuiteItem]:
+    """Assemble the suite's work items (lazily; nothing runs yet)."""
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {sorted(SCALES)}, got {scale!r}")
+    cfg = SCALES[scale]
+    n_runs, tau, n = cfg["n_runs"], cfg["tau"], cfg["n"]
+    items: list[SuiteItem] = []
+
+    for ds in datasets_fig2:
+        for model in models_fig2:
+            items.append(
+                SuiteItem(
+                    "fig2", ds, model,
+                    lambda ds=ds, model=model: run_fig2(
+                        ds, model, n_runs=n_runs, tau=tau, n=n,
+                        random_state=random_state,
+                    ),
+                    format_fig2,
+                )
+            )
+    items.append(
+        SuiteItem(
+            "fig3", "breast_cancer", "LR",
+            lambda: run_fig3(
+                "breast_cancer", "LR", frs_sizes=(3, 5, 8), n_runs=n_runs,
+                tau=tau, n=n, random_state=random_state,
+            ),
+            format_fig3,
+        )
+    )
+    items.append(
+        SuiteItem(
+            "fig9", "adult", "LR",
+            lambda: run_fig9(
+                "adult", "LR", n_runs=max(1, n_runs // 2), tau=tau,
+                n=n or 1200, random_state=random_state,
+            ),
+            format_fig9,
+        )
+    )
+    for ds in ("breast_cancer", "mushroom"):
+        items.append(
+            SuiteItem(
+                "table2", ds, "LR",
+                lambda ds=ds: run_table2(
+                    ds, "LR", n_runs=n_runs, tau=tau, n=n,
+                    random_state=random_state,
+                ),
+                format_table2,
+            )
+        )
+    items.append(
+        SuiteItem(
+            "table3", "car", "LR",
+            lambda: run_table3(
+                "car", "LR", n_runs=n_runs, tau=tau, n=n,
+                random_state=random_state,
+            ),
+            format_table3,
+        )
+    )
+    items.append(
+        SuiteItem(
+            "table6", "mushroom", "LR",
+            lambda: run_table6(
+                "mushroom", n_runs=n_runs, tau=tau, n=n,
+                random_state=random_state,
+            ),
+            format_table6,
+        )
+    )
+    items.append(
+        SuiteItem(
+            "ablation", "car", "LR",
+            lambda: run_ablation(
+                "car", "LR", parameter="k", values=(2, 5, 10),
+                n_runs=max(1, n_runs // 2), tau=tau, n=n,
+                random_state=random_state,
+            ),
+            format_ablation,
+        )
+    )
+    return items
+
+
+def run_paper_suite(
+    *,
+    scale: str = "bench",
+    random_state: int = 42,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, str]:
+    """Run every suite item; returns ``{"<exp>/<dataset>/<model>": report}``.
+
+    ``progress`` (optional) receives a line per completed item.
+    """
+    from repro.datasets import table1_rows
+
+    reports: dict[str, str] = {
+        "table1": format_table(table1_rows(), title="Table 1 — dataset properties")
+    }
+    if progress:
+        progress("table1 done")
+    for item in build_suite(scale=scale, random_state=random_state):
+        key = f"{item.experiment}/{item.dataset}/{item.model}"
+        records = item.runner()
+        reports[key] = item.renderer(records)
+        if progress:
+            progress(f"{key} done ({len(records)} records)")
+    return reports

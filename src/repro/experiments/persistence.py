@@ -1,0 +1,80 @@
+"""Persist experiment records as JSON.
+
+Every driver in :mod:`repro.experiments` returns plain dict records; this
+module writes/reads them with a small metadata envelope so the CLI (and
+EXPERIMENTS.md regeneration) can cache expensive runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+
+def _jsonable(value):
+    """Coerce NumPy scalars/arrays inside records to JSON-friendly types."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentArchive:
+    """A named batch of experiment records plus run metadata."""
+
+    name: str
+    records: list[dict]
+    metadata: dict
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "metadata": _jsonable(self.metadata),
+                "records": _jsonable(self.records),
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentArchive":
+        payload = json.loads(text)
+        for key in ("name", "records"):
+            if key not in payload:
+                raise ValueError(f"archive missing required key {key!r}")
+        return cls(
+            name=payload["name"],
+            records=list(payload["records"]),
+            metadata=dict(payload.get("metadata", {})),
+        )
+
+
+def save_records(
+    name: str,
+    records: list[dict],
+    path: str | Path,
+    *,
+    metadata: dict | None = None,
+) -> Path:
+    """Write records to ``path`` (parent directories created)."""
+    archive = ExperimentArchive(name, records, dict(metadata or {}))
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(archive.to_json())
+    return out
+
+
+def load_records(path: str | Path) -> ExperimentArchive:
+    """Read an archive written by :func:`save_records`."""
+    return ExperimentArchive.from_json(Path(path).read_text())

@@ -1,0 +1,135 @@
+"""ASCII reporting: tables, box statistics, and box plots.
+
+The paper's figures are box plots over repeated runs; benchmarks print the
+same content as text so results are inspectable in a terminal / CI log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary matching the paper's box-and-whisker plots."""
+
+    median: float
+    q1: float
+    q3: float
+    lo_whisker: float
+    hi_whisker: float
+    mean: float
+    std: float
+    n: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "BoxStats":
+        arr = np.asarray(list(values), dtype=np.float64)
+        if arr.size == 0:
+            return cls(*(float("nan"),) * 7, 0)
+        q1, med, q3 = np.percentile(arr, [25, 50, 75])
+        iqr = q3 - q1
+        lo_limit, hi_limit = q1 - 1.5 * iqr, q3 + 1.5 * iqr
+        inside = arr[(arr >= lo_limit) & (arr <= hi_limit)]
+        lo = float(inside.min()) if inside.size else float(arr.min())
+        hi = float(inside.max()) if inside.size else float(arr.max())
+        return cls(
+            float(med), float(q1), float(q3), lo, hi,
+            float(arr.mean()), float(arr.std()), int(arr.size),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"median={self.median:.3f} IQR=[{self.q1:.3f}, {self.q3:.3f}] "
+            f"whiskers=[{self.lo_whisker:.3f}, {self.hi_whisker:.3f}] n={self.n}"
+        )
+
+
+def format_mean_std(values: Sequence[float], *, digits: int = 3) -> str:
+    """``mean ± std`` string matching the paper's table cells."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return "n/a"
+    return f"{arr.mean():.{digits}f} ± {arr.std():.{digits}f}"
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    *,
+    title: str | None = None,
+) -> str:
+    """Render dict-rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.3f}"
+    return str(v)
+
+
+def ascii_boxplot(
+    groups: Mapping[str, Sequence[float]],
+    *,
+    width: int = 50,
+    title: str | None = None,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """Horizontal ASCII box plots, one row per group.
+
+    Layout per row: whisker span ``|---[  Q1▮median▮Q3  ]---|`` scaled into
+    ``width`` characters between ``lo`` and ``hi`` (auto-ranged by default).
+    """
+    stats = {k: BoxStats.from_values(v) for k, v in groups.items()}
+    valid = [s for s in stats.values() if s.n > 0]
+    if not valid:
+        return "(no data)"
+    auto_lo = min(s.lo_whisker for s in valid)
+    auto_hi = max(s.hi_whisker for s in valid)
+    lo = auto_lo if lo is None else lo
+    hi = auto_hi if hi is None else hi
+    if hi <= lo:
+        hi = lo + 1e-9
+
+    def pos(x: float) -> int:
+        return int(round((np.clip(x, lo, hi) - lo) / (hi - lo) * (width - 1)))
+
+    name_w = max(len(k) for k in groups)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'':{name_w}}  {lo:.3f}{'':{width - 12}}{hi:.3f}")
+    for name, s in stats.items():
+        row = [" "] * width
+        if s.n == 0:
+            lines.append(f"{name:{name_w}}  (no data)")
+            continue
+        for x in range(pos(s.lo_whisker), pos(s.hi_whisker) + 1):
+            row[x] = "-"
+        for x in range(pos(s.q1), pos(s.q3) + 1):
+            row[x] = "="
+        row[pos(s.lo_whisker)] = "|"
+        row[pos(s.hi_whisker)] = "|"
+        row[pos(s.median)] = "#"
+        lines.append(f"{name:{name_w}}  {''.join(row)}  {s.median:.3f}")
+    return "\n".join(lines)

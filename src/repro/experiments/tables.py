@@ -1,0 +1,358 @@
+"""Table drivers: the rows behind paper Tables 2, 3, 4, 5, and 6.
+
+Every driver returns records (dicts) and a ``format_*`` helper renders them
+in the paper's layout (mean ± std cells).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.baselines.overlay import HARD, SOFT, Overlay
+from repro.core.config import FroteConfig
+from repro.core.frote import FROTE
+from repro.core.objective import evaluate_predictions
+from repro.data.split import coverage_aware_split
+from repro.experiments.report import format_mean_std, format_table
+from repro.experiments.runner import default_config, execute_run, run_many
+from repro.experiments.setup import (
+    build_context,
+    prepare_run,
+    probabilistic_variant,
+)
+from repro.metrics.classification import accuracy_score
+from repro.rules.ruleset import FeedbackRuleSet, draw_conflict_free
+from repro.utils.rng import RandomState, check_random_state
+
+
+# ---------------------------------------------------------------------- #
+# Table 2 (and Tables 7/8): FROTE vs Overlay
+# ---------------------------------------------------------------------- #
+def run_table2(
+    dataset_name: str,
+    model_name: str,
+    *,
+    n_runs: int = 5,
+    frs_size: int = 3,
+    tau: int = 20,
+    n: int | None = None,
+    random_state: RandomState = 42,
+) -> list[dict]:
+    """ΔJ̄ / ΔMRA / ΔF of Overlay-Soft, Overlay-Hard, and FROTE.
+
+    Paper protocol: 3 rules per run, 50/50 coverage and outside-coverage
+    splits, deltas relative to the unpatched initial model.
+    """
+    ctx = build_context(dataset_name, model_name, n=n, random_state=random_state)
+    rng = check_random_state(random_state)
+    records: list[dict] = []
+    for run_id in range(n_runs):
+        frs = draw_conflict_free(
+            list(ctx.rule_pool), frs_size, ctx.dataset.X.schema, rng
+        )
+        if frs is None:
+            continue
+        coverage = frs.coverage_mask(ctx.dataset.X)
+        split = coverage_aware_split(
+            ctx.dataset,
+            coverage,
+            tcf=0.5,
+            outside_test_fraction=0.5,
+            random_state=rng,
+        )
+        model = ctx.algorithm(split.train)
+        test = split.test
+        base_eval = evaluate_predictions(model.predict(test.X), test, frs)
+
+        overlay_evals = {}
+        for mode in (SOFT, HARD):
+            overlay = Overlay(model, frs, split.train.X, mode=mode)
+            overlay_evals[mode] = evaluate_predictions(
+                overlay.predict(test.X), test, frs
+            )
+
+        config = default_config(
+            dataset_name,
+            tau=tau,
+            mod_strategy="relabel",
+            random_state=int(rng.integers(2**31)),
+        )
+        frote = FROTE(ctx.algorithm, frs, config)
+        frote_result = frote.run(split.train)
+        frote_eval = evaluate_predictions(
+            frote_result.model.predict(test.X), test, frs
+        )
+
+        def deltas(ev) -> dict:
+            return {
+                "delta_j": ev.j_weighted() - base_eval.j_weighted(),
+                "delta_mra": ev.mra - base_eval.mra,
+                "delta_f1": ev.f1_outside - base_eval.f1_outside,
+            }
+
+        records.append(
+            {
+                "dataset": dataset_name,
+                "model": model_name,
+                "run": run_id,
+                "overlay_soft": deltas(overlay_evals[SOFT]),
+                "overlay_hard": deltas(overlay_evals[HARD]),
+                "frote": deltas(frote_eval),
+            }
+        )
+    return records
+
+
+def format_table2(records: list[dict], *, metric: str = "delta_j") -> str:
+    rows = []
+    by_key: dict[tuple[str, str], list[dict]] = defaultdict(list)
+    for r in records:
+        by_key[(r["dataset"], r["model"])].append(r)
+    for (dataset, model), runs in by_key.items():
+        rows.append(
+            {
+                "dataset": dataset,
+                "model": model,
+                "Overlay-Soft": format_mean_std(
+                    [r["overlay_soft"][metric] for r in runs]
+                ),
+                "Overlay-Hard": format_mean_std(
+                    [r["overlay_hard"][metric] for r in runs]
+                ),
+                "FROTE": format_mean_std([r["frote"][metric] for r in runs]),
+            }
+        )
+    return format_table(rows, title=f"Table 2 — {metric} vs Overlay")
+
+
+# ---------------------------------------------------------------------- #
+# Tables 3/4/5: random vs IP base instance selection
+# ---------------------------------------------------------------------- #
+def run_table3(
+    dataset_name: str,
+    model_name: str,
+    *,
+    n_runs: int = 5,
+    frs_sizes: tuple[int, ...] = (1, 3, 5),
+    tcf: float = 0.2,
+    tau: int = 20,
+    n: int | None = None,
+    random_state: RandomState = 42,
+) -> list[dict]:
+    """ΔJ̄, Δ#Ins/|D|, ΔMRA, ΔF for the random and IP strategies.
+
+    The paper aggregates over all runs of a dataset × model; the same rule
+    sets and splits are used for both strategies (matched comparison).
+    """
+    ctx = build_context(dataset_name, model_name, n=n, random_state=random_state)
+    rng = check_random_state(random_state)
+    records: list[dict] = []
+    for run_id in range(n_runs):
+        frs_size = int(frs_sizes[run_id % len(frs_sizes)])
+        prepared = prepare_run(ctx, frs_size=frs_size, tcf=tcf, rng=rng)
+        if prepared is None:
+            continue
+        seed = int(rng.integers(2**31))
+        per_strategy = {}
+        for strategy in ("random", "ip"):
+            config = default_config(
+                dataset_name, tau=tau, selection=strategy, random_state=seed
+            )
+            run, _ = execute_run(ctx, prepared, config=config)
+            per_strategy[strategy] = {
+                "delta_j": run.delta_j,
+                "delta_mra": run.delta_mra,
+                "delta_f1": run.delta_f1,
+                "added_fraction": run.added_fraction,
+            }
+        records.append(
+            {
+                "dataset": dataset_name,
+                "model": model_name,
+                "run": run_id,
+                "frs_size": frs_size,
+                **{f"{s}_{k}": v for s, d in per_strategy.items() for k, v in d.items()},
+            }
+        )
+    return records
+
+
+def format_table3(records: list[dict]) -> str:
+    by_key: dict[tuple[str, str], list[dict]] = defaultdict(list)
+    for r in records:
+        by_key[(r["dataset"], r["model"])].append(r)
+    rows = []
+    for (dataset, model), runs in by_key.items():
+        rows.append(
+            {
+                "dataset": dataset,
+                "model": model,
+                "dJ random": format_mean_std([r["random_delta_j"] for r in runs]),
+                "dJ IP": format_mean_std([r["ip_delta_j"] for r in runs]),
+                "dIns/|D| random": format_mean_std(
+                    [r["random_added_fraction"] for r in runs]
+                ),
+                "dIns/|D| IP": format_mean_std([r["ip_added_fraction"] for r in runs]),
+                "dMRA random": format_mean_std([r["random_delta_mra"] for r in runs]),
+                "dMRA IP": format_mean_std([r["ip_delta_mra"] for r in runs]),
+                "dF random": format_mean_std([r["random_delta_f1"] for r in runs]),
+                "dF IP": format_mean_std([r["ip_delta_f1"] for r in runs]),
+            }
+        )
+    return format_table(rows, title="Tables 3/4/5 — random vs IP selection")
+
+
+# ---------------------------------------------------------------------- #
+# Table 6: probabilistic rules
+# ---------------------------------------------------------------------- #
+def run_table6(
+    dataset_name: str,
+    *,
+    probabilities: tuple[float, ...] = (0.4, 0.6, 0.8, 1.0),
+    n_runs: int = 5,
+    tau: int = 20,
+    n: int | None = None,
+    model_name: str = "LR",
+    random_state: RandomState = 42,
+) -> list[dict]:
+    """Δmra and ΔJ̄ when the single feedback rule is *wrong* (paper Table 6).
+
+    Protocol: |F| = 1, tcf = 0, test distribution unchanged (the expert's
+    rule does not take effect), LR model.  MRA here measures agreement with
+    the *original* labels inside the rule coverage, so a probabilistic rule
+    (p < 1) that hedges toward the data should beat a fully confident one.
+    """
+    ctx = build_context(dataset_name, model_name, n=n, random_state=random_state)
+    rng = check_random_state(random_state)
+    marginal = ctx.dataset.class_counts().astype(float)
+    marginal /= marginal.sum()
+    records: list[dict] = []
+    for run_id in range(n_runs):
+        prepared = prepare_run(ctx, frs_size=1, tcf=0.0, rng=rng)
+        if prepared is None:
+            continue
+        base_rule = prepared.frs[0]
+        test = prepared.test
+        cov_mask = base_rule.coverage_mask(test.X)
+
+        initial_model = ctx.algorithm(prepared.train)
+        init_pred = initial_model.predict(test.X)
+        init_mra = accuracy_score(test.y[cov_mask], init_pred[cov_mask])
+        init_eval = evaluate_predictions(init_pred, test, prepared.frs)
+
+        for p in probabilities:
+            rule_p = probabilistic_variant(base_rule, p, marginal)
+            frs_p = FeedbackRuleSet((rule_p,))
+            config = default_config(
+                dataset_name,
+                tau=tau,
+                mod_strategy="none",  # tcf=0: relabel/drop are inapplicable
+                random_state=int(rng.integers(2**31)),
+            )
+            frote = FROTE(ctx.algorithm, frs_p, config)
+            result = frote.run(prepared.train)
+            pred = result.model.predict(test.X)
+            # "Rule not in effect": agreement w.r.t. original labels in
+            # the coverage region.
+            mra_orig = accuracy_score(test.y[cov_mask], pred[cov_mask])
+            ev = evaluate_predictions(pred, test, prepared.frs)
+            records.append(
+                {
+                    "dataset": dataset_name,
+                    "run": run_id,
+                    "p": p,
+                    "delta_mra": mra_orig - init_mra,
+                    "delta_j": ev.j_weighted() - init_eval.j_weighted(),
+                }
+            )
+    return records
+
+
+def format_table6(records: list[dict]) -> str:
+    by_key: dict[tuple[str, float], list[dict]] = defaultdict(list)
+    for r in records:
+        by_key[(r["dataset"], r["p"])].append(r)
+    rows = []
+    for (dataset, p), runs in sorted(by_key.items()):
+        rows.append(
+            {
+                "dataset": dataset,
+                "p": p,
+                "delta_mra": format_mean_std([r["delta_mra"] for r in runs]),
+                "delta_j": format_mean_std([r["delta_j"] for r in runs]),
+            }
+        )
+    return format_table(rows, title="Table 6 — probabilistic rules")
+
+
+# ---------------------------------------------------------------------- #
+# Ablations: the design-choice sweeps DESIGN.md calls out
+# ---------------------------------------------------------------------- #
+def run_ablation(
+    dataset_name: str,
+    model_name: str,
+    *,
+    parameter: str,
+    values: tuple,
+    n_runs: int = 3,
+    frs_size: int = 3,
+    tcf: float = 0.1,
+    tau: int = 15,
+    n: int | None = None,
+    random_state: RandomState = 42,
+) -> list[dict]:
+    """Sweep one FROTE knob (``k``, ``q``, ``eta``, or ``mod_strategy``)."""
+    if parameter not in ("k", "q", "eta", "mod_strategy"):
+        raise ValueError(f"unsupported ablation parameter {parameter!r}")
+    ctx = build_context(dataset_name, model_name, n=n, random_state=random_state)
+    rng = check_random_state(random_state)
+    records: list[dict] = []
+    for run_id in range(n_runs):
+        prepared = prepare_run(ctx, frs_size=frs_size, tcf=tcf, rng=rng)
+        if prepared is None:
+            continue
+        seed = int(rng.integers(2**31))
+        for value in values:
+            kwargs = {
+                "tau": tau,
+                "random_state": seed,
+                "eta": default_config(dataset_name).eta,
+            }
+            kwargs[parameter] = value
+            config = FroteConfig(**kwargs)
+            run, _ = execute_run(ctx, prepared, config=config)
+            records.append(
+                {
+                    "dataset": dataset_name,
+                    "model": model_name,
+                    "run": run_id,
+                    "parameter": parameter,
+                    "value": value,
+                    "delta_j": run.delta_j,
+                    "delta_mra": run.delta_mra,
+                    "delta_f1": run.delta_f1,
+                    "n_added": run.n_added,
+                }
+            )
+    return records
+
+
+def format_ablation(records: list[dict]) -> str:
+    by_val: dict[object, list[dict]] = defaultdict(list)
+    for r in records:
+        by_val[r["value"]].append(r)
+    rows = []
+    for value, runs in by_val.items():
+        rows.append(
+            {
+                "parameter": runs[0]["parameter"],
+                "value": value,
+                "delta_j": format_mean_std([r["delta_j"] for r in runs]),
+                "delta_mra": format_mean_std([r["delta_mra"] for r in runs]),
+                "delta_f1": format_mean_std([r["delta_f1"] for r in runs]),
+                "n_added": format_mean_std([float(r["n_added"]) for r in runs], digits=1),
+            }
+        )
+    return format_table(rows, title="Ablation sweep")

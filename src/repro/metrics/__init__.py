@@ -1,0 +1,20 @@
+"""Evaluation metrics: classification scores and model-rule agreement."""
+
+from repro.metrics.agreement import mra_deterministic, mra_probabilistic
+from repro.metrics.classification import (
+    accuracy_score,
+    confusion_matrix,
+    default_f1,
+    f1_score,
+    precision_recall_f1,
+)
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "f1_score",
+    "default_f1",
+    "precision_recall_f1",
+    "mra_deterministic",
+    "mra_probabilistic",
+]

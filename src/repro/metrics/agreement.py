@@ -1,0 +1,42 @@
+"""Model-rule agreement (MRA) metrics.
+
+MRA is the complement of the first term of the FROTE objective (paper Eq. 3)
+with 0-1 loss: the probability that the retrained model's prediction matches
+the label distribution of the covering feedback rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array_1d
+
+
+def mra_deterministic(y_pred: np.ndarray, rule_class: int) -> float:
+    """MRA for a deterministic rule: fraction of predictions equal to ``rule_class``.
+
+    Empty coverage scores 1.0 (the rule is vacuously satisfied).
+    """
+    y_pred = check_array_1d(y_pred, name="y_pred", dtype=np.int64)
+    if y_pred.size == 0:
+        return 1.0
+    return float(np.mean(y_pred == rule_class))
+
+
+def mra_probabilistic(y_pred: np.ndarray, pi: np.ndarray) -> float:
+    """MRA for a probabilistic rule with label distribution ``pi``.
+
+    With 0-1 loss, ``E[1 - L1(pred, Y)] = pi[pred]`` for each instance, so
+    MRA is the mean rule-probability assigned to the predicted class.
+    """
+    y_pred = check_array_1d(y_pred, name="y_pred", dtype=np.int64)
+    pi = np.asarray(pi, dtype=np.float64)
+    if pi.ndim != 1:
+        raise ValueError(f"pi must be 1-D, got shape {pi.shape}")
+    if not np.isclose(pi.sum(), 1.0, atol=1e-8):
+        raise ValueError(f"pi must sum to 1, got {pi.sum()}")
+    if y_pred.size == 0:
+        return 1.0
+    if y_pred.max() >= pi.size:
+        raise ValueError("prediction code exceeds distribution support")
+    return float(np.mean(pi[y_pred]))

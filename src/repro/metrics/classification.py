@@ -1,0 +1,134 @@
+"""Classification metrics implemented from scratch (no scikit-learn).
+
+Provides the metrics the FROTE evaluation relies on: accuracy, confusion
+matrix, precision/recall/F1 with binary, macro, micro, and weighted
+averaging.  Binary F1 follows the paper's convention of treating class code 1
+as the positive class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array_1d
+
+AVERAGES = ("binary", "macro", "micro", "weighted")
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true = check_array_1d(y_true, name="y_true", dtype=np.int64)
+    y_pred = check_array_1d(y_pred, name="y_pred", dtype=np.int64)
+    _check_same_length(y_true, y_pred)
+    if y_true.size == 0:
+        return 0.0
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, *, n_classes: int | None = None
+) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = count of true class ``i`` predicted ``j``."""
+    y_true = check_array_1d(y_true, name="y_true", dtype=np.int64)
+    y_pred = check_array_1d(y_pred, name="y_pred", dtype=np.int64)
+    _check_same_length(y_true, y_pred)
+    if n_classes is None:
+        n_classes = int(max(y_true.max(initial=-1), y_pred.max(initial=-1))) + 1
+        n_classes = max(n_classes, 1)
+    if y_true.size and (y_true.min() < 0 or y_pred.min() < 0):
+        raise ValueError("labels must be non-negative class codes")
+    if y_true.size and (y_true.max() >= n_classes or y_pred.max() >= n_classes):
+        raise ValueError("labels exceed n_classes")
+    cm = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(cm, (y_true, y_pred), 1)
+    return cm
+
+
+def _per_class_prf(
+    cm: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-class (precision, recall, f1, support) from a confusion matrix."""
+    tp = np.diag(cm).astype(np.float64)
+    pred_pos = cm.sum(axis=0).astype(np.float64)
+    true_pos = cm.sum(axis=1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(pred_pos > 0, tp / pred_pos, 0.0)
+        recall = np.where(true_pos > 0, tp / true_pos, 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2 * precision * recall / denom, 0.0)
+    return precision, recall, f1, true_pos
+
+
+def precision_recall_f1(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    *,
+    average: str = "macro",
+    n_classes: int | None = None,
+    pos_label: int = 1,
+) -> tuple[float, float, float]:
+    """Return (precision, recall, f1) under the requested averaging.
+
+    ``average="binary"`` scores only ``pos_label``.  ``"macro"`` is the
+    unweighted class mean, ``"weighted"`` weights by support, and ``"micro"``
+    aggregates counts globally (equals accuracy for single-label problems).
+    """
+    if average not in AVERAGES:
+        raise ValueError(f"average must be one of {AVERAGES}, got {average!r}")
+    cm = confusion_matrix(y_true, y_pred, n_classes=n_classes)
+    if average == "binary":
+        if pos_label >= cm.shape[0]:
+            return 0.0, 0.0, 0.0
+        precision, recall, f1, _ = _per_class_prf(cm)
+        return float(precision[pos_label]), float(recall[pos_label]), float(f1[pos_label])
+    if average == "micro":
+        tp = float(np.trace(cm))
+        total = float(cm.sum())
+        p = tp / total if total else 0.0
+        return p, p, p
+    precision, recall, f1, support = _per_class_prf(cm)
+    if average == "macro":
+        return float(precision.mean()), float(recall.mean()), float(f1.mean())
+    # weighted
+    total = support.sum()
+    if total == 0:
+        return 0.0, 0.0, 0.0
+    w = support / total
+    return float(precision @ w), float(recall @ w), float(f1 @ w)
+
+
+def f1_score(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    *,
+    average: str = "macro",
+    n_classes: int | None = None,
+    pos_label: int = 1,
+) -> float:
+    """F1 under the requested averaging; see :func:`precision_recall_f1`."""
+    return precision_recall_f1(
+        y_true, y_pred, average=average, n_classes=n_classes, pos_label=pos_label
+    )[2]
+
+
+def default_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, *, n_classes: int
+) -> float:
+    """The paper's F1 convention: binary F1 for 2 classes, macro otherwise.
+
+    Empty inputs score 1.0 (vacuously perfect), which keeps the objective
+    well-defined when a partition is empty (e.g. tcf splits with no
+    outside-coverage test rows in tiny fixtures).
+    """
+    y_true = np.asarray(y_true)
+    if y_true.size == 0:
+        return 1.0
+    average = "binary" if n_classes == 2 else "macro"
+    return f1_score(y_true, y_pred, average=average, n_classes=n_classes)
+
+
+def _check_same_length(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape[0] != b.shape[0]:
+        raise ValueError(
+            f"y_true and y_pred lengths differ: {a.shape[0]} vs {b.shape[0]}"
+        )

@@ -1,0 +1,73 @@
+"""From-scratch classifiers and the black-box training-algorithm wrapper.
+
+The three model families the paper evaluates — random forest, logistic
+regression, and a LightGBM-style GBDT — plus the online logistic regression
+used by the supplement's objective-approximation proxy.
+"""
+
+from repro.models.base import (
+    MatrixClassifier,
+    TableModel,
+    TrainingAlgorithm,
+    make_algorithm,
+    predict_from_proba,
+)
+from repro.models.boosting import GradientBoostingClassifier
+from repro.models.forest import RandomForestClassifier
+from repro.models.knn import KNeighborsClassifier
+from repro.models.logistic import LogisticRegression, softmax
+from repro.models.naive_bayes import GaussianNB
+from repro.models.online import OnlineLogisticRegression
+from repro.models.tree import DecisionTreeClassifier
+
+__all__ = [
+    "MatrixClassifier",
+    "TableModel",
+    "TrainingAlgorithm",
+    "make_algorithm",
+    "predict_from_proba",
+    "LogisticRegression",
+    "softmax",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "GradientBoostingClassifier",
+    "OnlineLogisticRegression",
+    "GaussianNB",
+    "KNeighborsClassifier",
+]
+
+# The paper's three model configurations (§5.1): scikit-learn defaults with
+# max_iter=500 for LR, max_depth=3 for RF, LightGBM defaults.
+PAPER_MODELS = {
+    "LR": lambda: LogisticRegression(max_iter=500),
+    "RF": lambda: RandomForestClassifier(max_depth=3, random_state=42),
+    "LGBM": lambda: GradientBoostingClassifier(),
+}
+
+
+def paper_algorithm(name: str) -> TrainingAlgorithm:
+    """Training algorithm for one of the paper's model names (LR/RF/LGBM)."""
+    if name not in PAPER_MODELS:
+        raise KeyError(f"unknown model {name!r}; choose from {sorted(PAPER_MODELS)}")
+    # Trees are scale-invariant; only LR benefits from standardization.
+    return make_algorithm(PAPER_MODELS[name], standardize=(name == "LR"))
+
+
+# Extension models (beyond the paper) for the model-agnostic ablations.
+EXTENDED_MODELS = {
+    **PAPER_MODELS,
+    "NB": lambda: GaussianNB(),
+    "KNN": lambda: KNeighborsClassifier(k=5),
+}
+
+# Distance- and likelihood-based models want standardized features.
+_STANDARDIZE = {"LR", "NB", "KNN"}
+
+
+def extended_algorithm(name: str) -> TrainingAlgorithm:
+    """Training algorithm from the extended registry (paper's 3 + NB + KNN)."""
+    if name not in EXTENDED_MODELS:
+        raise KeyError(
+            f"unknown model {name!r}; choose from {sorted(EXTENDED_MODELS)}"
+        )
+    return make_algorithm(EXTENDED_MODELS[name], standardize=(name in _STANDARDIZE))

@@ -1,0 +1,113 @@
+"""Classifier protocol and the table-level training algorithm wrapper.
+
+FROTE treats the training algorithm as a black box (paper §1): anything that
+maps a dataset to a model with ``predict``.  This module defines:
+
+* :class:`MatrixClassifier` — the protocol all from-scratch estimators in
+  :mod:`repro.models` implement (``fit(X, y, n_classes)`` on float matrices).
+* :class:`TableModel` — pairs a feature encoder with a matrix classifier so
+  the rest of the library only ever deals with :class:`~repro.data.Table` /
+  :class:`~repro.data.Dataset` objects.
+* :func:`make_algorithm` — builds the ``algorithm: Dataset -> model``
+  callable that FROTE consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.encoding import TabularEncoder
+from repro.data.table import Table
+
+
+@runtime_checkable
+class MatrixClassifier(Protocol):
+    """Minimal estimator interface over dense float matrices."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray, *, n_classes: int) -> "MatrixClassifier":
+        ...
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        ...
+
+
+def predict_from_proba(proba: np.ndarray) -> np.ndarray:
+    """Argmax decision rule shared by every estimator."""
+    return np.argmax(proba, axis=1).astype(np.int64)
+
+
+class TableModel:
+    """A trained classifier over tables: encoder + matrix estimator.
+
+    Degenerate training sets (a single class present) fall back to a
+    constant predictor, so FROTE never crashes on extreme splits.
+
+    Parameters
+    ----------
+    estimator:
+        An unfitted :class:`MatrixClassifier`.
+    standardize:
+        Standardize numeric features in the encoder (linear models want
+        this; trees are invariant to it).
+    """
+
+    def __init__(self, estimator: MatrixClassifier, *, standardize: bool = True) -> None:
+        self.estimator = estimator
+        self.standardize = standardize
+        self.encoder_: TabularEncoder | None = None
+        self.n_classes_: int | None = None
+        self._constant_class: int | None = None
+
+    def fit(self, dataset: Dataset) -> "TableModel":
+        self.n_classes_ = dataset.n_classes
+        self.encoder_ = TabularEncoder(standardize=self.standardize).fit(dataset.X)
+        present = np.unique(dataset.y)
+        if present.size <= 1:
+            self._constant_class = int(present[0]) if present.size else 0
+            return self
+        self._constant_class = None
+        X = self.encoder_.transform(dataset.X)
+        self.estimator.fit(X, dataset.y, n_classes=dataset.n_classes)
+        return self
+
+    def predict_proba(self, table: Table) -> np.ndarray:
+        if self.encoder_ is None or self.n_classes_ is None:
+            raise RuntimeError("TableModel is not fitted")
+        if self._constant_class is not None:
+            proba = np.zeros((table.n_rows, self.n_classes_))
+            proba[:, self._constant_class] = 1.0
+            return proba
+        return self.estimator.predict_proba(self.encoder_.transform(table))
+
+    def predict(self, table: Table) -> np.ndarray:
+        return predict_from_proba(self.predict_proba(table))
+
+
+# The black-box contract of FROTE: dataset in, trained model out.
+TrainingAlgorithm = Callable[[Dataset], TableModel]
+
+
+def make_algorithm(
+    estimator_factory: Callable[[], MatrixClassifier],
+    *,
+    standardize: bool = True,
+) -> TrainingAlgorithm:
+    """Wrap an estimator factory into a FROTE training algorithm.
+
+    Each invocation builds a fresh estimator so retraining never leaks state
+    between FROTE iterations.
+
+    Example
+    -------
+    >>> from repro.models import LogisticRegression, make_algorithm
+    >>> algorithm = make_algorithm(lambda: LogisticRegression(max_iter=500))
+    >>> model = algorithm(train_dataset)  # doctest: +SKIP
+    """
+
+    def algorithm(dataset: Dataset) -> TableModel:
+        return TableModel(estimator_factory(), standardize=standardize).fit(dataset)
+
+    return algorithm

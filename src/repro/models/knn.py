@@ -1,0 +1,83 @@
+"""K-nearest-neighbours classifier built on the neighbours substrate.
+
+A memory-based fifth model family for the model-agnostic ablations: FROTE
+edits it like any other (its "decision boundary" IS the training data, so
+augmentation moves it directly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neighbors import BallTree, BruteKNN
+from repro.utils.validation import check_array_1d, check_array_2d
+
+
+class KNeighborsClassifier:
+    """Majority-vote KNN over an exact index.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbours.
+    algorithm:
+        ``"ball_tree"`` (default, like the paper's neighbour config) or
+        ``"brute"``.
+    weights:
+        ``"uniform"`` or ``"distance"`` (inverse-distance vote weights).
+    """
+
+    def __init__(
+        self,
+        k: int = 5,
+        *,
+        algorithm: str = "ball_tree",
+        weights: str = "uniform",
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if weights not in ("uniform", "distance"):
+            raise ValueError(f"weights must be 'uniform' or 'distance', got {weights!r}")
+        if algorithm not in ("ball_tree", "brute"):
+            raise ValueError(f"algorithm must be 'ball_tree' or 'brute', got {algorithm!r}")
+        self.k = k
+        self.algorithm = algorithm
+        self.weights = weights
+        self._index: BallTree | BruteKNN | None = None
+        self._y: np.ndarray | None = None
+        self.n_classes_: int | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray, *, n_classes: int | None = None) -> "KNeighborsClassifier":
+        X = check_array_2d(X, name="X")
+        y = check_array_1d(y, name="y", dtype=np.int64)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have different numbers of rows")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if n_classes is None:
+            n_classes = int(y.max()) + 1
+        self.n_classes_ = n_classes
+        index = BallTree() if self.algorithm == "ball_tree" else BruteKNN()
+        self._index = index.fit(X)
+        self._y = y
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._index is None or self._y is None or self.n_classes_ is None:
+            raise RuntimeError("KNeighborsClassifier is not fitted")
+        X = check_array_2d(X, name="X")
+        k_eff = min(self.k, self._y.shape[0])
+        dists, idx = self._index.kneighbors(X, k_eff)
+        labels = self._y[idx]
+        proba = np.zeros((X.shape[0], self.n_classes_))
+        if self.weights == "uniform":
+            w = np.ones_like(dists)
+        else:
+            w = 1.0 / np.maximum(dists, 1e-10)
+        for c in range(self.n_classes_):
+            proba[:, c] = np.where(labels == c, w, 0.0).sum(axis=1)
+        proba /= proba.sum(axis=1, keepdims=True)
+        return proba
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(X), axis=1).astype(np.int64)

@@ -1,0 +1,103 @@
+"""Multinomial logistic regression trained with L-BFGS.
+
+Re-implements the paper's scikit-learn ``LogisticRegression(max_iter=500)``
+configuration: softmax cross-entropy with L2 regularization (C = 1.0,
+intercept unpenalized), optimized via :func:`scipy.optimize.minimize`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.utils.validation import check_array_1d, check_array_2d
+
+
+def softmax(Z: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-subtraction for numerical stability."""
+    Z = Z - Z.max(axis=1, keepdims=True)
+    np.exp(Z, out=Z)
+    Z /= Z.sum(axis=1, keepdims=True)
+    return Z
+
+
+class LogisticRegression:
+    """Softmax regression with L2 penalty.
+
+    Parameters
+    ----------
+    C:
+        Inverse regularization strength (scikit-learn convention).
+    max_iter:
+        L-BFGS iteration cap; the paper uses 500.
+    tol:
+        Gradient tolerance for convergence.
+    """
+
+    def __init__(self, C: float = 1.0, max_iter: int = 500, tol: float = 1e-6) -> None:
+        if C <= 0:
+            raise ValueError(f"C must be positive, got {C}")
+        self.C = C
+        self.max_iter = max_iter
+        self.tol = tol
+        self.coef_: np.ndarray | None = None  # (n_features, n_classes)
+        self.intercept_: np.ndarray | None = None  # (n_classes,)
+        self.n_classes_: int | None = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, X: np.ndarray, y: np.ndarray, *, n_classes: int | None = None) -> "LogisticRegression":
+        X = check_array_2d(X, name="X")
+        y = check_array_1d(y, name="y", dtype=np.int64)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have different numbers of rows")
+        if n_classes is None:
+            n_classes = int(y.max()) + 1
+        if n_classes < 2:
+            raise ValueError("need at least 2 classes")
+        n, d = X.shape
+        self.n_classes_ = n_classes
+
+        Y = np.zeros((n, n_classes))
+        Y[np.arange(n), y] = 1.0
+        lam = 1.0 / (self.C * max(n, 1))
+
+        def objective(w_flat: np.ndarray) -> tuple[float, np.ndarray]:
+            W = w_flat[: d * n_classes].reshape(d, n_classes)
+            b = w_flat[d * n_classes :]
+            Z = X @ W + b
+            # log-sum-exp cross entropy
+            Zmax = Z.max(axis=1, keepdims=True)
+            logsumexp = Zmax[:, 0] + np.log(np.exp(Z - Zmax).sum(axis=1))
+            ll = (Z[np.arange(n), y] - logsumexp).sum()
+            P = softmax(Z.copy())
+            G = P - Y
+            grad_W = X.T @ G / n + 2.0 * lam * W
+            grad_b = G.sum(axis=0) / n
+            loss = -ll / n + lam * float((W * W).sum())
+            return loss, np.concatenate([grad_W.ravel(), grad_b])
+
+        w0 = np.zeros(d * n_classes + n_classes)
+        res = minimize(
+            objective,
+            w0,
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": self.max_iter, "gtol": self.tol},
+        )
+        w = res.x
+        self.coef_ = w[: d * n_classes].reshape(d, n_classes)
+        self.intercept_ = w[d * n_classes :]
+        return self
+
+    # ------------------------------------------------------------------ #
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None or self.intercept_ is None:
+            raise RuntimeError("LogisticRegression is not fitted")
+        X = check_array_2d(X, name="X")
+        return X @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return softmax(self.decision_function(X))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.argmax(self.decision_function(X), axis=1).astype(np.int64)

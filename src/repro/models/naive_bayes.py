@@ -1,0 +1,92 @@
+"""Gaussian naive Bayes classifier.
+
+A fourth model family beyond the paper's three (LR/RF/LGBM), used in the
+extension ablations to stress FROTE's model-agnostic claim — the black-box
+contract only needs ``fit``/``predict_proba``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array_1d, check_array_2d
+
+
+class GaussianNB:
+    """Per-class diagonal Gaussian likelihoods with a shared variance floor.
+
+    Parameters
+    ----------
+    var_smoothing:
+        Fraction of the largest feature variance added to every per-class
+        variance for numerical stability (scikit-learn convention).
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        if var_smoothing < 0:
+            raise ValueError(f"var_smoothing must be >= 0, got {var_smoothing}")
+        self.var_smoothing = var_smoothing
+        self.theta_: np.ndarray | None = None  # (n_classes, d) means
+        self.var_: np.ndarray | None = None  # (n_classes, d) variances
+        self.class_log_prior_: np.ndarray | None = None
+        self.n_classes_: int | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray, *, n_classes: int | None = None) -> "GaussianNB":
+        X = check_array_2d(X, name="X")
+        y = check_array_1d(y, name="y", dtype=np.int64)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have different numbers of rows")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if n_classes is None:
+            n_classes = int(y.max()) + 1
+        self.n_classes_ = n_classes
+        n, d = X.shape
+        theta = np.zeros((n_classes, d))
+        var = np.ones((n_classes, d))
+        prior = np.full(n_classes, 1e-10)
+        global_var = X.var(axis=0).max() if n > 1 else 1.0
+        eps = self.var_smoothing * max(global_var, 1e-12)
+        for c in range(n_classes):
+            rows = y == c
+            cnt = int(rows.sum())
+            if cnt == 0:
+                # Absent class: keep a vague prior-centered Gaussian.
+                theta[c] = X.mean(axis=0)
+                var[c] = max(global_var, 1.0)
+                continue
+            prior[c] = cnt
+            theta[c] = X[rows].mean(axis=0)
+            var[c] = X[rows].var(axis=0) + eps + 1e-12
+        self.theta_ = theta
+        self.var_ = var
+        self.class_log_prior_ = np.log(prior / prior.sum())
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        assert self.theta_ is not None and self.var_ is not None
+        assert self.class_log_prior_ is not None
+        X = check_array_2d(X, name="X")
+        n_classes = self.theta_.shape[0]
+        jll = np.empty((X.shape[0], n_classes))
+        for c in range(n_classes):
+            diff = X - self.theta_[c]
+            log_pdf = -0.5 * (
+                np.log(2.0 * np.pi * self.var_[c]) + diff * diff / self.var_[c]
+            ).sum(axis=1)
+            jll[:, c] = self.class_log_prior_[c] + log_pdf
+        return jll
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.theta_ is None:
+            raise RuntimeError("GaussianNB is not fitted")
+        jll = self._joint_log_likelihood(X)
+        jll -= jll.max(axis=1, keepdims=True)
+        P = np.exp(jll)
+        P /= P.sum(axis=1, keepdims=True)
+        return P
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.theta_ is None:
+            raise RuntimeError("GaussianNB is not fitted")
+        return np.argmax(self._joint_log_likelihood(X), axis=1).astype(np.int64)

@@ -1,0 +1,34 @@
+"""Nearest-neighbour substrate: distances, brute-force KNN, ball tree."""
+
+from repro.neighbors.balltree import BallTree
+from repro.neighbors.brute import BruteKNN
+from repro.neighbors.distance import (
+    MixedMetric,
+    TableNeighborSpace,
+    pairwise_euclidean,
+)
+
+__all__ = [
+    "BallTree",
+    "BruteKNN",
+    "MixedMetric",
+    "TableNeighborSpace",
+    "pairwise_euclidean",
+]
+
+
+def make_knn(
+    algorithm: str = "ball_tree",
+    metric: str | MixedMetric = "euclidean",
+    *,
+    leaf_size: int = 32,
+):
+    """Factory matching the paper's configuration knob.
+
+    ``algorithm="ball_tree"`` (the paper's setting) or ``"brute"``.
+    """
+    if algorithm == "ball_tree":
+        return BallTree(metric, leaf_size=leaf_size)
+    if algorithm == "brute":
+        return BruteKNN(metric)
+    raise ValueError(f"unknown algorithm {algorithm!r}; use 'ball_tree' or 'brute'")

@@ -1,0 +1,176 @@
+"""Ball tree for exact k-nearest-neighbour search under any metric.
+
+The paper configures scikit-learn's ``NearestNeighbors`` with
+``algorithm="ball_tree"``; this module provides the equivalent structure.
+Balls are centred on actual data points (so the tree works for any true
+metric, including the HEOM :class:`~repro.neighbors.distance.MixedMetric`),
+and queries prune subtrees with the triangle inequality
+``d(q, ball) >= d(q, center) - radius``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.neighbors.brute import SELF_DISTANCE_TOL
+from repro.neighbors.distance import MixedMetric
+from repro.utils.rng import RandomState, check_random_state
+
+
+@dataclass
+class _Node:
+    center: int  # row index of the pivot point
+    radius: float
+    indices: np.ndarray | None  # leaf: member row indices; internal: None
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+
+class BallTree:
+    """Exact KNN index with data-point pivots.
+
+    Parameters
+    ----------
+    metric:
+        ``"euclidean"`` or a :class:`MixedMetric`.
+    leaf_size:
+        Maximum number of points stored in a leaf.
+    random_state:
+        Seed for pivot selection (construction only; queries are exact
+        regardless).
+    """
+
+    def __init__(
+        self,
+        metric: str | MixedMetric = "euclidean",
+        *,
+        leaf_size: int = 32,
+        random_state: RandomState = 0,
+    ) -> None:
+        if leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
+        self.metric = metric
+        self.leaf_size = leaf_size
+        self.random_state = random_state
+        self._X: np.ndarray | None = None
+        self._root: _Node | None = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, X: np.ndarray) -> "BallTree":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        self._X = X
+        rng = check_random_state(self.random_state)
+        if X.shape[0]:
+            self._root = self._build(np.arange(X.shape[0], dtype=np.intp), rng)
+        else:
+            self._root = None
+        return self
+
+    @property
+    def n_samples(self) -> int:
+        if self._X is None:
+            raise RuntimeError("BallTree is not fitted")
+        return self._X.shape[0]
+
+    def _dists(self, q: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        assert self._X is not None
+        sub = self._X[idx]
+        if isinstance(self.metric, MixedMetric):
+            return self.metric.dists_to(q, sub)
+        diff = sub - q
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+    def _build(self, indices: np.ndarray, rng: np.random.Generator) -> _Node:
+        assert self._X is not None
+        # Pivot: the point furthest from a random member — a classic cheap
+        # approximation of the set diameter endpoint.
+        seed_pt = int(indices[rng.integers(indices.size)])
+        d_seed = self._dists(self._X[seed_pt], indices)
+        center = int(indices[int(np.argmax(d_seed))])
+        d_center = self._dists(self._X[center], indices)
+        radius = float(d_center.max(initial=0.0))
+        if indices.size <= self.leaf_size:
+            return _Node(center=center, radius=radius, indices=indices)
+        # Partition by median distance to the pivot.
+        median = float(np.median(d_center))
+        near = indices[d_center <= median]
+        far = indices[d_center > median]
+        if near.size == 0 or far.size == 0:
+            # Degenerate (many duplicate points): fall back to a leaf.
+            return _Node(center=center, radius=radius, indices=indices)
+        return _Node(
+            center=center,
+            radius=radius,
+            indices=None,
+            left=self._build(near, rng),
+            right=self._build(far, rng),
+        )
+
+    # ------------------------------------------------------------------ #
+    def kneighbors(
+        self, Q: np.ndarray, k: int, *, exclude_self: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return (distances, indices) of the ``k`` nearest fitted rows.
+
+        Mirrors :meth:`repro.neighbors.brute.BruteKNN.kneighbors`, including
+        ``exclude_self`` handling for leave-one-out queries.
+        """
+        if self._X is None:
+            raise RuntimeError("BallTree is not fitted")
+        Q = np.asarray(Q, dtype=np.float64)
+        if Q.ndim != 2:
+            raise ValueError(f"Q must be 2-D, got shape {Q.shape}")
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        n = self._X.shape[0]
+        budget = k + 1 if exclude_self else k
+        k_eff = min(budget, n)
+        out_k = min(k, n - 1) if exclude_self else min(k, n)
+        out_k = max(out_k, 0)
+        dists = np.full((Q.shape[0], out_k), np.inf)
+        idxs = np.zeros((Q.shape[0], out_k), dtype=np.intp)
+        for r in range(Q.shape[0]):
+            heap: list[tuple[float, int]] = []  # max-heap via negated dists
+            if self._root is not None and k_eff:
+                self._query_one(Q[r], self._root, k_eff, heap)
+            pairs = sorted((-neg_d, i) for neg_d, i in heap)
+            if exclude_self and pairs and pairs[0][0] < SELF_DISTANCE_TOL:
+                pairs = pairs[1:]
+            pairs = pairs[:out_k]
+            for c, (d, i) in enumerate(pairs):
+                dists[r, c] = d
+                idxs[r, c] = i
+        return dists, idxs
+
+    def _query_one(
+        self, q: np.ndarray, node: _Node, k: int, heap: list[tuple[float, int]]
+    ) -> None:
+        assert self._X is not None
+        d_center = float(self._dists(q, np.array([node.center]))[0])
+        worst = -heap[0][0] if len(heap) == k else np.inf
+        if d_center - node.radius > worst:
+            return
+        if node.indices is not None:
+            ds = self._dists(q, node.indices)
+            for d, i in zip(ds, node.indices):
+                if len(heap) < k:
+                    heapq.heappush(heap, (-float(d), int(i)))
+                elif d < -heap[0][0]:
+                    heapq.heapreplace(heap, (-float(d), int(i)))
+            return
+        children = [node.left, node.right]
+        # Visit the child whose pivot is closer first for tighter pruning.
+        keyed = []
+        for child in children:
+            if child is None:
+                continue
+            dc = float(self._dists(q, np.array([child.center]))[0])
+            keyed.append((dc, child))
+        keyed.sort(key=lambda t: t[0])
+        for _, child in keyed:
+            self._query_one(q, child, k, heap)

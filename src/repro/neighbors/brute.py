@@ -1,0 +1,99 @@
+"""Brute-force k-nearest-neighbour search."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neighbors.distance import MixedMetric, pairwise_euclidean
+
+
+class BruteKNN:
+    """Exact KNN by full pairwise distance computation.
+
+    Parameters
+    ----------
+    metric:
+        ``"euclidean"`` or a :class:`~repro.neighbors.distance.MixedMetric`.
+    """
+
+    def __init__(self, metric: str | MixedMetric = "euclidean") -> None:
+        self.metric = metric
+        self._X: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "BruteKNN":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        self._X = X
+        return self
+
+    @property
+    def n_samples(self) -> int:
+        if self._X is None:
+            raise RuntimeError("BruteKNN is not fitted")
+        return self._X.shape[0]
+
+    def kneighbors(
+        self, Q: np.ndarray, k: int, *, exclude_self: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return (distances, indices) of the ``k`` nearest fitted rows.
+
+        Parameters
+        ----------
+        Q:
+            Query matrix.
+        k:
+            Number of neighbours, clipped to the number of available rows.
+        exclude_self:
+            Drop a zero-distance exact match per query (for leave-one-out
+            queries against the fitted matrix itself).
+        """
+        if self._X is None:
+            raise RuntimeError("BruteKNN is not fitted")
+        Q = np.asarray(Q, dtype=np.float64)
+        if Q.ndim != 2:
+            raise ValueError(f"Q must be 2-D, got shape {Q.shape}")
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if isinstance(self.metric, MixedMetric):
+            D = self.metric.pairwise(Q, self._X)
+        else:
+            D = pairwise_euclidean(Q, self._X)
+        return _topk_from_dists(D, k, exclude_self=exclude_self)
+
+
+# Distances below this are treated as "the query itself" for exclude_self.
+# Pairwise distances via the (a^2 + b^2 - 2ab) expansion carry ~1e-8 of
+# floating error, so an exact zero test would fail to drop self matches.
+SELF_DISTANCE_TOL = 1e-6
+
+
+def _topk_from_dists(
+    D: np.ndarray, k: int, *, exclude_self: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """Select the k smallest entries per row of a distance matrix."""
+    n_q, n_x = D.shape
+    budget = k + 1 if exclude_self else k
+    k_eff = min(budget, n_x)
+    if k_eff == 0:
+        return np.zeros((n_q, 0)), np.zeros((n_q, 0), dtype=np.intp)
+    part = np.argpartition(D, k_eff - 1, axis=1)[:, :k_eff]
+    part_d = np.take_along_axis(D, part, axis=1)
+    order = np.argsort(part_d, axis=1, kind="stable")
+    idx = np.take_along_axis(part, order, axis=1)
+    dist = np.take_along_axis(part_d, order, axis=1)
+    if exclude_self:
+        # Drop the first zero-distance hit per row (the query itself when the
+        # query set equals the fitted set), then truncate to k.
+        keep_idx = np.empty((n_q, min(k, max(k_eff - 1, 0))), dtype=np.intp)
+        keep_dist = np.empty_like(keep_idx, dtype=np.float64)
+        for r in range(n_q):
+            row_idx, row_dist = idx[r], dist[r]
+            if row_dist.size and row_dist[0] < SELF_DISTANCE_TOL:
+                row_idx, row_dist = row_idx[1:], row_dist[1:]
+            else:
+                row_idx, row_dist = row_idx[: k_eff - 1], row_dist[: k_eff - 1]
+            keep_idx[r, : row_idx.size] = row_idx[: keep_idx.shape[1]]
+            keep_dist[r, : row_dist.size] = row_dist[: keep_idx.shape[1]]
+        return keep_dist, keep_idx
+    return dist[:, :k], idx[:, :k]

@@ -1,0 +1,55 @@
+"""Feedback rules: predicates, clauses, rule sets, relaxation, learning."""
+
+from repro.rules.clause import Clause, clause, clause_satisfiable, clauses_intersect
+from repro.rules.learning import (
+    GreedyRuleLearner,
+    candidate_predicates,
+    learn_model_explanation,
+)
+from repro.rules.parser import RuleParseError, parse_clause, parse_predicate, parse_rule
+from repro.rules.perturbation import generate_feedback_pool
+from repro.rules.predicate import (
+    ALL_OPERATORS,
+    CATEGORICAL_OPERATORS,
+    NUMERIC_OPERATORS,
+    Predicate,
+)
+from repro.rules.redundancy import (
+    compact_rule_set,
+    deduplicate_rules,
+    remove_subsumed_rules,
+    simplify_clause,
+    simplify_rule,
+)
+from repro.rules.relaxation import RelaxationResult, relax_rule
+from repro.rules.rule import FeedbackRule
+from repro.rules.ruleset import FeedbackRuleSet, draw_conflict_free
+
+__all__ = [
+    "Predicate",
+    "ALL_OPERATORS",
+    "NUMERIC_OPERATORS",
+    "CATEGORICAL_OPERATORS",
+    "Clause",
+    "clause",
+    "clause_satisfiable",
+    "clauses_intersect",
+    "FeedbackRule",
+    "FeedbackRuleSet",
+    "draw_conflict_free",
+    "RelaxationResult",
+    "relax_rule",
+    "GreedyRuleLearner",
+    "candidate_predicates",
+    "learn_model_explanation",
+    "generate_feedback_pool",
+    "parse_rule",
+    "parse_clause",
+    "parse_predicate",
+    "RuleParseError",
+    "simplify_clause",
+    "simplify_rule",
+    "deduplicate_rules",
+    "remove_subsumed_rules",
+    "compact_rule_set",
+]

@@ -1,0 +1,158 @@
+"""Clauses: conjunctions of predicates, plus symbolic satisfiability.
+
+A clause ``s`` covers ``x`` when every predicate holds (paper §3.1).  The
+empty clause covers everything — rule relaxation (Algorithm 2) can delete
+all conditions, at which point coverage is the whole dataset.
+
+The symbolic machinery (:func:`clause_satisfiable`,
+:func:`clauses_intersect`) decides whether a conjunction (or a pair of
+clauses) can be satisfied by *any* point of the domain, which rule-conflict
+detection and conflict-free rule-set drawing rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import Schema
+from repro.data.table import Table
+from repro.rules.predicate import EQ, GE, GT, LE, LT, NE, Predicate
+
+
+@dataclass(frozen=True)
+class Clause:
+    """Conjunction of :class:`~repro.rules.predicate.Predicate` conditions."""
+
+    predicates: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.predicates, tuple):
+            object.__setattr__(self, "predicates", tuple(self.predicates))
+
+    def __len__(self) -> int:
+        return len(self.predicates)
+
+    def __iter__(self):
+        return iter(self.predicates)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attributes mentioned, deduplicated, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for p in self.predicates:
+            seen.setdefault(p.attribute, None)
+        return tuple(seen)
+
+    # ------------------------------------------------------------------ #
+    def mask(self, table: Table) -> np.ndarray:
+        """Boolean mask of covered rows; all-True for the empty clause."""
+        out = np.ones(table.n_rows, dtype=bool)
+        for p in self.predicates:
+            out &= p.mask(table)
+        return out
+
+    def covers_row(self, table: Table, i: int) -> bool:
+        """Scalar coverage check for row ``i``."""
+        for p in self.predicates:
+            spec = table.schema[p.attribute]
+            if not p.holds_for(table.column(p.attribute)[i], spec):
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    def conjoin(self, other: "Clause") -> "Clause":
+        """Conjunction of two clauses (their predicate union)."""
+        return Clause(self.predicates + other.predicates)
+
+    def without(self, predicate: Predicate) -> "Clause":
+        """Clause with the first occurrence of ``predicate`` removed."""
+        preds = list(self.predicates)
+        preds.remove(predicate)
+        return Clause(tuple(preds))
+
+    def predicates_on(self, attribute: str) -> tuple[Predicate, ...]:
+        return tuple(p for p in self.predicates if p.attribute == attribute)
+
+    def __str__(self) -> str:
+        if not self.predicates:
+            return "TRUE"
+        return " AND ".join(str(p) for p in self.predicates)
+
+
+def clause(*predicates: Predicate) -> Clause:
+    """Convenience constructor: ``clause(p1, p2, ...)``."""
+    return Clause(tuple(predicates))
+
+
+# ---------------------------------------------------------------------- #
+# Symbolic satisfiability
+# ---------------------------------------------------------------------- #
+def _numeric_feasible(preds: tuple[Predicate, ...]) -> bool:
+    """Whether a set of numeric constraints on one attribute has a solution."""
+    lo, lo_strict = -np.inf, False
+    hi, hi_strict = np.inf, False
+    eqs: set[float] = set()
+    for p in preds:
+        v = float(p.value)
+        if p.operator == EQ:
+            eqs.add(v)
+        elif p.operator in (GT, GE):
+            strict = p.operator == GT
+            if v > lo or (v == lo and strict and not lo_strict):
+                lo, lo_strict = v, strict
+        elif p.operator in (LT, LE):
+            strict = p.operator == LT
+            if v < hi or (v == hi and strict and not hi_strict):
+                hi, hi_strict = v, strict
+    if len(eqs) > 1:
+        return False
+    if eqs:
+        (v,) = eqs
+        ok_lo = v > lo if lo_strict else v >= lo
+        ok_hi = v < hi if hi_strict else v <= hi
+        return ok_lo and ok_hi
+    if lo > hi:
+        return False
+    if lo == hi and (lo_strict or hi_strict):
+        return False
+    return True
+
+
+def _categorical_feasible(preds: tuple[Predicate, ...], categories: tuple[str, ...]) -> bool:
+    """Whether categorical constraints on one attribute have a solution."""
+    allowed = set(categories)
+    for p in preds:
+        v = str(p.value)
+        if p.operator == EQ:
+            allowed &= {v}
+        elif p.operator == NE:
+            allowed -= {v}
+    return bool(allowed)
+
+
+def clause_satisfiable(c: Clause, schema: Schema) -> bool:
+    """True if some point of the domain satisfies every predicate of ``c``."""
+    for attr in c.attributes:
+        spec = schema[attr]
+        preds = c.predicates_on(attr)
+        for p in preds:
+            p.validate(spec)
+        if spec.is_numeric:
+            if not _numeric_feasible(preds):
+                return False
+        else:
+            if not _categorical_feasible(preds, spec.categories):
+                return False
+    return True
+
+
+def clauses_intersect(a: Clause, b: Clause, schema: Schema) -> bool:
+    """True if ``cov(a) ∩ cov(b) != ∅`` over the whole domain.
+
+    This is the conflict test of paper §3.1 applied to clauses: the
+    conjunction of the two clauses is satisfiable iff their coverages
+    intersect.
+    """
+    return clause_satisfiable(a.conjoin(b), schema)

@@ -1,0 +1,198 @@
+"""Boolean rule-set learning — the BRCG (Dash et al., 2018) stand-in.
+
+The paper obtains rule-set *explanations* of the initial model with BRCG and
+perturbs them into feedback rules.  BRCG solves column generation over an
+exponential candidate space; what FROTE actually needs from it is a faithful
+set of conjunctive rules describing where the model predicts each class.
+This module provides that via greedy set cover:
+
+* candidate predicates are quantile thresholds on numeric attributes and
+  equality tests on categorical attributes;
+* per class, rules are grown greedily (best precision-coverage predicate at
+  a time), then accepted and their cover removed, until the class's
+  predicted instances are covered or limits are hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.table import Table
+from repro.rules.clause import Clause
+from repro.rules.predicate import EQ, GT, LE, Predicate
+from repro.rules.rule import FeedbackRule
+
+
+def candidate_predicates(
+    table: Table, *, n_thresholds: int = 8
+) -> list[Predicate]:
+    """Enumerate the candidate predicate pool for rule learning.
+
+    Numeric attributes contribute ``<=`` and ``>`` tests at up to
+    ``n_thresholds`` interior quantiles; categorical attributes contribute an
+    equality test per category.
+    """
+    cands: list[Predicate] = []
+    for spec in table.schema:
+        col = table.column(spec.name)
+        if spec.is_numeric:
+            if col.size == 0:
+                continue
+            qs = np.quantile(col, np.linspace(0, 1, n_thresholds + 2)[1:-1])
+            for t in np.unique(qs):
+                t = float(t)
+                cands.append(Predicate(spec.name, LE, t))
+                cands.append(Predicate(spec.name, GT, t))
+        else:
+            for cat in spec.categories:
+                cands.append(Predicate(spec.name, EQ, cat))
+    return cands
+
+
+@dataclass
+class GreedyRuleLearner:
+    """Greedy conjunctive rule-set learner over model predictions.
+
+    Parameters
+    ----------
+    max_rules_per_class:
+        Cap on accepted rules per class.
+    max_conditions:
+        Cap on predicates per rule (the paper favours small rules for
+        intelligibility).
+    min_coverage_fraction:
+        A candidate conjunction must keep at least this fraction of the
+        dataset covered to stay eligible.
+    min_precision:
+        Stop growing a conjunction once this precision is reached.
+    n_thresholds:
+        Numeric quantile grid resolution for candidate predicates.
+    """
+
+    max_rules_per_class: int = 5
+    max_conditions: int = 3
+    min_coverage_fraction: float = 0.01
+    min_precision: float = 0.9
+    n_thresholds: int = 8
+
+    def learn(
+        self,
+        table: Table,
+        y: np.ndarray,
+        n_classes: int,
+        *,
+        classes: list[int] | None = None,
+    ) -> list[FeedbackRule]:
+        """Learn rules explaining labels ``y`` (typically model predictions).
+
+        Returns rules for every class in ``classes`` (default: all),
+        interleaved in class order.
+        """
+        y = np.asarray(y, dtype=np.int64)
+        if y.shape[0] != table.n_rows:
+            raise ValueError("y length does not match table")
+        cands = candidate_predicates(table, n_thresholds=self.n_thresholds)
+        cand_masks = np.stack([p.mask(table) for p in cands]) if cands else np.zeros((0, table.n_rows), dtype=bool)
+        min_cov = max(1, int(self.min_coverage_fraction * table.n_rows))
+        rules: list[FeedbackRule] = []
+        for c in classes if classes is not None else range(n_classes):
+            rules.extend(
+                self._learn_class(table, y, c, n_classes, cands, cand_masks, min_cov)
+            )
+        return rules
+
+    # ------------------------------------------------------------------ #
+    def _learn_class(
+        self,
+        table: Table,
+        y: np.ndarray,
+        target: int,
+        n_classes: int,
+        cands: list[Predicate],
+        cand_masks: np.ndarray,
+        min_cov: int,
+    ) -> list[FeedbackRule]:
+        is_target = y == target
+        residual = is_target.copy()
+        out: list[FeedbackRule] = []
+        while residual.sum() >= min_cov and len(out) < self.max_rules_per_class:
+            preds, mask = self._grow_rule(
+                is_target, residual, cands, cand_masks, min_cov
+            )
+            if not preds:
+                break
+            new_target_cover = residual & mask
+            if new_target_cover.sum() < min_cov:
+                break
+            out.append(
+                FeedbackRule.deterministic(
+                    Clause(tuple(preds)),
+                    target,
+                    n_classes,
+                    name=f"learned[{target}]#{len(out)}",
+                )
+            )
+            residual &= ~mask
+        return out
+
+    def _grow_rule(
+        self,
+        is_target: np.ndarray,
+        residual: np.ndarray,
+        cands: list[Predicate],
+        cand_masks: np.ndarray,
+        min_cov: int,
+    ) -> tuple[list[Predicate], np.ndarray]:
+        """Grow one conjunction greedily; returns (predicates, final mask)."""
+        n = is_target.size
+        current = np.ones(n, dtype=bool)
+        chosen: list[Predicate] = []
+        used_attrs: set[tuple[str, str]] = set()
+        for _ in range(self.max_conditions):
+            cover = current.sum()
+            prec = (is_target & current).sum() / cover if cover else 0.0
+            if prec >= self.min_precision and chosen:
+                break
+            best_score, best_i = -np.inf, -1
+            for i, p in enumerate(cands):
+                key = (p.attribute, p.operator)
+                if key in used_attrs and p.operator == EQ and not isinstance(p.value, str):
+                    continue
+                trial = current & cand_masks[i]
+                cov = int(trial.sum())
+                if cov < min_cov:
+                    continue
+                res_cov = int((trial & residual).sum())
+                if res_cov == 0:
+                    continue
+                precision = (is_target & trial).sum() / cov
+                # Precision-first score with a mild residual-recall bonus,
+                # so rules stay accurate but still cover new ground.
+                score = precision + 0.1 * (res_cov / max(residual.sum(), 1))
+                if score > best_score:
+                    best_score, best_i = score, i
+            if best_i < 0:
+                break
+            current &= cand_masks[best_i]
+            chosen.append(cands[best_i])
+            used_attrs.add((cands[best_i].attribute, cands[best_i].operator))
+        return chosen, current
+
+
+def learn_model_explanation(
+    dataset: Dataset,
+    predictions: np.ndarray,
+    *,
+    learner: GreedyRuleLearner | None = None,
+) -> list[FeedbackRule]:
+    """Rule-set explanation of a model: rules over its *predicted* labels.
+
+    This is the input the paper's feedback-rule generation pipeline starts
+    from (rules describing what the model already does, to be perturbed into
+    deviating feedback).
+    """
+    learner = learner or GreedyRuleLearner()
+    return learner.learn(dataset.X, predictions, dataset.n_classes)

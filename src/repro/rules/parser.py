@@ -1,0 +1,109 @@
+"""Textual rule syntax, for examples and interactive use.
+
+Grammar (informal)::
+
+    rule    := clause "=>" target
+    clause  := condition (" AND " condition)*
+    cond    := attribute op value
+    op      := "==" | "=" | "!=" | ">" | ">=" | "<" | "<="
+    target  := class-name | class-code | distribution
+
+    distribution := "[" p0 "," p1 ("," pk)* "]"
+
+Examples::
+
+    age < 29 AND marital = 'single' => approved
+    income >= 150 => 1
+    color != 'red' => [0.2, 0.8]
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.data.schema import Schema
+from repro.rules.clause import Clause
+from repro.rules.predicate import Predicate
+from repro.rules.rule import FeedbackRule
+
+_COND_RE = re.compile(
+    r"^\s*(?P<attr>[A-Za-z_][\w.-]*)\s*(?P<op>==|!=|>=|<=|=|>|<)\s*(?P<val>.+?)\s*$"
+)
+
+
+class RuleParseError(ValueError):
+    """Raised for malformed rule text."""
+
+
+def parse_predicate(text: str, schema: Schema) -> Predicate:
+    """Parse a single ``attribute op value`` condition."""
+    m = _COND_RE.match(text)
+    if not m:
+        raise RuleParseError(f"cannot parse condition: {text!r}")
+    attr, op, raw = m.group("attr"), m.group("op"), m.group("val")
+    if op == "=":
+        op = "=="
+    if attr not in schema:
+        raise RuleParseError(f"unknown attribute {attr!r}")
+    spec = schema[attr]
+    if spec.is_numeric:
+        try:
+            value: float | str = float(raw)
+        except ValueError:
+            raise RuleParseError(
+                f"numeric attribute {attr!r} needs a numeric value, got {raw!r}"
+            ) from None
+    else:
+        value = raw.strip("'\"")
+    pred = Predicate(attr, op, value)
+    pred.validate(spec)
+    return pred
+
+
+def parse_clause(text: str, schema: Schema) -> Clause:
+    """Parse an AND-conjunction of conditions."""
+    parts = re.split(r"\s+AND\s+", text.strip(), flags=re.IGNORECASE)
+    preds = tuple(parse_predicate(p, schema) for p in parts if p.strip())
+    if not preds:
+        raise RuleParseError(f"empty clause: {text!r}")
+    return Clause(preds)
+
+
+def parse_rule(
+    text: str,
+    schema: Schema,
+    label_names: tuple[str, ...],
+    *,
+    name: str = "",
+) -> FeedbackRule:
+    """Parse a full ``clause => target`` feedback rule."""
+    if "=>" not in text:
+        raise RuleParseError(f"rule must contain '=>': {text!r}")
+    lhs, rhs = text.split("=>", 1)
+    clause = parse_clause(lhs, schema)
+    rhs = rhs.strip()
+    n_classes = len(label_names)
+    if rhs.startswith("["):
+        if not rhs.endswith("]"):
+            raise RuleParseError(f"unterminated distribution: {rhs!r}")
+        try:
+            probs = tuple(float(v) for v in rhs[1:-1].split(","))
+        except ValueError:
+            raise RuleParseError(f"bad distribution: {rhs!r}") from None
+        if len(probs) != n_classes:
+            raise RuleParseError(
+                f"distribution has {len(probs)} entries for {n_classes} classes"
+            )
+        return FeedbackRule(clause, probs, name=name)
+    if rhs in label_names:
+        target = label_names.index(rhs)
+    else:
+        try:
+            target = int(rhs)
+        except ValueError:
+            raise RuleParseError(
+                f"target {rhs!r} is neither a class name {label_names} nor a code"
+            ) from None
+        if not 0 <= target < n_classes:
+            raise RuleParseError(f"class code {target} out of range")
+    return FeedbackRule.deterministic(clause, target, n_classes, name=name)

@@ -1,0 +1,128 @@
+"""Predicates: the atomic (attribute, operator, value) conditions of rules.
+
+Paper §3.1: operators for categorical attributes are ``{=, !=}`` and for
+numeric attributes ``{=, >, >=, <, <=}``.  A predicate evaluates vectorized
+against a :class:`~repro.data.table.Table` column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import ColumnSpec
+from repro.data.table import Table
+
+EQ, NE, GT, GE, LT, LE = "==", "!=", ">", ">=", "<", "<="
+NUMERIC_OPERATORS = frozenset({EQ, GT, GE, LT, LE})
+CATEGORICAL_OPERATORS = frozenset({EQ, NE})
+ALL_OPERATORS = NUMERIC_OPERATORS | CATEGORICAL_OPERATORS
+
+# Operator reversal used by the paper's feedback-rule perturbation: != <-> ==
+# for categoricals; <= <-> >= and < <-> > for numerics.
+REVERSED_OPERATOR = {EQ: NE, NE: EQ, LE: GE, GE: LE, LT: GT, GT: LT}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single condition, e.g. ``age < 29`` or ``marital != 'single'``.
+
+    ``value`` is a float for numeric attributes and a category string for
+    categorical attributes.  Validation against the schema happens at
+    evaluation time (predicates are schema-agnostic values until then).
+    """
+
+    attribute: str
+    operator: str
+    value: float | str
+
+    def __post_init__(self) -> None:
+        if self.operator not in ALL_OPERATORS:
+            raise ValueError(
+                f"unknown operator {self.operator!r}; allowed: {sorted(ALL_OPERATORS)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def validate(self, spec: ColumnSpec) -> None:
+        """Raise if this predicate is ill-typed for column ``spec``."""
+        if spec.name != self.attribute:
+            raise ValueError(
+                f"predicate on {self.attribute!r} validated against column {spec.name!r}"
+            )
+        if spec.is_numeric:
+            if self.operator not in NUMERIC_OPERATORS:
+                raise ValueError(
+                    f"operator {self.operator!r} not allowed for numeric "
+                    f"attribute {self.attribute!r}"
+                )
+            if isinstance(self.value, str):
+                raise TypeError(
+                    f"numeric predicate on {self.attribute!r} has string value "
+                    f"{self.value!r}"
+                )
+        else:
+            if self.operator not in CATEGORICAL_OPERATORS:
+                raise ValueError(
+                    f"operator {self.operator!r} not allowed for categorical "
+                    f"attribute {self.attribute!r}"
+                )
+            if not isinstance(self.value, str):
+                raise TypeError(
+                    f"categorical predicate on {self.attribute!r} needs a string "
+                    f"value, got {type(self.value).__name__}"
+                )
+            if self.value not in spec.categories:
+                raise ValueError(
+                    f"value {self.value!r} not in categories of {self.attribute!r}"
+                )
+
+    # ------------------------------------------------------------------ #
+    def mask(self, table: Table) -> np.ndarray:
+        """Boolean mask of rows satisfying this predicate."""
+        spec = table.schema[self.attribute]
+        self.validate(spec)
+        col = table.column(self.attribute)
+        if spec.is_numeric:
+            v = float(self.value)
+            if self.operator == EQ:
+                return col == v
+            if self.operator == GT:
+                return col > v
+            if self.operator == GE:
+                return col >= v
+            if self.operator == LT:
+                return col < v
+            return col <= v  # LE
+        code = spec.code_of(str(self.value))
+        return (col == code) if self.operator == EQ else (col != code)
+
+    def holds_for(self, value: float | int, spec: ColumnSpec) -> bool:
+        """Scalar check against a raw stored value (code for categoricals)."""
+        self.validate(spec)
+        if spec.is_numeric:
+            v = float(self.value)
+            x = float(value)
+            return {
+                EQ: x == v,
+                GT: x > v,
+                GE: x >= v,
+                LT: x < v,
+                LE: x <= v,
+            }[self.operator]
+        code = spec.code_of(str(self.value))
+        return (int(value) == code) if self.operator == EQ else (int(value) != code)
+
+    # ------------------------------------------------------------------ #
+    def reversed_operator(self) -> "Predicate":
+        """Predicate with the operator flipped (perturbation op 1)."""
+        return Predicate(self.attribute, REVERSED_OPERATOR[self.operator], self.value)
+
+    def with_value(self, value: float | str) -> "Predicate":
+        """Predicate with the value replaced (perturbation op 2)."""
+        return Predicate(self.attribute, self.operator, value)
+
+    def __str__(self) -> str:
+        v = f"'{self.value}'" if isinstance(self.value, str) else f"{self.value:g}"
+        op = "=" if self.operator == EQ else self.operator
+        return f"{self.attribute} {op} {v}"

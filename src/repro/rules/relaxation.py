@@ -1,0 +1,95 @@
+"""Rule relaxation: the maximal partial rule of paper Algorithm 2.
+
+When a feedback rule has fewer than ``k + 1`` covered instances, FROTE
+relaxes it: repeatedly delete the single condition whose removal yields the
+largest coverage (a breadth-first search over condition subsets, one level
+per deletion) until coverage reaches the threshold.  The empty clause covers
+the whole dataset, so relaxation always terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.rules.clause import Clause
+from repro.rules.rule import FeedbackRule
+
+
+@dataclass(frozen=True)
+class RelaxationResult:
+    """Outcome of relaxing one rule against one dataset.
+
+    Attributes
+    ----------
+    original:
+        The rule as provided by the user.
+    relaxed_clause:
+        The maximal partial rule's clause (equal to ``original.clause`` when
+        no relaxation was needed).
+    removed:
+        Conditions deleted, in deletion order.
+    coverage:
+        Number of rows the relaxed clause covers.
+    """
+
+    original: FeedbackRule
+    relaxed_clause: Clause
+    removed: tuple
+    coverage: int
+
+    @property
+    def was_relaxed(self) -> bool:
+        return bool(self.removed)
+
+    def relaxed_mask(self, table: Table) -> np.ndarray:
+        """Coverage mask of the relaxed clause (exceptions still applied)."""
+        mask = self.relaxed_clause.mask(table)
+        for exc in self.original.exceptions:
+            mask &= ~exc.mask(table)
+        return mask
+
+
+def relax_rule(
+    rule: FeedbackRule, table: Table, *, min_coverage: int
+) -> RelaxationResult:
+    """Compute the maximal partial rule of ``rule`` over ``table``.
+
+    Follows Algorithm 2: while coverage is below ``min_coverage``, evaluate
+    the removal of each remaining condition and keep the removal with the
+    largest resulting coverage; an emptied clause counts as full coverage.
+    """
+    if min_coverage < 1:
+        raise ValueError(f"min_coverage must be >= 1, got {min_coverage}")
+    current = rule.clause
+    removed: list = []
+
+    def coverage_of(c: Clause) -> int:
+        mask = c.mask(table)
+        for exc in rule.exceptions:
+            mask &= ~exc.mask(table)
+        return int(mask.sum())
+
+    cov = coverage_of(current)
+    while cov < min_coverage and len(current) > 0:
+        best_cov = -1
+        best_clause = current
+        best_pred = None
+        for pred in current.predicates:
+            cand = current.without(pred)
+            cand_cov = table.n_rows if len(cand) == 0 else coverage_of(cand)
+            if cand_cov > best_cov:
+                best_cov = cand_cov
+                best_clause = cand
+                best_pred = pred
+        current = best_clause
+        removed.append(best_pred)
+        cov = coverage_of(current)
+    return RelaxationResult(
+        original=rule,
+        relaxed_clause=current,
+        removed=tuple(removed),
+        coverage=cov,
+    )

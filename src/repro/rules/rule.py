@@ -1,0 +1,133 @@
+"""Feedback rules: IF clause THEN label ~ π (paper §3.1).
+
+A :class:`FeedbackRule` pairs a clause with a label distribution π over the
+classes.  The deterministic case (π a Kronecker delta) is the common one; the
+probabilistic form expresses uncertainty in the expert's feedback (paper
+Table 6) and conflict-resolution mixtures.
+
+Rules may also carry *exception clauses*: conflict resolution option 1
+("s1 AND NOT s2") is represented by attaching s2 as an exception to the rule
+with clause s1, keeping clauses pure conjunctions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.rules.clause import Clause
+
+
+@dataclass(frozen=True)
+class FeedbackRule:
+    """IF ``clause`` (and no ``exception``) THEN ``Y ~ pi``.
+
+    Parameters
+    ----------
+    clause:
+        The rule's conjunction ``s``.
+    pi:
+        Label distribution over class codes; must sum to 1.
+    exceptions:
+        Clauses carved out of the coverage (conflict resolution).
+    name:
+        Optional identifier used in reports.
+    """
+
+    clause: Clause
+    pi: tuple[float, ...]
+    exceptions: tuple[Clause, ...] = ()
+    name: str = ""
+    _pi_array: np.ndarray = field(init=False, repr=False, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.pi, dtype=np.float64)
+        if arr.ndim != 1 or arr.size < 2:
+            raise ValueError(f"pi must be a distribution over >= 2 classes, got {self.pi}")
+        if np.any(arr < -1e-12):
+            raise ValueError(f"pi has negative entries: {self.pi}")
+        if not np.isclose(arr.sum(), 1.0, atol=1e-8):
+            raise ValueError(f"pi must sum to 1, got sum={arr.sum()}")
+        object.__setattr__(self, "pi", tuple(float(v) for v in arr))
+        object.__setattr__(self, "_pi_array", arr)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def deterministic(
+        cls,
+        clause: Clause,
+        target_class: int,
+        n_classes: int,
+        *,
+        exceptions: tuple[Clause, ...] = (),
+        name: str = "",
+    ) -> "FeedbackRule":
+        """Rule whose π is the Kronecker delta at ``target_class``."""
+        if not 0 <= target_class < n_classes:
+            raise ValueError(
+                f"target_class {target_class} out of range for {n_classes} classes"
+            )
+        pi = tuple(1.0 if c == target_class else 0.0 for c in range(n_classes))
+        return cls(clause, pi, exceptions=exceptions, name=name)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_classes(self) -> int:
+        return len(self.pi)
+
+    @property
+    def is_deterministic(self) -> bool:
+        return bool(np.any(self._pi_array == 1.0))
+
+    @property
+    def target_class(self) -> int:
+        """Most probable class under π (the class for deterministic rules)."""
+        return int(np.argmax(self._pi_array))
+
+    def pi_array(self) -> np.ndarray:
+        """π as a read-only ndarray."""
+        out = self._pi_array.view()
+        out.flags.writeable = False
+        return out
+
+    # ------------------------------------------------------------------ #
+    def coverage_mask(self, table: Table) -> np.ndarray:
+        """Rows covered by the clause and by no exception clause."""
+        mask = self.clause.mask(table)
+        for exc in self.exceptions:
+            mask &= ~exc.mask(table)
+        return mask
+
+    def coverage_count(self, table: Table) -> int:
+        return int(self.coverage_mask(table).sum())
+
+    def sample_labels(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` labels from π (constant for deterministic rules)."""
+        if self.is_deterministic:
+            return np.full(n, self.target_class, dtype=np.int64)
+        return rng.choice(self.n_classes, size=n, p=self._pi_array).astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    def with_clause(self, clause: Clause) -> "FeedbackRule":
+        return FeedbackRule(clause, self.pi, exceptions=self.exceptions, name=self.name)
+
+    def with_exception(self, exception: Clause) -> "FeedbackRule":
+        return FeedbackRule(
+            self.clause, self.pi, exceptions=self.exceptions + (exception,), name=self.name
+        )
+
+    def conflicts_with(self, other: "FeedbackRule") -> bool:
+        """π-inequality part of the conflict test (coverage check is separate)."""
+        return not np.allclose(self._pi_array, other._pi_array, atol=1e-9)
+
+    def __str__(self) -> str:
+        if self.is_deterministic:
+            then = f"class={self.target_class}"
+        else:
+            then = "pi=[" + ", ".join(f"{p:.2f}" for p in self.pi) + "]"
+        base = f"IF {self.clause} THEN {then}"
+        if self.exceptions:
+            base += " EXCEPT " + " | ".join(f"({e})" for e in self.exceptions)
+        return base

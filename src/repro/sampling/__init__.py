@@ -1,0 +1,40 @@
+"""Oversampling substrate: SMOTE, Borderline-SMOTE, rule-constrained generation."""
+
+from repro.sampling.adasyn import ADASYN, adasyn_weights
+from repro.sampling.borderline import (
+    BORDERLINE,
+    NOISY,
+    SAFE,
+    BorderlineAnalysis,
+    BorderlineSMOTE,
+    classify_borderline,
+)
+from repro.sampling.rule_generation import (
+    GeneratedBatch,
+    NumericWindow,
+    RuleConstrainedGenerator,
+    pick_categorical,
+    sample_in_window,
+    window_from_conditions,
+)
+from repro.sampling.smote import SMOTE, interpolate_numeric, majority_categorical
+
+__all__ = [
+    "SMOTE",
+    "BorderlineSMOTE",
+    "ADASYN",
+    "adasyn_weights",
+    "interpolate_numeric",
+    "majority_categorical",
+    "classify_borderline",
+    "BorderlineAnalysis",
+    "NOISY",
+    "SAFE",
+    "BORDERLINE",
+    "RuleConstrainedGenerator",
+    "GeneratedBatch",
+    "NumericWindow",
+    "window_from_conditions",
+    "sample_in_window",
+    "pick_categorical",
+]

@@ -1,0 +1,124 @@
+"""SMOTE and SMOTE-NC (Chawla et al., 2002) over mixed-type tables.
+
+FROTE's generator extends this classic recipe; the vanilla versions here
+serve as the reference implementation, as a baseline in ablations, and as
+the class-imbalance utility a downstream user of the library would expect.
+
+* numeric attribute of the synthetic point: uniform on the segment between
+  the base instance and one of its ``k`` nearest neighbours (Eq. 6);
+* categorical attribute (SMOTE-NC): majority value among the neighbours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.table import Table
+from repro.neighbors import BruteKNN, TableNeighborSpace
+from repro.utils.rng import RandomState, check_random_state
+
+
+def interpolate_numeric(
+    base: np.ndarray, neighbor: np.ndarray, omega: np.ndarray
+) -> np.ndarray:
+    """Paper Eq. 6: ``v = x_i + (x_j - x_i) * omega`` element-wise."""
+    return base + (neighbor - base) * omega
+
+
+def majority_categorical(
+    neighbor_codes: np.ndarray, rng: np.random.Generator
+) -> int:
+    """Most frequent code among neighbours; ties broken at random."""
+    counts = np.bincount(neighbor_codes)
+    top = np.flatnonzero(counts == counts.max())
+    return int(top[rng.integers(top.size)]) if top.size > 1 else int(top[0])
+
+
+class SMOTE:
+    """Synthetic Minority Oversampling with NC extension for categoricals.
+
+    Parameters
+    ----------
+    k:
+        Number of nearest neighbours (paper default 5).
+    random_state:
+        Seed for neighbour choice and interpolation weights.
+    """
+
+    def __init__(self, k: int = 5, *, random_state: RandomState = None) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------ #
+    def generate(
+        self,
+        table: Table,
+        n_samples: int,
+        *,
+        base_indices: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> Table:
+        """Generate ``n_samples`` synthetic rows from ``table``.
+
+        ``base_indices`` restricts base-instance choice (defaults to all
+        rows).  Neighbours are searched over the full ``table``.
+        """
+        if table.n_rows < 2:
+            raise ValueError("need at least 2 rows to interpolate")
+        rng = rng if rng is not None else check_random_state(self.random_state)
+        if base_indices is None:
+            base_indices = np.arange(table.n_rows)
+        base_indices = np.asarray(base_indices, dtype=np.intp)
+        if base_indices.size == 0:
+            raise ValueError("base_indices is empty")
+
+        space = TableNeighborSpace().fit(table)
+        E = space.encode(table)
+        knn = BruteKNN(space.metric_).fit(E)
+        k_eff = min(self.k, table.n_rows - 1)
+        _, nbr_idx = knn.kneighbors(E[base_indices], k_eff, exclude_self=True)
+
+        chosen_base = rng.integers(0, base_indices.size, size=n_samples)
+        chosen_nbr_col = rng.integers(0, k_eff, size=n_samples)
+
+        schema = table.schema
+        columns: dict[str, np.ndarray] = {}
+        b_rows = base_indices[chosen_base]
+        j_rows = nbr_idx[chosen_base, chosen_nbr_col]
+        omegas = rng.uniform(0.0, 1.0, size=n_samples)
+        for spec in schema:
+            col = table.column(spec.name)
+            if spec.is_numeric:
+                columns[spec.name] = interpolate_numeric(
+                    col[b_rows], col[j_rows], omegas
+                )
+            else:
+                vals = np.empty(n_samples, dtype=np.int64)
+                for s in range(n_samples):
+                    codes = col[nbr_idx[chosen_base[s]]]
+                    vals[s] = majority_categorical(codes, rng)
+                columns[spec.name] = vals
+        return Table(schema, columns, copy=False)
+
+    # ------------------------------------------------------------------ #
+    def fit_resample(self, dataset: Dataset) -> Dataset:
+        """Classic imbalance correction: oversample every minority class
+        up to the majority class count."""
+        counts = dataset.class_counts()
+        target = int(counts.max())
+        rng = check_random_state(self.random_state)
+        parts = [dataset]
+        for c in range(dataset.n_classes):
+            deficit = target - int(counts[c])
+            idx = np.flatnonzero(dataset.y == c)
+            if deficit <= 0 or idx.size < 2:
+                continue
+            class_table = dataset.X.take(idx)
+            synth = self.generate(class_table, deficit, rng=rng)
+            parts.append(
+                Dataset(synth, np.full(deficit, c, dtype=np.int64), dataset.label_names)
+            )
+        return Dataset.concat(parts)

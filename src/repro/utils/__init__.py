@@ -1,0 +1,18 @@
+"""Shared utilities: seeded RNG handling and input validation."""
+
+from repro.utils.rng import check_random_state, spawn_rng
+from repro.utils.validation import (
+    check_array_1d,
+    check_array_2d,
+    check_fraction,
+    check_positive_int,
+)
+
+__all__ = [
+    "check_random_state",
+    "spawn_rng",
+    "check_array_1d",
+    "check_array_2d",
+    "check_fraction",
+    "check_positive_int",
+]

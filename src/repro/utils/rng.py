@@ -1,0 +1,45 @@
+"""Random number generator plumbing.
+
+Every stochastic component in the library accepts a ``random_state`` that may
+be ``None``, an integer seed, or a :class:`numpy.random.Generator`.  This
+module normalizes those three forms so the rest of the code base only ever
+deals with ``Generator`` instances, mirroring scikit-learn's
+``check_random_state`` convention but on the modern ``Generator`` API.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RandomState = int | np.random.Generator | None
+
+
+def check_random_state(random_state: RandomState) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``random_state``.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for nondeterministic entropy, an ``int`` seed for a
+        reproducible stream, or an existing ``Generator`` (returned as-is so
+        callers can thread one stream through a pipeline).
+    """
+    if random_state is None or isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(random_state)
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    raise TypeError(
+        f"random_state must be None, int, or numpy.random.Generator, "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``n`` independent child generators.
+
+    Used where work is distributed over components (e.g. trees of a forest)
+    and each component needs its own reproducible stream.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

@@ -1,0 +1,42 @@
+"""Input validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_array_2d(X, *, name: str = "X", dtype=np.float64) -> np.ndarray:
+    """Coerce ``X`` to a 2-D ndarray of ``dtype`` with finite values."""
+    arr = np.asarray(X, dtype=dtype)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_array_1d(y, *, name: str = "y", dtype=None) -> np.ndarray:
+    """Coerce ``y`` to a 1-D ndarray."""
+    arr = np.asarray(y) if dtype is None else np.asarray(y, dtype=dtype)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def check_fraction(value: float, *, name: str, inclusive_low: bool = True) -> float:
+    """Validate that ``value`` lies in [0, 1] (or (0, 1] if not inclusive)."""
+    value = float(value)
+    low_ok = value >= 0.0 if inclusive_low else value > 0.0
+    if not (low_ok and value <= 1.0):
+        bracket = "[0, 1]" if inclusive_low else "(0, 1]"
+        raise ValueError(f"{name} must be in {bracket}, got {value}")
+    return value
+
+
+def check_positive_int(value: int, *, name: str) -> int:
+    """Validate that ``value`` is a positive integer."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)

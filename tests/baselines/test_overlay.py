@@ -1,0 +1,97 @@
+"""Tests for the Overlay baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HARD, SOFT, Overlay
+from repro.models import LogisticRegression, make_algorithm
+from repro.rules import FeedbackRule, FeedbackRuleSet, Predicate, clause
+
+
+@pytest.fixture
+def model(mixed_dataset):
+    return make_algorithm(lambda: LogisticRegression())(mixed_dataset)
+
+
+@pytest.fixture
+def feedback(mixed_dataset):
+    """Feedback contradicting the data: young high-earners -> deny."""
+    return FeedbackRuleSet(
+        (
+            FeedbackRule.deterministic(
+                clause(
+                    Predicate("age", "<", 35.0),
+                    Predicate("income", ">", 120.0),
+                ),
+                0,
+                2,
+            ),
+        )
+    )
+
+
+class TestHard:
+    def test_feedback_rule_enforced_in_coverage(self, mixed_dataset, model, feedback):
+        overlay = Overlay(model, feedback, mixed_dataset.X, mode=HARD)
+        pred = overlay.predict(mixed_dataset.X)
+        cov = feedback[0].coverage_mask(mixed_dataset.X)
+        assert (pred[cov] == 0).all()
+
+    def test_model_rules_applied_outside_feedback(self, mixed_dataset, model, feedback):
+        overlay = Overlay(model, feedback, mixed_dataset.X, mode=HARD)
+        pred = overlay.predict(mixed_dataset.X)
+        # Hard mode is a rule surrogate: predictions may deviate from the
+        # model outside feedback coverage (that is its failure mode).
+        assert pred.shape == (mixed_dataset.n,)
+
+    def test_feedback_has_priority_over_model_rules(self, mixed_dataset, model):
+        # Feedback covering everything: every prediction must be class 1.
+        frs = FeedbackRuleSet(
+            (FeedbackRule.deterministic(clause(Predicate("age", ">=", 0.0)), 1, 2),)
+        )
+        overlay = Overlay(model, frs, mixed_dataset.X, mode=HARD)
+        assert (overlay.predict(mixed_dataset.X) == 1).all()
+
+
+class TestSoft:
+    def test_outside_coverage_matches_model(self, mixed_dataset, model, feedback):
+        overlay = Overlay(model, feedback, mixed_dataset.X, mode=SOFT)
+        pred = overlay.predict(mixed_dataset.X)
+        cov = feedback[0].coverage_mask(mixed_dataset.X)
+        np.testing.assert_array_equal(
+            pred[~cov], model.predict(mixed_dataset.X)[~cov]
+        )
+
+    def test_coverage_predictions_use_transformed_inputs(
+        self, mixed_dataset, model, feedback
+    ):
+        overlay = Overlay(model, feedback, mixed_dataset.X, mode=SOFT)
+        pred_soft = overlay.predict(mixed_dataset.X)
+        assert pred_soft.shape == (mixed_dataset.n,)
+
+    def test_no_covered_rows_is_pure_model(self, mixed_dataset, model):
+        frs = FeedbackRuleSet(
+            (FeedbackRule.deterministic(clause(Predicate("age", ">", 999.0)), 0, 2),)
+        )
+        overlay = Overlay(model, frs, mixed_dataset.X, mode=SOFT)
+        np.testing.assert_array_equal(
+            overlay.predict(mixed_dataset.X), model.predict(mixed_dataset.X)
+        )
+
+
+class TestValidation:
+    def test_unknown_mode_raises(self, mixed_dataset, model, feedback):
+        with pytest.raises(ValueError, match="mode"):
+            Overlay(model, feedback, mixed_dataset.X, mode="medium")
+
+    def test_unfitted_model_raises(self, mixed_dataset, feedback):
+        from repro.models import TableModel
+
+        with pytest.raises(ValueError, match="fitted"):
+            Overlay(
+                TableModel(LogisticRegression()), feedback, mixed_dataset.X
+            )
+
+    def test_model_rules_learned(self, mixed_dataset, model, feedback):
+        overlay = Overlay(model, feedback, mixed_dataset.X, mode=SOFT)
+        assert overlay.model_rules, "FKRS must contain model-explanation rules"

@@ -1,0 +1,193 @@
+"""Tests for the FROTE main loop (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FROTE, FroteConfig, evaluate_model, run_frote
+from repro.models import LogisticRegression, make_algorithm
+from repro.rules import FeedbackRule, FeedbackRuleSet, Predicate, clause
+
+
+@pytest.fixture
+def algorithm():
+    return make_algorithm(lambda: LogisticRegression(max_iter=200))
+
+
+@pytest.fixture
+def flip_rule(mixed_dataset):
+    """A rule that contradicts the data: young high-earners -> deny."""
+    return FeedbackRuleSet(
+        (
+            FeedbackRule.deterministic(
+                clause(
+                    Predicate("age", "<", 35.0),
+                    Predicate("income", ">", 120.0),
+                ),
+                0,
+                2,
+                name="flip",
+            ),
+        )
+    )
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = FroteConfig()
+        assert cfg.tau == 200 and cfg.q == 0.5 and cfg.k == 5
+        assert cfg.random_state == 42
+
+    def test_effective_eta_uniform_quota(self):
+        cfg = FroteConfig(tau=100, q=0.5)
+        assert cfg.effective_eta(1000) == 5
+
+    def test_effective_eta_explicit(self):
+        assert FroteConfig(eta=20).effective_eta(10**6) == 20
+
+    def test_quota(self):
+        assert FroteConfig(q=0.5).oversampling_quota(100) == 50
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tau": 0},
+            {"q": 0.0},
+            {"eta": 0},
+            {"k": 0},
+            {"mra_weight": 1.5},
+            {"selection": "bogus"},
+            {"mod_strategy": "bogus"},
+        ],
+    )
+    def test_invalid_config_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            FroteConfig(**kwargs)
+
+
+class TestRun:
+    def test_improves_training_objective(self, mixed_dataset, algorithm, flip_rule):
+        cfg = FroteConfig(tau=10, q=1.0, eta=15, mod_strategy="none", random_state=0)
+        result = FROTE(algorithm, flip_rule, cfg).run(mixed_dataset)
+        init = result.initial_evaluation.loss_equal()
+        final = result.final_evaluation.loss_equal()
+        assert final <= init
+
+    def test_quota_respected(self, mixed_dataset, algorithm, flip_rule):
+        cfg = FroteConfig(tau=50, q=0.2, eta=10, random_state=0)
+        result = FROTE(algorithm, flip_rule, cfg).run(mixed_dataset)
+        # n may exceed quota by at most one batch (the loop condition is
+        # checked before generation).
+        assert result.n_added <= int(0.2 * mixed_dataset.n) + 10
+
+    def test_iteration_limit(self, mixed_dataset, algorithm, flip_rule):
+        cfg = FroteConfig(tau=3, q=5.0, eta=5, random_state=0)
+        result = FROTE(algorithm, flip_rule, cfg).run(mixed_dataset)
+        assert result.iterations <= 3
+        assert len(result.history) <= 3
+
+    def test_rejected_batches_not_added(self, mixed_dataset, algorithm, flip_rule):
+        cfg = FroteConfig(tau=10, q=1.0, eta=10, random_state=0)
+        result = FROTE(algorithm, flip_rule, cfg).run(mixed_dataset)
+        accepted_total = sum(r.n_generated for r in result.history if r.accepted)
+        assert result.n_added == accepted_total
+
+    def test_augmented_dataset_contains_original(self, mixed_dataset, algorithm, flip_rule):
+        cfg = FroteConfig(tau=5, q=0.5, eta=10, mod_strategy="none", random_state=0)
+        result = FROTE(algorithm, flip_rule, cfg).run(mixed_dataset)
+        assert result.dataset.n == mixed_dataset.n + result.n_added
+        np.testing.assert_allclose(
+            result.dataset.X.column("age")[: mixed_dataset.n],
+            mixed_dataset.X.column("age"),
+        )
+
+    def test_synthetic_rows_satisfy_rule(self, mixed_dataset, algorithm, flip_rule):
+        cfg = FroteConfig(tau=10, q=0.5, eta=10, mod_strategy="none", random_state=0)
+        result = FROTE(algorithm, flip_rule, cfg).run(mixed_dataset)
+        if result.n_added:
+            synth = result.dataset.X.take(
+                np.arange(mixed_dataset.n, result.dataset.n)
+            )
+            assert flip_rule[0].coverage_mask(synth).all()
+
+    def test_relabel_strategy_applied(self, mixed_dataset, algorithm, flip_rule):
+        cfg = FroteConfig(tau=2, q=0.1, eta=5, mod_strategy="relabel", random_state=0)
+        result = FROTE(algorithm, flip_rule, cfg).run(mixed_dataset)
+        assert result.n_relabelled > 0
+        rule = flip_rule[0]
+        original_rows = result.dataset.take(np.arange(mixed_dataset.n))
+        cov = rule.coverage_mask(original_rows.X)
+        assert (original_rows.y[cov] == rule.target_class).all()
+
+    def test_drop_strategy_shrinks_dataset(self, mixed_dataset, algorithm, flip_rule):
+        cfg = FroteConfig(tau=2, q=0.1, eta=5, mod_strategy="drop", random_state=0)
+        result = FROTE(algorithm, flip_rule, cfg).run(mixed_dataset)
+        assert result.n_dropped > 0
+
+    def test_eval_callback_recorded(self, mixed_dataset, algorithm, flip_rule):
+        cfg = FroteConfig(tau=8, q=1.0, eta=10, random_state=0)
+        calls = []
+
+        def cb(model):
+            calls.append(1)
+            return 0.5
+
+        result = FROTE(algorithm, flip_rule, cfg).run(mixed_dataset, eval_callback=cb)
+        accepted = [r for r in result.history if r.accepted]
+        assert len(calls) == len(accepted)
+        assert all(r.external_score == 0.5 for r in accepted)
+
+    def test_empty_frs_raises(self, algorithm):
+        with pytest.raises(ValueError, match="empty"):
+            FROTE(algorithm, FeedbackRuleSet(()), FroteConfig())
+
+    def test_reproducible(self, mixed_dataset, algorithm, flip_rule):
+        cfg = FroteConfig(tau=5, q=0.5, eta=10, random_state=11)
+        a = FROTE(algorithm, flip_rule, cfg).run(mixed_dataset)
+        b = FROTE(algorithm, flip_rule, cfg).run(mixed_dataset)
+        assert a.n_added == b.n_added
+        np.testing.assert_allclose(
+            a.dataset.X.column("age"), b.dataset.X.column("age")
+        )
+
+    def test_run_frote_wrapper(self, mixed_dataset, algorithm, flip_rule):
+        result = run_frote(
+            mixed_dataset, algorithm, flip_rule, tau=3, q=0.3, eta=5, random_state=0
+        )
+        assert result.iterations <= 3
+
+    def test_ip_selection_runs(self, mixed_dataset, algorithm, flip_rule):
+        cfg = FroteConfig(tau=3, q=0.5, eta=10, selection="ip", random_state=0)
+        result = FROTE(algorithm, flip_rule, cfg).run(mixed_dataset)
+        assert result.iterations == 3
+
+    def test_online_selection_runs(self, mixed_dataset, algorithm, flip_rule):
+        cfg = FroteConfig(tau=2, q=0.5, eta=6, selection="online", random_state=0)
+        result = FROTE(algorithm, flip_rule, cfg).run(mixed_dataset)
+        assert result.iterations == 2
+
+    def test_added_fraction(self, mixed_dataset, algorithm, flip_rule):
+        cfg = FroteConfig(tau=5, q=0.5, eta=10, mod_strategy="none", random_state=0)
+        result = FROTE(algorithm, flip_rule, cfg).run(mixed_dataset)
+        assert result.added_fraction == pytest.approx(
+            result.n_added / mixed_dataset.n
+        )
+
+    def test_zero_coverage_rule_relaxation_path(self, mixed_dataset, algorithm):
+        """A rule with no coverage at all must still generate (via relaxation)."""
+        frs = FeedbackRuleSet(
+            (
+                FeedbackRule.deterministic(
+                    clause(
+                        Predicate("age", "<", 35.0),
+                        Predicate("income", ">", 5000.0),  # impossible
+                    ),
+                    0,
+                    2,
+                ),
+            )
+        )
+        cfg = FroteConfig(tau=5, q=0.5, eta=10, mod_strategy="none", random_state=0)
+        result = FROTE(algorithm, frs, cfg).run(mixed_dataset)
+        if result.n_added:
+            synth = result.dataset.X.take(np.arange(mixed_dataset.n, result.dataset.n))
+            assert frs[0].coverage_mask(synth).all()

@@ -1,0 +1,95 @@
+"""Tests for the none/relabel/drop modification strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import apply_modification
+from repro.rules import FeedbackRule, FeedbackRuleSet, Predicate, clause
+
+
+class TestNone:
+    def test_dataset_unchanged(self, mixed_dataset, single_rule_frs):
+        res = apply_modification(mixed_dataset, single_rule_frs, "none")
+        assert res.dataset is mixed_dataset
+        assert res.n_relabelled == 0 and res.n_dropped == 0
+
+
+class TestRelabel:
+    def test_covered_disagreeing_rows_relabelled(self, mixed_dataset, single_rule_frs):
+        rule = single_rule_frs[0]
+        res = apply_modification(
+            mixed_dataset, single_rule_frs, "relabel", random_state=0
+        )
+        cov = rule.coverage_mask(res.dataset.X)
+        assert (res.dataset.y[cov] == rule.target_class).all()
+
+    def test_outside_rows_untouched(self, mixed_dataset, single_rule_frs):
+        rule = single_rule_frs[0]
+        res = apply_modification(
+            mixed_dataset, single_rule_frs, "relabel", random_state=0
+        )
+        cov = rule.coverage_mask(mixed_dataset.X)
+        np.testing.assert_array_equal(
+            res.dataset.y[~cov], mixed_dataset.y[~cov]
+        )
+
+    def test_count_matches(self, mixed_dataset, single_rule_frs):
+        rule = single_rule_frs[0]
+        cov = rule.coverage_mask(mixed_dataset.X)
+        expected = int((mixed_dataset.y[cov] != rule.target_class).sum())
+        res = apply_modification(
+            mixed_dataset, single_rule_frs, "relabel", random_state=0
+        )
+        assert res.n_relabelled == expected
+
+    def test_probabilistic_rule_keeps_supported_labels(self, mixed_dataset):
+        r = FeedbackRule(clause(Predicate("age", "<", 50.0)), (0.5, 0.5))
+        frs = FeedbackRuleSet((r,))
+        res = apply_modification(mixed_dataset, frs, "relabel", random_state=0)
+        # Both labels have non-zero probability: nothing disagrees.
+        assert res.n_relabelled == 0
+        np.testing.assert_array_equal(res.dataset.y, mixed_dataset.y)
+
+    def test_original_dataset_not_mutated(self, mixed_dataset, single_rule_frs):
+        y_before = mixed_dataset.y.copy()
+        apply_modification(mixed_dataset, single_rule_frs, "relabel", random_state=0)
+        np.testing.assert_array_equal(mixed_dataset.y, y_before)
+
+
+class TestDrop:
+    def test_disagreeing_rows_removed(self, mixed_dataset, single_rule_frs):
+        rule = single_rule_frs[0]
+        res = apply_modification(mixed_dataset, single_rule_frs, "drop")
+        cov = rule.coverage_mask(res.dataset.X)
+        assert (res.dataset.y[cov] == rule.target_class).all()
+
+    def test_sizes_add_up(self, mixed_dataset, single_rule_frs):
+        res = apply_modification(mixed_dataset, single_rule_frs, "drop")
+        assert res.dataset.n + res.n_dropped == mixed_dataset.n
+
+    def test_agreeing_covered_rows_kept(self, mixed_dataset, single_rule_frs):
+        rule = single_rule_frs[0]
+        cov = rule.coverage_mask(mixed_dataset.X)
+        agree = int((mixed_dataset.y[cov] == rule.target_class).sum())
+        res = apply_modification(mixed_dataset, single_rule_frs, "drop")
+        cov_after = rule.coverage_mask(res.dataset.X)
+        assert int(cov_after.sum()) == agree
+
+
+class TestValidation:
+    def test_unknown_strategy_raises(self, mixed_dataset, single_rule_frs):
+        with pytest.raises(ValueError, match="strategy"):
+            apply_modification(mixed_dataset, single_rule_frs, "rewrite")
+
+    def test_empty_frs_noop(self, mixed_dataset):
+        from repro.rules import FeedbackRuleSet
+
+        res = apply_modification(mixed_dataset, FeedbackRuleSet(()), "relabel")
+        assert res.dataset is mixed_dataset
+
+    def test_multi_rule_assignment(self, mixed_dataset, two_rule_frs):
+        res = apply_modification(mixed_dataset, two_rule_frs, "relabel", random_state=0)
+        assign = two_rule_frs.assign(res.dataset.X)
+        for r_idx, rule in enumerate(two_rule_frs):
+            rows = assign == r_idx
+            assert (res.dataset.y[rows] == rule.target_class).all()

@@ -1,0 +1,98 @@
+"""Tests for the objective (Eq. 3 complement) and its estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate_predictions
+from repro.rules import FeedbackRule, FeedbackRuleSet, Predicate, clause
+
+
+class TestEvaluatePredictions:
+    def test_perfect_agreement(self, mixed_dataset, single_rule_frs):
+        rule = single_rule_frs[0]
+        pred = mixed_dataset.y.copy()
+        pred[rule.coverage_mask(mixed_dataset.X)] = rule.target_class
+        ev = evaluate_predictions(pred, mixed_dataset, single_rule_frs)
+        assert ev.mra == 1.0
+
+    def test_zero_agreement(self, mixed_dataset, single_rule_frs):
+        rule = single_rule_frs[0]
+        pred = mixed_dataset.y.copy()
+        pred[rule.coverage_mask(mixed_dataset.X)] = 1 - rule.target_class
+        ev = evaluate_predictions(pred, mixed_dataset, single_rule_frs)
+        assert ev.mra == 0.0
+
+    def test_outside_f1_unaffected_by_rule_agreement(self, mixed_dataset, single_rule_frs):
+        rule = single_rule_frs[0]
+        cov = rule.coverage_mask(mixed_dataset.X)
+        pred = mixed_dataset.y.copy()
+        ev1 = evaluate_predictions(pred, mixed_dataset, single_rule_frs)
+        pred2 = pred.copy()
+        pred2[cov] = 1 - pred2[cov]
+        ev2 = evaluate_predictions(pred2, mixed_dataset, single_rule_frs)
+        assert ev1.f1_outside == ev2.f1_outside
+
+    def test_counts_partition(self, mixed_dataset, two_rule_frs):
+        pred = mixed_dataset.y
+        ev = evaluate_predictions(pred, mixed_dataset, two_rule_frs)
+        assert ev.n_covered + ev.n_outside == mixed_dataset.n
+        assert ev.per_rule_count.sum() == ev.n_covered
+
+    def test_per_rule_mra_nan_for_uncovered(self, mixed_dataset):
+        r = FeedbackRule.deterministic(clause(Predicate("age", ">", 1000.0)), 1, 2)
+        ev = evaluate_predictions(
+            mixed_dataset.y, mixed_dataset, FeedbackRuleSet((r,))
+        )
+        assert np.isnan(ev.per_rule_mra[0])
+        assert ev.mra == 1.0  # vacuous
+
+    def test_empty_frs(self, mixed_dataset):
+        ev = evaluate_predictions(mixed_dataset.y, mixed_dataset, FeedbackRuleSet(()))
+        assert ev.n_covered == 0
+        assert ev.mra == 1.0
+        assert ev.f1_outside == 1.0
+
+    def test_probabilistic_rule_mra(self, mixed_dataset):
+        r = FeedbackRule(clause(Predicate("age", "<", 50.0)), (0.25, 0.75))
+        frs = FeedbackRuleSet((r,))
+        pred = np.ones(mixed_dataset.n, dtype=np.int64)
+        ev = evaluate_predictions(pred, mixed_dataset, frs)
+        assert ev.mra == pytest.approx(0.75)
+
+    def test_length_mismatch_raises(self, mixed_dataset, single_rule_frs):
+        with pytest.raises(ValueError, match="length"):
+            evaluate_predictions(np.zeros(3, dtype=int), mixed_dataset, single_rule_frs)
+
+
+class TestWeightings:
+    def _eval(self, mixed_dataset, single_rule_frs):
+        pred = mixed_dataset.y.copy()
+        return evaluate_predictions(pred, mixed_dataset, single_rule_frs)
+
+    def test_j_equal_weighting(self, mixed_dataset, single_rule_frs):
+        ev = self._eval(mixed_dataset, single_rule_frs)
+        assert ev.j_equal(0.5) == pytest.approx(0.5 * ev.mra + 0.5 * ev.f1_outside)
+
+    def test_j_equal_custom_weight(self, mixed_dataset, single_rule_frs):
+        ev = self._eval(mixed_dataset, single_rule_frs)
+        assert ev.j_equal(1.0) == pytest.approx(ev.mra)
+        assert ev.j_equal(0.0) == pytest.approx(ev.f1_outside)
+
+    def test_j_weighted_uses_coverage_probability(self, mixed_dataset, single_rule_frs):
+        ev = self._eval(mixed_dataset, single_rule_frs)
+        p = ev.n_covered / ev.n_total
+        assert ev.j_weighted() == pytest.approx(
+            p * ev.mra + (1 - p) * ev.f1_outside
+        )
+
+    def test_loss_is_complement(self, mixed_dataset, single_rule_frs):
+        ev = self._eval(mixed_dataset, single_rule_frs)
+        assert ev.loss_equal() == pytest.approx(1.0 - ev.j_equal())
+
+    def test_bounds(self, mixed_dataset, two_rule_frs):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            pred = rng.integers(0, 2, mixed_dataset.n)
+            ev = evaluate_predictions(pred, mixed_dataset, two_rule_frs)
+            assert 0.0 <= ev.j_equal() <= 1.0
+            assert 0.0 <= ev.j_weighted() <= 1.0

@@ -1,0 +1,46 @@
+"""Tests for the online-learning objective proxy (supplement Eq. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineObjectiveProxy
+from repro.models import LogisticRegression, make_algorithm
+
+
+class TestOnlineObjectiveProxy:
+    def test_baseline_close_to_model_loss(self, mixed_dataset, single_rule_frs):
+        alg = make_algorithm(lambda: LogisticRegression())
+        model = alg(mixed_dataset)
+        preds = model.predict(mixed_dataset.X)
+        proxy = OnlineObjectiveProxy(mixed_dataset, preds, single_rule_frs)
+        from repro.core import evaluate_predictions
+
+        true_loss = evaluate_predictions(
+            preds, mixed_dataset, single_rule_frs
+        ).loss_equal()
+        assert abs(proxy.baseline_loss() - true_loss) < 0.25
+
+    def test_score_batch_no_side_effects(self, mixed_dataset, single_rule_frs):
+        alg = make_algorithm(lambda: LogisticRegression())
+        model = alg(mixed_dataset)
+        preds = model.predict(mixed_dataset.X)
+        proxy = OnlineObjectiveProxy(mixed_dataset, preds, single_rule_frs)
+        base1 = proxy.baseline_loss()
+        rule = single_rule_frs[0]
+        cov = rule.coverage_mask(mixed_dataset.X)
+        batch_table = mixed_dataset.X.loc_mask(cov).take(np.arange(5))
+        labels = np.full(5, rule.target_class, dtype=np.int64)
+        proxy.score_batch(batch_table, labels)
+        assert proxy.baseline_loss() == pytest.approx(base1)
+
+    def test_aligned_batch_scores_finite(self, mixed_dataset, single_rule_frs):
+        alg = make_algorithm(lambda: LogisticRegression())
+        model = alg(mixed_dataset)
+        preds = model.predict(mixed_dataset.X)
+        proxy = OnlineObjectiveProxy(mixed_dataset, preds, single_rule_frs)
+        rule = single_rule_frs[0]
+        cov = rule.coverage_mask(mixed_dataset.X)
+        batch_table = mixed_dataset.X.loc_mask(cov).take(np.arange(10))
+        labels = np.full(10, rule.target_class, dtype=np.int64)
+        score = proxy.score_batch(batch_table, labels)
+        assert 0.0 <= score <= 1.0

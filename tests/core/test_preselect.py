@@ -1,0 +1,69 @@
+"""Tests for base population pre-selection (Algorithm 2 integration)."""
+
+import numpy as np
+import pytest
+
+from repro.core import preselect_base_population
+from repro.rules import FeedbackRule, FeedbackRuleSet, Predicate, clause
+
+
+class TestPreselect:
+    def test_strong_coverage_no_relaxation(self, mixed_dataset):
+        r = FeedbackRule.deterministic(clause(Predicate("age", "<", 60.0)), 1, 2)
+        bp = preselect_base_population(mixed_dataset, FeedbackRuleSet((r,)), k=5)
+        pop = bp[0]
+        assert not pop.was_relaxed
+        assert pop.n_strong == pop.size
+        assert pop.size == r.coverage_count(mixed_dataset.X)
+
+    def test_thin_rule_gets_relaxed(self, mixed_dataset):
+        # Impossible income condition: zero strong coverage.
+        r = FeedbackRule.deterministic(
+            clause(Predicate("age", "<", 60.0), Predicate("income", ">", 10_000.0)),
+            1,
+            2,
+        )
+        bp = preselect_base_population(mixed_dataset, FeedbackRuleSet((r,)), k=5)
+        pop = bp[0]
+        assert pop.was_relaxed
+        assert pop.size >= 6  # k + 1
+        assert pop.n_strong == 0
+
+    def test_indices_point_at_covered_rows(self, mixed_dataset):
+        r = FeedbackRule.deterministic(clause(Predicate("age", "<", 45.0)), 1, 2)
+        bp = preselect_base_population(mixed_dataset, FeedbackRuleSet((r,)), k=5)
+        ages = mixed_dataset.X.column("age")[bp[0].indices]
+        assert (ages < 45.0).all()
+
+    def test_per_rule_population_count(self, mixed_dataset, two_rule_frs):
+        bp = preselect_base_population(mixed_dataset, two_rule_frs, k=5)
+        assert len(bp) == 2
+        assert bp[0].rule_index == 0 and bp[1].rule_index == 1
+
+    def test_union_indices_deduplicated(self, mixed_dataset):
+        r1 = FeedbackRule.deterministic(clause(Predicate("age", "<", 50.0)), 1, 2)
+        r2 = FeedbackRule.deterministic(clause(Predicate("age", "<", 40.0)), 1, 2)
+        bp = preselect_base_population(
+            mixed_dataset, FeedbackRuleSet((r1, r2)), k=5
+        )
+        union = bp.union_indices
+        assert len(np.unique(union)) == len(union)
+        assert bp.total_size >= union.size
+
+    def test_strong_mask_marks_exact_matches(self, mixed_dataset):
+        r = FeedbackRule.deterministic(
+            clause(Predicate("age", "<", 25.0), Predicate("marital", "==", "single")),
+            1,
+            2,
+        )
+        frs = FeedbackRuleSet((r,))
+        bp = preselect_base_population(mixed_dataset, frs, k=5)
+        pop = bp[0]
+        strong_rows = pop.indices[pop.strong_mask]
+        if strong_rows.size:
+            mask = r.coverage_mask(mixed_dataset.X)
+            assert mask[strong_rows].all()
+
+    def test_invalid_k_raises(self, mixed_dataset, single_rule_frs):
+        with pytest.raises(ValueError, match="k must be"):
+            preselect_base_population(mixed_dataset, single_rule_frs, k=0)

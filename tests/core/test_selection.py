@@ -1,0 +1,105 @@
+"""Tests for base-instance selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IPSelector,
+    RandomSelector,
+    SelectionContext,
+    make_selector,
+    preselect_base_population,
+)
+from repro.core.selection import _allocate_per_rule
+
+
+class TestAllocate:
+    def test_even_split(self):
+        assert _allocate_per_rule(10, 2) == [5, 5]
+
+    def test_remainder_to_first(self):
+        assert _allocate_per_rule(10, 3) == [4, 3, 3]
+
+    def test_zero_rules(self):
+        assert _allocate_per_rule(10, 0) == []
+
+    def test_total_preserved(self):
+        for eta in range(1, 20):
+            for m in range(1, 6):
+                assert sum(_allocate_per_rule(eta, m)) == eta
+
+
+def _ctx(dataset, predictions=None, seed=0, frs=None):
+    return SelectionContext(
+        dataset,
+        predictions,
+        k=5,
+        rng=np.random.default_rng(seed),
+        frs=frs,
+    )
+
+
+class TestRandomSelector:
+    def test_quota_honoured(self, mixed_dataset, two_rule_frs):
+        bp = preselect_base_population(mixed_dataset, two_rule_frs, k=5)
+        sel = RandomSelector().select(bp, 10, _ctx(mixed_dataset))
+        assert sum(s.size for s in sel) == 10
+
+    def test_positions_within_pool(self, mixed_dataset, two_rule_frs):
+        bp = preselect_base_population(mixed_dataset, two_rule_frs, k=5)
+        sel = RandomSelector().select(bp, 8, _ctx(mixed_dataset))
+        for pop, positions in zip(bp.per_rule, sel):
+            if positions.size:
+                assert positions.max() < pop.size
+
+    def test_replacement_when_quota_exceeds_pool(self, mixed_dataset, two_rule_frs):
+        bp = preselect_base_population(mixed_dataset, two_rule_frs, k=5)
+        huge = bp.total_size * 3
+        sel = RandomSelector().select(bp, huge, _ctx(mixed_dataset))
+        assert sum(s.size for s in sel) == huge
+
+    def test_reproducible(self, mixed_dataset, two_rule_frs):
+        bp = preselect_base_population(mixed_dataset, two_rule_frs, k=5)
+        a = RandomSelector().select(bp, 6, _ctx(mixed_dataset, seed=3))
+        b = RandomSelector().select(bp, 6, _ctx(mixed_dataset, seed=3))
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestIPSelector:
+    def test_selects_within_pools(self, mixed_dataset, two_rule_frs):
+        bp = preselect_base_population(mixed_dataset, two_rule_frs, k=5)
+        preds = mixed_dataset.y.copy()
+        sel = IPSelector().select(bp, 12, _ctx(mixed_dataset, preds))
+        for pop, positions in zip(bp.per_rule, sel):
+            if positions.size:
+                assert positions.max() < pop.size
+
+    def test_lower_bound_met_per_rule(self, mixed_dataset, two_rule_frs):
+        bp = preselect_base_population(mixed_dataset, two_rule_frs, k=5)
+        preds = mixed_dataset.y.copy()
+        sel = IPSelector().select(bp, 20, _ctx(mixed_dataset, preds))
+        for pop, positions in zip(bp.per_rule, sel):
+            assert positions.size >= min(6, pop.size)
+
+    def test_falls_back_to_labels_without_predictions(self, mixed_dataset, two_rule_frs):
+        bp = preselect_base_population(mixed_dataset, two_rule_frs, k=5)
+        sel = IPSelector().select(bp, 12, _ctx(mixed_dataset, None))
+        assert any(s.size for s in sel)
+
+
+class TestMakeSelector:
+    def test_random(self):
+        assert isinstance(make_selector("random"), RandomSelector)
+
+    def test_ip(self):
+        assert isinstance(make_selector("ip"), IPSelector)
+
+    def test_online(self):
+        from repro.core import OnlineProxySelector
+
+        assert isinstance(make_selector("online"), OnlineProxySelector)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown selection"):
+            make_selector("genetic")

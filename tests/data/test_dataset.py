@@ -1,0 +1,80 @@
+"""Tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, Table, make_schema
+
+
+@pytest.fixture
+def dataset():
+    schema = make_schema(numeric=["x"])
+    t = Table(schema, {"x": np.arange(6, dtype=float)})
+    return Dataset(t, np.array([0, 1, 0, 1, 2, 2]), ("a", "b", "c"))
+
+
+class TestConstruction:
+    def test_basic(self, dataset):
+        assert dataset.n == 6
+        assert dataset.n_classes == 3
+
+    def test_length_mismatch_raises(self, dataset):
+        with pytest.raises(ValueError, match="labels"):
+            Dataset(dataset.X, np.array([0, 1]), ("a", "b"))
+
+    def test_label_out_of_range_raises(self, dataset):
+        with pytest.raises(ValueError, match="codes in"):
+            Dataset(dataset.X, np.array([0, 1, 0, 1, 2, 5]), ("a", "b", "c"))
+
+    def test_negative_label_raises(self, dataset):
+        with pytest.raises(ValueError):
+            Dataset(dataset.X, np.array([0, -1, 0, 1, 2, 2]), ("a", "b", "c"))
+
+    def test_single_class_name_raises(self, dataset):
+        with pytest.raises(ValueError, match="at least 2"):
+            Dataset(dataset.X, np.zeros(6, dtype=int), ("only",))
+
+    def test_2d_labels_raise(self, dataset):
+        with pytest.raises(ValueError, match="1-D"):
+            Dataset(dataset.X, np.zeros((6, 1), dtype=int), ("a", "b"))
+
+
+class TestOperations:
+    def test_class_counts(self, dataset):
+        assert dataset.class_counts().tolist() == [2, 2, 2]
+
+    def test_take(self, dataset):
+        sub = dataset.take(np.array([4, 5]))
+        assert sub.y.tolist() == [2, 2]
+
+    def test_loc_mask(self, dataset):
+        sub = dataset.loc_mask(dataset.y == 0)
+        assert sub.n == 2
+
+    def test_with_labels_copies(self, dataset):
+        y = np.zeros(6, dtype=int)
+        d2 = dataset.with_labels(y)
+        y[0] = 2
+        assert d2.y[0] == 0
+
+    def test_concat(self, dataset):
+        d = Dataset.concat([dataset, dataset])
+        assert d.n == 12
+        assert d.class_counts().tolist() == [4, 4, 4]
+
+    def test_concat_label_mismatch_raises(self, dataset):
+        other = Dataset(dataset.X, dataset.y, ("x", "y", "z"))
+        with pytest.raises(ValueError, match="label names"):
+            Dataset.concat([dataset, other])
+
+    def test_concat_empty_raises(self):
+        with pytest.raises(ValueError):
+            Dataset.concat([])
+
+    def test_copy_is_independent(self, dataset):
+        c = dataset.copy()
+        assert c.n == dataset.n
+        assert c.y is not dataset.y
+
+    def test_repr(self, dataset):
+        assert "n=6" in repr(dataset)

@@ -1,0 +1,96 @@
+"""Tests for ColumnSpec and Schema."""
+
+import pytest
+
+from repro.data.schema import CATEGORICAL, NUMERIC, ColumnSpec, Schema
+
+
+class TestColumnSpec:
+    def test_numeric_spec(self):
+        spec = ColumnSpec("age", NUMERIC)
+        assert spec.is_numeric and not spec.is_categorical
+
+    def test_categorical_spec(self):
+        spec = ColumnSpec("color", CATEGORICAL, ("red", "blue"))
+        assert spec.is_categorical
+        assert spec.categories == ("red", "blue")
+
+    def test_numeric_with_categories_raises(self):
+        with pytest.raises(ValueError, match="must not define categories"):
+            ColumnSpec("age", NUMERIC, ("a", "b"))
+
+    def test_categorical_needs_two_categories(self):
+        with pytest.raises(ValueError, match=">= 2 categories"):
+            ColumnSpec("c", CATEGORICAL, ("only",))
+
+    def test_duplicate_categories_raise(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ColumnSpec("c", CATEGORICAL, ("a", "a"))
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="kind"):
+            ColumnSpec("x", "ordinal")
+
+    def test_code_of(self):
+        spec = ColumnSpec("c", CATEGORICAL, ("a", "b", "c"))
+        assert spec.code_of("b") == 1
+
+    def test_code_of_unknown_raises(self):
+        spec = ColumnSpec("c", CATEGORICAL, ("a", "b"))
+        with pytest.raises(KeyError, match="not in categories"):
+            spec.code_of("z")
+
+    def test_frozen(self):
+        spec = ColumnSpec("age", NUMERIC)
+        with pytest.raises(AttributeError):
+            spec.name = "other"
+
+
+class TestSchema:
+    def _schema(self):
+        return Schema(
+            (
+                ColumnSpec("age", NUMERIC),
+                ColumnSpec("color", CATEGORICAL, ("r", "g")),
+                ColumnSpec("income", NUMERIC),
+            )
+        )
+
+    def test_len_and_iter(self):
+        s = self._schema()
+        assert len(s) == 3
+        assert [c.name for c in s] == ["age", "color", "income"]
+
+    def test_contains_and_getitem(self):
+        s = self._schema()
+        assert "age" in s and "missing" not in s
+        assert s["color"].is_categorical
+
+    def test_getitem_missing_raises(self):
+        with pytest.raises(KeyError, match="no column named"):
+            self._schema()["missing"]
+
+    def test_position(self):
+        assert self._schema().position("income") == 2
+
+    def test_position_missing_raises(self):
+        with pytest.raises(KeyError):
+            self._schema().position("zzz")
+
+    def test_names_properties(self):
+        s = self._schema()
+        assert s.names == ("age", "color", "income")
+        assert s.numeric_names == ("age", "income")
+        assert s.categorical_names == ("color",)
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema((ColumnSpec("a", NUMERIC), ColumnSpec("a", NUMERIC)))
+
+    def test_equality_and_hash(self):
+        assert self._schema() == self._schema()
+        assert hash(self._schema()) == hash(self._schema())
+
+    def test_inequality(self):
+        other = Schema((ColumnSpec("age", NUMERIC),))
+        assert self._schema() != other

@@ -1,0 +1,125 @@
+"""Tests for train/test and coverage-aware (tcf) splits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    Dataset,
+    Table,
+    coverage_aware_split,
+    make_schema,
+    stratified_split,
+    train_test_split,
+)
+
+
+def _dataset(n=200, seed=0):
+    schema = make_schema(numeric=["x"])
+    rng = np.random.default_rng(seed)
+    t = Table(schema, {"x": rng.uniform(0, 1, n)})
+    return Dataset(t, rng.integers(0, 2, n), ("a", "b"))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        tr, te = train_test_split(_dataset(100), test_fraction=0.2, random_state=0)
+        assert te.n == 20 and tr.n == 80
+
+    def test_disjoint_and_complete(self):
+        ds = _dataset(50)
+        tr, te = train_test_split(ds, test_fraction=0.3, random_state=1)
+        xs = np.concatenate([tr.X.column("x"), te.X.column("x")])
+        np.testing.assert_allclose(np.sort(xs), np.sort(ds.X.column("x")))
+
+    def test_reproducible(self):
+        ds = _dataset(50)
+        a = train_test_split(ds, random_state=7)[0].X.column("x")
+        b = train_test_split(ds, random_state=7)[0].X.column("x")
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(_dataset(10), test_fraction=1.5)
+
+
+class TestStratifiedSplit:
+    def test_class_proportions_preserved(self):
+        ds = _dataset(400, seed=3)
+        tr, te = stratified_split(ds, test_fraction=0.25, random_state=0)
+        for c in range(2):
+            frac_tr = (tr.y == c).mean()
+            frac_full = (ds.y == c).mean()
+            assert abs(frac_tr - frac_full) < 0.05
+
+    def test_total_preserved(self):
+        ds = _dataset(101)
+        tr, te = stratified_split(ds, random_state=0)
+        assert tr.n + te.n == 101
+
+
+class TestCoverageAwareSplit:
+    def test_tcf_zero_puts_no_coverage_in_train(self):
+        ds = _dataset(300)
+        mask = ds.X.column("x") < 0.3
+        sp = coverage_aware_split(ds, mask, tcf=0.0, random_state=0)
+        assert sp.train_coverage_mask.sum() == 0
+        assert sp.test_coverage_mask.sum() == mask.sum()
+
+    def test_tcf_one_puts_all_coverage_in_train(self):
+        ds = _dataset(300)
+        mask = ds.X.column("x") < 0.3
+        sp = coverage_aware_split(ds, mask, tcf=1.0, random_state=0)
+        assert sp.train_coverage_mask.sum() == mask.sum()
+
+    def test_partition_is_complete(self):
+        ds = _dataset(150)
+        mask = ds.X.column("x") > 0.5
+        sp = coverage_aware_split(ds, mask, tcf=0.2, random_state=0)
+        assert sp.train.n + sp.test.n == ds.n
+
+    def test_outside_test_fraction(self):
+        ds = _dataset(1000)
+        mask = ds.X.column("x") < 0.2
+        sp = coverage_aware_split(
+            ds, mask, tcf=0.0, outside_test_fraction=0.2, random_state=0
+        )
+        n_out = int((~mask).sum())
+        n_out_test = sp.test.n - int(sp.test_coverage_mask.sum())
+        assert abs(n_out_test - 0.2 * n_out) <= 1
+
+    def test_masks_match_actual_coverage(self):
+        ds = _dataset(200)
+        mask = ds.X.column("x") < 0.4
+        sp = coverage_aware_split(ds, mask, tcf=0.3, random_state=5)
+        # Rows flagged as coverage in train must actually satisfy the mask.
+        train_x = sp.train.X.column("x")
+        assert np.all(train_x[sp.train_coverage_mask] < 0.4)
+        assert np.all(train_x[~sp.train_coverage_mask] >= 0.4)
+
+    def test_wrong_mask_shape_raises(self):
+        ds = _dataset(10)
+        with pytest.raises(ValueError, match="coverage_mask"):
+            coverage_aware_split(ds, np.zeros(5, dtype=bool), tcf=0.1)
+
+    def test_reproducible(self):
+        ds = _dataset(100)
+        mask = ds.X.column("x") < 0.5
+        a = coverage_aware_split(ds, mask, tcf=0.2, random_state=3)
+        b = coverage_aware_split(ds, mask, tcf=0.2, random_state=3)
+        np.testing.assert_array_equal(a.train.X.column("x"), b.train.X.column("x"))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    tcf=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_tcf_fraction_property(tcf, seed):
+    """Train coverage count must be round(tcf * |coverage|)."""
+    ds = _dataset(200, seed=seed)
+    mask = ds.X.column("x") < 0.5
+    sp = coverage_aware_split(ds, mask, tcf=tcf, random_state=seed)
+    expected = int(round(tcf * mask.sum()))
+    assert sp.train_coverage_mask.sum() == expected

@@ -1,0 +1,162 @@
+"""Tests for the Table container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Table, make_schema
+
+
+@pytest.fixture
+def schema():
+    return make_schema(numeric=["x"], categorical={"c": ("a", "b", "z")})
+
+
+@pytest.fixture
+def table(schema):
+    return Table(schema, {"x": np.array([1.0, 2.0, 3.0]), "c": np.array([0, 2, 1])})
+
+
+class TestConstruction:
+    def test_basic(self, table):
+        assert table.n_rows == 3
+        assert table.n_columns == 2
+
+    def test_missing_column_raises(self, schema):
+        with pytest.raises(ValueError, match="missing"):
+            Table(schema, {"x": np.array([1.0])})
+
+    def test_extra_column_raises(self, schema):
+        with pytest.raises(ValueError, match="extra"):
+            Table(schema, {"x": np.zeros(1), "c": np.zeros(1, int), "y": np.zeros(1)})
+
+    def test_length_mismatch_raises(self, schema):
+        with pytest.raises(ValueError, match="rows"):
+            Table(schema, {"x": np.zeros(2), "c": np.zeros(3, int)})
+
+    def test_out_of_range_code_raises(self, schema):
+        with pytest.raises(ValueError, match="codes outside"):
+            Table(schema, {"x": np.zeros(1), "c": np.array([5])})
+
+    def test_negative_code_raises(self, schema):
+        with pytest.raises(ValueError, match="codes outside"):
+            Table(schema, {"x": np.zeros(1), "c": np.array([-1])})
+
+    def test_2d_column_raises(self, schema):
+        with pytest.raises(ValueError, match="1-D"):
+            Table(schema, {"x": np.zeros((2, 2)), "c": np.zeros(2, int)})
+
+    def test_copy_semantics(self, schema):
+        x = np.array([1.0, 2.0])
+        t = Table(schema, {"x": x, "c": np.array([0, 1])})
+        x[0] = 99.0
+        assert t.column("x")[0] == 1.0
+
+    def test_from_records_with_strings(self, schema):
+        t = Table.from_records(schema, [{"x": 1, "c": "z"}, {"x": 2, "c": 0}])
+        assert t.column("c").tolist() == [2, 0]
+
+    def test_empty(self, schema):
+        t = Table.empty(schema)
+        assert t.n_rows == 0
+
+
+class TestAccess:
+    def test_column_missing_raises(self, table):
+        with pytest.raises(KeyError):
+            table.column("nope")
+
+    def test_decoded(self, table):
+        assert table.decoded("c").tolist() == ["a", "z", "b"]
+
+    def test_decoded_numeric_raises(self, table):
+        with pytest.raises(ValueError, match="numeric"):
+            table.decoded("x")
+
+    def test_row(self, table):
+        assert table.row(1) == {"x": 2.0, "c": 2}
+
+    def test_row_decoded(self, table):
+        assert table.row_decoded(1) == {"x": 2.0, "c": "z"}
+
+    def test_row_out_of_range(self, table):
+        with pytest.raises(IndexError):
+            table.row(5)
+
+    def test_repr_mentions_rows(self, table):
+        assert "3 rows" in repr(table)
+
+
+class TestSelection:
+    def test_take_preserves_order(self, table):
+        t = table.take(np.array([2, 0]))
+        assert t.column("x").tolist() == [3.0, 1.0]
+
+    def test_loc_mask(self, table):
+        t = table.loc_mask(np.array([True, False, True]))
+        assert t.n_rows == 2
+
+    def test_loc_mask_wrong_shape_raises(self, table):
+        with pytest.raises(ValueError, match="mask shape"):
+            table.loc_mask(np.array([True]))
+
+    def test_with_column(self, table):
+        t2 = table.with_column("x", np.array([9.0, 8.0, 7.0]))
+        assert t2.column("x")[0] == 9.0
+        assert table.column("x")[0] == 1.0  # original untouched
+
+    def test_with_column_wrong_length(self, table):
+        with pytest.raises(ValueError, match="shape"):
+            table.with_column("x", np.array([1.0]))
+
+
+class TestConcat:
+    def test_concat(self, table):
+        t = Table.concat([table, table])
+        assert t.n_rows == 6
+
+    def test_concat_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            Table.concat([])
+
+    def test_concat_schema_mismatch_raises(self, table):
+        other_schema = make_schema(numeric=["x"])
+        other = Table(other_schema, {"x": np.array([1.0])})
+        with pytest.raises(ValueError, match="different schemas"):
+            Table.concat([table, other])
+
+    def test_concat_with_empty(self, table, schema):
+        t = Table.concat([table, Table.empty(schema)])
+        assert t.n_rows == 3
+
+
+class TestMakeSchema:
+    def test_default_order(self):
+        s = make_schema(numeric=["a"], categorical={"b": ("x", "y")})
+        assert s.names == ("a", "b")
+
+    def test_explicit_order(self):
+        s = make_schema(numeric=["a"], categorical={"b": ("x", "y")}, order=["b", "a"])
+        assert s.names == ("b", "a")
+
+    def test_bad_order_raises(self):
+        with pytest.raises(ValueError, match="order"):
+            make_schema(numeric=["a"], order=["a", "b"])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=50),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_take_loc_mask_roundtrip(n, seed):
+    """take(flatnonzero(mask)) must equal loc_mask(mask) for any mask."""
+    schema = make_schema(numeric=["x"], categorical={"c": ("a", "b")})
+    rng = np.random.default_rng(seed)
+    t = Table(schema, {"x": rng.normal(size=n), "c": rng.integers(0, 2, n)})
+    mask = rng.uniform(size=n) < 0.5
+    a = t.loc_mask(mask)
+    b = t.take(np.flatnonzero(mask))
+    np.testing.assert_array_equal(a.column("x"), b.column("x"))
+    np.testing.assert_array_equal(a.column("c"), b.column("c"))

@@ -1,0 +1,126 @@
+"""Tests for the synthetic UCI-equivalent datasets (paper Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import BINARY_DATASETS, DATASETS, load_dataset, table1_rows
+
+EXPECTED = {
+    # name: (n_numeric, n_nominal, n_labels, paper_instances)
+    "adult": (4, 8, 2, 45222),
+    "breast_cancer": (32, 0, 2, 569),
+    "nursery": (0, 8, 4, 12958),
+    "wine": (11, 0, 7, 4898),
+    "mushroom": (0, 21, 2, 8124),
+    "contraceptive": (2, 7, 3, 1473),
+    "car": (0, 6, 4, 1728),
+    "splice": (0, 60, 3, 3190),
+}
+
+
+class TestRegistry:
+    def test_all_eight_datasets_registered(self):
+        assert set(DATASETS) == set(EXPECTED)
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_schema_matches_table1(self, name):
+        info = DATASETS[name]
+        n_num, n_nom, n_lab, paper_n = EXPECTED[name]
+        assert info.n_numeric == n_num
+        assert info.n_nominal == n_nom
+        assert info.n_labels == n_lab
+        assert info.paper_instances == paper_n
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_generated_data_matches_schema(self, name):
+        ds = load_dataset(name, random_state=0)
+        n_num, n_nom, n_lab, _ = EXPECTED[name]
+        assert len(ds.X.schema.numeric_names) == n_num
+        assert len(ds.X.schema.categorical_names) == n_nom
+        assert ds.n_classes == n_lab
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_all_classes_present(self, name):
+        ds = load_dataset(name, random_state=0)
+        counts = ds.class_counts()
+        assert (counts > 0).all(), f"{name}: empty class {counts}"
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_deterministic_generation(self, name):
+        a = load_dataset(name, random_state=3)
+        b = load_dataset(name, random_state=3)
+        np.testing.assert_array_equal(a.y, b.y)
+        col = a.X.schema.names[0]
+        np.testing.assert_array_equal(a.X.column(col), b.X.column(col))
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_different_seeds_differ(self, name):
+        a = load_dataset(name, random_state=1)
+        b = load_dataset(name, random_state=2)
+        assert not np.array_equal(a.y, b.y)
+
+    def test_custom_size(self):
+        ds = load_dataset("adult", n=500, random_state=0)
+        assert ds.n == 500
+
+    def test_too_small_size_raises(self):
+        with pytest.raises(ValueError, match="n must be"):
+            load_dataset("adult", n=5)
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("iris")
+
+    def test_binary_datasets_are_binary(self):
+        for name in BINARY_DATASETS:
+            assert DATASETS[name].n_labels == 2
+
+    def test_table1_rows_complete(self):
+        rows = table1_rows()
+        assert len(rows) == 8
+        assert {r["dataset"] for r in rows} == set(EXPECTED)
+
+
+class TestLearnability:
+    """Each dataset must have planted structure a model can learn —
+    otherwise rule explanations (and hence the whole pipeline) degenerate."""
+
+    @pytest.mark.parametrize("name", ["adult", "mushroom", "car", "nursery"])
+    def test_model_beats_majority_baseline(self, name):
+        from repro.models import paper_algorithm
+
+        ds = load_dataset(name, n=800, random_state=0)
+        model = paper_algorithm("LGBM")(ds)
+        acc = (model.predict(ds.X) == ds.y).mean()
+        majority = ds.class_counts().max() / ds.n
+        assert acc > majority + 0.05, f"{name}: acc={acc:.3f} vs maj={majority:.3f}"
+
+    def test_breast_cancer_nearly_separable(self):
+        from repro.models import paper_algorithm
+
+        ds = load_dataset("breast_cancer", random_state=0)
+        model = paper_algorithm("LR")(ds)
+        assert (model.predict(ds.X) == ds.y).mean() > 0.9
+
+    def test_splice_motifs_learnable(self):
+        from repro.models import paper_algorithm
+
+        ds = load_dataset("splice", n=800, random_state=0)
+        model = paper_algorithm("LGBM")(ds)
+        acc = (model.predict(ds.X) == ds.y).mean()
+        assert acc > 0.7
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_feedback_pool_constructible(self, name):
+        """Rules with 5-25% coverage must exist for every dataset."""
+        from repro.models import paper_algorithm
+        from repro.rules import generate_feedback_pool, learn_model_explanation
+
+        ds = load_dataset(name, n=600, random_state=0)
+        model = paper_algorithm("LGBM")(ds)
+        expl = learn_model_explanation(ds, model.predict(ds.X))
+        assert expl, f"{name}: no explanation rules"
+        pool = generate_feedback_pool(
+            ds, expl, n_rules=10, random_state=0, max_attempts=4000
+        )
+        assert len(pool) >= 3, f"{name}: pool too small ({len(pool)})"

@@ -1,0 +1,62 @@
+"""Tests for the experiments CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main, run
+
+
+class TestParser:
+    def test_experiment_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.dataset == "car"
+        assert args.model == "LR"
+        assert args.seed == 42
+
+    def test_all_experiments_declared(self):
+        assert set(EXPERIMENTS) == {
+            "fig2", "fig3", "fig9", "table1", "table2", "table3", "table6",
+            "ablation", "all",
+        }
+
+
+class TestRun:
+    def test_table1_instant(self):
+        args = build_parser().parse_args(["table1"])
+        records, text = run(args)
+        assert len(records) == 8
+        assert "Table 1" in text
+
+    def test_ablation_tiny(self):
+        args = build_parser().parse_args(
+            ["ablation", "--parameter", "k", "--runs", "1", "--tau", "2"]
+        )
+        records, text = run(args)
+        assert records
+        assert "Ablation" in text
+
+    def test_fig3_tiny(self):
+        args = build_parser().parse_args(["fig3", "--runs", "1", "--tau", "2"])
+        records, text = run(args)
+        assert isinstance(records, list)
+
+
+class TestMain:
+    def test_main_prints_and_saves(self, tmp_path, capsys):
+        out = tmp_path / "t1.json"
+        code = main(["table1", "--save", str(out)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out
+        payload = json.loads(out.read_text())
+        assert payload["name"] == "table1"
+        assert len(payload["records"]) == 8

@@ -1,0 +1,33 @@
+"""Tests for the one-call paper suite runner."""
+
+import pytest
+
+from repro.experiments.paper_suite import SCALES, build_suite, run_paper_suite
+
+
+class TestBuildSuite:
+    def test_items_lazy(self):
+        items = build_suite(scale="smoke")
+        assert items  # nothing has executed yet
+        ids = {i.experiment for i in items}
+        assert {"fig2", "fig3", "fig9", "table2", "table3", "table6", "ablation"} <= ids
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError, match="scale"):
+            build_suite(scale="huge")
+
+    def test_scales_declared(self):
+        assert set(SCALES) == {"smoke", "bench", "paper"}
+        assert SCALES["paper"]["tau"] == 200  # the paper's iteration limit
+
+
+class TestRunSuite:
+    @pytest.mark.slow
+    def test_smoke_scale_end_to_end(self):
+        lines = []
+        reports = run_paper_suite(scale="smoke", progress=lines.append)
+        assert "table1" in reports
+        assert any(k.startswith("fig2/") for k in reports)
+        assert any(k.startswith("table2/") for k in reports)
+        assert all(isinstance(v, str) and v for v in reports.values())
+        assert lines  # progress callback invoked

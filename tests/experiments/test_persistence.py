@@ -1,0 +1,50 @@
+"""Tests for experiment record persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentArchive, load_records, save_records
+
+
+class TestArchive:
+    def test_roundtrip(self, tmp_path):
+        records = [{"a": 1, "b": 0.5}, {"a": 2, "b": 0.7}]
+        path = save_records("fig2", records, tmp_path / "fig2.json", metadata={"seed": 42})
+        archive = load_records(path)
+        assert archive.name == "fig2"
+        assert archive.records == records
+        assert archive.metadata == {"seed": 42}
+
+    def test_numpy_values_serialized(self, tmp_path):
+        records = [
+            {
+                "i": np.int64(3),
+                "f": np.float64(0.25),
+                "arr": np.array([1.0, 2.0]),
+                "nested": {"x": np.int32(7)},
+                "lst": [np.float32(0.5)],
+            }
+        ]
+        path = save_records("t", records, tmp_path / "t.json")
+        back = load_records(path)
+        assert back.records[0]["i"] == 3
+        assert back.records[0]["arr"] == [1.0, 2.0]
+        assert back.records[0]["nested"]["x"] == 7
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_records("x", [], tmp_path / "deep" / "dir" / "x.json")
+        assert path.exists()
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(json.JSONDecodeError):
+            ExperimentArchive.from_json("not json")
+
+    def test_missing_keys_raise(self):
+        with pytest.raises(ValueError, match="missing required key"):
+            ExperimentArchive.from_json('{"name": "x"}')
+
+    def test_to_json_is_valid(self):
+        archive = ExperimentArchive("n", [{"v": 1}], {})
+        json.loads(archive.to_json())

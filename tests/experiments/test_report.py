@@ -1,0 +1,82 @@
+"""Tests for ASCII reporting."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import BoxStats, ascii_boxplot, format_mean_std, format_table
+
+
+class TestBoxStats:
+    def test_median_and_quartiles(self):
+        s = BoxStats.from_values(list(range(1, 101)))
+        assert s.median == pytest.approx(50.5)
+        assert s.q1 == pytest.approx(25.75)
+        assert s.q3 == pytest.approx(75.25)
+        assert s.n == 100
+
+    def test_whiskers_clip_outliers(self):
+        vals = [1.0] * 20 + [100.0]
+        s = BoxStats.from_values(vals)
+        assert s.hi_whisker == 1.0  # the outlier is outside 1.5 IQR
+
+    def test_empty(self):
+        s = BoxStats.from_values([])
+        assert s.n == 0
+        assert np.isnan(s.median)
+
+    def test_str(self):
+        assert "median=" in str(BoxStats.from_values([1.0, 2.0]))
+
+
+class TestFormatMeanStd:
+    def test_format(self):
+        assert format_mean_std([1.0, 3.0]) == "2.000 ± 1.000"
+
+    def test_digits(self):
+        assert format_mean_std([1.0], digits=1) == "1.0 ± 0.0"
+
+    def test_empty(self):
+        assert format_mean_std([]) == "n/a"
+
+
+class TestFormatTable:
+    def test_renders_rows(self):
+        out = format_table([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert "a" in out and "x" in out and "2" in out
+
+    def test_title(self):
+        out = format_table([{"a": 1}], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_empty(self):
+        assert "(empty)" in format_table([], title="t")
+
+    def test_float_formatting(self):
+        out = format_table([{"v": 0.123456}])
+        assert "0.123" in out
+
+    def test_column_selection(self):
+        out = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+
+class TestAsciiBoxplot:
+    def test_renders_groups(self):
+        out = ascii_boxplot({"g1": [1, 2, 3], "g2": [2, 3, 4]})
+        assert "g1" in out and "g2" in out
+        assert "#" in out  # median marker
+
+    def test_no_data(self):
+        assert ascii_boxplot({"g": []}) == "(no data)"
+
+    def test_title_included(self):
+        out = ascii_boxplot({"g": [1.0, 2.0]}, title="Plot")
+        assert "Plot" in out
+
+    def test_fixed_range(self):
+        out = ascii_boxplot({"g": [0.5]}, lo=0.0, hi=1.0)
+        assert "0.000" in out and "1.000" in out
+
+    def test_degenerate_single_value(self):
+        out = ascii_boxplot({"g": [2.0, 2.0, 2.0]})
+        assert "2.000" in out

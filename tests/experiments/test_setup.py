@@ -1,0 +1,87 @@
+"""Tests for experiment scaffolding (contexts, runs, probabilistic variants)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import build_context, prepare_run, probabilistic_variant
+from repro.rules import FeedbackRule, Predicate, clause
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return build_context("car", "LR", random_state=42)
+
+
+class TestBuildContext:
+    def test_context_fields(self, ctx):
+        assert ctx.dataset_name == "car"
+        assert ctx.model_name == "LR"
+        assert len(ctx.rule_pool) >= 3
+
+    def test_pool_rules_in_coverage_band(self, ctx):
+        n = ctx.dataset.n
+        for r in ctx.rule_pool:
+            cov = r.coverage_count(ctx.dataset.X)
+            assert 0.05 * n <= cov < 0.25 * n
+
+    def test_algorithm_trains(self, ctx):
+        model = ctx.algorithm(ctx.dataset)
+        assert model.predict(ctx.dataset.X).shape == (ctx.dataset.n,)
+
+
+class TestPrepareRun:
+    def test_prepares_valid_run(self, ctx):
+        rng = np.random.default_rng(0)
+        run = prepare_run(ctx, frs_size=3, tcf=0.1, rng=rng)
+        assert run is not None
+        assert len(run.frs) == 3
+        assert run.train.n + run.test.n == ctx.dataset.n
+
+    def test_tcf_zero_no_coverage_in_train(self, ctx):
+        rng = np.random.default_rng(1)
+        run = prepare_run(ctx, frs_size=2, tcf=0.0, rng=rng)
+        assert run is not None
+        cov_train = run.frs.coverage_mask(run.train.X)
+        assert cov_train.sum() == 0
+
+    def test_oversized_frs_returns_none(self, ctx):
+        rng = np.random.default_rng(2)
+        run = prepare_run(ctx, frs_size=len(ctx.rule_pool) + 5, tcf=0.1, rng=rng)
+        assert run is None
+
+    def test_frs_conflict_free(self, ctx):
+        rng = np.random.default_rng(3)
+        run = prepare_run(ctx, frs_size=4, tcf=0.2, rng=rng)
+        if run is not None:
+            assert run.frs.is_conflict_free(ctx.dataset.X.schema)
+
+
+class TestProbabilisticVariant:
+    def _rule(self):
+        return FeedbackRule.deterministic(
+            clause(Predicate("x", "<", 1.0)), 0, 3
+        )
+
+    def test_p_one_recovers_deterministic(self):
+        v = probabilistic_variant(self._rule(), 1.0, np.array([0.5, 0.3, 0.2]))
+        np.testing.assert_allclose(v.pi_array(), [1.0, 0.0, 0.0])
+
+    def test_remaining_mass_follows_marginal(self):
+        v = probabilistic_variant(self._rule(), 0.6, np.array([0.5, 0.3, 0.2]))
+        pi = v.pi_array()
+        assert pi[0] == pytest.approx(0.6)
+        # Other classes proportional to marginal 0.3 : 0.2.
+        assert pi[1] / pi[2] == pytest.approx(1.5)
+
+    def test_pi_sums_to_one(self):
+        v = probabilistic_variant(self._rule(), 0.4, np.array([0.2, 0.5, 0.3]))
+        assert v.pi_array().sum() == pytest.approx(1.0)
+
+    def test_degenerate_marginal_uniform_fallback(self):
+        v = probabilistic_variant(self._rule(), 0.5, np.array([1.0, 0.0, 0.0]))
+        pi = v.pi_array()
+        assert pi[1] == pytest.approx(pi[2])
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError, match="p must be"):
+            probabilistic_variant(self._rule(), 0.0, np.array([0.5, 0.3, 0.2]))

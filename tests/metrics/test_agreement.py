@@ -1,0 +1,49 @@
+"""Tests for MRA metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import mra_deterministic, mra_probabilistic
+
+
+class TestDeterministic:
+    def test_all_agree(self):
+        assert mra_deterministic([1, 1, 1], 1) == 1.0
+
+    def test_none_agree(self):
+        assert mra_deterministic([0, 0], 1) == 0.0
+
+    def test_fraction(self):
+        assert mra_deterministic([1, 0, 1, 0], 1) == 0.5
+
+    def test_empty_is_vacuous(self):
+        assert mra_deterministic([], 1) == 1.0
+
+
+class TestProbabilistic:
+    def test_matches_deterministic_for_delta(self):
+        pi = np.array([0.0, 1.0])
+        preds = np.array([1, 0, 1])
+        assert mra_probabilistic(preds, pi) == pytest.approx(
+            mra_deterministic(preds, 1)
+        )
+
+    def test_mean_rule_probability(self):
+        pi = np.array([0.3, 0.7])
+        preds = np.array([0, 1])
+        assert mra_probabilistic(preds, pi) == pytest.approx(0.5)
+
+    def test_empty_is_vacuous(self):
+        assert mra_probabilistic(np.array([], dtype=int), np.array([0.5, 0.5])) == 1.0
+
+    def test_unnormalized_pi_raises(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            mra_probabilistic(np.array([0]), np.array([0.5, 0.6]))
+
+    def test_prediction_outside_support_raises(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            mra_probabilistic(np.array([3]), np.array([0.5, 0.5]))
+
+    def test_2d_pi_raises(self):
+        with pytest.raises(ValueError, match="1-D"):
+            mra_probabilistic(np.array([0]), np.array([[0.5, 0.5]]))

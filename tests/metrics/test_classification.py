@@ -1,0 +1,153 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    default_f1,
+    f1_score,
+    precision_recall_f1,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_none_correct(self):
+        assert accuracy_score([0, 0], [1, 1]) == 0.0
+
+    def test_half(self):
+        assert accuracy_score([0, 1], [0, 0]) == 0.5
+
+    def test_empty_returns_zero(self):
+        assert accuracy_score([], []) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            accuracy_score([0], [0, 1])
+
+
+class TestConfusionMatrix:
+    def test_basic(self):
+        cm = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(cm, [[1, 1], [0, 2]])
+
+    def test_n_classes_padding(self):
+        cm = confusion_matrix([0], [0], n_classes=3)
+        assert cm.shape == (3, 3)
+
+    def test_label_exceeds_n_classes_raises(self):
+        with pytest.raises(ValueError, match="exceed"):
+            confusion_matrix([5], [0], n_classes=2)
+
+    def test_negative_label_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            confusion_matrix([-1], [0])
+
+    def test_rows_are_true_labels(self):
+        cm = confusion_matrix([1, 1, 1], [0, 0, 1])
+        assert cm[1, 0] == 2 and cm[1, 1] == 1
+
+
+class TestF1:
+    def test_binary_perfect(self):
+        assert f1_score([0, 1, 1], [0, 1, 1], average="binary") == 1.0
+
+    def test_binary_known_value(self):
+        # tp=1, fp=1, fn=1 -> precision=0.5, recall=0.5, f1=0.5
+        y_true = [1, 1, 0, 0]
+        y_pred = [1, 0, 1, 0]
+        assert f1_score(y_true, y_pred, average="binary") == pytest.approx(0.5)
+
+    def test_macro_averages_classes(self):
+        y_true = [0, 0, 1, 1]
+        y_pred = [0, 0, 0, 0]
+        # class0: p=0.5, r=1, f1=2/3; class1: f1=0
+        assert f1_score(y_true, y_pred, average="macro") == pytest.approx(1 / 3)
+
+    def test_micro_equals_accuracy(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 3, 100)
+        y_pred = rng.integers(0, 3, 100)
+        assert f1_score(y_true, y_pred, average="micro") == pytest.approx(
+            accuracy_score(y_true, y_pred)
+        )
+
+    def test_weighted_weights_by_support(self):
+        y_true = [0] * 9 + [1]
+        y_pred = [0] * 9 + [0]
+        p, r, f = precision_recall_f1(y_true, y_pred, average="weighted")
+        # class0 f1 = 2*0.9*1/(1.9); class1 f1 = 0; weighted by (0.9, 0.1)
+        assert f == pytest.approx(0.9 * (2 * 0.9 / 1.9))
+
+    def test_unknown_average_raises(self):
+        with pytest.raises(ValueError, match="average"):
+            f1_score([0], [0], average="bogus")
+
+    def test_binary_pos_label(self):
+        y_true = [0, 0, 1]
+        y_pred = [0, 0, 0]
+        assert f1_score(y_true, y_pred, average="binary", pos_label=0) > 0
+        assert f1_score(y_true, y_pred, average="binary", pos_label=1) == 0.0
+
+    def test_absent_pos_label_scores_zero(self):
+        assert f1_score([0, 0], [0, 0], average="binary", pos_label=1, n_classes=2) == 0.0
+
+
+class TestDefaultF1:
+    def test_binary_uses_binary(self):
+        y_true = [1, 1, 0, 0]
+        y_pred = [1, 0, 1, 0]
+        assert default_f1(y_true, y_pred, n_classes=2) == pytest.approx(0.5)
+
+    def test_multiclass_uses_macro(self):
+        y_true = [0, 1, 2]
+        y_pred = [0, 1, 2]
+        assert default_f1(y_true, y_pred, n_classes=3) == 1.0
+
+    def test_empty_is_vacuously_perfect(self):
+        assert default_f1([], [], n_classes=2) == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=100),
+    k=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_f1_bounds_property(n, k, seed):
+    """All averagings stay within [0, 1]."""
+    rng = np.random.default_rng(seed)
+    y_true = rng.integers(0, k, n)
+    y_pred = rng.integers(0, k, n)
+    for avg in ("binary", "macro", "micro", "weighted"):
+        v = f1_score(y_true, y_pred, average=avg, n_classes=k)
+        assert 0.0 <= v <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_perfect_prediction_property(n, seed):
+    """Identical predictions score 1 under micro/weighted averaging.
+
+    (Macro is excluded: declared-but-absent classes legitimately score 0,
+    pulling the macro mean below 1 — same as scikit-learn with explicit
+    ``labels``.)
+    """
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 3, n)
+    for avg in ("micro", "weighted"):
+        assert f1_score(y, y, average=avg, n_classes=3) == pytest.approx(1.0)
+
+
+def test_perfect_prediction_macro_all_classes_present():
+    y = np.array([0, 1, 2, 0, 1, 2])
+    assert f1_score(y, y, average="macro", n_classes=3) == pytest.approx(1.0)

@@ -1,0 +1,124 @@
+"""Tests for the CART decision tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import DecisionTreeClassifier
+
+
+def _xor(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, (n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(np.int64)
+    return X, y
+
+
+class TestFit:
+    def test_fits_axis_aligned_split(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, (100, 2))
+        y = (X[:, 0] > 0.5).astype(np.int64)
+        m = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        assert (m.predict(X) == y).all()
+
+    def test_fits_xor_with_depth_3(self):
+        # Greedy CART's first XOR split is noise-driven, so depth 2 is not
+        # guaranteed to carve the quadrants exactly; depth 3 is.
+        X, y = _xor()
+        m = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert (m.predict(X) == y).mean() > 0.95
+
+    def test_max_depth_respected(self):
+        X, y = _xor(400)
+        m = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert m.depth <= 3
+
+    def test_pure_node_becomes_leaf(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 0])
+        m = DecisionTreeClassifier().fit(X, y, n_classes=2)
+        assert m.n_nodes == 1
+
+    def test_min_samples_leaf(self):
+        X, y = _xor(100)
+        m = DecisionTreeClassifier(min_samples_leaf=30).fit(X, y)
+        # Every leaf must hold >= 30 samples, so depth is very limited.
+        assert m.n_nodes <= 7
+
+    def test_min_samples_split(self):
+        X, y = _xor(100)
+        m = DecisionTreeClassifier(min_samples_split=200).fit(X, y)
+        assert m.n_nodes == 1
+
+    def test_entropy_criterion(self):
+        X, y = _xor()
+        m = DecisionTreeClassifier(max_depth=3, criterion="entropy").fit(X, y)
+        assert (m.predict(X) == y).mean() > 0.95
+
+    def test_invalid_criterion_raises(self):
+        with pytest.raises(ValueError, match="criterion"):
+            DecisionTreeClassifier(criterion="mse")
+
+    def test_empty_data_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            DecisionTreeClassifier().fit(np.zeros((0, 2)), np.zeros(0, dtype=int))
+
+    def test_max_features_sqrt(self):
+        X, y = _xor()
+        m = DecisionTreeClassifier(max_depth=3, max_features="sqrt", random_state=0)
+        m.fit(X, y)
+        assert (m.predict(X) == y).mean() > 0.5
+
+    def test_invalid_max_features_raises(self):
+        X, y = _xor(50)
+        with pytest.raises(ValueError, match="max_features"):
+            DecisionTreeClassifier(max_features=1.5).fit(X, y)
+
+    def test_constant_features_single_leaf(self):
+        X = np.ones((20, 3))
+        y = np.array([0, 1] * 10)
+        m = DecisionTreeClassifier().fit(X, y)
+        assert m.n_nodes == 1
+
+
+class TestPredict:
+    def test_proba_rows_sum_to_one(self):
+        X, y = _xor()
+        m = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        P = m.predict_proba(X)
+        np.testing.assert_allclose(P.sum(axis=1), 1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_n_classes_padding(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        m = DecisionTreeClassifier().fit(X, y, n_classes=5)
+        assert m.predict_proba(X).shape == (2, 5)
+
+    def test_deterministic_given_seed(self):
+        X, y = _xor(300, seed=3)
+        p1 = DecisionTreeClassifier(max_depth=4, max_features="sqrt", random_state=9).fit(X, y).predict(X)
+        p2 = DecisionTreeClassifier(max_depth=4, max_features="sqrt", random_state=9).fit(X, y).predict(X)
+        np.testing.assert_array_equal(p1, p2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=5, max_value=120),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_training_accuracy_beats_majority_property(n, seed):
+    """An unrestricted tree must fit training data at least as well as the
+    majority-class baseline."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = rng.integers(0, 2, n)
+    m = DecisionTreeClassifier().fit(X, y, n_classes=2)
+    acc = (m.predict(X) == y).mean()
+    majority = max(y.mean(), 1 - y.mean())
+    assert acc >= majority - 1e-12

@@ -1,0 +1,131 @@
+"""Tests for brute-force KNN and the ball tree (including equivalence)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.neighbors import BallTree, BruteKNN, MixedMetric, make_knn
+
+
+def _data(n=100, d=3, seed=0, n_cat=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, (n, d + n_cat))
+    for j in range(d, d + n_cat):
+        X[:, j] = rng.integers(0, 3, n)
+    mask = np.zeros(d + n_cat, dtype=bool)
+    mask[d:] = True
+    return X, MixedMetric(mask)
+
+
+class TestBruteKNN:
+    def test_nearest_is_self_without_exclude(self):
+        X, _ = _data()
+        knn = BruteKNN().fit(X)
+        d, i = knn.kneighbors(X[:5], 1)
+        np.testing.assert_array_equal(i[:, 0], np.arange(5))
+        np.testing.assert_allclose(d[:, 0], 0, atol=1e-6)
+
+    def test_exclude_self_drops_query(self):
+        X, _ = _data()
+        knn = BruteKNN().fit(X)
+        _, i = knn.kneighbors(X[:5], 3, exclude_self=True)
+        for q in range(5):
+            assert q not in i[q]
+
+    def test_distances_sorted(self):
+        X, _ = _data()
+        d, _ = BruteKNN().fit(X).kneighbors(X[:10], 5)
+        assert np.all(np.diff(d, axis=1) >= -1e-12)
+
+    def test_k_larger_than_n(self):
+        X, _ = _data(n=4)
+        d, i = BruteKNN().fit(X).kneighbors(X[:2], 10)
+        assert i.shape == (2, 4)
+
+    def test_k_larger_than_n_exclude_self(self):
+        X, _ = _data(n=4)
+        d, i = BruteKNN().fit(X).kneighbors(X[:2], 10, exclude_self=True)
+        assert i.shape == (2, 3)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            BruteKNN().kneighbors(np.zeros((1, 2)), 1)
+
+    def test_invalid_k_raises(self):
+        X, _ = _data()
+        with pytest.raises(ValueError, match="k must be positive"):
+            BruteKNN().fit(X).kneighbors(X[:1], 0)
+
+    def test_mixed_metric(self):
+        X, m = _data(n=50, n_cat=2)
+        d, i = BruteKNN(m).fit(X).kneighbors(X[:5], 3, exclude_self=True)
+        assert d.shape == (5, 3)
+
+
+class TestBallTree:
+    def test_matches_brute_euclidean(self):
+        X, _ = _data(n=200, seed=1)
+        Q = X[:30]
+        d_bt, _ = BallTree(leaf_size=5).fit(X).kneighbors(Q, 7)
+        d_bf, _ = BruteKNN().fit(X).kneighbors(Q, 7)
+        # Brute force computes distances via the quadratic expansion, which
+        # carries ~1e-8 of floating error on exact-zero self distances.
+        np.testing.assert_allclose(d_bt, d_bf, atol=1e-6)
+
+    def test_matches_brute_mixed(self):
+        X, m = _data(n=150, seed=2, n_cat=2)
+        d_bt, _ = BallTree(m, leaf_size=8).fit(X).kneighbors(X[:20], 5, exclude_self=True)
+        d_bf, _ = BruteKNN(m).fit(X).kneighbors(X[:20], 5, exclude_self=True)
+        np.testing.assert_allclose(d_bt, d_bf, atol=1e-6)
+
+    def test_duplicate_points(self):
+        X = np.zeros((20, 2))
+        bt = BallTree(leaf_size=4).fit(X)
+        d, i = bt.kneighbors(X[:3], 5)
+        np.testing.assert_allclose(d, 0.0, atol=1e-9)
+
+    def test_single_point(self):
+        X = np.array([[1.0, 2.0]])
+        d, i = BallTree().fit(X).kneighbors(np.array([[0.0, 0.0]]), 3)
+        assert i.shape == (1, 1)
+
+    def test_invalid_leaf_size(self):
+        with pytest.raises(ValueError, match="leaf_size"):
+            BallTree(leaf_size=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            BallTree().kneighbors(np.zeros((1, 2)), 1)
+
+
+class TestMakeKnn:
+    def test_ball_tree(self):
+        assert isinstance(make_knn("ball_tree"), BallTree)
+
+    def test_brute(self):
+        assert isinstance(make_knn("brute"), BruteKNN)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            make_knn("kd_tree")
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=5, max_value=80),
+    k=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=10**6),
+    leaf=st.integers(min_value=1, max_value=16),
+)
+def test_balltree_brute_equivalence_property(n, k, seed, leaf):
+    """Ball tree and brute force agree on distances for any configuration."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, (n, 3))
+    X[:, 2] = rng.integers(0, 3, n)
+    m = MixedMetric(np.array([False, False, True]))
+    Q = rng.uniform(0, 1, (5, 3))
+    Q[:, 2] = rng.integers(0, 3, 5)
+    d_bt, _ = BallTree(m, leaf_size=leaf).fit(X).kneighbors(Q, k)
+    d_bf, _ = BruteKNN(m).fit(X).kneighbors(Q, k)
+    np.testing.assert_allclose(d_bt, d_bf, atol=1e-6)

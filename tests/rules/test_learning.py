@@ -1,0 +1,84 @@
+"""Tests for the greedy rule learner (BRCG substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.rules import GreedyRuleLearner, candidate_predicates, learn_model_explanation
+
+
+class TestCandidatePredicates:
+    def test_numeric_thresholds_paired(self, mixed_table):
+        cands = candidate_predicates(mixed_table, n_thresholds=4)
+        age_ops = {p.operator for p in cands if p.attribute == "age"}
+        assert age_ops == {"<=", ">"}
+
+    def test_categorical_equalities(self, mixed_table):
+        cands = candidate_predicates(mixed_table)
+        marital = [p for p in cands if p.attribute == "marital"]
+        assert {p.value for p in marital} == {"single", "married", "divorced"}
+        assert all(p.operator == "==" for p in marital)
+
+    def test_all_masks_evaluable(self, mixed_table):
+        for p in candidate_predicates(mixed_table, n_thresholds=3):
+            assert p.mask(mixed_table).dtype == bool
+
+
+class TestGreedyRuleLearner:
+    def test_recovers_planted_threshold_rule(self, mixed_table):
+        y = (mixed_table.column("age") < 40.0).astype(np.int64)
+        rules = GreedyRuleLearner().learn(mixed_table, y, 2, classes=[1])
+        assert rules, "no rule learned"
+        top = rules[0]
+        assert top.target_class == 1
+        # The rule's coverage must be mostly the positive region.
+        mask = top.coverage_mask(mixed_table)
+        precision = y[mask].mean()
+        assert precision > 0.9
+
+    def test_recovers_categorical_rule(self, mixed_table):
+        y = (mixed_table.column("marital") == 1).astype(np.int64)
+        rules = GreedyRuleLearner().learn(mixed_table, y, 2, classes=[1])
+        assert rules
+        preds = rules[0].clause.predicates
+        assert any(p.attribute == "marital" and p.value == "married" for p in preds)
+
+    def test_rules_for_all_classes_by_default(self, mixed_table):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, mixed_table.n_rows)
+        y[mixed_table.column("age") < 30.0] = 1
+        rules = GreedyRuleLearner().learn(mixed_table, y, 2)
+        assert {r.target_class for r in rules} <= {0, 1}
+
+    def test_max_conditions_respected(self, mixed_table):
+        y = (
+            (mixed_table.column("age") < 40.0)
+            & (mixed_table.column("income") > 100.0)
+        ).astype(np.int64)
+        learner = GreedyRuleLearner(max_conditions=2)
+        for r in learner.learn(mixed_table, y, 2):
+            assert len(r.clause) <= 2
+
+    def test_max_rules_respected(self, mixed_table):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, mixed_table.n_rows)
+        learner = GreedyRuleLearner(max_rules_per_class=2)
+        rules = learner.learn(mixed_table, y, 2)
+        per_class = {}
+        for r in rules:
+            per_class[r.target_class] = per_class.get(r.target_class, 0) + 1
+        assert all(v <= 2 for v in per_class.values())
+
+    def test_label_length_mismatch_raises(self, mixed_table):
+        with pytest.raises(ValueError, match="length"):
+            GreedyRuleLearner().learn(mixed_table, np.zeros(3, dtype=int), 2)
+
+    def test_learn_model_explanation_wrapper(self, mixed_dataset):
+        preds = mixed_dataset.y  # pretend model predictions
+        rules = learn_model_explanation(mixed_dataset, preds)
+        assert rules
+        assert all(r.n_classes == 2 for r in rules)
+
+    def test_learned_rules_have_names(self, mixed_table):
+        y = (mixed_table.column("age") < 40.0).astype(np.int64)
+        rules = GreedyRuleLearner().learn(mixed_table, y, 2)
+        assert all(r.name.startswith("learned[") for r in rules)

@@ -1,0 +1,111 @@
+"""Tests for the rule text parser."""
+
+import pytest
+
+from repro.rules import RuleParseError, parse_clause, parse_predicate, parse_rule
+
+
+@pytest.fixture
+def schema(mixed_schema):
+    return mixed_schema
+
+
+LABELS = ("deny", "approve")
+
+
+class TestParsePredicate:
+    def test_numeric(self, schema):
+        p = parse_predicate("age < 29", schema)
+        assert (p.attribute, p.operator, p.value) == ("age", "<", 29.0)
+
+    def test_single_equals_normalized(self, schema):
+        assert parse_predicate("age = 30", schema).operator == "=="
+
+    def test_categorical_quotes_stripped(self, schema):
+        p = parse_predicate("marital != 'single'", schema)
+        assert p.value == "single"
+
+    def test_categorical_double_quotes(self, schema):
+        assert parse_predicate('color == "red"', schema).value == "red"
+
+    def test_unknown_attribute_raises(self, schema):
+        with pytest.raises(RuleParseError, match="unknown attribute"):
+            parse_predicate("salary > 10", schema)
+
+    def test_bad_numeric_value_raises(self, schema):
+        with pytest.raises(RuleParseError, match="numeric"):
+            parse_predicate("age > old", schema)
+
+    def test_invalid_category_raises(self, schema):
+        with pytest.raises(ValueError):
+            parse_predicate("marital == 'complicated'", schema)
+
+    def test_garbage_raises(self, schema):
+        with pytest.raises(RuleParseError, match="cannot parse"):
+            parse_predicate("!!!", schema)
+
+
+class TestParseClause:
+    def test_multi_condition(self, schema):
+        c = parse_clause("age < 29 AND marital = 'single' AND income > 150", schema)
+        assert len(c) == 3
+
+    def test_case_insensitive_and(self, schema):
+        assert len(parse_clause("age < 29 and income > 100", schema)) == 2
+
+    def test_empty_raises(self, schema):
+        with pytest.raises(RuleParseError):
+            parse_clause("   ", schema)
+
+
+class TestParseRule:
+    def test_class_name_target(self, schema):
+        r = parse_rule("age < 29 => approve", schema, LABELS)
+        assert r.target_class == 1
+        assert r.is_deterministic
+
+    def test_class_code_target(self, schema):
+        r = parse_rule("age < 29 => 0", schema, LABELS)
+        assert r.target_class == 0
+
+    def test_distribution_target(self, schema):
+        r = parse_rule("age < 29 => [0.2, 0.8]", schema, LABELS)
+        assert not r.is_deterministic
+        assert r.pi == (0.2, 0.8)
+
+    def test_missing_arrow_raises(self, schema):
+        with pytest.raises(RuleParseError, match="=>"):
+            parse_rule("age < 29", schema, LABELS)
+
+    def test_bad_target_raises(self, schema):
+        with pytest.raises(RuleParseError, match="neither a class name"):
+            parse_rule("age < 29 => maybe", schema, LABELS)
+
+    def test_out_of_range_code_raises(self, schema):
+        with pytest.raises(RuleParseError, match="out of range"):
+            parse_rule("age < 29 => 7", schema, LABELS)
+
+    def test_wrong_distribution_length_raises(self, schema):
+        with pytest.raises(RuleParseError, match="entries"):
+            parse_rule("age < 29 => [0.2, 0.3, 0.5]", schema, LABELS)
+
+    def test_unterminated_distribution_raises(self, schema):
+        with pytest.raises(RuleParseError, match="unterminated"):
+            parse_rule("age < 29 => [0.2, 0.8", schema, LABELS)
+
+    def test_bad_distribution_values_raise(self, schema):
+        with pytest.raises(RuleParseError, match="bad distribution"):
+            parse_rule("age < 29 => [a, b]", schema, LABELS)
+
+    def test_name_attached(self, schema):
+        r = parse_rule("age < 29 => approve", schema, LABELS, name="policy-7")
+        assert r.name == "policy-7"
+
+    def test_roundtrip_through_mask(self, schema, mixed_table):
+        r = parse_rule("age < 40 AND color != 'red' => deny", schema, LABELS)
+        expected = (mixed_table.column("age") < 40.0) & (
+            mixed_table.column("color") != 0
+        )
+        import numpy as np
+
+        np.testing.assert_array_equal(r.coverage_mask(mixed_table), expected)

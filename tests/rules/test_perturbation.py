@@ -1,0 +1,120 @@
+"""Tests for feedback-rule generation by perturbation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rules import FeedbackRule, Predicate, clause, generate_feedback_pool
+from repro.rules.perturbation import _perturb_once
+
+
+@pytest.fixture
+def base_rules(mixed_dataset):
+    return [
+        FeedbackRule.deterministic(
+            clause(Predicate("age", "<", 40.0), Predicate("marital", "==", "single")),
+            1,
+            2,
+            name="base0",
+        ),
+        FeedbackRule.deterministic(
+            clause(Predicate("income", ">", 100.0)), 0, 2, name="base1"
+        ),
+    ]
+
+
+class TestPerturbOnce:
+    def test_produces_valid_rule_or_none(self, mixed_dataset, base_rules):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            out = _perturb_once(base_rules[0], mixed_dataset, base_rules, rng)
+            if out is not None:
+                assert isinstance(out, FeedbackRule)
+                assert out.pi == base_rules[0].pi
+
+    def test_empty_clause_returns_none(self, mixed_dataset, base_rules):
+        rng = np.random.default_rng(0)
+        empty = FeedbackRule.deterministic(clause(), 1, 2)
+        assert _perturb_once(empty, mixed_dataset, base_rules, rng) is None
+
+    def test_add_condition_uses_other_rules(self, mixed_dataset, base_rules):
+        rng = np.random.default_rng(3)
+        seen_added = False
+        for _ in range(100):
+            out = _perturb_once(base_rules[1], mixed_dataset, base_rules, rng)
+            if out is not None and len(out.clause) > len(base_rules[1].clause):
+                seen_added = True
+                added = out.clause.predicates[-1]
+                donor_attrs = {p.attribute for p in base_rules[0].clause.predicates}
+                assert added.attribute in donor_attrs
+        assert seen_added
+
+
+class TestGeneratePool:
+    def test_coverage_constraint_enforced(self, mixed_dataset, base_rules):
+        pool = generate_feedback_pool(
+            mixed_dataset, base_rules, n_rules=15, random_state=0
+        )
+        n = mixed_dataset.n
+        for r in pool:
+            cov = r.coverage_count(mixed_dataset.X)
+            assert 0.05 * n <= cov < 0.25 * n
+
+    def test_no_duplicate_clauses(self, mixed_dataset, base_rules):
+        pool = generate_feedback_pool(
+            mixed_dataset, base_rules, n_rules=15, random_state=0
+        )
+        clauses = [str(r.clause) for r in pool]
+        assert len(set(clauses)) == len(clauses)
+
+    def test_rules_named_sequentially(self, mixed_dataset, base_rules):
+        pool = generate_feedback_pool(
+            mixed_dataset, base_rules, n_rules=5, random_state=0
+        )
+        assert [r.name for r in pool] == [f"fb#{i}" for i in range(len(pool))]
+
+    def test_reproducible(self, mixed_dataset, base_rules):
+        a = generate_feedback_pool(mixed_dataset, base_rules, n_rules=10, random_state=5)
+        b = generate_feedback_pool(mixed_dataset, base_rules, n_rules=10, random_state=5)
+        assert [str(r.clause) for r in a] == [str(r.clause) for r in b]
+
+    def test_empty_base_raises(self, mixed_dataset):
+        with pytest.raises(ValueError, match="at least one base rule"):
+            generate_feedback_pool(mixed_dataset, [], n_rules=5)
+
+    def test_invalid_coverage_range_raises(self, mixed_dataset, base_rules):
+        with pytest.raises(ValueError, match="coverage_range"):
+            generate_feedback_pool(
+                mixed_dataset, base_rules, coverage_range=(0.5, 0.2)
+            )
+
+    def test_attempt_cap_limits_output(self, mixed_dataset, base_rules):
+        pool = generate_feedback_pool(
+            mixed_dataset, base_rules, n_rules=1000, max_attempts=50, random_state=0
+        )
+        assert len(pool) <= 50
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_pool_rules_satisfiable_property(seed):
+    """Every generated rule must be symbolically satisfiable."""
+    import numpy as np
+
+    from repro.data import Dataset, Table, make_schema
+    from repro.rules.clause import clause_satisfiable
+
+    schema = make_schema(numeric=["x"], categorical={"c": ("a", "b", "z")})
+    rng = np.random.default_rng(seed)
+    n = 150
+    t = Table(schema, {"x": rng.uniform(0, 10, n), "c": rng.integers(0, 3, n)})
+    ds = Dataset(t, rng.integers(0, 2, n), ("n", "p"))
+    base = [
+        FeedbackRule.deterministic(
+            clause(Predicate("x", "<", 5.0), Predicate("c", "==", "a")), 1, 2
+        )
+    ]
+    pool = generate_feedback_pool(ds, base, n_rules=8, random_state=seed, max_attempts=400)
+    for r in pool:
+        assert clause_satisfiable(r.clause, schema)

@@ -1,0 +1,116 @@
+"""Tests for Predicate evaluation and validation."""
+
+import numpy as np
+import pytest
+
+from repro.rules import Predicate
+
+
+class TestConstruction:
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ValueError, match="unknown operator"):
+            Predicate("age", "~=", 1.0)
+
+
+class TestNumericMask(object):
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("==", [False, True, False]),
+            (">", [False, False, True]),
+            (">=", [False, True, True]),
+            ("<", [True, False, False]),
+            ("<=", [True, True, False]),
+        ],
+    )
+    def test_operators(self, mixed_table, op, expected):
+        t = mixed_table
+        sub = t.take(np.array([0, 1, 2]))
+        vals = sub.column("age")
+        p = Predicate("age", op, float(vals[1]))
+        np.testing.assert_array_equal(
+            p.mask(sub),
+            {
+                "==": vals == vals[1],
+                ">": vals > vals[1],
+                ">=": vals >= vals[1],
+                "<": vals < vals[1],
+                "<=": vals <= vals[1],
+            }[op],
+        )
+
+    def test_string_value_on_numeric_raises(self, mixed_table):
+        with pytest.raises(TypeError, match="string value"):
+            Predicate("age", "<", "young").mask(mixed_table)
+
+    def test_ne_on_numeric_raises(self, mixed_table):
+        with pytest.raises(ValueError, match="not allowed for numeric"):
+            Predicate("age", "!=", 30.0).mask(mixed_table)
+
+
+class TestCategoricalMask:
+    def test_eq(self, mixed_table):
+        m = Predicate("marital", "==", "single").mask(mixed_table)
+        np.testing.assert_array_equal(m, mixed_table.column("marital") == 0)
+
+    def test_ne(self, mixed_table):
+        m = Predicate("marital", "!=", "single").mask(mixed_table)
+        np.testing.assert_array_equal(m, mixed_table.column("marital") != 0)
+
+    def test_lt_on_categorical_raises(self, mixed_table):
+        with pytest.raises(ValueError, match="not allowed for categorical"):
+            Predicate("marital", "<", "single").mask(mixed_table)
+
+    def test_unknown_category_raises(self, mixed_table):
+        with pytest.raises(ValueError, match="not in categories"):
+            Predicate("marital", "==", "widowed").mask(mixed_table)
+
+    def test_non_string_value_raises(self, mixed_table):
+        with pytest.raises(TypeError, match="string"):
+            Predicate("marital", "==", 1).mask(mixed_table)
+
+
+class TestHoldsFor:
+    def test_numeric_scalar(self, mixed_schema):
+        p = Predicate("age", "<", 30.0)
+        assert p.holds_for(25.0, mixed_schema["age"])
+        assert not p.holds_for(30.0, mixed_schema["age"])
+
+    def test_categorical_scalar(self, mixed_schema):
+        p = Predicate("marital", "==", "married")
+        assert p.holds_for(1, mixed_schema["marital"])
+        assert not p.holds_for(0, mixed_schema["marital"])
+
+    def test_mask_agrees_with_holds_for(self, mixed_table):
+        p = Predicate("income", ">=", 100.0)
+        mask = p.mask(mixed_table)
+        spec = mixed_table.schema["income"]
+        for i in range(0, mixed_table.n_rows, 17):
+            assert mask[i] == p.holds_for(mixed_table.column("income")[i], spec)
+
+
+class TestTransforms:
+    @pytest.mark.parametrize(
+        "op,rev",
+        [("==", "!="), ("!=", "=="), ("<", ">"), (">", "<"), ("<=", ">="), (">=", "<=")],
+    )
+    def test_reversed_operator(self, op, rev):
+        assert Predicate("a", op, 1.0).reversed_operator().operator == rev
+
+    def test_reverse_is_involution(self):
+        p = Predicate("a", "<=", 2.0)
+        assert p.reversed_operator().reversed_operator() == p
+
+    def test_with_value(self):
+        p = Predicate("a", "<", 1.0).with_value(9.0)
+        assert p.value == 9.0 and p.operator == "<"
+
+    def test_str_numeric(self):
+        assert str(Predicate("age", "<", 29.0)) == "age < 29"
+
+    def test_str_categorical(self):
+        assert str(Predicate("c", "==", "red")) == "c = 'red'"
+
+    def test_validate_wrong_column(self, mixed_schema):
+        with pytest.raises(ValueError, match="validated against"):
+            Predicate("age", "<", 1.0).validate(mixed_schema["income"])

@@ -1,0 +1,95 @@
+"""Tests for rule relaxation (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.rules import FeedbackRule, Predicate, clause, relax_rule
+
+
+class TestRelaxRule:
+    def test_no_relaxation_when_coverage_sufficient(self, mixed_table):
+        r = FeedbackRule.deterministic(clause(Predicate("age", "<", 60.0)), 1, 2)
+        res = relax_rule(r, mixed_table, min_coverage=5)
+        assert not res.was_relaxed
+        assert res.relaxed_clause == r.clause
+
+    def test_relaxes_zero_support_rule(self, mixed_table):
+        # age < 60 has support; income > 1000 has none.
+        r = FeedbackRule.deterministic(
+            clause(
+                Predicate("age", "<", 60.0),
+                Predicate("income", ">", 1000.0),
+            ),
+            1,
+            2,
+        )
+        res = relax_rule(r, mixed_table, min_coverage=6)
+        assert res.was_relaxed
+        assert res.coverage >= 6
+        # The impossible condition is the one that must go.
+        assert any(p.attribute == "income" for p in res.removed)
+
+    def test_removes_minimum_conditions(self, mixed_table):
+        """Relaxation removes the single worst condition, not more."""
+        r = FeedbackRule.deterministic(
+            clause(
+                Predicate("age", "<", 60.0),
+                Predicate("income", ">", 1000.0),  # zero support
+            ),
+            1,
+            2,
+        )
+        res = relax_rule(r, mixed_table, min_coverage=6)
+        assert len(res.removed) == 1
+
+    def test_greedy_picks_max_coverage_deletion(self, mixed_table):
+        # Two conditions: one rare, one common; deleting the rare one keeps
+        # more coverage only if the common one's coverage is larger.
+        rare = Predicate("age", "<", 20.0)
+        common = Predicate("age", "<", 75.0)
+        r = FeedbackRule.deterministic(
+            clause(rare, Predicate("income", ">", 500.0)), 1, 2
+        )
+        res = relax_rule(r, mixed_table, min_coverage=3)
+        # income > 500 has zero support: its removal leaves cov(age<20) > 0,
+        # whereas removing the age condition leaves zero coverage.
+        assert res.removed[0].attribute == "income"
+
+    def test_empties_clause_for_fully_impossible_rule(self, mixed_table):
+        r = FeedbackRule.deterministic(
+            clause(Predicate("income", ">", 10_000.0)), 1, 2
+        )
+        res = relax_rule(r, mixed_table, min_coverage=mixed_table.n_rows)
+        assert len(res.relaxed_clause) == 0
+        assert res.coverage == mixed_table.n_rows
+
+    def test_exceptions_respected(self, mixed_table):
+        r = FeedbackRule.deterministic(
+            clause(Predicate("income", ">", 10_000.0)),
+            1,
+            2,
+            exceptions=(clause(Predicate("marital", "==", "single")),),
+        )
+        res = relax_rule(r, mixed_table, min_coverage=5)
+        mask = res.relaxed_mask(mixed_table)
+        assert not np.any(mask & (mixed_table.column("marital") == 0))
+
+    def test_min_coverage_validation(self, mixed_table):
+        r = FeedbackRule.deterministic(clause(), 1, 2)
+        with pytest.raises(ValueError, match="min_coverage"):
+            relax_rule(r, mixed_table, min_coverage=0)
+
+    def test_relaxed_mask_superset_of_original(self, mixed_table):
+        r = FeedbackRule.deterministic(
+            clause(
+                Predicate("age", "<", 25.0),
+                Predicate("marital", "==", "single"),
+                Predicate("color", "==", "red"),
+            ),
+            1,
+            2,
+        )
+        res = relax_rule(r, mixed_table, min_coverage=20)
+        original = r.coverage_mask(mixed_table)
+        relaxed = res.relaxed_mask(mixed_table)
+        assert np.all(relaxed | ~original)  # original ⊆ relaxed

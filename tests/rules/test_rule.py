@@ -1,0 +1,116 @@
+"""Tests for FeedbackRule."""
+
+import numpy as np
+import pytest
+
+from repro.rules import FeedbackRule, Predicate, clause
+
+
+class TestConstruction:
+    def test_deterministic_constructor(self):
+        r = FeedbackRule.deterministic(clause(Predicate("age", "<", 30.0)), 1, 2)
+        assert r.pi == (0.0, 1.0)
+        assert r.is_deterministic
+        assert r.target_class == 1
+
+    def test_probabilistic(self):
+        r = FeedbackRule(clause(Predicate("age", "<", 30.0)), (0.3, 0.7))
+        assert not r.is_deterministic
+        assert r.target_class == 1
+
+    def test_pi_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            FeedbackRule(clause(), (0.5, 0.6))
+
+    def test_pi_no_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            FeedbackRule(clause(), (-0.1, 1.1))
+
+    def test_pi_needs_two_classes(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            FeedbackRule(clause(), (1.0,))
+
+    def test_target_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="out of range"):
+            FeedbackRule.deterministic(clause(), 5, 2)
+
+    def test_pi_array_readonly(self):
+        r = FeedbackRule.deterministic(clause(), 0, 2)
+        with pytest.raises(ValueError):
+            r.pi_array()[0] = 0.5
+
+
+class TestCoverage:
+    def test_coverage_mask(self, mixed_table):
+        r = FeedbackRule.deterministic(
+            clause(Predicate("age", "<", 40.0)), 1, 2
+        )
+        np.testing.assert_array_equal(
+            r.coverage_mask(mixed_table), mixed_table.column("age") < 40.0
+        )
+
+    def test_exception_carves_out(self, mixed_table):
+        r = FeedbackRule.deterministic(
+            clause(Predicate("age", "<", 40.0)),
+            1,
+            2,
+            exceptions=(clause(Predicate("marital", "==", "single")),),
+        )
+        expected = (mixed_table.column("age") < 40.0) & (
+            mixed_table.column("marital") != 0
+        )
+        np.testing.assert_array_equal(r.coverage_mask(mixed_table), expected)
+
+    def test_coverage_count(self, mixed_table):
+        r = FeedbackRule.deterministic(clause(Predicate("age", "<", 40.0)), 1, 2)
+        assert r.coverage_count(mixed_table) == int(
+            (mixed_table.column("age") < 40.0).sum()
+        )
+
+
+class TestLabels:
+    def test_deterministic_sampling_constant(self):
+        r = FeedbackRule.deterministic(clause(), 1, 3)
+        labels = r.sample_labels(50, np.random.default_rng(0))
+        assert (labels == 1).all()
+
+    def test_probabilistic_sampling_distribution(self):
+        r = FeedbackRule(clause(), (0.2, 0.8))
+        labels = r.sample_labels(5000, np.random.default_rng(0))
+        assert abs(labels.mean() - 0.8) < 0.03
+
+    def test_conflicts_with(self):
+        a = FeedbackRule.deterministic(clause(), 0, 2)
+        b = FeedbackRule.deterministic(clause(), 1, 2)
+        assert a.conflicts_with(b)
+        assert not a.conflicts_with(a)
+
+
+class TestModifiers:
+    def test_with_clause(self):
+        r = FeedbackRule.deterministic(clause(Predicate("age", "<", 30.0)), 1, 2)
+        r2 = r.with_clause(clause(Predicate("age", ">", 50.0)))
+        assert r2.pi == r.pi
+        assert str(r2.clause) == "age > 50"
+
+    def test_with_exception_appends(self):
+        r = FeedbackRule.deterministic(clause(), 1, 2)
+        r2 = r.with_exception(clause(Predicate("age", "<", 20.0)))
+        assert len(r2.exceptions) == 1
+
+    def test_str_deterministic(self):
+        r = FeedbackRule.deterministic(clause(Predicate("age", "<", 30.0)), 1, 2)
+        assert "IF age < 30 THEN class=1" == str(r)
+
+    def test_str_probabilistic_shows_pi(self):
+        r = FeedbackRule(clause(Predicate("age", "<", 30.0)), (0.25, 0.75))
+        assert "pi=" in str(r)
+
+    def test_str_with_exceptions(self):
+        r = FeedbackRule.deterministic(
+            clause(Predicate("age", "<", 30.0)),
+            1,
+            2,
+            exceptions=(clause(Predicate("age", "<", 20.0)),),
+        )
+        assert "EXCEPT" in str(r)

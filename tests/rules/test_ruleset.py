@@ -1,0 +1,187 @@
+"""Tests for FeedbackRuleSet: coverage, conflicts, resolution, drawing."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_schema
+from repro.rules import (
+    FeedbackRule,
+    FeedbackRuleSet,
+    Predicate,
+    clause,
+    draw_conflict_free,
+)
+
+
+def _schema():
+    return make_schema(numeric=["x"], categorical={"c": ("a", "b")})
+
+
+def _rule(lo=None, hi=None, cat=None, target=0, n_classes=2, pi=None):
+    preds = []
+    if lo is not None:
+        preds.append(Predicate("x", ">", float(lo)))
+    if hi is not None:
+        preds.append(Predicate("x", "<", float(hi)))
+    if cat is not None:
+        preds.append(Predicate("c", "==", cat))
+    if pi is not None:
+        return FeedbackRule(clause(*preds), pi)
+    return FeedbackRule.deterministic(clause(*preds), target, n_classes)
+
+
+class TestBasics:
+    def test_len_iter_getitem(self):
+        frs = FeedbackRuleSet((_rule(0, 1), _rule(2, 3)))
+        assert len(frs) == 2
+        assert frs[0] is frs.rules[0]
+        assert list(frs) == list(frs.rules)
+
+    def test_n_classes(self):
+        assert FeedbackRuleSet((_rule(0, 1),)).n_classes == 2
+
+    def test_mixed_class_counts_raise(self):
+        with pytest.raises(ValueError, match="same number of classes"):
+            FeedbackRuleSet((_rule(0, 1, n_classes=2), _rule(0, 1, n_classes=3)))
+
+    def test_empty_n_classes_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            FeedbackRuleSet(()).n_classes
+
+
+class TestCoverage:
+    def test_union_coverage(self, mixed_table):
+        r1 = FeedbackRule.deterministic(clause(Predicate("age", "<", 30.0)), 0, 2)
+        r2 = FeedbackRule.deterministic(clause(Predicate("age", ">", 70.0)), 1, 2)
+        frs = FeedbackRuleSet((r1, r2))
+        expected = (mixed_table.column("age") < 30.0) | (
+            mixed_table.column("age") > 70.0
+        )
+        np.testing.assert_array_equal(frs.coverage_mask(mixed_table), expected)
+
+    def test_assign_first_match_priority(self, mixed_table):
+        r1 = FeedbackRule.deterministic(clause(Predicate("age", "<", 50.0)), 0, 2)
+        r2 = FeedbackRule.deterministic(clause(Predicate("age", "<", 30.0)), 0, 2)
+        frs = FeedbackRuleSet((r1, r2))
+        assign = frs.assign(mixed_table)
+        young = mixed_table.column("age") < 30.0
+        # Rule 0 covers everything rule 1 covers, so first-match wins.
+        assert (assign[young] == 0).all()
+
+    def test_assign_uncovered_is_minus_one(self, mixed_table):
+        r = FeedbackRule.deterministic(clause(Predicate("age", "<", 0.0)), 0, 2)
+        assign = FeedbackRuleSet((r,)).assign(mixed_table)
+        assert (assign == -1).all()
+
+    def test_coverage_masks_shape(self, mixed_table):
+        frs = FeedbackRuleSet(
+            (
+                FeedbackRule.deterministic(clause(Predicate("age", "<", 40.0)), 0, 2),
+                FeedbackRule.deterministic(clause(Predicate("age", ">", 60.0)), 1, 2),
+            )
+        )
+        assert frs.coverage_masks(mixed_table).shape == (2, mixed_table.n_rows)
+
+
+class TestConflicts:
+    def test_overlapping_different_pi_conflict(self):
+        frs = FeedbackRuleSet((_rule(0, 10, target=0), _rule(5, 15, target=1)))
+        assert frs.find_conflicts(_schema()) == [(0, 1)]
+
+    def test_overlapping_same_pi_no_conflict(self):
+        frs = FeedbackRuleSet((_rule(0, 10, target=1), _rule(5, 15, target=1)))
+        assert frs.is_conflict_free(_schema())
+
+    def test_disjoint_different_pi_no_conflict(self):
+        frs = FeedbackRuleSet((_rule(0, 1, target=0), _rule(5, 6, target=1)))
+        assert frs.is_conflict_free(_schema())
+
+    def test_empirical_conflict_detection(self, mixed_table):
+        # Symbolically intersecting but empirically checked against a table.
+        r1 = FeedbackRule.deterministic(clause(Predicate("age", "<", 30.0)), 0, 2)
+        r2 = FeedbackRule.deterministic(clause(Predicate("age", "<", 25.0)), 1, 2)
+        frs = FeedbackRuleSet((r1, r2))
+        assert frs.find_conflicts(mixed_table.schema, table=mixed_table) == [(0, 1)]
+
+    def test_probabilistic_pi_difference_is_conflict(self):
+        frs = FeedbackRuleSet(
+            (_rule(0, 10, pi=(0.5, 0.5)), _rule(5, 15, pi=(0.4, 0.6)))
+        )
+        assert not frs.is_conflict_free(_schema())
+
+
+class TestResolution:
+    def test_carve_makes_conflict_free(self):
+        frs = FeedbackRuleSet((_rule(0, 10, target=0), _rule(5, 15, target=1)))
+        resolved = frs.resolve_conflicts(_schema(), strategy="carve")
+        assert resolved.is_conflict_free(_schema())
+
+    def test_carve_coverage_disjoint(self, mixed_table):
+        r1 = FeedbackRule.deterministic(clause(Predicate("age", "<", 50.0)), 0, 2)
+        r2 = FeedbackRule.deterministic(clause(Predicate("age", "<", 60.0)), 1, 2)
+        resolved = FeedbackRuleSet((r1, r2)).resolve_conflicts(mixed_table.schema)
+        m1 = resolved[0].coverage_mask(mixed_table)
+        m2 = resolved[1].coverage_mask(mixed_table)
+        assert not np.any(m1 & m2)
+
+    def test_mixture_adds_intersection_rule(self):
+        frs = FeedbackRuleSet((_rule(0, 10, target=0), _rule(5, 15, target=1)))
+        resolved = frs.resolve_conflicts(_schema(), strategy="mixture")
+        assert len(resolved) == 3
+        mix = resolved[2]
+        np.testing.assert_allclose(mix.pi_array(), [0.5, 0.5])
+
+    def test_mixture_weight(self):
+        frs = FeedbackRuleSet((_rule(0, 10, target=0), _rule(5, 15, target=1)))
+        resolved = frs.resolve_conflicts(
+            _schema(), strategy="mixture", mixture_weight=0.8
+        )
+        np.testing.assert_allclose(resolved[2].pi_array(), [0.8, 0.2])
+
+    def test_unknown_strategy_raises(self):
+        frs = FeedbackRuleSet((_rule(0, 1),))
+        with pytest.raises(ValueError, match="strategy"):
+            frs.resolve_conflicts(_schema(), strategy="vote")
+
+    def test_no_conflicts_unchanged(self):
+        frs = FeedbackRuleSet((_rule(0, 1, target=0), _rule(5, 6, target=1)))
+        resolved = frs.resolve_conflicts(_schema())
+        assert len(resolved) == 2
+        assert resolved[0].exceptions == ()
+
+
+class TestDrawConflictFree:
+    def _pool(self):
+        # Rules on disjoint x-intervals with alternating labels: any subset
+        # is conflict-free.
+        return [
+            _rule(i * 10, i * 10 + 5, target=i % 2) for i in range(8)
+        ]
+
+    def test_draws_requested_size(self):
+        frs = draw_conflict_free(self._pool(), 4, _schema(), np.random.default_rng(0))
+        assert frs is not None and len(frs) == 4
+
+    def test_requesting_more_than_pool_returns_none(self):
+        frs = draw_conflict_free(self._pool(), 99, _schema(), np.random.default_rng(0))
+        assert frs is None
+
+    def test_impossible_combination_returns_none(self):
+        # Two rules covering everything with different labels: no pair works.
+        pool = [_rule(target=0), _rule(target=1)]
+        frs = draw_conflict_free(pool, 2, _schema(), np.random.default_rng(0))
+        assert frs is None
+
+    def test_greedy_fallback_finds_compatible_subset(self):
+        # Many conflicting pairs but enough compatible rules exist.
+        pool = [_rule(0, 5, target=0), _rule(0, 5, target=1)] + self._pool()
+        frs = draw_conflict_free(pool, 5, _schema(), np.random.default_rng(1))
+        assert frs is not None
+        assert frs.is_conflict_free(_schema())
+
+    def test_result_always_conflict_free(self):
+        rng = np.random.default_rng(2)
+        pool = self._pool() + [_rule(0, 100, target=1)]
+        for _ in range(5):
+            frs = draw_conflict_free(pool, 3, _schema(), rng)
+            assert frs is None or frs.is_conflict_free(_schema())

@@ -1,0 +1,90 @@
+"""Tests for ADASYN."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, Table, make_schema
+from repro.sampling import ADASYN, adasyn_weights
+
+
+def _imbalanced(n_major=80, n_minor=15, seed=0):
+    rng = np.random.default_rng(seed)
+    schema = make_schema(numeric=["x", "y"])
+    X = np.vstack(
+        [
+            rng.normal([0, 0], 1.0, (n_major, 2)),
+            rng.normal([2.0, 2.0], 1.0, (n_minor, 2)),
+        ]
+    )
+    t = Table(schema, {"x": X[:, 0], "y": X[:, 1]})
+    y = np.concatenate([np.zeros(n_major), np.ones(n_minor)]).astype(np.int64)
+    return Dataset(t, y, ("maj", "min"))
+
+
+class TestAdasynWeights:
+    def test_weights_sum_to_one(self):
+        ds = _imbalanced()
+        w = adasyn_weights(ds.X, ds.y == 1, k=5)
+        assert w.sum() == pytest.approx(1.0)
+        assert w.size == int((ds.y == 1).sum())
+
+    def test_boundary_points_weighted_higher(self):
+        # Minority instance planted deep inside the majority blob must get
+        # more weight than one deep inside the minority blob.
+        ds = _imbalanced(seed=1)
+        minority_idx = np.flatnonzero(ds.y == 1)
+        x = ds.X.column("x").copy()
+        y_col = ds.X.column("y").copy()
+        x[minority_idx[0]] = 0.0  # deep in majority territory
+        y_col[minority_idx[0]] = 0.0
+        x[minority_idx[1]] = 4.0  # deep in minority territory
+        y_col[minority_idx[1]] = 4.0
+        t = ds.X.with_column("x", x).with_column("y", y_col)
+        w = adasyn_weights(t, ds.y == 1, k=5)
+        assert w[0] > w[1]
+
+    def test_no_minority_empty(self):
+        ds = _imbalanced()
+        w = adasyn_weights(ds.X, np.zeros(ds.n, dtype=bool))
+        assert w.size == 0
+
+    def test_mask_shape_validated(self):
+        ds = _imbalanced()
+        with pytest.raises(ValueError, match="is_minority"):
+            adasyn_weights(ds.X, np.zeros(3, dtype=bool))
+
+
+class TestAdasyn:
+    def test_balances_classes(self):
+        ds = _imbalanced()
+        out = ADASYN(random_state=0).fit_resample(ds)
+        counts = out.class_counts()
+        assert counts[0] == counts[1]
+
+    def test_original_rows_preserved(self):
+        ds = _imbalanced()
+        out = ADASYN(random_state=0).fit_resample(ds)
+        np.testing.assert_allclose(
+            out.X.column("x")[: ds.n], ds.X.column("x")
+        )
+
+    def test_balanced_input_unchanged(self):
+        ds = _imbalanced(n_major=30, n_minor=30)
+        out = ADASYN(random_state=0).fit_resample(ds)
+        assert out.n == ds.n
+
+    def test_reproducible(self):
+        ds = _imbalanced()
+        a = ADASYN(random_state=5).fit_resample(ds)
+        b = ADASYN(random_state=5).fit_resample(ds)
+        np.testing.assert_allclose(a.X.column("x"), b.X.column("x"))
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError, match="k must be"):
+            ADASYN(k=0)
+
+    def test_tiny_minority_skipped(self):
+        ds = _imbalanced(n_major=20, n_minor=1)
+        out = ADASYN(random_state=0).fit_resample(ds)
+        # One minority instance cannot be interpolated; class stays rare.
+        assert out.class_counts()[1] == 1

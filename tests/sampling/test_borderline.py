@@ -1,0 +1,106 @@
+"""Tests for borderline classification and Borderline-SMOTE."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, Table, make_schema
+from repro.sampling import (
+    BORDERLINE,
+    NOISY,
+    SAFE,
+    BorderlineSMOTE,
+    classify_borderline,
+)
+
+
+def _two_blobs(n_per=40, seed=0, gap=6.0):
+    """Two well-separated Gaussian blobs: everything is 'safe'."""
+    rng = np.random.default_rng(seed)
+    schema = make_schema(numeric=["x", "y"])
+    X = np.vstack(
+        [
+            rng.normal([0, 0], 0.5, (n_per, 2)),
+            rng.normal([gap, gap], 0.5, (n_per, 2)),
+        ]
+    )
+    t = Table(schema, {"x": X[:, 0], "y": X[:, 1]})
+    labels = np.repeat([0, 1], n_per)
+    return t, labels
+
+
+class TestClassifyBorderline:
+    def test_separated_blobs_all_safe(self):
+        t, labels = _two_blobs()
+        analysis = classify_borderline(t, labels, k=5)
+        assert analysis.count(SAFE) == t.n_rows
+
+    def test_isolated_point_is_noisy(self):
+        t, labels = _two_blobs()
+        # Flip one label deep inside the other blob.
+        labels = labels.copy()
+        labels[0] = 1
+        analysis = classify_borderline(t, labels, k=5)
+        assert analysis.categories[0] == NOISY
+
+    def test_boundary_points_borderline(self):
+        rng = np.random.default_rng(1)
+        schema = make_schema(numeric=["x"])
+        # Interleaved stripe: ~half of each point's neighbours disagree.
+        x = np.arange(40, dtype=float)
+        t = Table(schema, {"x": x})
+        labels = (np.arange(40) % 2).astype(np.int64)
+        analysis = classify_borderline(t, labels, k=6)
+        assert analysis.count(BORDERLINE) + analysis.count(NOISY) > 20
+
+    def test_weights_default(self):
+        t, labels = _two_blobs(20)
+        analysis = classify_borderline(t, labels, k=5)
+        np.testing.assert_allclose(analysis.weights, 1.0)  # all safe -> weight 1
+
+    def test_custom_weights(self):
+        t, labels = _two_blobs(20)
+        analysis = classify_borderline(
+            t, labels, k=5, weights={SAFE: 2.0, NOISY: 1.0, BORDERLINE: 9.0}
+        )
+        np.testing.assert_allclose(analysis.weights, 2.0)
+
+    def test_borderline_weight_is_three_by_default(self):
+        x = np.arange(30, dtype=float)
+        t = Table(make_schema(numeric=["x"]), {"x": x})
+        labels = (np.arange(30) % 2).astype(np.int64)
+        analysis = classify_borderline(t, labels, k=4)
+        border = analysis.categories == BORDERLINE
+        if border.any():
+            np.testing.assert_allclose(analysis.weights[border], 3.0)
+
+    def test_label_length_mismatch_raises(self):
+        t, labels = _two_blobs(10)
+        with pytest.raises(ValueError, match="labels"):
+            classify_borderline(t, labels[:-1])
+
+    def test_tiny_table_all_safe(self):
+        t, labels = _two_blobs(1)  # 2 rows total
+        analysis = classify_borderline(t.take(np.array([0])), labels[:1])
+        assert analysis.categories[0] == SAFE
+
+    def test_invalid_band_raises(self):
+        t, labels = _two_blobs(10)
+        with pytest.raises(ValueError, match="borderline_band"):
+            classify_borderline(t, labels, borderline_band=1.5)
+
+
+class TestBorderlineSMOTE:
+    def test_balances_classes(self):
+        t, labels = _two_blobs(30)
+        # Imbalance: drop most of class 1.
+        keep = np.concatenate([np.arange(30), np.arange(30, 38)])
+        ds = Dataset(t.take(keep), labels[keep], ("a", "b"))
+        out = BorderlineSMOTE(random_state=0).fit_resample(ds)
+        counts = out.class_counts()
+        assert counts[0] == counts[1]
+
+    def test_no_minority_instances_no_crash(self):
+        t, labels = _two_blobs(5)
+        ds = Dataset(t, labels, ("a", "b"))
+        out = BorderlineSMOTE(random_state=0).fit_resample(ds)
+        assert out.n >= ds.n

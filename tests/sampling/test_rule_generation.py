@@ -1,0 +1,240 @@
+"""Tests for FROTE's rule-constrained synthetic instance generator.
+
+The central invariant (paper §4.2): every generated instance satisfies the
+original, unrelaxed feedback rule, and its label follows the rule's π.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rules import FeedbackRule, Predicate, clause
+from repro.sampling import (
+    NumericWindow,
+    RuleConstrainedGenerator,
+    pick_categorical,
+    sample_in_window,
+    window_from_conditions,
+)
+
+
+class TestNumericWindow:
+    def test_bounds_folded(self):
+        w = window_from_conditions(
+            (Predicate("x", ">", 1.0), Predicate("x", "<=", 5.0))
+        )
+        assert (w.lo, w.hi, w.lo_strict, w.hi_strict) == (1.0, 5.0, True, False)
+
+    def test_tightest_bound_wins(self):
+        w = window_from_conditions(
+            (Predicate("x", ">", 1.0), Predicate("x", ">=", 3.0))
+        )
+        assert w.lo == 3.0 and not w.lo_strict
+
+    def test_equal_value_strict_wins(self):
+        w = window_from_conditions(
+            (Predicate("x", ">=", 1.0), Predicate("x", ">", 1.0))
+        )
+        assert w.lo == 1.0 and w.lo_strict
+
+    def test_eq_condition(self):
+        w = window_from_conditions((Predicate("x", "==", 3.0),))
+        assert w.eq == 3.0
+        assert w.contains(3.0) and not w.contains(3.1)
+
+    def test_contains_strictness(self):
+        w = NumericWindow(lo=1.0, hi=2.0, lo_strict=True, hi_strict=False)
+        assert not w.contains(1.0)
+        assert w.contains(2.0)
+
+
+class TestSampleInWindow:
+    def test_eq_returns_exact(self):
+        w = NumericWindow(eq=7.0)
+        rng = np.random.default_rng(0)
+        assert sample_in_window(w, 0.0, 1.0, (0.0, 10.0), rng) == 7.0
+
+    def test_prefers_smote_segment(self):
+        w = NumericWindow(lo=0.0, hi=100.0)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            v = sample_in_window(w, 3.0, 5.0, (0.0, 100.0), rng)
+            assert 3.0 <= v <= 5.0
+
+    def test_falls_back_to_window_when_segment_outside(self):
+        w = NumericWindow(lo=10.0, hi=20.0)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            v = sample_in_window(w, 1.0, 2.0, (0.0, 30.0), rng)
+            assert 10.0 <= v <= 20.0
+
+    def test_strict_bounds_respected(self):
+        w = NumericWindow(lo=1.0, hi=2.0, lo_strict=True, hi_strict=True)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            v = sample_in_window(w, 0.0, 0.5, (0.0, 3.0), rng)
+            assert 1.0 < v < 2.0
+
+    def test_half_open_window_outside_range(self):
+        w = NumericWindow(lo=1000.0)
+        rng = np.random.default_rng(0)
+        v = sample_in_window(w, 0.0, 1.0, (0.0, 10.0), rng)
+        assert v >= 1000.0
+
+
+class TestPickCategorical:
+    def test_majority_when_unconstrained(self):
+        rng = np.random.default_rng(0)
+        code = pick_categorical(np.array([1, 1, 0]), (), ("a", "b"), rng)
+        assert code == 1
+
+    def test_eq_condition_forces_value(self):
+        rng = np.random.default_rng(0)
+        code = pick_categorical(
+            np.array([1, 1, 1]),
+            (Predicate("c", "==", "a"),),
+            ("a", "b"),
+            rng,
+        )
+        assert code == 0
+
+    def test_ne_condition_skips_majority(self):
+        rng = np.random.default_rng(0)
+        code = pick_categorical(
+            np.array([1, 1, 0]),
+            (Predicate("c", "!=", "b"),),
+            ("a", "b"),
+            rng,
+        )
+        assert code == 0
+
+    def test_all_observed_violate_falls_back_to_allowed(self):
+        rng = np.random.default_rng(0)
+        code = pick_categorical(
+            np.array([0, 0]),
+            (Predicate("c", "!=", "a"),),
+            ("a", "b", "z"),
+            rng,
+        )
+        assert code in (1, 2)
+
+    def test_unsatisfiable_conditions_raise(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="no categorical value"):
+            pick_categorical(
+                np.array([0]),
+                (Predicate("c", "==", "a"), Predicate("c", "!=", "a")),
+                ("a", "b"),
+                rng,
+            )
+
+
+class TestRuleConstrainedGenerator:
+    def _rule(self, n_classes=2):
+        return FeedbackRule.deterministic(
+            clause(
+                Predicate("age", "<", 40.0),
+                Predicate("marital", "==", "single"),
+            ),
+            1,
+            n_classes,
+            name="r",
+        )
+
+    def test_generated_instances_satisfy_rule(self, mixed_table):
+        rule = self._rule()
+        gen = RuleConstrainedGenerator(rule, mixed_table, k=5)
+        pool = mixed_table.loc_mask(rule.coverage_mask(mixed_table))
+        rng = np.random.default_rng(0)
+        batch = gen.generate(pool, np.arange(min(20, pool.n_rows)), rng)
+        assert batch.n > 0
+        assert rule.coverage_mask(batch.table).all()
+
+    def test_labels_follow_deterministic_pi(self, mixed_table):
+        rule = self._rule()
+        gen = RuleConstrainedGenerator(rule, mixed_table, k=3)
+        pool = mixed_table.loc_mask(rule.coverage_mask(mixed_table))
+        batch = gen.generate(pool, np.arange(10), np.random.default_rng(0))
+        assert (batch.labels == 1).all()
+
+    def test_labels_follow_probabilistic_pi(self, mixed_table):
+        rule = FeedbackRule(
+            clause(Predicate("age", "<", 60.0)), (0.5, 0.5), name="p"
+        )
+        gen = RuleConstrainedGenerator(rule, mixed_table, k=3)
+        pool = mixed_table.loc_mask(rule.coverage_mask(mixed_table))
+        idx = np.zeros(400, dtype=np.intp)  # many samples from one base
+        batch = gen.generate(pool, idx, np.random.default_rng(0))
+        assert 0.35 < batch.labels.mean() < 0.65
+
+    def test_generation_from_relaxed_pool_still_satisfies_original(self, mixed_table):
+        """Pool rows only weakly cover the rule (relaxed); output must satisfy
+        the original rule anyway — the paper's 'special logic' case."""
+        rule = self._rule()
+        # Pool: rows matching only the age condition (marital arbitrary).
+        pool = mixed_table.loc_mask(mixed_table.column("age") < 40.0)
+        gen = RuleConstrainedGenerator(rule, mixed_table, k=5)
+        batch = gen.generate(pool, np.arange(min(30, pool.n_rows)), np.random.default_rng(1))
+        assert rule.coverage_mask(batch.table).all()
+
+    def test_empty_positions_empty_batch(self, mixed_table):
+        gen = RuleConstrainedGenerator(self._rule(), mixed_table)
+        batch = gen.generate(
+            mixed_table, np.array([], dtype=np.intp), np.random.default_rng(0)
+        )
+        assert batch.n == 0
+
+    def test_empty_pool_raises(self, mixed_table):
+        gen = RuleConstrainedGenerator(self._rule(), mixed_table)
+        empty = mixed_table.loc_mask(np.zeros(mixed_table.n_rows, dtype=bool))
+        with pytest.raises(ValueError, match="empty base population"):
+            gen.generate(empty, np.array([0]), np.random.default_rng(0))
+
+    def test_single_row_pool_selfneighbour(self, mixed_table):
+        rule = self._rule()
+        pool_full = mixed_table.loc_mask(rule.coverage_mask(mixed_table))
+        pool = pool_full.take(np.array([0]))
+        gen = RuleConstrainedGenerator(rule, mixed_table, k=5)
+        batch = gen.generate(pool, np.array([0, 0, 0]), np.random.default_rng(0))
+        assert batch.n == 3
+        assert rule.coverage_mask(batch.table).all()
+
+    def test_invalid_k_raises(self, mixed_table):
+        with pytest.raises(ValueError, match="k must be"):
+            RuleConstrainedGenerator(self._rule(), mixed_table, k=0)
+
+    def test_unconstrained_numeric_interpolates(self, mixed_table):
+        rule = FeedbackRule.deterministic(
+            clause(Predicate("marital", "==", "single")), 1, 2
+        )
+        gen = RuleConstrainedGenerator(rule, mixed_table, k=5)
+        pool = mixed_table.loc_mask(rule.coverage_mask(mixed_table))
+        batch = gen.generate(pool, np.arange(pool.n_rows), np.random.default_rng(0))
+        # Income (unconstrained) must stay within the pool's convex hull.
+        inc = pool.column("income")
+        assert batch.table.column("income").min() >= inc.min() - 1e-9
+        assert batch.table.column("income").max() <= inc.max() + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    lo=st.floats(min_value=20.0, max_value=40.0),
+    hi=st.floats(min_value=50.0, max_value=75.0),
+)
+def test_generated_satisfy_rule_property(seed, lo, hi, ):
+    """For arbitrary interval rules, every generated row satisfies the rule."""
+    from repro.data import Table, make_schema
+
+    schema = make_schema(numeric=["age"], categorical={"c": ("a", "b")})
+    rng = np.random.default_rng(seed)
+    n = 120
+    t = Table(schema, {"age": rng.uniform(18, 80, n), "c": rng.integers(0, 2, n)})
+    rule = FeedbackRule.deterministic(
+        clause(Predicate("age", ">=", lo), Predicate("age", "<", hi)), 1, 2
+    )
+    pool = t.loc_mask(t.column("age") >= 0)  # whole table as (relaxed) pool
+    gen = RuleConstrainedGenerator(rule, t, k=5)
+    batch = gen.generate(pool, np.arange(15), rng)
+    assert rule.coverage_mask(batch.table).all()

@@ -1,0 +1,121 @@
+"""Tests for SMOTE / SMOTE-NC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling import SMOTE, interpolate_numeric, majority_categorical
+
+
+class TestPrimitives:
+    def test_interpolation_endpoints(self):
+        base, nbr = np.array([0.0]), np.array([10.0])
+        assert interpolate_numeric(base, nbr, np.array([0.0]))[0] == 0.0
+        assert interpolate_numeric(base, nbr, np.array([1.0]))[0] == 10.0
+
+    def test_interpolation_between(self):
+        v = interpolate_numeric(np.array([2.0]), np.array([4.0]), np.array([0.5]))
+        assert v[0] == 3.0
+
+    def test_majority_categorical(self):
+        rng = np.random.default_rng(0)
+        assert majority_categorical(np.array([1, 1, 2]), rng) == 1
+
+    def test_majority_tie_broken_within_candidates(self):
+        rng = np.random.default_rng(0)
+        picks = {majority_categorical(np.array([0, 1]), rng) for _ in range(50)}
+        assert picks <= {0, 1}
+
+
+class TestGenerate:
+    def test_synthetic_in_convex_hull_numeric(self, mixed_table):
+        smote = SMOTE(k=5, random_state=0)
+        synth = smote.generate(mixed_table, 100)
+        for col in ("age", "income"):
+            vals = synth.column(col)
+            orig = mixed_table.column(col)
+            assert vals.min() >= orig.min() - 1e-9
+            assert vals.max() <= orig.max() + 1e-9
+
+    def test_categorical_values_valid_codes(self, mixed_table):
+        synth = SMOTE(k=3, random_state=0).generate(mixed_table, 50)
+        for col in ("marital", "color"):
+            codes = synth.column(col)
+            assert codes.min() >= 0
+            assert codes.max() < 3
+
+    def test_requested_count(self, mixed_table):
+        assert SMOTE(random_state=0).generate(mixed_table, 17).n_rows == 17
+
+    def test_base_indices_restrict_bases(self, mixed_table):
+        young = np.flatnonzero(mixed_table.column("age") < 30.0)
+        synth = SMOTE(k=3, random_state=0).generate(
+            mixed_table, 30, base_indices=young
+        )
+        # Numeric values interpolate between a young base and any neighbour;
+        # ages cannot exceed the max over (young ∪ neighbours of young).
+        assert synth.n_rows == 30
+
+    def test_too_few_rows_raises(self, mixed_table):
+        single = mixed_table.take(np.array([0]))
+        with pytest.raises(ValueError, match="at least 2"):
+            SMOTE().generate(single, 5)
+
+    def test_empty_base_indices_raises(self, mixed_table):
+        with pytest.raises(ValueError, match="empty"):
+            SMOTE().generate(mixed_table, 5, base_indices=np.array([], dtype=int))
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError, match="k must be"):
+            SMOTE(k=0)
+
+    def test_reproducible(self, mixed_table):
+        a = SMOTE(random_state=3).generate(mixed_table, 20)
+        b = SMOTE(random_state=3).generate(mixed_table, 20)
+        np.testing.assert_allclose(a.column("age"), b.column("age"))
+
+
+class TestFitResample:
+    def test_balances_classes(self, mixed_dataset):
+        out = SMOTE(random_state=0).fit_resample(mixed_dataset)
+        counts = out.class_counts()
+        assert counts[0] == counts[1]
+
+    def test_original_rows_kept(self, mixed_dataset):
+        out = SMOTE(random_state=0).fit_resample(mixed_dataset)
+        assert out.n >= mixed_dataset.n
+        np.testing.assert_allclose(
+            out.X.column("age")[: mixed_dataset.n], mixed_dataset.X.column("age")
+        )
+
+    def test_already_balanced_unchanged(self):
+        from tests.conftest import make_tiny_dataset
+
+        ds = make_tiny_dataset(60, seed=1)
+        # Force exact balance.
+        n0 = int((ds.y == 0).sum())
+        n1 = int((ds.y == 1).sum())
+        m = min(n0, n1)
+        idx = np.concatenate(
+            [np.flatnonzero(ds.y == 0)[:m], np.flatnonzero(ds.y == 1)[:m]]
+        )
+        balanced = ds.take(idx)
+        out = SMOTE(random_state=0).fit_resample(balanced)
+        assert out.n == balanced.n
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_samples=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_generate_count_property(n_samples, seed, ):
+    """SMOTE always produces exactly the requested number of rows."""
+    from repro.data import Table, make_schema
+
+    schema = make_schema(numeric=["x"], categorical={"c": ("a", "b")})
+    rng = np.random.default_rng(seed)
+    t = Table(schema, {"x": rng.normal(size=20), "c": rng.integers(0, 2, 20)})
+    out = SMOTE(k=3, random_state=seed).generate(t, n_samples)
+    assert out.n_rows == n_samples

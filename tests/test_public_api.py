@@ -1,0 +1,71 @@
+"""The public API surface advertised in the README must exist and work."""
+
+import pytest
+
+
+class TestImports:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_subpackages_importable(self):
+        import repro.baselines
+        import repro.core
+        import repro.data
+        import repro.datasets
+        import repro.experiments
+        import repro.metrics
+        import repro.models
+        import repro.neighbors
+        import repro.rules
+        import repro.sampling
+        import repro.utils
+
+    def test_subpackage_alls_resolve(self):
+        import importlib
+
+        for mod_name in (
+            "repro.data",
+            "repro.rules",
+            "repro.models",
+            "repro.core",
+            "repro.sampling",
+            "repro.neighbors",
+            "repro.metrics",
+            "repro.datasets",
+            "repro.baselines",
+            "repro.experiments",
+            "repro.utils",
+        ):
+            mod = importlib.import_module(mod_name)
+            for name in getattr(mod, "__all__", []):
+                assert hasattr(mod, name), f"{mod_name} missing {name}"
+
+
+class TestReadmeQuickstart:
+    def test_docstring_example_runs(self):
+        """The module docstring's quick-start must be executable."""
+        from repro import FROTE, FroteConfig, FeedbackRuleSet, parse_rule
+        from repro.datasets import load_dataset
+        from repro.models import paper_algorithm
+
+        data = load_dataset("adult", n=400, random_state=0)
+        rule = parse_rule(
+            "age < 29 AND education = 'bachelors' => >50K",
+            data.X.schema,
+            data.label_names,
+        )
+        frote = FROTE(
+            paper_algorithm("RF"),
+            FeedbackRuleSet((rule,)),
+            FroteConfig(tau=3, q=0.2, eta=10, random_state=0),
+        )
+        result = frote.run(data)
+        assert result.model.predict(data.X).shape == (data.n,)

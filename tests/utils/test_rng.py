@@ -1,0 +1,60 @@
+"""Tests for RNG normalization."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import check_random_state, spawn_rng
+
+
+class TestCheckRandomState:
+    def test_none_returns_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = check_random_state(42).integers(0, 1000, 10)
+        b = check_random_state(42).integers(0, 1000, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = check_random_state(1).integers(0, 10**9)
+        b = check_random_state(2).integers(0, 10**9)
+        assert a != b
+
+    def test_numpy_integer_seed_accepted(self):
+        g = check_random_state(np.int64(5))
+        assert isinstance(g, np.random.Generator)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert check_random_state(g) is g
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError, match="random_state"):
+            check_random_state("seed")
+
+    def test_legacy_randomstate_rejected(self):
+        with pytest.raises(TypeError):
+            check_random_state(np.random.RandomState(0))
+
+
+class TestSpawnRng:
+    def test_spawn_count(self):
+        children = spawn_rng(check_random_state(0), 5)
+        assert len(children) == 5
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rng(check_random_state(0), 3)
+        draws = [c.integers(0, 10**9) for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_reproducible(self):
+        a = [g.integers(0, 10**9) for g in spawn_rng(check_random_state(7), 4)]
+        b = [g.integers(0, 10**9) for g in spawn_rng(check_random_state(7), 4)]
+        assert a == b
+
+    def test_spawn_zero(self):
+        assert spawn_rng(check_random_state(0), 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rng(check_random_state(0), -1)

@@ -1,0 +1,86 @@
+"""Tests for validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array_1d,
+    check_array_2d,
+    check_fraction,
+    check_positive_int,
+)
+
+
+class TestCheckArray2d:
+    def test_accepts_lists(self):
+        out = check_array_2d([[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+        assert out.dtype == np.float64
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_array_2d([1, 2, 3])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_array_2d([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="infinite"):
+            check_array_2d([[np.inf, 0.0]])
+
+    def test_empty_ok(self):
+        out = check_array_2d(np.zeros((0, 3)))
+        assert out.shape == (0, 3)
+
+    def test_name_in_error(self):
+        with pytest.raises(ValueError, match="features"):
+            check_array_2d([1.0], name="features")
+
+
+class TestCheckArray1d:
+    def test_accepts_list(self):
+        out = check_array_1d([1, 2, 3], dtype=np.int64)
+        assert out.dtype == np.int64
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            check_array_1d([[1], [2]])
+
+
+class TestCheckFraction:
+    def test_bounds_inclusive(self):
+        assert check_fraction(0.0, name="f") == 0.0
+        assert check_fraction(1.0, name="f") == 1.0
+
+    def test_exclusive_low(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, name="f", inclusive_low=False)
+
+    def test_above_one_raises(self):
+        with pytest.raises(ValueError, match="f must be in"):
+            check_fraction(1.5, name="f")
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            check_fraction(-0.1, name="f")
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, name="k") == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, name="k")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, name="k")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, name="k")
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int32(4), name="k") == 4
