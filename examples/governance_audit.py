@@ -6,6 +6,10 @@ runs an edit, prints the governance audit (JSON-ready), and then sweeps
 augmentation past the useful range to locate the *inflection point* where
 more synthetic data starts hurting overall performance.
 
+This example deliberately uses the legacy ``FROTE(...).run(...)`` API
+rather than ``repro.edit(...)`` — it exercises the compatibility layer,
+which drives the same engine and produces seed-identical results.
+
 Run:  python examples/governance_audit.py
 """
 

@@ -13,7 +13,7 @@ from repro.data import stratified_split
 from repro.datasets import load_dataset
 from repro.metrics import f1_score
 from repro.models import paper_algorithm
-from repro.sampling import SMOTE, BorderlineSMOTE
+from repro.sampling import make_sampler
 
 
 def main() -> None:
@@ -30,10 +30,14 @@ def main() -> None:
     train, test = stratified_split(imbalanced, test_fraction=0.3, random_state=0)
     algorithm = paper_algorithm("LGBM")
 
+    # Samplers are looked up in the repro.engine.SAMPLERS registry, so a
+    # sampler you register with @register_sampler works here by name too.
     results = {}
     results["no resampling"] = train
-    results["SMOTE-NC"] = SMOTE(k=5, random_state=0).fit_resample(train)
-    results["Borderline-SMOTE"] = BorderlineSMOTE(k=5, random_state=0).fit_resample(train)
+    results["SMOTE-NC"] = make_sampler("smote", k=5, random_state=0).fit_resample(train)
+    results["Borderline-SMOTE"] = make_sampler(
+        "borderline", k=5, random_state=0
+    ).fit_resample(train)
 
     print(f"\n{'method':20s} {'train size':>10s} {'minority F1 (test)':>20s}")
     for name, resampled in results.items():

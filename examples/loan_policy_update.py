@@ -9,12 +9,10 @@ and retrains until the decision boundary moves.
 Run:  python examples/loan_policy_update.py
 """
 
-import numpy as np
-
-from repro import FROTE, FeedbackRuleSet, FroteConfig, evaluate_model, parse_rule
+import repro
+from repro import FeedbackRuleSet, evaluate_model, parse_rule
 from repro.data import coverage_aware_split
 from repro.datasets import load_dataset
-from repro.experiments import ascii_boxplot
 from repro.models import paper_algorithm
 
 
@@ -43,20 +41,24 @@ def main() -> None:
     before = evaluate_model(initial_model, split.test, frs)
 
     # mod_strategy="none": there is nothing to relabel (no coverage), so
-    # augmentation must do all the work via rule relaxation.
-    frote = FROTE(
-        algorithm,
-        frs,
-        FroteConfig(tau=30, q=0.5, eta=50, mod_strategy="none", random_state=42),
-    )
+    # augmentation must do all the work via rule relaxation.  The session's
+    # track_metric scores every accepted model on the held-out test set and
+    # records it in the iteration history as external_score.
     trace: list[float] = [before.j_weighted()]
 
-    def track(model) -> float:
+    def held_out_j(model) -> float:
         j = evaluate_model(model, split.test, frs).j_weighted()
         trace.append(j)
         return j
 
-    result = frote.run(split.train, eval_callback=track)
+    result = (
+        repro.edit(split.train)
+        .with_rules(frs)
+        .with_algorithm(algorithm)
+        .configure(tau=30, q=0.5, eta=50, mod_strategy="none", random_state=42)
+        .track_metric(held_out_j)
+        .run()
+    )
     after = evaluate_model(result.model, split.test, frs)
 
     print(f"\nHeld-out test, before: J={before.j_weighted():.3f} "

@@ -1,16 +1,18 @@
 """Multiple experts, conflicting feedback, and probabilistic rules.
 
 Two claims adjusters provide overlapping feedback rules with contradictory
-labels (paper §3.1).  We detect the conflict, resolve it two ways — carving
-out the intersection, and creating a mixture rule over it — and run FROTE
-with the resolved, partly probabilistic rule set.
+labels (paper §3.1).  The edit session accumulates rules incrementally —
+each expert adds theirs with a separate ``with_rules`` call — and resolves
+the conflict at run time with the mixture strategy, producing a partly
+probabilistic rule set.
 
 Run:  python examples/multi_expert_rules.py
 """
 
 import numpy as np
 
-from repro import FROTE, FeedbackRuleSet, FroteConfig, evaluate_model, parse_rule
+import repro
+from repro import FeedbackRuleSet, evaluate_model, parse_rule
 from repro.datasets import load_dataset
 from repro.models import paper_algorithm
 
@@ -28,8 +30,8 @@ def main() -> None:
     rule_b = parse_rule(
         "wife-age < 36 AND wife-edu = 'high' => long-term", schema, labels, name="expertB"
     )
-    frs = FeedbackRuleSet((rule_a, rule_b))
 
+    frs = FeedbackRuleSet((rule_a, rule_b))
     conflicts = frs.find_conflicts(schema)
     print(f"Rule A: {rule_a}")
     print(f"Rule B: {rule_b}")
@@ -42,21 +44,26 @@ def main() -> None:
         print(f"  {r}")
     print(f"  conflict-free: {carved.is_conflict_free(schema)}\n")
 
-    # Resolution option 2: a 50/50 mixture rule on the intersection.
-    mixed = frs.resolve_conflicts(schema, strategy="mixture")
+    # Resolution option 2 (used below): a 50/50 mixture rule on the
+    # intersection.  The session accepts each expert's rule separately and
+    # applies the resolution when it runs.
+    algorithm = paper_algorithm("LGBM")
+    session = (
+        repro.edit(data)
+        .with_algorithm(algorithm)
+        .with_rules(rule_a)  # expert A submits first...
+        .with_rules(rule_b)  # ...expert B arrives later
+        .resolve_conflicts("mixture")
+        .configure(tau=15, q=0.5, eta=25, random_state=42)
+    )
+    mixed = session.build_state().frs
     print("After mixture resolution (note the probabilistic third rule):")
     for r in mixed:
         print(f"  {r}")
     print()
 
-    # Run FROTE with the mixture-resolved rule set.
-    algorithm = paper_algorithm("LGBM")
     before = evaluate_model(algorithm(data), data, mixed)
-    result = FROTE(
-        algorithm,
-        mixed,
-        FroteConfig(tau=15, q=0.5, eta=25, random_state=42),
-    ).run(data)
+    result = session.run()
     after = evaluate_model(result.model, data, mixed)
 
     print(f"MRA before: {before.mra:.3f}   after: {after.mra:.3f}")

@@ -2,13 +2,14 @@
 
 Scenario: a loan-approval model trained on Adult-like census data.  A new
 policy says young bachelor-degree applicants should be approved (>50K
-class).  We express that as a feedback rule, run FROTE, and compare the
-model before and after the edit.
+class).  We express that as a plain-text rule, run an edit session, and
+compare the model before and after the edit.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import FROTE, FeedbackRuleSet, FroteConfig, evaluate_model, parse_rule
+import repro
+from repro import evaluate_model
 from repro.datasets import load_dataset
 from repro.models import paper_algorithm
 
@@ -19,30 +20,31 @@ def main() -> None:
     data = load_dataset("adult", n=1500, random_state=0)
     algorithm = paper_algorithm("LGBM")
 
-    # 2. The user's feedback, written as a plain-text rule.
-    rule = parse_rule(
-        "age < 29 AND education = 'bachelors' => >50K",
-        data.X.schema,
-        data.label_names,
-        name="new-policy",
+    # 2. The edit session: feedback as a plain-text rule, parsed against
+    #    the dataset's schema.  Nothing runs until .run().
+    session = (
+        repro.edit(data)
+        .with_rules("age < 29 AND education = 'bachelors' => >50K")
+        .with_algorithm(algorithm)
+        .configure(tau=20, q=0.5, eta=40, random_state=42)
     )
-    frs = FeedbackRuleSet((rule,))
+    state = session.build_state()
+    rule = state.frs[0]
     print(f"Feedback rule: {rule}")
     print(f"Rule coverage in data: {rule.coverage_count(data.X)} / {data.n} rows")
 
     # 3. Baseline: the model trained on the unmodified data.
-    before = evaluate_model(algorithm(data), data, frs)
+    before = evaluate_model(algorithm(data), data, state.frs)
     print(f"\nBefore editing:  MRA={before.mra:.3f}  F1(outside)={before.f1_outside:.3f}")
 
-    # 4. FROTE: relabel disagreeing instances, then oversample with
+    # 4. Run the edit: relabel disagreeing instances, then oversample with
     #    rule-constrained SMOTE until the model follows the rule.
-    frote = FROTE(algorithm, frs, FroteConfig(tau=20, q=0.5, eta=40, random_state=42))
-    result = frote.run(data)
-    after = evaluate_model(result.model, data, frs)
+    result = session.run()
+    after = evaluate_model(result.model, data, state.frs)
 
     print(f"After  editing:  MRA={after.mra:.3f}  F1(outside)={after.f1_outside:.3f}")
     print(
-        f"\nFROTE ran {result.iterations} iterations, accepted "
+        f"\nThe session ran {result.iterations} iterations, accepted "
         f"{result.accepted_iterations} batches, added {result.n_added} synthetic "
         f"instances ({100 * result.added_fraction:.1f}% of the input data), "
         f"relabelled {result.n_relabelled} rows."

@@ -1,32 +1,75 @@
 """FROTE: Feedback Rule-Driven Oversampling for Editing Models.
 
-Full reproduction of Alkan et al. (MLSYS 2022).  The public API surface:
+Full reproduction of Alkan et al. (MLSYS 2022), grown into a pluggable
+model-editing library.  The public API surface:
 
-* :class:`repro.FROTE` / :func:`repro.run_frote` — the model-editing loop;
+* :func:`repro.edit` — the fluent :class:`~repro.engine.EditSession`
+  façade: the recommended way to edit a model;
+* :mod:`repro.engine` — the pluggable edit engine: strategy registries
+  (``register_selector`` & co.), composable pipeline stages, and the
+  :class:`~repro.engine.EditEngine` driver;
+* :class:`repro.FROTE` / :func:`repro.run_frote` — the original
+  paper-faithful API, kept as a thin compatibility layer over the engine;
 * :mod:`repro.rules` — feedback rules (parse, learn, perturb, resolve);
 * :mod:`repro.models` — from-scratch LR / RF / GBDT classifiers and the
   black-box training-algorithm wrapper;
 * :mod:`repro.datasets` — synthetic UCI-equivalent benchmark datasets;
 * :mod:`repro.baselines` — the Overlay post-processing baseline;
-* :mod:`repro.experiments` — drivers regenerating every paper table/figure.
+* :mod:`repro.experiments` — drivers regenerating every paper table/figure
+  (``python -m repro.experiments --list-strategies`` shows every
+  registered strategy, plugins included).
 
-Quick start::
+Quick start — the one-liner session::
 
-    from repro import FROTE, FroteConfig, parse_rule, FeedbackRuleSet
-    from repro.models import paper_algorithm
+    import repro
     from repro.datasets import load_dataset
 
     data = load_dataset("adult")
-    rule = parse_rule("age < 29 AND education = 'bachelors' => >50K",
-                      data.X.schema, data.label_names)
-    frote = FROTE(paper_algorithm("RF"), FeedbackRuleSet((rule,)),
-                  FroteConfig(tau=30, q=0.5))
-    result = frote.run(data)
+    result = (
+        repro.edit(data)
+        .with_rules("age < 29 AND education = 'bachelors' => >50K")
+        .with_algorithm("RF")
+        .configure(tau=30, q=0.5)
+        .run()
+    )
     edited_model = result.model
+
+Plugging in a custom strategy — register it, then name it in the config::
+
+    from repro.engine import register_selector
+
+    @register_selector("first-k")
+    class FirstKSelector:
+        def select(self, bp, eta, ctx):
+            import numpy as np
+            return [np.arange(min(eta, pop.size)) for pop in bp.per_rule]
+
+    result = repro.edit(data).with_rules(rule).with_algorithm("LR") \\
+        .configure(selection="first-k").run()
+
+The legacy path (identical results for identical seeds)::
+
+    from repro import FROTE, FroteConfig, FeedbackRuleSet
+    result = FROTE(algorithm, FeedbackRuleSet((rule,)),
+                   FroteConfig(tau=30, q=0.5)).run(data)
 """
 
 from repro.core import FROTE, Evaluation, FroteConfig, FroteResult, evaluate_model, run_frote
 from repro.data import Dataset, Schema, Table, make_schema
+from repro.engine import (
+    MODIFIERS,
+    OBJECTIVES,
+    SAMPLERS,
+    SELECTORS,
+    EditEngine,
+    EditSession,
+    ProgressEvent,
+    edit,
+    register_modifier,
+    register_objective,
+    register_sampler,
+    register_selector,
+)
 from repro.rules import (
     Clause,
     FeedbackRule,
@@ -36,10 +79,22 @@ from repro.rules import (
     parse_rule,
 )
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "__version__",
+    "edit",
+    "EditSession",
+    "EditEngine",
+    "ProgressEvent",
+    "SELECTORS",
+    "MODIFIERS",
+    "SAMPLERS",
+    "OBJECTIVES",
+    "register_selector",
+    "register_modifier",
+    "register_sampler",
+    "register_objective",
     "FROTE",
     "FroteConfig",
     "FroteResult",

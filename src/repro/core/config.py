@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from math import isinf
 
+from repro.engine.registry import MODIFIERS, OBJECTIVES, SELECTORS
 from repro.utils.rng import RandomState
 
 
@@ -18,7 +20,9 @@ class FroteConfig:
         training algorithm (paper default 200).
     q:
         Oversampling fraction — allowed augmentation relative to ``|D|``
-        (paper default 0.5).
+        (paper default 0.5).  Must be in ``(0, MAX_Q]``; pass
+        ``math.inf`` for an explicitly unbounded quota (diagnostic
+        sweeps).
     eta:
         Instances generated per iteration.  ``None`` (default) uses the
         paper's uniform quota ``q·|D|/τ``; the paper's experiments override
@@ -27,11 +31,18 @@ class FroteConfig:
         Nearest-neighbour count for generation and relaxation thresholds
         (paper: 5, following SMOTE).
     selection:
-        Base-instance selection strategy: ``"random"``, ``"ip"``, or
-        ``"online"``.
+        Base-instance selection strategy — any name in
+        :data:`repro.engine.SELECTORS` (built-ins: ``"random"``, ``"ip"``,
+        ``"online"``; user plugins register via
+        :func:`repro.engine.register_selector`).
     mod_strategy:
-        Input dataset choice applied before augmentation: ``"none"``,
-        ``"relabel"``, or ``"drop"``.
+        Input dataset choice applied before augmentation — any name in
+        :data:`repro.engine.MODIFIERS` (built-ins: ``"none"``,
+        ``"relabel"``, ``"drop"``).
+    objective:
+        Acceptance objective — any name in :data:`repro.engine.OBJECTIVES`
+        (built-ins: ``"equal"``, the paper's fixed 0.5/0.5 weighting, and
+        ``"weighted"``, the coverage-probability weighting).
     mra_weight:
         Weight of the MRA term in the in-loop objective (paper: 0.5).
     accept_equal:
@@ -47,32 +58,50 @@ class FroteConfig:
     k: int = 5
     selection: str = "random"
     mod_strategy: str = "relabel"
+    objective: str = "equal"
     mra_weight: float = 0.5
     accept_equal: bool = False
     random_state: RandomState = 42
+
+    #: Upper bound on ``q``; the paper sweeps (0, 1], anything past this is
+    #: almost certainly a units mistake (e.g. a percentage passed as-is).
+    MAX_Q = 10.0
 
     def __post_init__(self) -> None:
         if self.tau < 1:
             raise ValueError(f"tau must be >= 1, got {self.tau}")
         if self.q <= 0:
             raise ValueError(f"q must be positive, got {self.q}")
+        if self.q > self.MAX_Q and not isinf(self.q):
+            raise ValueError(
+                f"q must be <= {self.MAX_Q} (a fraction of |D|, not a "
+                f"percentage), got {self.q}; use q=math.inf for an "
+                f"explicitly unbounded quota"
+            )
         if self.eta is not None and self.eta < 1:
             raise ValueError(f"eta must be >= 1, got {self.eta}")
         if self.k < 1:
             raise ValueError(f"k must be >= 1, got {self.k}")
         if not 0.0 <= self.mra_weight <= 1.0:
             raise ValueError(f"mra_weight must be in [0, 1], got {self.mra_weight}")
-        if self.selection not in ("random", "ip", "online"):
-            raise ValueError(f"unknown selection strategy {self.selection!r}")
-        if self.mod_strategy not in ("none", "relabel", "drop"):
-            raise ValueError(f"unknown mod strategy {self.mod_strategy!r}")
+        # Registry lookups: unknown names raise with the full registered
+        # list (user plugins included) and a did-you-mean suggestion.
+        SELECTORS.validate(self.selection)
+        MODIFIERS.validate(self.mod_strategy)
+        OBJECTIVES.validate(self.objective)
 
     def effective_eta(self, n: int) -> int:
         """Per-iteration generation count: explicit η or the uniform quota."""
         if self.eta is not None:
             return self.eta
+        if isinf(self.q):
+            return max(1, n)
         return max(1, int(round(self.q * n / self.tau)))
 
     def oversampling_quota(self, n: int) -> int:
-        """Total augmentation budget ``q · |D|``."""
-        return int(self.q * n)
+        """Total augmentation budget ``q · |D|`` (rounded half-to-even,
+        matching :meth:`effective_eta`); effectively unlimited for
+        ``q=inf``."""
+        if isinf(self.q):
+            return int(1e18)
+        return int(round(self.q * n))

@@ -11,70 +11,29 @@ conflict-free feedback rule set F, FROTE:
    the empirical loss ĵ decreases;
 4. stops when the oversampling quota ``q·|D|`` is used up or the iteration
    limit τ is reached.
+
+This module is the *compatibility layer*: since the engine redesign the
+loop itself lives in :mod:`repro.engine.stages` as composable pipeline
+stages, and :class:`FROTE` / :func:`run_frote` drive it through the same
+:class:`~repro.engine.stages.EditEngine` the fluent
+:func:`repro.edit` session uses — with identical results for identical
+seeds.  :class:`FroteResult` and :class:`IterationRecord` are defined in
+:mod:`repro.engine.state` and re-exported here.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable
 
-import numpy as np
-
-from repro.core.audit import EditAudit, RowProvenance
 from repro.core.config import FroteConfig
-from repro.core.modification import apply_modification
-from repro.core.objective import Evaluation, evaluate_model
-from repro.core.preselect import BasePopulation, preselect_base_population
-from repro.core.selection import SelectionContext, make_selector
 from repro.data.dataset import Dataset
+from repro.engine.stages import EditEngine
+from repro.engine.state import EditState, FroteResult, IterationRecord
 from repro.models.base import TableModel, TrainingAlgorithm
 from repro.rules.ruleset import FeedbackRuleSet
-from repro.sampling.rule_generation import RuleConstrainedGenerator
 from repro.utils.rng import check_random_state
 
-
-@dataclass(frozen=True)
-class IterationRecord:
-    """One augmentation-loop iteration for progress analysis (paper Fig. 9)."""
-
-    iteration: int
-    candidate_loss: float
-    accepted: bool
-    n_generated: int
-    n_added_total: int
-    external_score: float | None = None  # eval_callback output, if any
-
-
-@dataclass
-class FroteResult:
-    """Output of a FROTE run."""
-
-    dataset: Dataset  # the augmented dataset D̂
-    model: TableModel  # model trained on D̂
-    initial_evaluation: Evaluation
-    final_evaluation: Evaluation
-    history: list[IterationRecord] = field(default_factory=list)
-    n_added: int = 0
-    iterations: int = 0
-    n_relabelled: int = 0
-    n_dropped: int = 0
-    provenance: RowProvenance | None = None
-
-    @property
-    def accepted_iterations(self) -> int:
-        return sum(1 for rec in self.history if rec.accepted)
-
-    def audit(self, frs: FeedbackRuleSet, *, mod_strategy: str = "", **metadata) -> EditAudit:
-        """Governance-ready audit record of this edit (paper §6)."""
-        return EditAudit.from_run(
-            frs, self, mod_strategy=mod_strategy, metadata=metadata
-        )
-
-    @property
-    def added_fraction(self) -> float:
-        """Δ#Ins / |D| as reported in the paper's Table 4."""
-        base = self.dataset.n - self.n_added
-        return self.n_added / base if base else 0.0
+__all__ = ["FROTE", "FroteResult", "IterationRecord", "run_frote"]
 
 
 class FROTE:
@@ -88,6 +47,9 @@ class FROTE:
         Conflict-free feedback rule set.
     config:
         User constraints and knobs; see :class:`FroteConfig`.
+    engine:
+        Optional custom :class:`~repro.engine.stages.EditEngine`; the
+        default reproduces the paper's loop exactly.
 
     Example
     -------
@@ -101,12 +63,15 @@ class FROTE:
         algorithm: TrainingAlgorithm,
         frs: FeedbackRuleSet,
         config: FroteConfig | None = None,
+        *,
+        engine: EditEngine | None = None,
     ) -> None:
         if len(frs) == 0:
             raise ValueError("feedback rule set is empty")
         self.algorithm = algorithm
         self.frs = frs
         self.config = config or FroteConfig()
+        self.engine = engine or EditEngine()
 
     # ------------------------------------------------------------------ #
     def run(
@@ -121,140 +86,15 @@ class FROTE:
         model and its score recorded in the history — used to trace
         held-out J̄ during augmentation (paper Fig. 9).
         """
-        cfg = self.config
-        rng = check_random_state(cfg.random_state)
-
-        mod = apply_modification(
-            dataset, self.frs, cfg.mod_strategy, random_state=rng
+        state = EditState(
+            input_dataset=dataset,
+            frs=self.frs,
+            algorithm=self.algorithm,
+            config=self.config,
+            rng=check_random_state(self.config.random_state),
+            eval_callback=eval_callback,
         )
-        active = mod.dataset
-
-        # Lineage of the edit (paper §6): start with the input rows, record
-        # relabels/drops, then extend with synthetic rows per accepted batch.
-        provenance = RowProvenance.for_input(dataset.n)
-        if mod.n_dropped:
-            drop_mask = np.zeros(dataset.n, dtype=bool)
-            drop_mask[mod.touched_rows] = True
-            provenance = provenance.drop_rows(drop_mask)
-        elif mod.n_relabelled:
-            provenance.mark_relabelled(
-                mod.touched_rows, mod.touched_rules, mod.original_labels
-            )
-        n_input = active.n
-        eta = cfg.effective_eta(n_input)
-        quota = cfg.oversampling_quota(n_input)
-
-        model = self.algorithm(active)
-        evaluation = evaluate_model(model, active, self.frs)
-        best_loss = evaluation.loss_equal(cfg.mra_weight)
-        initial_evaluation = evaluation
-
-        selector = make_selector(cfg.selection)
-        bp = preselect_base_population(active, self.frs, k=cfg.k)
-        generators = self._make_generators(active)
-
-        history: list[IterationRecord] = []
-        n_added = 0
-        i = 0
-        while i < cfg.tau and n_added <= quota:
-            predictions = model.predict(active.X) if cfg.selection != "random" else None
-            ctx = SelectionContext(
-                active, predictions, k=cfg.k, rng=rng, frs=self.frs
-            )
-            per_rule_positions = selector.select(bp, eta, ctx)
-            batch, per_rule_counts = self._generate(
-                active, bp, per_rule_positions, generators, rng
-            )
-            if batch.n == 0:
-                history.append(
-                    IterationRecord(i, best_loss, False, 0, n_added)
-                )
-                i += 1
-                continue
-            candidate = Dataset.concat(
-                [active, Dataset(batch.table, batch.labels, active.label_names)]
-            )
-            cand_model = self.algorithm(candidate)
-            # ĵ is evaluated over the current active dataset D̂ (line 11).
-            cand_eval = evaluate_model(cand_model, active, self.frs)
-            cand_loss = cand_eval.loss_equal(cfg.mra_weight)
-            improved = (
-                cand_loss <= best_loss if cfg.accept_equal else cand_loss < best_loss
-            )
-            external: float | None = None
-            if improved:
-                active = candidate
-                n_added += batch.n
-                best_loss = cand_loss
-                model = cand_model
-                evaluation = cand_eval
-                provenance = provenance.extend_synthetic(per_rule_counts, i)
-                bp = preselect_base_population(active, self.frs, k=cfg.k)
-                generators = self._make_generators(active)
-                if eval_callback is not None:
-                    external = float(eval_callback(model))
-            history.append(
-                IterationRecord(i, cand_loss, improved, batch.n, n_added, external)
-            )
-            i += 1
-
-        final_evaluation = evaluate_model(model, active, self.frs)
-        return FroteResult(
-            dataset=active,
-            model=model,
-            initial_evaluation=initial_evaluation,
-            final_evaluation=final_evaluation,
-            history=history,
-            n_added=n_added,
-            iterations=i,
-            n_relabelled=mod.n_relabelled,
-            n_dropped=mod.n_dropped,
-            provenance=provenance,
-        )
-
-    # ------------------------------------------------------------------ #
-    def _make_generators(self, active: Dataset) -> list[RuleConstrainedGenerator]:
-        return [
-            RuleConstrainedGenerator(rule, active.X, k=self.config.k)
-            for rule in self.frs
-        ]
-
-    def _generate(
-        self,
-        active: Dataset,
-        bp: BasePopulation,
-        per_rule_positions: list[np.ndarray],
-        generators: list[RuleConstrainedGenerator],
-        rng: np.random.Generator,
-    ):
-        """Synthesize one batch across rules.
-
-        Returns ``(GeneratedBatch, per_rule_counts)`` where the counts list
-        records how many rows each rule contributed (lineage bookkeeping).
-        """
-        from repro.data.table import Table
-        from repro.sampling.rule_generation import GeneratedBatch
-
-        tables = []
-        labels = []
-        counts = [0] * len(bp.per_rule)
-        for r, (pop, positions, gen) in enumerate(
-            zip(bp.per_rule, per_rule_positions, generators)
-        ):
-            if positions.size == 0 or pop.size == 0:
-                continue
-            pool = active.X.take(pop.indices)
-            out = gen.generate(pool, positions, rng)
-            if out.n:
-                tables.append(out.table)
-                labels.append(out.labels)
-                counts[r] = out.n
-        if not tables:
-            empty = GeneratedBatch(
-                Table.empty(active.X.schema), np.empty(0, dtype=np.int64)
-            )
-            return empty, counts
-        return GeneratedBatch(Table.concat(tables), np.concatenate(labels)), counts
+        return self.engine.run(state)
 
 
 def run_frote(

@@ -81,7 +81,7 @@ def trace_inflection(
 
     config = FroteConfig(
         tau=max_iterations,
-        q=100.0,  # quota never binds; iterations bound the sweep
+        q=float("inf"),  # quota never binds; iterations bound the sweep
         eta=eta,
         mod_strategy=mod_strategy,
         accept_equal=True,

@@ -10,6 +10,11 @@ their covering feedback rule may be:
 
 For probabilistic rules, "agreement" means the label has non-zero
 probability under π; relabelling samples from π.
+
+Each strategy is a class registered in :data:`repro.engine.MODIFIERS`
+implementing ``modify(dataset, frs, rng) -> ModificationResult``; user
+strategies plug in via :func:`repro.engine.register_modifier` and are then
+valid ``mod_strategy`` values in :class:`~repro.core.config.FroteConfig`.
 """
 
 from __future__ import annotations
@@ -19,9 +24,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.dataset import Dataset
+from repro.engine.registry import MODIFIERS, register_modifier
 from repro.rules.ruleset import FeedbackRuleSet
 from repro.utils.rng import RandomState, check_random_state
 
+# The paper's strategies (kept for compatibility; the authoritative list is
+# the registry, which also contains user plugins).
 MOD_STRATEGIES = ("none", "relabel", "drop")
 
 
@@ -52,31 +60,42 @@ class ModificationResult:
             object.__setattr__(self, "original_labels", empty)
 
 
-def apply_modification(
-    dataset: Dataset,
-    frs: FeedbackRuleSet,
-    strategy: str,
-    *,
-    random_state: RandomState = None,
-) -> ModificationResult:
-    """Apply one of the paper's modification strategies."""
-    if strategy not in MOD_STRATEGIES:
-        raise ValueError(
-            f"strategy must be one of {MOD_STRATEGIES}, got {strategy!r}"
-        )
-    if strategy == "none" or len(frs) == 0:
-        return ModificationResult(dataset, 0, 0)
+def find_disagreements(
+    dataset: Dataset, frs: FeedbackRuleSet
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rows covered by the FRS whose label has zero probability under π.
 
-    rng = check_random_state(random_state)
+    Returns ``(disagree_mask, touched_indices, assignment)`` where
+    ``assignment`` maps every dataset row to its first covering rule
+    (-1 when uncovered).
+    """
     assign = frs.assign(dataset.X)
     disagree = np.zeros(dataset.n, dtype=bool)
     pi_matrix = np.stack([r.pi_array() for r in frs])
     covered = assign >= 0
     rows = np.flatnonzero(covered)
     disagree[rows] = pi_matrix[assign[rows], dataset.y[rows]] <= 0.0
-    touched = np.flatnonzero(disagree)
+    return disagree, np.flatnonzero(disagree), assign
 
-    if strategy == "drop":
+
+@register_modifier("none")
+class NoModification:
+    """Leave the input dataset untouched."""
+
+    def modify(
+        self, dataset: Dataset, frs: FeedbackRuleSet, rng: np.random.Generator
+    ) -> ModificationResult:
+        return ModificationResult(dataset, 0, 0)
+
+
+@register_modifier("drop")
+class DropModification:
+    """Remove rows whose labels disagree with their covering rule."""
+
+    def modify(
+        self, dataset: Dataset, frs: FeedbackRuleSet, rng: np.random.Generator
+    ) -> ModificationResult:
+        disagree, touched, assign = find_disagreements(dataset, frs)
         kept = dataset.loc_mask(~disagree)
         return ModificationResult(
             kept,
@@ -87,16 +106,39 @@ def apply_modification(
             original_labels=dataset.y[touched].copy(),
         )
 
-    # relabel
-    y_new = dataset.y.copy()
-    for i in touched:
-        rule = frs[int(assign[i])]
-        y_new[i] = int(rule.sample_labels(1, rng)[0])
-    return ModificationResult(
-        dataset.with_labels(y_new),
-        int(disagree.sum()),
-        0,
-        touched_rows=touched,
-        touched_rules=assign[touched],
-        original_labels=dataset.y[touched].copy(),
-    )
+
+@register_modifier("relabel")
+class RelabelModification:
+    """Relabel disagreeing rows by sampling from the covering rule's π."""
+
+    def modify(
+        self, dataset: Dataset, frs: FeedbackRuleSet, rng: np.random.Generator
+    ) -> ModificationResult:
+        disagree, touched, assign = find_disagreements(dataset, frs)
+        y_new = dataset.y.copy()
+        for i in touched:
+            rule = frs[int(assign[i])]
+            y_new[i] = int(rule.sample_labels(1, rng)[0])
+        return ModificationResult(
+            dataset.with_labels(y_new),
+            int(disagree.sum()),
+            0,
+            touched_rows=touched,
+            touched_rules=assign[touched],
+            original_labels=dataset.y[touched].copy(),
+        )
+
+
+def apply_modification(
+    dataset: Dataset,
+    frs: FeedbackRuleSet,
+    strategy: str,
+    *,
+    random_state: RandomState = None,
+) -> ModificationResult:
+    """Apply a registered modification strategy by name."""
+    MODIFIERS.validate(strategy)
+    if len(frs) == 0:
+        return ModificationResult(dataset, 0, 0)
+    rng = check_random_state(random_state)
+    return MODIFIERS.create(strategy).modify(dataset, frs, rng)

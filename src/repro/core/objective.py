@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.dataset import Dataset
+from repro.engine.registry import register_objective
 from repro.metrics.agreement import mra_probabilistic
 from repro.metrics.classification import default_f1
 from repro.rules.ruleset import FeedbackRuleSet
@@ -60,6 +61,18 @@ class Evaluation:
     def loss_equal(self, mra_weight: float = 0.5) -> float:
         """The in-loop loss ĵ = 1 - ĵ̄ that FROTE minimizes."""
         return 1.0 - self.j_equal(mra_weight)
+
+
+@register_objective("equal")
+def equal_weight_objective(evaluation: Evaluation, config) -> float:
+    """The paper's in-loop loss ĵ: fixed MRA/F1 weighting (default 0.5)."""
+    return evaluation.loss_equal(config.mra_weight)
+
+
+@register_objective("weighted")
+def coverage_weighted_objective(evaluation: Evaluation, config) -> float:
+    """Loss under the coverage-probability weighting (reported J̄)."""
+    return 1.0 - evaluation.j_weighted()
 
 
 def evaluate_predictions(

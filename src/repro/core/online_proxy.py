@@ -22,6 +22,7 @@ from repro.core.objective import evaluate_predictions
 from repro.core.preselect import BasePopulation
 from repro.data.dataset import Dataset
 from repro.data.encoding import TabularEncoder
+from repro.engine.registry import register_selector
 from repro.models.online import OnlineLogisticRegression
 from repro.rules.ruleset import FeedbackRuleSet
 
@@ -71,6 +72,7 @@ class OnlineObjectiveProxy:
         return ev.loss_equal(self.mra_weight)
 
 
+@register_selector("online")
 class OnlineProxySelector:
     """Selection strategy built on :class:`OnlineObjectiveProxy`.
 

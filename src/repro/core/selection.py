@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.ip import build_selection_problem, solve_selection
 from repro.core.preselect import BasePopulation
 from repro.data.dataset import Dataset
+from repro.engine.registry import SELECTORS, register_selector
 from repro.sampling.borderline import classify_borderline
 
 
@@ -45,7 +46,13 @@ class SelectionContext:
 
 
 class BaseInstanceSelector(Protocol):
-    """Strategy protocol: population + budget -> per-rule positions."""
+    """Strategy protocol: population + budget -> per-rule positions.
+
+    A selector may additionally define a class attribute
+    ``needs_predictions = False`` to tell the engine's
+    :class:`~repro.engine.stages.SelectionStage` to skip the per-iteration
+    model-prediction pass (the engine assumes ``True`` when absent).
+    """
 
     def select(
         self, bp: BasePopulation, eta: int, ctx: SelectionContext
@@ -61,9 +68,12 @@ def _allocate_per_rule(eta: int, m: int) -> list[int]:
     return [base + (1 if j < rem else 0) for j in range(m)]
 
 
+@register_selector("random")
 class RandomSelector:
     """Uniform per-rule sampling from the base population (with replacement
     when the quota exceeds the pool, so η instances are always produced)."""
+
+    needs_predictions = False
 
     def select(
         self, bp: BasePopulation, eta: int, ctx: SelectionContext
@@ -80,6 +90,7 @@ class RandomSelector:
         return out
 
 
+@register_selector("ip")
 class IPSelector:
     """Eq. 5 selection over borderline weights.
 
@@ -127,14 +138,12 @@ class IPSelector:
         return out
 
 
-def make_selector(name: str) -> BaseInstanceSelector:
-    """Factory for the strategy names used in the paper's tables."""
-    if name == "random":
-        return RandomSelector()
-    if name == "ip":
-        return IPSelector()
-    if name == "online":
-        from repro.core.online_proxy import OnlineProxySelector
+def make_selector(name: str, **kwargs) -> BaseInstanceSelector:
+    """Instantiate a registered selection strategy by name.
 
-        return OnlineProxySelector()
-    raise ValueError(f"unknown selection strategy {name!r}; use 'random', 'ip', or 'online'")
+    Looks the name up in :data:`repro.engine.SELECTORS`, so strategies
+    registered from user code (via
+    :func:`repro.engine.register_selector`) work everywhere a built-in
+    name does, including :class:`~repro.core.config.FroteConfig`.
+    """
+    return SELECTORS.create(name, **kwargs)

@@ -1,0 +1,247 @@
+"""The fluent editing façade: ``repro.edit(dataset)...run()``.
+
+:class:`EditSession` assembles an :class:`~repro.engine.state.EditState`
+and an :class:`~repro.engine.stages.EditEngine` from chained configuration
+calls::
+
+    result = (
+        repro.edit(data)
+        .with_rules("age < 29 AND education = 'bachelors' => >50K")
+        .with_algorithm("RF")
+        .configure(tau=30, q=0.5)
+        .on_iteration(lambda ev: print(ev.iteration, ev.kind))
+        .run()
+    )
+
+Sessions support incremental rule addition (each ``with_rules`` call
+appends — the multi-expert scenario), warm-starting from a prior
+:class:`~repro.engine.state.FroteResult`, structured progress events, and
+fully pluggable strategies/stages.  ``run()`` leaves the session reusable:
+calling it again replays the same edit (same seed), while
+``resume_from(result)`` continues augmenting where a previous run stopped.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.data.dataset import Dataset
+from repro.engine.stages import EditEngine, Stage
+from repro.engine.state import EditState, EventListener, FroteResult, ProgressEvent
+from repro.rules.rule import FeedbackRule
+from repro.rules.ruleset import FeedbackRuleSet
+
+
+class EditSession:
+    """Builder for one model edit over ``dataset``.
+
+    Every ``with_*`` / ``configure`` / ``on_*`` method returns ``self`` so
+    calls chain; nothing heavy happens until :meth:`run`.
+    """
+
+    def __init__(self, dataset: Dataset) -> None:
+        self.dataset = dataset
+        self._rules: list[FeedbackRule] = []
+        self._algorithm: Callable[[Dataset], Any] | None = None
+        self._config_kwargs: dict[str, Any] = {}
+        self._listeners: list[EventListener] = []
+        self._eval_callback: Callable[[Any], float] | None = None
+        self._selector: Any = None
+        self._engine: EditEngine | None = None
+        self._stages: tuple[Stage, ...] | None = None
+        self._prior: FroteResult | None = None
+        self._resolve_strategy: str | None = None
+
+    # ------------------------------------------------------------------ #
+    # Rules (incremental — the multi-expert scenario).
+    def with_rules(self, *rules: Any) -> "EditSession":
+        """Append feedback rules: :class:`FeedbackRule` objects, whole
+        :class:`FeedbackRuleSet` s, plain rule strings (parsed against the
+        dataset's schema), or iterables of any of those."""
+        for rule in rules:
+            self._add_rule(rule)
+        return self
+
+    def _add_rule(self, rule: Any) -> None:
+        if isinstance(rule, FeedbackRule):
+            self._rules.append(rule)
+        elif isinstance(rule, FeedbackRuleSet):
+            self._rules.extend(rule)
+        elif isinstance(rule, str):
+            from repro.rules.parser import parse_rule
+
+            self._rules.append(
+                parse_rule(rule, self.dataset.X.schema, self.dataset.label_names)
+            )
+        elif isinstance(rule, Iterable):
+            for r in rule:
+                self._add_rule(r)
+        else:
+            raise TypeError(
+                f"cannot interpret {type(rule).__name__} as a feedback rule; "
+                "pass a FeedbackRule, FeedbackRuleSet, rule string, or an "
+                "iterable of those"
+            )
+
+    def resolve_conflicts(self, strategy: str = "carve") -> "EditSession":
+        """Resolve overlapping contradictory rules at run time
+        (``"carve"`` or ``"mixture"``, paper §3.1)."""
+        self._resolve_strategy = strategy
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Algorithm and knobs.
+    def with_algorithm(self, algorithm: Any) -> "EditSession":
+        """The black-box trainer: a ``Dataset -> model`` callable, or one
+        of the paper's names (``"LR"``, ``"RF"``, ``"LGBM"``, ...)."""
+        if isinstance(algorithm, str):
+            from repro.models import paper_algorithm
+
+            algorithm = paper_algorithm(algorithm)
+        if not callable(algorithm):
+            raise TypeError("algorithm must be callable: Dataset -> model")
+        self._algorithm = algorithm
+        return self
+
+    def configure(self, **kwargs: Any) -> "EditSession":
+        """Set :class:`~repro.core.config.FroteConfig` fields; successive
+        calls merge (later wins), validated when :meth:`run` builds the
+        config."""
+        self._config_kwargs.update(kwargs)
+        return self
+
+    def with_selector(self, selector: Any) -> "EditSession":
+        """Use a selection strategy directly (bypasses the registry; handy
+        for one-off strategies and tests).
+
+        Accepts either a strategy *instance* (an object with ``select``) or
+        a zero-argument *factory* returning one.  Pass a factory when the
+        strategy keeps state across ``select`` calls: an instance is shared
+        by every ``run()`` of this session, while a factory builds a fresh
+        strategy per run, keeping reruns seed-identical.
+        """
+        self._selector = selector
+        return self
+
+    def with_stages(self, *stages: Stage) -> "EditSession":
+        """Replace the per-iteration stage chain of the default engine."""
+        self._stages = tuple(stages)
+        return self
+
+    def with_engine(self, engine: EditEngine) -> "EditSession":
+        """Use a fully custom :class:`EditEngine` (overrides
+        :meth:`with_stages`)."""
+        self._engine = engine
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Progress.
+    def on_event(self, listener: EventListener) -> "EditSession":
+        """Subscribe to every :class:`ProgressEvent` the engine emits."""
+        self._listeners.append(listener)
+        return self
+
+    def on_iteration(self, listener: EventListener) -> "EditSession":
+        """Subscribe to per-iteration events (accepted / rejected /
+        empty-batch)."""
+
+        def filtered(event: ProgressEvent) -> None:
+            if event.record is not None:
+                listener(event)
+
+        self._listeners.append(filtered)
+        return self
+
+    def on_accept(self, listener: EventListener) -> "EditSession":
+        """Subscribe to accepted-batch events only."""
+
+        def filtered(event: ProgressEvent) -> None:
+            if event.accepted:
+                listener(event)
+
+        self._listeners.append(filtered)
+        return self
+
+    def track_metric(self, scorer: Callable[[Any], float]) -> "EditSession":
+        """Score every accepted model (e.g. on held-out data); the value is
+        recorded as ``external_score`` in the iteration history — the
+        session-level equivalent of the legacy ``eval_callback``."""
+        self._eval_callback = scorer
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Warm start.
+    def resume_from(self, prior: FroteResult) -> "EditSession":
+        """Continue augmenting from a prior result: start at its dataset,
+        carry its history/provenance, and keep its quota accounting."""
+        self._prior = prior
+        return self
+
+    warm_start = resume_from  # alias
+
+    # ------------------------------------------------------------------ #
+    def build_state(self) -> EditState:
+        """Assemble the initial :class:`EditState` (exposed for tests and
+        custom drivers)."""
+        # Imported here: repro.core.config consults the engine registries at
+        # import time, so importing it at module level would be circular.
+        from repro.core.config import FroteConfig
+        from repro.utils.rng import check_random_state
+
+        if self._algorithm is None:
+            raise ValueError(
+                "no training algorithm; call .with_algorithm('RF') or pass "
+                "a Dataset -> model callable"
+            )
+        if not self._rules:
+            raise ValueError("no feedback rules; call .with_rules(...) first")
+        frs = FeedbackRuleSet(tuple(self._rules))
+        if self._resolve_strategy is not None:
+            frs = frs.resolve_conflicts(
+                self.dataset.X.schema, strategy=self._resolve_strategy
+            )
+        config = FroteConfig(**self._config_kwargs)
+        selector = self._selector
+        if selector is not None and (
+            isinstance(selector, type)
+            or (callable(selector) and not hasattr(selector, "select"))
+        ):
+            selector = selector()  # factory form: fresh strategy per run
+        state = EditState(
+            input_dataset=self.dataset,
+            frs=frs,
+            algorithm=self._algorithm,
+            config=config,
+            rng=check_random_state(config.random_state),
+            selector=selector,
+            eval_callback=self._eval_callback,
+            listeners=list(self._listeners),
+        )
+        if self._prior is not None:
+            prior = self._prior
+            state.warm_start = True
+            state.active = prior.dataset
+            state.history = list(prior.history)
+            state.iteration = prior.iterations
+            state.n_added = prior.n_added
+            state.n_relabelled = prior.n_relabelled
+            state.n_dropped = prior.n_dropped
+            state.provenance = prior.provenance
+        return state
+
+    def build_engine(self) -> EditEngine:
+        if self._engine is not None:
+            return self._engine
+        if self._stages is not None:
+            return EditEngine(stages=self._stages)
+        return EditEngine()
+
+    def run(self) -> FroteResult:
+        """Execute the edit and return the :class:`FroteResult`."""
+        return self.build_engine().run(self.build_state())
+
+
+def edit(dataset: Dataset) -> EditSession:
+    """Start an :class:`EditSession` on ``dataset`` (the library's
+    one-liner entry point: ``repro.edit(data).with_rules(...).run()``)."""
+    return EditSession(dataset)

@@ -1,0 +1,306 @@
+"""Composable pipeline stages and the :class:`EditEngine` driver.
+
+Algorithm 1 of the paper, decomposed: each phase of the editing loop is a
+:class:`Stage` operating on a shared :class:`~repro.engine.state.EditState`,
+and :class:`EditEngine` is the driver that runs setup stages once and the
+loop stages until the state reports :attr:`~repro.engine.state.EditState
+.done`.  Alternative loops — early-stop policies, multi-candidate
+acceptance, different generation back-ends — are stage swaps, not forks::
+
+    engine = EditEngine(stages=(
+        PreselectStage(),
+        SelectionStage(),
+        GenerationStage(),
+        AcceptanceStage(patience=5),   # stop after 5 straight rejections
+    ))
+    result = engine.run(state)
+
+The default stage chain reproduces the paper's loop bit-for-bit (same RNG
+consumption order), which :mod:`tests.test_legacy_api` asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.modification import apply_modification
+from repro.core.objective import evaluate_model
+from repro.core.preselect import preselect_base_population
+from repro.core.selection import SelectionContext
+from repro.data.dataset import Dataset
+from repro.engine.registry import SELECTORS
+from repro.engine.state import EditState, IterationRecord
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One phase of the edit pipeline: read and advance the shared state."""
+
+    def run(self, state: EditState) -> None:
+        ...
+
+
+class ModificationStage:
+    """Setup: apply the input-dataset choice, train the initial model, and
+    fix the run's budgets (η, quota, iteration ceiling).
+
+    On a warm start the modification is skipped — the active dataset
+    already reflects a prior run — but the model and budgets are still
+    (re)established against it.
+    """
+
+    def run(self, state: EditState) -> None:
+        cfg = state.config
+        if not state.warm_start:
+            mod = apply_modification(
+                state.input_dataset, state.frs, cfg.mod_strategy, random_state=state.rng
+            )
+            state.active = mod.dataset
+            state.n_relabelled = mod.n_relabelled
+            state.n_dropped = mod.n_dropped
+            state.provenance = self._initial_provenance(state, mod)
+        elif state.active is None:
+            state.active = state.input_dataset
+
+        # Budgets are relative to the non-synthetic base, so a resumed
+        # session keeps the same quota accounting as a fresh one.
+        base = state.active.n - state.n_added
+        state.eta = cfg.effective_eta(base)
+        state.quota = cfg.oversampling_quota(base)
+        state.run_start_iteration = state.iteration
+        state.max_iteration = state.iteration + cfg.tau
+
+        state.model = state.algorithm(state.active)
+        state.evaluation = evaluate_model(state.model, state.active, state.frs)
+        state.best_loss = state.loss_of(state.evaluation)
+        state.initial_evaluation = state.evaluation
+
+        if state.selector is None:
+            state.selector = SELECTORS.create(cfg.selection)
+        state.population_stale = True
+
+    @staticmethod
+    def _initial_provenance(state: EditState, mod):
+        from repro.core.audit import RowProvenance
+
+        provenance = RowProvenance.for_input(state.input_dataset.n)
+        if mod.n_dropped:
+            drop_mask = np.zeros(state.input_dataset.n, dtype=bool)
+            drop_mask[mod.touched_rows] = True
+            provenance = provenance.drop_rows(drop_mask)
+        elif mod.n_relabelled:
+            provenance.mark_relabelled(
+                mod.touched_rows, mod.touched_rules, mod.original_labels
+            )
+        return provenance
+
+
+class PreselectStage:
+    """Recompute per-rule base populations and generators when stale
+    (paper Algorithm 2; re-run after every accepted batch)."""
+
+    def run(self, state: EditState) -> None:
+        if not state.population_stale:
+            return
+        from repro.sampling.rule_generation import RuleConstrainedGenerator
+
+        state.bp = preselect_base_population(
+            state.active, state.frs, k=state.config.k
+        )
+        state.generators = [
+            RuleConstrainedGenerator(rule, state.active.X, k=state.config.k)
+            for rule in state.frs
+        ]
+        state.population_stale = False
+
+
+class SelectionStage:
+    """Pick base instances for this iteration via the selection strategy."""
+
+    def run(self, state: EditState) -> None:
+        state.predictions = (
+            state.model.predict(state.active.X)
+            if getattr(state.selector, "needs_predictions", True)
+            else None
+        )
+        ctx = SelectionContext(
+            state.active,
+            state.predictions,
+            k=state.config.k,
+            rng=state.rng,
+            frs=state.frs,
+        )
+        state.per_rule_positions = state.selector.select(state.bp, state.eta, ctx)
+
+
+class GenerationStage:
+    """Synthesize one rule-constrained batch from the selected bases."""
+
+    def run(self, state: EditState) -> None:
+        from repro.data.table import Table
+        from repro.sampling.rule_generation import GeneratedBatch
+
+        tables = []
+        labels = []
+        counts = [0] * len(state.bp.per_rule)
+        for r, (pop, positions, gen) in enumerate(
+            zip(state.bp.per_rule, state.per_rule_positions, state.generators)
+        ):
+            if positions.size == 0 or pop.size == 0:
+                continue
+            pool = state.active.X.take(pop.indices)
+            out = gen.generate(pool, positions, state.rng)
+            if out.n:
+                tables.append(out.table)
+                labels.append(out.labels)
+                counts[r] = out.n
+        if not tables:
+            state.batch = GeneratedBatch(
+                Table.empty(state.active.X.schema), np.empty(0, dtype=np.int64)
+            )
+        else:
+            state.batch = GeneratedBatch(
+                Table.concat(tables), np.concatenate(labels)
+            )
+        state.per_rule_counts = counts
+
+
+class AcceptanceStage:
+    """Retrain on the tentative dataset and keep the batch iff ĵ improves.
+
+    Parameters
+    ----------
+    patience:
+        Optional early-stop policy: end the run after this many
+        *consecutive* non-accepted iterations (the paper runs all τ).
+    """
+
+    def __init__(self, *, patience: int | None = None) -> None:
+        if patience is not None and patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.patience = patience
+
+    def run(self, state: EditState) -> None:
+        if state.batch.n == 0:
+            record = IterationRecord(
+                state.iteration, state.best_loss, False, 0, state.n_added
+            )
+            self._finish_iteration(state, record, "empty-batch")
+            return
+
+        candidate = Dataset.concat(
+            [
+                state.active,
+                Dataset(state.batch.table, state.batch.labels, state.active.label_names),
+            ]
+        )
+        cand_model = state.algorithm(candidate)
+        # ĵ is evaluated over the current active dataset D̂ (line 11).
+        cand_eval = evaluate_model(cand_model, state.active, state.frs)
+        cand_loss = state.loss_of(cand_eval)
+        improved = (
+            cand_loss <= state.best_loss
+            if state.config.accept_equal
+            else cand_loss < state.best_loss
+        )
+        external: float | None = None
+        if improved:
+            state.active = candidate
+            state.n_added += state.batch.n
+            state.best_loss = cand_loss
+            state.model = cand_model
+            state.evaluation = cand_eval
+            state.provenance = state.provenance.extend_synthetic(
+                state.per_rule_counts, state.iteration
+            )
+            state.population_stale = True
+            if state.eval_callback is not None:
+                external = float(state.eval_callback(state.model))
+        record = IterationRecord(
+            state.iteration,
+            cand_loss,
+            improved,
+            state.batch.n,
+            state.n_added,
+            external,
+        )
+        self._finish_iteration(state, record, "accepted" if improved else "rejected")
+
+    def _finish_iteration(
+        self, state: EditState, record: IterationRecord, kind: str
+    ) -> None:
+        state.history.append(record)
+        state.emit(kind, record)
+        state.iteration += 1
+        if self.patience is not None:
+            # Only this run's iterations count: a warm-started session must
+            # not stop on rejections inherited from the prior run's history.
+            if state.iteration - state.run_start_iteration < self.patience:
+                return
+            tail = state.history[-self.patience :]
+            if not any(r.accepted for r in tail):
+                state.stopped = True
+
+
+def default_setup_stages() -> tuple[Stage, ...]:
+    return (ModificationStage(),)
+
+
+def default_stages() -> tuple[Stage, ...]:
+    """The paper's loop: preselect → select → generate → accept."""
+    return (
+        PreselectStage(),
+        SelectionStage(),
+        GenerationStage(),
+        AcceptanceStage(),
+    )
+
+
+class EditEngine:
+    """Drive an edit: run setup stages once, then loop stages until done.
+
+    Parameters
+    ----------
+    stages:
+        Per-iteration stage chain; defaults to :func:`default_stages`.
+    setup_stages:
+        One-time preparation chain; defaults to
+        :func:`default_setup_stages`.
+    """
+
+    def __init__(
+        self,
+        stages: Iterable[Stage] | None = None,
+        *,
+        setup_stages: Iterable[Stage] | None = None,
+    ) -> None:
+        self.setup_stages: tuple[Stage, ...] = (
+            tuple(setup_stages) if setup_stages is not None else default_setup_stages()
+        )
+        self.stages: tuple[Stage, ...] = (
+            tuple(stages) if stages is not None else default_stages()
+        )
+
+    def initialize(self, state: EditState) -> EditState:
+        """Run the setup stages and announce the run to listeners."""
+        for stage in self.setup_stages:
+            stage.run(state)
+        state.emit("started")
+        return state
+
+    def step(self, state: EditState) -> EditState:
+        """Advance the state by one full pass over the loop stages."""
+        for stage in self.stages:
+            stage.run(state)
+        return state
+
+    def run(self, state: EditState):
+        """Initialize, loop to completion, and package the result."""
+        self.initialize(state)
+        while not state.done:
+            self.step(state)
+        final_evaluation = evaluate_model(state.model, state.active, state.frs)
+        state.emit("finished")
+        return state.to_result(final_evaluation)

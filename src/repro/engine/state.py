@@ -1,0 +1,197 @@
+"""The state threaded through the edit pipeline, and its outputs.
+
+:class:`EditState` is the single mutable object every :class:`~repro.engine
+.stages.Stage` reads and writes; :class:`IterationRecord` /
+:class:`FroteResult` are the per-iteration and run-level outputs (defined
+here, re-exported from :mod:`repro.core.frote` for compatibility); and
+:class:`ProgressEvent` is the structured notification the engine emits to
+session listeners — the generalization of the old single ``eval_callback``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.audit import EditAudit, RowProvenance
+from repro.data.dataset import Dataset
+from repro.rules.ruleset import FeedbackRuleSet
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One augmentation-loop iteration for progress analysis (paper Fig. 9)."""
+
+    iteration: int
+    candidate_loss: float
+    accepted: bool
+    n_generated: int
+    n_added_total: int
+    external_score: float | None = None  # eval_callback output, if any
+
+
+@dataclass
+class FroteResult:
+    """Output of a FROTE run."""
+
+    dataset: Dataset  # the augmented dataset D̂
+    model: Any  # TableModel trained on D̂
+    initial_evaluation: Any
+    final_evaluation: Any
+    history: list[IterationRecord] = field(default_factory=list)
+    n_added: int = 0
+    iterations: int = 0
+    n_relabelled: int = 0
+    n_dropped: int = 0
+    provenance: RowProvenance | None = None
+
+    @property
+    def accepted_iterations(self) -> int:
+        return sum(1 for rec in self.history if rec.accepted)
+
+    def audit(self, frs: FeedbackRuleSet, *, mod_strategy: str = "", **metadata) -> EditAudit:
+        """Governance-ready audit record of this edit (paper §6)."""
+        return EditAudit.from_run(
+            frs, self, mod_strategy=mod_strategy, metadata=metadata
+        )
+
+    @property
+    def added_fraction(self) -> float:
+        """Δ#Ins / |D| as reported in the paper's Table 4."""
+        base = self.dataset.n - self.n_added
+        return self.n_added / base if base else 0.0
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """A structured notification from the edit loop.
+
+    ``kind`` is one of ``"started"``, ``"accepted"``, ``"rejected"``,
+    ``"empty-batch"``, or ``"finished"``.  ``record`` is the
+    :class:`IterationRecord` just appended (``None`` for ``started`` /
+    ``finished``); ``model`` and ``evaluation`` describe the *current best*
+    model at emission time.
+    """
+
+    kind: str
+    iteration: int
+    n_added: int
+    record: IterationRecord | None = None
+    model: Any = None
+    evaluation: Any = None
+
+    @property
+    def accepted(self) -> bool:
+        return self.kind == "accepted"
+
+
+EventListener = Callable[[ProgressEvent], None]
+
+
+@dataclass
+class EditState:
+    """Everything the pipeline stages share while editing one dataset.
+
+    A stage may read or write any field; the conventional flow is
+    documented per field group below.  Fields default so a state can be
+    built incrementally by :class:`~repro.engine.session.EditSession` or
+    directly in tests.
+    """
+
+    # Inputs — fixed for the whole run.
+    input_dataset: Dataset = None  # type: ignore[assignment]
+    frs: FeedbackRuleSet = None  # type: ignore[assignment]
+    algorithm: Callable[[Dataset], Any] = None  # type: ignore[assignment]
+    config: Any = None  # FroteConfig
+    rng: np.random.Generator = None  # type: ignore[assignment]
+
+    # The evolving dataset and model.
+    active: Dataset | None = None
+    model: Any = None
+    evaluation: Any = None
+    initial_evaluation: Any = None
+    best_loss: float = float("inf")
+
+    # Budgets (set by ModificationStage, or by the session on warm start).
+    eta: int = 0
+    quota: int = 0
+    max_iteration: int = 0
+
+    # Strategies (built from the config registries unless pre-seeded).
+    selector: Any = None
+    objective: Callable[[Any, Any], float] | None = None
+
+    # Per-rule working set, refreshed whenever ``population_stale``.
+    bp: Any = None  # BasePopulation
+    generators: list = field(default_factory=list)
+    population_stale: bool = True
+
+    # Transient slots written by one stage, consumed by the next.
+    predictions: np.ndarray | None = None
+    per_rule_positions: list = field(default_factory=list)
+    batch: Any = None  # GeneratedBatch
+    per_rule_counts: list = field(default_factory=list)
+
+    # Bookkeeping.
+    provenance: RowProvenance | None = None
+    history: list[IterationRecord] = field(default_factory=list)
+    iteration: int = 0
+    run_start_iteration: int = 0  # first iteration of *this* run (warm starts resume later)
+    n_added: int = 0
+    n_relabelled: int = 0
+    n_dropped: int = 0
+    warm_start: bool = False
+    stopped: bool = False
+
+    # Notifications.
+    eval_callback: Callable[[Any], float] | None = None
+    listeners: list[EventListener] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def done(self) -> bool:
+        """Loop guard of Algorithm 1: τ exhausted, quota used, or stopped."""
+        return (
+            self.stopped
+            or self.iteration >= self.max_iteration
+            or self.n_added > self.quota
+        )
+
+    def loss_of(self, evaluation: Any) -> float:
+        """Score an evaluation with the configured acceptance objective."""
+        if self.objective is None:
+            from repro.engine.registry import OBJECTIVES
+
+            self.objective = OBJECTIVES.get(self.config.objective)
+        return self.objective(evaluation, self.config)
+
+    def emit(self, kind: str, record: IterationRecord | None = None) -> None:
+        """Notify all listeners; listeners must not raise."""
+        if not self.listeners:
+            return
+        event = ProgressEvent(
+            kind=kind,
+            iteration=self.iteration,
+            n_added=self.n_added,
+            record=record,
+            model=self.model,
+            evaluation=self.evaluation,
+        )
+        for listener in self.listeners:
+            listener(event)
+
+    def to_result(self, final_evaluation: Any) -> FroteResult:
+        return FroteResult(
+            dataset=self.active,
+            model=self.model,
+            initial_evaluation=self.initial_evaluation,
+            final_evaluation=final_evaluation,
+            history=self.history,
+            n_added=self.n_added,
+            iterations=self.iteration,
+            n_relabelled=self.n_relabelled,
+            n_dropped=self.n_dropped,
+            provenance=self.provenance,
+        )

@@ -13,6 +13,9 @@ Usage::
 
 Common options: ``--runs`` (repetitions), ``--tau`` (FROTE iteration
 limit), ``--seed``, ``--save out.json`` (persist raw records).
+
+``python -m repro.experiments --list-strategies`` prints every strategy
+registered with the edit engine (user plugins included) and exits.
 """
 
 from __future__ import annotations
@@ -51,7 +54,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.experiments",
         description="Regenerate FROTE paper tables and figures.",
     )
-    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument("experiment", nargs="?", choices=EXPERIMENTS)
+    parser.add_argument(
+        "--list-strategies",
+        action="store_true",
+        help="list every registered engine strategy (selectors, modifiers, "
+        "samplers, objectives) and exit",
+    )
     parser.add_argument("--dataset", default="car", help="dataset name (see repro.datasets)")
     parser.add_argument("--model", default="LR", help="LR, RF, or LGBM")
     parser.add_argument("--runs", type=int, default=5, help="repetitions per setting")
@@ -72,6 +81,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="scale for the 'all' suite",
     )
     return parser
+
+
+def format_strategies() -> str:
+    """Render every engine registry (built-ins and user plugins)."""
+    from repro.engine import MODIFIERS, OBJECTIVES, SAMPLERS, SELECTORS
+
+    lines = ["Registered edit-engine strategies:"]
+    for registry in (SELECTORS, MODIFIERS, SAMPLERS, OBJECTIVES):
+        names = ", ".join(registry.names()) or "(none)"
+        lines.append(f"  {registry.kind + ':':25s}{names}")
+    lines.append(
+        "\nRegister your own with repro.engine.register_selector & co., "
+        "then pass the name via FroteConfig or EditSession.configure()."
+    )
+    return "\n".join(lines)
 
 
 def run(args: argparse.Namespace) -> tuple[list[dict], str]:
@@ -143,7 +167,13 @@ def run(args: argparse.Namespace) -> tuple[list[dict], str]:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_strategies:
+        print(format_strategies())
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment name is required (or --list-strategies)")
     records, text = run(args)
     print(text)
     if args.save:

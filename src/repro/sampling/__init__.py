@@ -1,5 +1,12 @@
-"""Oversampling substrate: SMOTE, Borderline-SMOTE, rule-constrained generation."""
+"""Oversampling substrate: SMOTE, Borderline-SMOTE, rule-constrained generation.
 
+Samplers are registered in :data:`repro.engine.SAMPLERS`;
+:func:`make_sampler` instantiates one by name, so user samplers registered
+via :func:`repro.engine.register_sampler` are constructible the same way
+the built-ins are.
+"""
+
+from repro.engine.registry import SAMPLERS
 from repro.sampling.adasyn import ADASYN, adasyn_weights
 from repro.sampling.borderline import (
     BORDERLINE,
@@ -19,7 +26,19 @@ from repro.sampling.rule_generation import (
 )
 from repro.sampling.smote import SMOTE, interpolate_numeric, majority_categorical
 
+
+def make_sampler(name: str, **kwargs):
+    """Instantiate a registered oversampler by name.
+
+    Built-ins: ``"smote"``, ``"borderline"``, ``"adasyn"``.  All share the
+    ``fit_resample(dataset) -> Dataset`` interface; plugins registered with
+    :func:`repro.engine.register_sampler` resolve here too.
+    """
+    return SAMPLERS.create(name, **kwargs)
+
+
 __all__ = [
+    "make_sampler",
     "SMOTE",
     "BorderlineSMOTE",
     "ADASYN",

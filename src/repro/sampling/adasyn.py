@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.dataset import Dataset
+from repro.engine.registry import register_sampler
 from repro.data.table import Table
 from repro.neighbors import BruteKNN, TableNeighborSpace
 from repro.sampling.smote import SMOTE
@@ -51,6 +52,7 @@ def adasyn_weights(
     return majority_frac / total
 
 
+@register_sampler("adasyn")
 class ADASYN:
     """Adaptive synthetic oversampling to class balance.
 

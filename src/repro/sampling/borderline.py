@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.table import Table
+from repro.engine.registry import register_sampler
 from repro.neighbors import BruteKNN, TableNeighborSpace
 from repro.utils.validation import check_array_1d
 
@@ -93,6 +94,7 @@ def classify_borderline(
     return BorderlineAnalysis(cats, wvec)
 
 
+@register_sampler("borderline")
 class BorderlineSMOTE:
     """Borderline-SMOTE1: oversample only borderline minority instances.
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.dataset import Dataset
+from repro.engine.registry import register_sampler
 from repro.data.table import Table
 from repro.neighbors import BruteKNN, TableNeighborSpace
 from repro.utils.rng import RandomState, check_random_state
@@ -35,6 +36,7 @@ def majority_categorical(
     return int(top[rng.integers(top.size)]) if top.size > 1 else int(top[0])
 
 
+@register_sampler("smote")
 class SMOTE:
     """Synthetic Minority Oversampling with NC extension for categoricals.
 

@@ -47,21 +47,65 @@ class TestConfig:
     def test_quota(self):
         assert FroteConfig(q=0.5).oversampling_quota(100) == 50
 
+    def test_quota_rounding_matches_effective_eta(self):
+        # Regression: the quota used int() (floor) while effective_eta used
+        # round(); both must use the same rounding rule.
+        cfg = FroteConfig(tau=1, q=0.7)
+        for n in (1, 3, 7, 99, 101, 1234):
+            assert cfg.oversampling_quota(n) == int(round(0.7 * n))
+            assert cfg.effective_eta(n) == max(1, int(round(0.7 * n)))
+
+    def test_quota_rounds_rather_than_floors(self):
+        assert FroteConfig(q=0.5).oversampling_quota(75) == 38  # was 37
+
+    def test_q_upper_bound(self):
+        with pytest.raises(ValueError, match="percentage"):
+            FroteConfig(q=50.0)
+
+    def test_q_inf_means_unbounded(self):
+        cfg = FroteConfig(q=float("inf"), eta=5)
+        assert cfg.oversampling_quota(100) > 10**9
+        assert FroteConfig(q=float("inf")).effective_eta(100) == 100
+
     @pytest.mark.parametrize(
         "kwargs",
         [
             {"tau": 0},
             {"q": 0.0},
+            {"q": 11.0},
             {"eta": 0},
             {"k": 0},
             {"mra_weight": 1.5},
             {"selection": "bogus"},
             {"mod_strategy": "bogus"},
+            {"objective": "bogus"},
         ],
     )
     def test_invalid_config_raises(self, kwargs):
         with pytest.raises(ValueError):
             FroteConfig(**kwargs)
+
+    def test_unknown_selection_suggests_close_match(self):
+        with pytest.raises(ValueError, match="did you mean 'random'"):
+            FroteConfig(selection="randam")
+
+    def test_unknown_mod_strategy_enumerates_registered(self):
+        with pytest.raises(ValueError, match="drop, none, relabel"):
+            FroteConfig(mod_strategy="bogus")
+
+    def test_registered_plugin_accepted(self):
+        from repro.engine import SELECTORS, register_selector
+
+        @register_selector("config-test-plugin")
+        class Plugin:
+            def select(self, bp, eta, ctx):  # pragma: no cover
+                return []
+
+        try:
+            cfg = FroteConfig(selection="config-test-plugin")
+            assert cfg.selection == "config-test-plugin"
+        finally:
+            SELECTORS.unregister("config-test-plugin")
 
 
 class TestRun:

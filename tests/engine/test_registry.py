@@ -1,0 +1,136 @@
+"""Tests for the strategy registries (repro.engine.registry)."""
+
+import pytest
+
+from repro.engine import (
+    MODIFIERS,
+    OBJECTIVES,
+    SAMPLERS,
+    SELECTORS,
+    Registry,
+    RegistryError,
+    register_selector,
+)
+
+
+class TestRegistryBasics:
+    def test_register_and_create(self):
+        reg = Registry("widget")
+
+        @reg.register("basic")
+        class Basic:
+            def __init__(self, size=1):
+                self.size = size
+
+        assert "basic" in reg
+        assert reg.names() == ("basic",)
+        assert isinstance(reg.create("basic"), Basic)
+        assert reg.create("basic", size=3).size == 3
+
+    def test_duplicate_rejected(self):
+        reg = Registry("widget")
+        reg.register("a", object())
+        with pytest.raises(RegistryError, match="already registered"):
+            reg.register("a", object())
+
+    def test_duplicate_with_overwrite(self):
+        reg = Registry("widget")
+        reg.register("a", 1)
+        reg.register("a", 2, overwrite=True)
+        assert reg.get("a") == 2
+
+    def test_unregister(self):
+        reg = Registry("widget")
+        reg.register("a", 1)
+        reg.unregister("a")
+        assert "a" not in reg
+        reg.unregister("a")  # idempotent
+
+    def test_registry_error_is_value_error(self):
+        assert issubclass(RegistryError, ValueError)
+
+
+class TestErrorMessages:
+    def test_unknown_lists_registered(self):
+        reg = Registry("widget")
+        reg.register("alpha", 1)
+        reg.register("beta", 2)
+        with pytest.raises(RegistryError, match="alpha, beta"):
+            reg.get("gamma")
+
+    def test_did_you_mean(self):
+        reg = Registry("widget")
+        reg.register("random", 1)
+        with pytest.raises(RegistryError, match="did you mean 'random'"):
+            reg.get("randm")
+
+    def test_kind_in_message(self):
+        with pytest.raises(RegistryError, match="unknown selection strategy"):
+            SELECTORS.get("no-such-selector")
+
+    def test_user_plugins_enumerated(self):
+        @register_selector("test-enumerated-plugin")
+        class Plugin:
+            pass
+
+        try:
+            with pytest.raises(RegistryError, match="test-enumerated-plugin"):
+                SELECTORS.get("bogus-name-xyz")
+        finally:
+            SELECTORS.unregister("test-enumerated-plugin")
+
+
+class TestLazyEntries:
+    def test_lazy_resolves_on_get(self):
+        reg = Registry("widget")
+        reg.register_lazy("lr", "repro.models.logistic:LogisticRegression")
+        from repro.models.logistic import LogisticRegression
+
+        assert reg.get("lr") is LogisticRegression
+
+    def test_lazy_listed_without_import(self):
+        reg = Registry("widget")
+        reg.register_lazy("ghost", "no.such.module:Nothing")
+        assert "ghost" in reg.names()
+        reg.validate("ghost")  # must not import
+
+    def test_concrete_overrides_lazy(self):
+        reg = Registry("widget")
+        reg.register_lazy("x", "no.such.module:Nothing")
+        reg.register("x", 42)  # no overwrite flag needed over a lazy entry
+        assert reg.get("x") == 42
+
+
+class TestBuiltins:
+    def test_selectors(self):
+        assert set(SELECTORS.names()) >= {"random", "ip", "online"}
+
+    def test_modifiers(self):
+        assert set(MODIFIERS.names()) >= {"none", "relabel", "drop"}
+
+    def test_samplers(self):
+        assert set(SAMPLERS.names()) >= {"smote", "adasyn", "borderline"}
+
+    def test_objectives(self):
+        assert set(OBJECTIVES.names()) >= {"equal", "weighted"}
+
+    def test_sampler_create(self):
+        from repro.sampling import SMOTE
+
+        sampler = SAMPLERS.create("smote", k=3)
+        assert isinstance(sampler, SMOTE)
+        assert sampler.k == 3
+
+    def test_make_sampler_consumes_registry(self):
+        from repro.engine import register_sampler
+        from repro.sampling import make_sampler
+
+        @register_sampler("identity-test-sampler")
+        class Identity:
+            def fit_resample(self, dataset):
+                return dataset
+
+        try:
+            assert isinstance(make_sampler("identity-test-sampler"), Identity)
+        finally:
+            SAMPLERS.unregister("identity-test-sampler")

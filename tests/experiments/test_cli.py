@@ -9,8 +9,29 @@ from repro.experiments.cli import EXPERIMENTS, build_parser, main, run
 
 class TestParser:
     def test_experiment_required(self):
+        # The positional is optional at parse time (--list-strategies needs
+        # no experiment) but main() still rejects a bare invocation.
         with pytest.raises(SystemExit):
-            build_parser().parse_args([])
+            main([])
+
+    def test_list_strategies(self, capsys):
+        assert main(["--list-strategies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("random", "ip", "online", "relabel", "smote", "equal"):
+            assert name in out
+
+    def test_list_strategies_includes_plugins(self, capsys):
+        from repro.engine import SELECTORS, register_selector
+
+        @register_selector("cli-test-plugin")
+        class Plugin:
+            pass
+
+        try:
+            main(["--list-strategies"])
+            assert "cli-test-plugin" in capsys.readouterr().out
+        finally:
+            SELECTORS.unregister("cli-test-plugin")
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):

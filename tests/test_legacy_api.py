@@ -1,0 +1,150 @@
+"""Backward compatibility: the legacy FROTE API must run through the new
+engine and produce seed-identical results to the EditSession path."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import FROTE, FeedbackRuleSet, FroteConfig, run_frote
+from repro.models import LogisticRegression, make_algorithm
+from repro.rules import FeedbackRule, Predicate, clause
+
+
+@pytest.fixture
+def algorithm():
+    return make_algorithm(lambda: LogisticRegression(max_iter=200))
+
+
+@pytest.fixture
+def frs():
+    return FeedbackRuleSet(
+        (
+            FeedbackRule.deterministic(
+                clause(Predicate("age", "<", 35.0)), 1, 2, name="young-approve"
+            ),
+        )
+    )
+
+
+CFG = dict(tau=6, q=0.5, eta=10, random_state=11)
+
+
+def assert_identical(a, b, dataset):
+    """Two FroteResults from the same seed must match exactly."""
+    assert a.n_added == b.n_added
+    assert a.iterations == b.iterations
+    assert a.n_relabelled == b.n_relabelled
+    assert a.n_dropped == b.n_dropped
+    assert len(a.history) == len(b.history)
+    for ra, rb in zip(a.history, b.history):
+        assert ra.iteration == rb.iteration
+        assert ra.accepted == rb.accepted
+        assert ra.n_generated == rb.n_generated
+        assert ra.candidate_loss == pytest.approx(rb.candidate_loss, abs=0)
+    assert a.final_evaluation.mra == pytest.approx(b.final_evaluation.mra, abs=0)
+    np.testing.assert_array_equal(
+        a.model.predict(dataset.X), b.model.predict(dataset.X)
+    )
+    np.testing.assert_array_equal(a.dataset.y, b.dataset.y)
+
+
+class TestLegacyRunsEndToEnd:
+    def test_frote_class_path(self, mixed_dataset, frs, algorithm):
+        result = FROTE(algorithm, frs, FroteConfig(**CFG)).run(mixed_dataset)
+        assert result.iterations == CFG["tau"] or result.n_added > 0
+        assert result.provenance is not None
+        assert result.initial_evaluation is not None
+
+    def test_run_frote_wrapper(self, mixed_dataset, frs, algorithm):
+        result = run_frote(mixed_dataset, algorithm, frs, **CFG)
+        assert len(result.history) == result.iterations
+
+    def test_empty_frs_still_rejected(self, algorithm):
+        with pytest.raises(ValueError, match="empty"):
+            FROTE(algorithm, FeedbackRuleSet(()))
+
+    def test_eval_callback_still_recorded(self, mixed_dataset, frs, algorithm):
+        scores = []
+
+        def cb(model):
+            scores.append(1.0)
+            return 0.5
+
+        result = FROTE(algorithm, frs, FroteConfig(**CFG)).run(
+            mixed_dataset, eval_callback=cb
+        )
+        assert len(scores) == result.accepted_iterations
+        for rec in result.history:
+            if rec.accepted:
+                assert rec.external_score == 0.5
+
+
+class TestLegacyMatchesSession:
+    def _session_result(self, dataset, frs, algorithm, **extra):
+        return (
+            repro.edit(dataset)
+            .with_rules(frs)
+            .with_algorithm(algorithm)
+            .configure(**{**CFG, **extra})
+            .run()
+        )
+
+    def test_identical_default_config(self, mixed_dataset, frs, algorithm):
+        legacy = FROTE(algorithm, frs, FroteConfig(**CFG)).run(mixed_dataset)
+        session = self._session_result(mixed_dataset, frs, algorithm)
+        assert_identical(legacy, session, mixed_dataset)
+
+    def test_identical_drop_strategy(self, mixed_dataset, frs, algorithm):
+        legacy = FROTE(
+            algorithm, frs, FroteConfig(mod_strategy="drop", **CFG)
+        ).run(mixed_dataset)
+        session = self._session_result(
+            mixed_dataset, frs, algorithm, mod_strategy="drop"
+        )
+        assert_identical(legacy, session, mixed_dataset)
+
+    def test_identical_no_modification(self, mixed_dataset, frs, algorithm):
+        legacy = FROTE(
+            algorithm, frs, FroteConfig(mod_strategy="none", **CFG)
+        ).run(mixed_dataset)
+        session = self._session_result(
+            mixed_dataset, frs, algorithm, mod_strategy="none"
+        )
+        assert_identical(legacy, session, mixed_dataset)
+
+    def test_identical_ip_selection(self, mixed_dataset, frs, algorithm):
+        cfg = {**CFG, "tau": 3}
+        legacy = FROTE(algorithm, frs, FroteConfig(selection="ip", **cfg)).run(
+            mixed_dataset
+        )
+        session = self._session_result(
+            mixed_dataset, frs, algorithm, selection="ip", tau=3
+        )
+        assert_identical(legacy, session, mixed_dataset)
+
+    def test_legacy_rerun_deterministic(self, mixed_dataset, frs, algorithm):
+        a = FROTE(algorithm, frs, FroteConfig(**CFG)).run(mixed_dataset)
+        b = FROTE(algorithm, frs, FroteConfig(**CFG)).run(mixed_dataset)
+        assert_identical(a, b, mixed_dataset)
+
+
+class TestLegacyResultShape:
+    """FroteResult moved to repro.engine.state but must remain importable
+    and behaviourally unchanged from its historical home."""
+
+    def test_reexports(self):
+        from repro.core.frote import FroteResult as A
+        from repro.engine.state import FroteResult as B
+
+        assert A is B
+
+        from repro.core import IterationRecord as C
+        from repro.engine import IterationRecord as D
+
+        assert C is D
+
+    def test_audit_still_works(self, mixed_dataset, frs, algorithm):
+        result = FROTE(algorithm, frs, FroteConfig(**CFG)).run(mixed_dataset)
+        audit = result.audit(frs, mod_strategy="relabel")
+        assert audit.n_synthetic == result.n_added
+        assert "FROTE edit audit" in audit.summary()

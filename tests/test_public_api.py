@@ -20,6 +20,7 @@ class TestImports:
         import repro.core
         import repro.data
         import repro.datasets
+        import repro.engine
         import repro.experiments
         import repro.metrics
         import repro.models
@@ -36,6 +37,7 @@ class TestImports:
             "repro.rules",
             "repro.models",
             "repro.core",
+            "repro.engine",
             "repro.sampling",
             "repro.neighbors",
             "repro.metrics",
