@@ -1,0 +1,8 @@
+"""Paper-reproduction benchmark suite (see README.md in this directory).
+
+This package marker lets pytest import the ``bench_*`` modules with their
+package-qualified names, which their ``from .conftest import once``
+imports require::
+
+    PYTHONPATH=src python -m pytest benchmarks -o python_files='bench_*.py'
+"""

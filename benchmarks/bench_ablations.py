@@ -1,8 +1,10 @@
-"""Ablations over FROTE's design knobs (DESIGN.md's design-choice sweeps).
+"""Ablations over FROTE's design knobs (paper supplement sensitivity sweeps).
 
 Not a paper table per se — the paper fixes k = 5, q = 0.5, τ = 200 and
 per-dataset η — but these sweeps validate that the defaults sit in sane
-regions and document sensitivity for downstream users.
+regions and document sensitivity for downstream users.  The same sweeps
+are runnable from the CLI: ``python -m repro.experiments ablation
+--parameter k``.
 """
 
 import numpy as np

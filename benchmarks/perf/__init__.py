@@ -1,0 +1,1 @@
+"""Perf harness wrappers emitting ``BENCH_*.json`` (see ../README.md)."""

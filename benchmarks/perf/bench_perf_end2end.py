@@ -1,0 +1,27 @@
+"""Perf harness wrapper: end-to-end edit-loop benchmarks.
+
+Runs :func:`repro.perf.end2end.run_end2end_benchmarks` (quick
+configuration), writes ``BENCH_end2end.json`` at the repository root, and
+persists the ASCII rendering under ``benchmarks/results/``.
+
+Standalone: ``repro-bench --quick`` (or
+``python -m repro.experiments.cli bench --quick``) runs the same harness
+without pytest.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.perf.end2end import run_end2end_benchmarks
+from repro.perf.harness import format_records, write_end2end_json
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_bench_perf_end2end(persist):
+    records = run_end2end_benchmarks(quick=True, seed=42)
+    path = write_end2end_json(records, out_dir=REPO_ROOT, quick=True, seed=42)
+    text = format_records(records, f"End-to-end benchmarks (quick) -> {path}")
+    persist("perf_end2end", text)
+    assert all(r.iterations > 0 for r in records)

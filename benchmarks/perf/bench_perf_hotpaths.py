@@ -1,0 +1,30 @@
+"""Perf harness wrapper: seed-vs-current hot-path benchmarks.
+
+Runs :func:`repro.perf.hotpaths.run_hotpath_benchmarks` (quick
+configuration), writes ``BENCH_hotpaths.json`` at the repository root,
+and persists the ASCII rendering under ``benchmarks/results/``.
+
+Standalone: ``repro-bench --quick`` (or
+``python -m repro.experiments.cli bench --quick``) runs the same harness
+without pytest.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.perf.harness import format_records, geomean, write_hotpaths_json
+from repro.perf.hotpaths import run_hotpath_benchmarks
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_bench_perf_hotpaths(persist):
+    records = run_hotpath_benchmarks(quick=True, seed=0)
+    path = write_hotpaths_json(records, out_dir=REPO_ROOT, quick=True, seed=0)
+    text = format_records(records, f"Hot-path benchmarks (quick) -> {path}")
+    persist("perf_hotpaths", text)
+    # The vectorization claim the README makes: row-loop removal buys at
+    # least 3x on the synthetic dataset overall.
+    synthetic = [r.speedup for r in records if r.dataset == "synthetic"]
+    assert geomean(synthetic) >= 3.0

@@ -10,7 +10,7 @@ Run:  python examples/overlay_comparison.py
 
 import numpy as np
 
-from repro import FROTE, FroteConfig
+import repro
 from repro.baselines import HARD, SOFT, Overlay
 from repro.core import evaluate_predictions
 from repro.data import coverage_aware_split
@@ -51,8 +51,13 @@ def main() -> None:
             }
         )
 
-    frote = FROTE(ctx.algorithm, frs, FroteConfig(tau=15, q=0.5, eta=50, random_state=42))
-    result = frote.run(split.train)
+    result = (
+        repro.edit(split.train)
+        .with_rules(frs)
+        .with_algorithm(ctx.algorithm)
+        .configure(tau=15, q=0.5, eta=50, random_state=42)
+        .run()
+    )
     ev = evaluate_predictions(result.model.predict(test.X), test, frs)
     rows.append(
         {

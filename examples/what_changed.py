@@ -9,7 +9,8 @@ changed region.
 Run:  python examples/what_changed.py
 """
 
-from repro import FROTE, FeedbackRuleSet, FroteConfig, parse_rule
+import repro
+from repro import FeedbackRuleSet, parse_rule
 from repro.analysis import diff_models, explain_changes, format_diff
 from repro.datasets import load_dataset
 from repro.models import paper_algorithm
@@ -30,9 +31,13 @@ def main() -> None:
     )
 
     model_before = algorithm(data)
-    result = FROTE(
-        algorithm, frs, FroteConfig(tau=12, q=0.5, eta=30, random_state=42)
-    ).run(data)
+    result = (
+        repro.edit(data)
+        .with_rules(frs)
+        .with_algorithm(algorithm)
+        .configure(tau=12, q=0.5, eta=30, random_state=42)
+        .run()
+    )
     model_after = result.model
 
     diff = diff_models(model_before, model_after, data, frs)

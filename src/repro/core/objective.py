@@ -79,6 +79,8 @@ def evaluate_predictions(
     y_pred: np.ndarray,
     dataset: Dataset,
     frs: FeedbackRuleSet,
+    *,
+    assign: np.ndarray | None = None,
 ) -> Evaluation:
     """Evaluate pre-computed predictions against the FRS and the dataset.
 
@@ -86,6 +88,10 @@ def evaluate_predictions(
     are conflict-free, so overlaps agree on π); agreement for rule r is
     ``mean(π_r[pred])``.  Outside-coverage instances are scored with the
     paper's F1 convention (binary F1 for 2 classes, macro otherwise).
+
+    ``assign`` may carry a precomputed ``frs.assign(dataset.X)`` result —
+    the edit loop memoizes it per active dataset so rejected iterations
+    skip the full rule-coverage pass.
     """
     y_pred = np.asarray(y_pred, dtype=np.int64)
     if y_pred.shape[0] != dataset.n:
@@ -97,7 +103,8 @@ def evaluate_predictions(
         f1 = default_f1(dataset.y, y_pred, n_classes=dataset.n_classes)
         return Evaluation(per_rule_mra, per_rule_count, 1.0, f1, 0, dataset.n)
 
-    assign = frs.assign(dataset.X)
+    if assign is None:
+        assign = frs.assign(dataset.X)
     covered = assign >= 0
     n_covered = int(covered.sum())
     weighted_sum = 0.0
@@ -125,6 +132,15 @@ def evaluate_predictions(
     )
 
 
-def evaluate_model(model, dataset: Dataset, frs: FeedbackRuleSet) -> Evaluation:
-    """Predict with ``model`` on ``dataset`` and evaluate (one prediction pass)."""
-    return evaluate_predictions(model.predict(dataset.X), dataset, frs)
+def evaluate_model(
+    model,
+    dataset: Dataset,
+    frs: FeedbackRuleSet,
+    *,
+    assign: np.ndarray | None = None,
+) -> Evaluation:
+    """Predict with ``model`` on ``dataset`` and evaluate (one prediction pass).
+
+    ``assign`` optionally reuses a memoized ``frs.assign(dataset.X)``.
+    """
+    return evaluate_predictions(model.predict(dataset.X), dataset, frs, assign=assign)

@@ -27,7 +27,13 @@ from repro.sampling.borderline import classify_borderline
 
 
 class SelectionContext:
-    """Everything a strategy may consult when selecting base instances."""
+    """Everything a strategy may consult when selecting base instances.
+
+    ``cache_token`` identifies the active dataset revision (the engine
+    passes its ``dataset_version``); strategies may memoize work derived
+    from the dataset and the model predictions against it, since both only
+    change when the token does.
+    """
 
     def __init__(
         self,
@@ -37,12 +43,14 @@ class SelectionContext:
         k: int,
         rng: np.random.Generator,
         frs=None,
+        cache_token: object | None = None,
     ) -> None:
         self.dataset = dataset
         self.model_predictions = model_predictions
         self.k = k
         self.rng = rng
         self.frs = frs  # needed by the online-proxy strategy
+        self.cache_token = cache_token
 
 
 class BaseInstanceSelector(Protocol):
@@ -101,13 +109,23 @@ class IPSelector:
     def __init__(self, *, k_classify: int = 10, borderline_weight: float = 3.0) -> None:
         self.k_classify = k_classify
         self.borderline_weight = borderline_weight
+        self._analysis_cache: tuple[object, object] | None = None
 
-    def select(
-        self, bp: BasePopulation, eta: int, ctx: SelectionContext
-    ) -> list[np.ndarray]:
-        union = bp.union_indices
-        if union.size == 0:
-            return [np.empty(0, dtype=np.intp) for _ in bp.per_rule]
+    def _borderline_analysis(self, union: np.ndarray, ctx: SelectionContext):
+        """Classify the candidate union, memoized per dataset revision.
+
+        The union, the dataset rows, and the model predictions are all
+        functions of the active dataset revision, so between accepted
+        batches the (expensive) neighbour classification is reused.
+        """
+        token = ctx.cache_token
+        if (
+            token is not None
+            and self._analysis_cache is not None
+            and self._analysis_cache[0] == token
+            and self._analysis_cache[1].weights.shape[0] == union.size
+        ):
+            return self._analysis_cache[1]
         labels = (
             ctx.model_predictions[union]
             if ctx.model_predictions is not None
@@ -119,6 +137,17 @@ class IPSelector:
             k=self.k_classify,
             weights={"noisy": 1.0, "safe": 1.0, "borderline": self.borderline_weight},
         )
+        if token is not None:
+            self._analysis_cache = (token, analysis)
+        return analysis
+
+    def select(
+        self, bp: BasePopulation, eta: int, ctx: SelectionContext
+    ) -> list[np.ndarray]:
+        union = bp.union_indices
+        if union.size == 0:
+            return [np.empty(0, dtype=np.intp) for _ in bp.per_rule]
+        analysis = self._borderline_analysis(union, ctx)
         problem, candidates = build_selection_problem(
             analysis.weights,
             [pop.indices for pop in bp.per_rule],
@@ -126,16 +155,11 @@ class IPSelector:
             eta=eta,
         )
         chosen = solve_selection(problem)
-        chosen_rows = set(candidates[chosen].tolist())
-        out: list[np.ndarray] = []
-        for pop in bp.per_rule:
-            mask = np.fromiter(
-                (int(v) in chosen_rows for v in pop.indices),
-                dtype=bool,
-                count=pop.size,
-            )
-            out.append(np.flatnonzero(mask).astype(np.intp))
-        return out
+        chosen_rows = candidates[chosen]
+        return [
+            np.flatnonzero(np.isin(pop.indices, chosen_rows)).astype(np.intp)
+            for pop in bp.per_rule
+        ]
 
 
 def make_selector(name: str, **kwargs) -> BaseInstanceSelector:

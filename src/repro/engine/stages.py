@@ -72,8 +72,11 @@ class ModificationStage:
         state.run_start_iteration = state.iteration
         state.max_iteration = state.iteration + cfg.tau
 
+        state.bump_dataset_version()
         state.model = state.algorithm(state.active)
-        state.evaluation = evaluate_model(state.model, state.active, state.frs)
+        state.evaluation = evaluate_model(
+            state.model, state.active, state.frs, assign=state.active_assignment()
+        )
         state.best_loss = state.loss_of(state.evaluation)
         state.initial_evaluation = state.evaluation
 
@@ -113,6 +116,13 @@ class PreselectStage:
             RuleConstrainedGenerator(rule, state.active.X, k=state.config.k)
             for rule in state.frs
         ]
+        # Materialize each rule's base-population table once; generation
+        # reuses it (and the fitted neighbour index keyed on the dataset
+        # version) until the next accepted batch marks the population stale.
+        state.pools = [
+            state.active.X.take(pop.indices) if pop.size else None
+            for pop in state.bp.per_rule
+        ]
         state.population_stale = False
 
 
@@ -121,7 +131,7 @@ class SelectionStage:
 
     def run(self, state: EditState) -> None:
         state.predictions = (
-            state.model.predict(state.active.X)
+            state.active_predictions()
             if getattr(state.selector, "needs_predictions", True)
             else None
         )
@@ -131,6 +141,7 @@ class SelectionStage:
             k=state.config.k,
             rng=state.rng,
             frs=state.frs,
+            cache_token=state.dataset_version,
         )
         state.per_rule_positions = state.selector.select(state.bp, state.eta, ctx)
 
@@ -150,8 +161,15 @@ class GenerationStage:
         ):
             if positions.size == 0 or pop.size == 0:
                 continue
-            pool = state.active.X.take(pop.indices)
-            out = gen.generate(pool, positions, state.rng)
+            # The default PreselectStage materializes per-rule pools; fall
+            # back to building one so custom preselect stages that only set
+            # bp/generators (the pre-pools contract) keep working.
+            pool = state.pools[r] if r < len(state.pools) else None
+            if pool is None:
+                pool = state.active.X.take(pop.indices)
+            out = gen.generate(
+                pool, positions, state.rng, cache_token=state.dataset_version
+            )
             if out.n:
                 tables.append(out.table)
                 labels.append(out.labels)
@@ -197,8 +215,12 @@ class AcceptanceStage:
             ]
         )
         cand_model = state.algorithm(candidate)
-        # ĵ is evaluated over the current active dataset D̂ (line 11).
-        cand_eval = evaluate_model(cand_model, state.active, state.frs)
+        # ĵ is evaluated over the current active dataset D̂ (line 11); its
+        # FRS row assignment is memoized per dataset version, so only the
+        # candidate model's prediction pass is fresh work here.
+        cand_eval = evaluate_model(
+            cand_model, state.active, state.frs, assign=state.active_assignment()
+        )
         cand_loss = state.loss_of(cand_eval)
         improved = (
             cand_loss <= state.best_loss
@@ -216,6 +238,7 @@ class AcceptanceStage:
                 state.per_rule_counts, state.iteration
             )
             state.population_stale = True
+            state.bump_dataset_version()
             if state.eval_callback is not None:
                 external = float(state.eval_callback(state.model))
         record = IterationRecord(
@@ -301,6 +324,8 @@ class EditEngine:
         self.initialize(state)
         while not state.done:
             self.step(state)
-        final_evaluation = evaluate_model(state.model, state.active, state.frs)
+        final_evaluation = evaluate_model(
+            state.model, state.active, state.frs, assign=state.active_assignment()
+        )
         state.emit("finished")
         return state.to_result(final_evaluation)

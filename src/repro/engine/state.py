@@ -10,6 +10,7 @@ session listeners — the generalization of the old single ``eval_callback``.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -89,6 +90,10 @@ class ProgressEvent:
 
 EventListener = Callable[[ProgressEvent], None]
 
+# Process-global source of dataset-version cache tokens (see
+# EditState.bump_dataset_version).
+_DATASET_VERSIONS = itertools.count(1)
+
 
 @dataclass
 class EditState:
@@ -126,7 +131,19 @@ class EditState:
     # Per-rule working set, refreshed whenever ``population_stale``.
     bp: Any = None  # BasePopulation
     generators: list = field(default_factory=list)
+    pools: list = field(default_factory=list)  # per-rule base-population tables
     population_stale: bool = True
+
+    # Iteration-scoped caches.  ``dataset_version`` moves to a fresh
+    # process-globally-unique value whenever ``active`` changes (setup and
+    # every accepted batch); anything derived purely from the active
+    # dataset — model predictions, the FRS row assignment, fitted
+    # neighbour indices — is memoized against it so rejected iterations
+    # never recompute unchanged work.  The default is drawn from the same
+    # counter so two states never share a token even before setup runs.
+    dataset_version: int = field(default_factory=lambda: next(_DATASET_VERSIONS))
+    predictions_cache: tuple[int, np.ndarray] | None = None
+    assign_cache: tuple[int, np.ndarray] | None = None
 
     # Transient slots written by one stage, consumed by the next.
     predictions: np.ndarray | None = None
@@ -158,6 +175,47 @@ class EditState:
             or self.iteration >= self.max_iteration
             or self.n_added > self.quota
         )
+
+    def bump_dataset_version(self) -> None:
+        """Invalidate every active-dataset-derived cache.
+
+        Called whenever ``active`` is (re)established — at setup and after
+        each accepted batch.  Memoized values keyed on the old version
+        (predictions, FRS assignment, fitted neighbour indices) are
+        recomputed lazily on next use.  Versions are drawn from a
+        process-global counter so tokens never collide across states —
+        a strategy instance shared between sessions (``with_selector``
+        accepts instances) cannot be handed a stale cache hit.
+        """
+        self.dataset_version = next(_DATASET_VERSIONS)
+        self.predictions_cache = None
+        self.assign_cache = None
+
+    def active_predictions(self) -> np.ndarray:
+        """Current model's predictions on the active dataset, memoized.
+
+        The (model, active) pair only changes when a batch is accepted, so
+        between acceptances every iteration reuses one prediction pass.
+        """
+        cached = self.predictions_cache
+        if cached is not None and cached[0] == self.dataset_version:
+            return cached[1]
+        preds = self.model.predict(self.active.X)
+        self.predictions_cache = (self.dataset_version, preds)
+        return preds
+
+    def active_assignment(self) -> np.ndarray:
+        """First-match FRS rule assignment over the active dataset, memoized.
+
+        Rule coverage masks are pure functions of the active table, so the
+        assignment is recomputed only when ``dataset_version`` moves.
+        """
+        cached = self.assign_cache
+        if cached is not None and cached[0] == self.dataset_version:
+            return cached[1]
+        assign = self.frs.assign(self.active.X)
+        self.assign_cache = (self.dataset_version, assign)
+        return assign
 
     def loss_of(self, evaluation: Any) -> float:
         """Score an evaluation with the configured acceptance objective."""

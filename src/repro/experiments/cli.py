@@ -10,6 +10,11 @@ Usage::
     python -m repro.experiments table3 --dataset car --model LR
     python -m repro.experiments table6 --dataset mushroom
     python -m repro.experiments ablation --dataset car --model LR --parameter k
+    python -m repro.experiments bench   --quick
+
+``bench`` runs the performance harness (also installed as the
+``repro-bench`` console script) and writes ``BENCH_hotpaths.json`` and
+``BENCH_end2end.json`` to ``--out-dir`` (default: the current directory).
 
 Common options: ``--runs`` (repetitions), ``--tau`` (FROTE iteration
 limit), ``--seed``, ``--save out.json`` (persist raw records).
@@ -45,7 +50,8 @@ from repro.experiments.tables import (
 )
 
 EXPERIMENTS = (
-    "fig2", "fig3", "fig9", "table1", "table2", "table3", "table6", "ablation", "all",
+    "fig2", "fig3", "fig9", "table1", "table2", "table3", "table6", "ablation",
+    "bench", "all",
 )
 
 
@@ -75,6 +81,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--save", default=None, help="write raw records to this JSON path")
     parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="bench: CI-sized configuration (smaller inputs, fewer repeats)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=".",
+        help="bench: directory for BENCH_hotpaths.json / BENCH_end2end.json "
+        "(default: current directory, i.e. the repo root)",
+    )
+    parser.add_argument(
         "--scale",
         default="bench",
         choices=("smoke", "bench", "paper"),
@@ -98,9 +115,41 @@ def format_strategies() -> str:
     return "\n".join(lines)
 
 
+def run_bench(args: argparse.Namespace) -> tuple[list[dict], str]:
+    """Run the perf harness and write ``BENCH_*.json`` to ``--out-dir``."""
+    from dataclasses import asdict
+
+    from repro.perf import (
+        format_records,
+        run_end2end_benchmarks,
+        run_hotpath_benchmarks,
+        write_end2end_json,
+        write_hotpaths_json,
+    )
+
+    hot = run_hotpath_benchmarks(quick=args.quick, seed=args.seed)
+    hot_path = write_hotpaths_json(
+        hot, out_dir=args.out_dir, quick=args.quick, seed=args.seed
+    )
+    e2e = run_end2end_benchmarks(quick=args.quick, seed=args.seed)
+    e2e_path = write_end2end_json(
+        e2e, out_dir=args.out_dir, quick=args.quick, seed=args.seed
+    )
+    mode = "quick" if args.quick else "full"
+    text = "\n\n".join(
+        [
+            format_records(hot, f"Hot-path benchmarks ({mode}) -> {hot_path}"),
+            format_records(e2e, f"End-to-end benchmarks ({mode}) -> {e2e_path}"),
+        ]
+    )
+    return [asdict(r) for r in hot] + [asdict(r) for r in e2e], text
+
+
 def run(args: argparse.Namespace) -> tuple[list[dict], str]:
     """Dispatch one experiment; returns (records, rendered text)."""
     common = dict(n_runs=args.runs, tau=args.tau, n=args.n, random_state=args.seed)
+    if args.experiment == "bench":
+        return run_bench(args)
     if args.experiment == "all":
         from repro.experiments.paper_suite import run_paper_suite
 
@@ -191,6 +240,15 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"\nrecords written to {path}", file=sys.stderr)
     return 0
+
+
+def bench_main(argv: list[str] | None = None) -> int:
+    """Console entry point for ``repro-bench``: the perf harness alone.
+
+    ``repro-bench --quick`` is shorthand for
+    ``python -m repro.experiments.cli bench --quick``.
+    """
+    return main(["bench", *(argv if argv is not None else sys.argv[1:])])
 
 
 if __name__ == "__main__":  # pragma: no cover

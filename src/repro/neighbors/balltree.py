@@ -60,6 +60,19 @@ class BallTree:
 
     # ------------------------------------------------------------------ #
     def fit(self, X: np.ndarray) -> "BallTree":
+        """Build the tree over the reference matrix.
+
+        Parameters
+        ----------
+        X : ndarray of shape (n_samples, n_features)
+            Encoded reference rows (see
+            :class:`~repro.neighbors.distance.TableNeighborSpace`).
+
+        Returns
+        -------
+        BallTree
+            ``self``, for chaining.
+        """
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2:
             raise ValueError(f"X must be 2-D, got shape {X.shape}")
@@ -73,6 +86,7 @@ class BallTree:
 
     @property
     def n_samples(self) -> int:
+        """Number of fitted reference rows."""
         if self._X is None:
             raise RuntimeError("BallTree is not fitted")
         return self._X.shape[0]
@@ -137,40 +151,59 @@ class BallTree:
         for r in range(Q.shape[0]):
             heap: list[tuple[float, int]] = []  # max-heap via negated dists
             if self._root is not None and k_eff:
-                self._query_one(Q[r], self._root, k_eff, heap)
-            pairs = sorted((-neg_d, i) for neg_d, i in heap)
-            if exclude_self and pairs and pairs[0][0] < SELF_DISTANCE_TOL:
-                pairs = pairs[1:]
-            pairs = pairs[:out_k]
-            for c, (d, i) in enumerate(pairs):
-                dists[r, c] = d
-                idxs[r, c] = i
+                q = Q[r]
+                d_root = float(self._dists(q, np.array([self._root.center]))[0])
+                self._query_one(q, self._root, k_eff, heap, d_root)
+            if not heap:
+                continue
+            neg_d = np.array([p[0] for p in heap])
+            found = np.array([p[1] for p in heap], dtype=np.intp)
+            # Sort by (distance asc, index asc) — matches sorted() on (d, i).
+            order = np.lexsort((found, -neg_d))
+            d_sorted = -neg_d[order]
+            i_sorted = found[order]
+            start = 1 if (exclude_self and d_sorted[0] < SELF_DISTANCE_TOL) else 0
+            take = min(out_k, d_sorted.size - start)
+            dists[r, :take] = d_sorted[start : start + take]
+            idxs[r, :take] = i_sorted[start : start + take]
         return dists, idxs
 
     def _query_one(
-        self, q: np.ndarray, node: _Node, k: int, heap: list[tuple[float, int]]
+        self,
+        q: np.ndarray,
+        node: _Node,
+        k: int,
+        heap: list[tuple[float, int]],
+        d_center: float,
     ) -> None:
+        """Recursively collect the ``k`` nearest points into ``heap``.
+
+        ``d_center`` is ``d(q, node.center)``, computed by the caller so every
+        pivot distance is evaluated exactly once per query (the caller needs
+        it anyway to order the children).
+        """
         assert self._X is not None
-        d_center = float(self._dists(q, np.array([node.center]))[0])
         worst = -heap[0][0] if len(heap) == k else np.inf
         if d_center - node.radius > worst:
             return
         if node.indices is not None:
             ds = self._dists(q, node.indices)
-            for d, i in zip(ds, node.indices):
+            for d, i in zip(ds.tolist(), node.indices.tolist()):
                 if len(heap) < k:
-                    heapq.heappush(heap, (-float(d), int(i)))
+                    heapq.heappush(heap, (-d, i))
                 elif d < -heap[0][0]:
-                    heapq.heapreplace(heap, (-float(d), int(i)))
+                    heapq.heapreplace(heap, (-d, i))
             return
-        children = [node.left, node.right]
-        # Visit the child whose pivot is closer first for tighter pruning.
-        keyed = []
-        for child in children:
-            if child is None:
-                continue
-            dc = float(self._dists(q, np.array([child.center]))[0])
-            keyed.append((dc, child))
-        keyed.sort(key=lambda t: t[0])
-        for _, child in keyed:
-            self._query_one(q, child, k, heap)
+        # Internal nodes always have both children (degenerate splits become
+        # leaves).  One batched distance call covers both pivots; visit the
+        # closer child first for tighter pruning (left wins ties, as before).
+        left, right = node.left, node.right
+        assert left is not None and right is not None
+        d_lr = self._dists(q, np.array([left.center, right.center], dtype=np.intp))
+        d_l, d_r = float(d_lr[0]), float(d_lr[1])
+        if d_l <= d_r:
+            self._query_one(q, left, k, heap, d_l)
+            self._query_one(q, right, k, heap, d_r)
+        else:
+            self._query_one(q, right, k, heap, d_r)
+            self._query_one(q, left, k, heap, d_l)

@@ -21,6 +21,19 @@ class BruteKNN:
         self._X: np.ndarray | None = None
 
     def fit(self, X: np.ndarray) -> "BruteKNN":
+        """Store the reference matrix queries are answered against.
+
+        Parameters
+        ----------
+        X : ndarray of shape (n_samples, n_features)
+            Encoded reference rows (see
+            :class:`~repro.neighbors.distance.TableNeighborSpace`).
+
+        Returns
+        -------
+        BruteKNN
+            ``self``, for chaining.
+        """
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2:
             raise ValueError(f"X must be 2-D, got shape {X.shape}")
@@ -29,6 +42,7 @@ class BruteKNN:
 
     @property
     def n_samples(self) -> int:
+        """Number of fitted reference rows."""
         if self._X is None:
             raise RuntimeError("BruteKNN is not fitted")
         return self._X.shape[0]
@@ -71,7 +85,25 @@ SELF_DISTANCE_TOL = 1e-6
 def _topk_from_dists(
     D: np.ndarray, k: int, *, exclude_self: bool
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Select the k smallest entries per row of a distance matrix."""
+    """Select the ``k`` smallest entries per row of a distance matrix.
+
+    Parameters
+    ----------
+    D : ndarray of shape (n_queries, n_fitted)
+        Dense distance matrix.
+    k : int
+        Number of neighbours requested per row.
+    exclude_self : bool
+        Drop one zero-distance exact match per row (the query itself for
+        leave-one-out queries against the fitted matrix).
+
+    Returns
+    -------
+    distances : ndarray of shape (n_queries, k_out)
+        Sorted ascending per row.
+    indices : ndarray of shape (n_queries, k_out)
+        Column indices into ``D`` matching ``distances``.
+    """
     n_q, n_x = D.shape
     budget = k + 1 if exclude_self else k
     k_eff = min(budget, n_x)
@@ -82,18 +114,17 @@ def _topk_from_dists(
     order = np.argsort(part_d, axis=1, kind="stable")
     idx = np.take_along_axis(part, order, axis=1)
     dist = np.take_along_axis(part_d, order, axis=1)
-    if exclude_self:
-        # Drop the first zero-distance hit per row (the query itself when the
-        # query set equals the fitted set), then truncate to k.
-        keep_idx = np.empty((n_q, min(k, max(k_eff - 1, 0))), dtype=np.intp)
-        keep_dist = np.empty_like(keep_idx, dtype=np.float64)
-        for r in range(n_q):
-            row_idx, row_dist = idx[r], dist[r]
-            if row_dist.size and row_dist[0] < SELF_DISTANCE_TOL:
-                row_idx, row_dist = row_idx[1:], row_dist[1:]
-            else:
-                row_idx, row_dist = row_idx[: k_eff - 1], row_dist[: k_eff - 1]
-            keep_idx[r, : row_idx.size] = row_idx[: keep_idx.shape[1]]
-            keep_dist[r, : row_dist.size] = row_dist[: keep_idx.shape[1]]
-        return keep_dist, keep_idx
-    return dist[:, :k], idx[:, :k]
+    if not exclude_self:
+        return dist[:, :k], idx[:, :k]
+    out_k = min(k, max(k_eff - 1, 0))
+    if out_k == 0:
+        return np.zeros((n_q, 0)), np.zeros((n_q, 0), dtype=np.intp)
+    # Rows whose nearest hit is the query itself start one column later;
+    # rows without a self match keep their first out_k columns.  A single
+    # gather replaces the per-row Python loop.
+    offset = (dist[:, 0] < SELF_DISTANCE_TOL).astype(np.intp)
+    cols = offset[:, None] + np.arange(out_k, dtype=np.intp)[None, :]
+    return (
+        np.take_along_axis(dist, cols, axis=1),
+        np.take_along_axis(idx, cols, axis=1),
+    )

@@ -46,6 +46,7 @@ class MixedMetric:
 
     @property
     def n_features(self) -> int:
+        """Number of encoded columns the metric expects."""
         return self.cat_mask.size
 
     def dists_to(self, q: np.ndarray, X: np.ndarray) -> np.ndarray:
@@ -97,6 +98,18 @@ class TableNeighborSpace:
         self.metric_: MixedMetric | None = None
 
     def fit(self, table: Table) -> "TableNeighborSpace":
+        """Learn per-column scaling from a reference table.
+
+        Parameters
+        ----------
+        table : Table
+            Reference rows; numeric ranges are taken from its columns.
+
+        Returns
+        -------
+        TableNeighborSpace
+            ``self``, for chaining.
+        """
         self.schema_ = table.schema
         num_names = table.schema.numeric_names
         mins = np.zeros(len(num_names))
@@ -137,4 +150,5 @@ class TableNeighborSpace:
         return np.hstack(blocks)
 
     def fit_encode(self, table: Table) -> np.ndarray:
+        """Fit on ``table`` and return its encoding in one call."""
         return self.fit(table).encode(table)

@@ -1,0 +1,58 @@
+"""Performance measurement subsystem: hot-path and end-to-end benchmarks.
+
+Systems claims need first-class measurement infrastructure; this package
+is the library's.  It has three parts:
+
+* :mod:`repro.perf.seed_reference` — the original row-at-a-time hot-path
+  implementations, preserved verbatim for parity tests and speedup
+  measurement;
+* :mod:`repro.perf.hotpaths` / :mod:`repro.perf.end2end` — the benchmark
+  definitions;
+* :mod:`repro.perf.harness` — timing plus the versioned ``BENCH_*.json``
+  schema and writers.
+
+Run everything with ``repro-bench`` (or
+``python -m repro.experiments.cli bench``); add ``--quick`` for the
+CI-sized configuration.  ``benchmarks/perf/`` wraps the same entry points
+as pytest benchmarks.
+"""
+
+from repro.perf.harness import (
+    END2END_FILENAME,
+    HOTPATHS_FILENAME,
+    SCHEMA_VERSION,
+    CompareRecord,
+    End2EndRecord,
+    format_records,
+    validate_bench_payload,
+    write_end2end_json,
+    write_hotpaths_json,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "HOTPATHS_FILENAME",
+    "END2END_FILENAME",
+    "CompareRecord",
+    "End2EndRecord",
+    "format_records",
+    "validate_bench_payload",
+    "write_hotpaths_json",
+    "write_end2end_json",
+    "run_hotpath_benchmarks",
+    "run_end2end_benchmarks",
+]
+
+
+def run_hotpath_benchmarks(**kwargs):
+    """Lazy forward to :func:`repro.perf.hotpaths.run_hotpath_benchmarks`."""
+    from repro.perf.hotpaths import run_hotpath_benchmarks as _run
+
+    return _run(**kwargs)
+
+
+def run_end2end_benchmarks(**kwargs):
+    """Lazy forward to :func:`repro.perf.end2end.run_end2end_benchmarks`."""
+    from repro.perf.end2end import run_end2end_benchmarks as _run
+
+    return _run(**kwargs)

@@ -1,0 +1,125 @@
+"""End-to-end wall-clock benchmarks of full FROTE edit runs.
+
+Unlike :mod:`repro.perf.hotpaths` (seed-vs-current kernels), these runs
+time the production pipeline as a user drives it — dataset in,
+``repro.edit(...)`` session out — so the numbers capture everything the
+edit loop does per iteration: preselection, selection, generation,
+retraining, and acceptance scoring.  Results land in
+``BENCH_end2end.json``; tracked over PRs they are the project's
+performance trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+import repro
+from repro.data.dataset import Dataset
+from repro.perf.harness import End2EndRecord
+from repro.perf.hotpaths import synthetic_mixed_table
+
+
+def _synthetic_dataset(n: int, seed: int) -> Dataset:
+    """Binary dataset over the synthetic mixed table with planted structure."""
+    table = synthetic_mixed_table(n, seed)
+    age = table.column("age")
+    income = table.column("income")
+    rng = np.random.default_rng(seed + 1)
+    y = ((age < 40) & (income > 100)).astype(np.int64)
+    noise = rng.uniform(size=table.n_rows) < 0.05
+    y[noise] = 1 - y[noise]
+    return Dataset(table, y, ("deny", "approve"))
+
+
+def _run_synthetic(*, n: int, tau: int, seed: int) -> End2EndRecord:
+    """Time one session-API edit on the synthetic mixed dataset."""
+    dataset = _synthetic_dataset(n, seed)
+    t0 = time.perf_counter()
+    result = (
+        repro.edit(dataset)
+        .with_rules(
+            "age < 35 => approve",
+            "income < 40 AND marital = 'single' => deny",
+        )
+        .with_algorithm("LR")
+        .configure(tau=tau, q=0.5, random_state=seed)
+        .run()
+    )
+    seconds = time.perf_counter() - t0
+    return End2EndRecord(
+        name="session_edit",
+        dataset="synthetic",
+        n_rows=dataset.n,
+        tau=tau,
+        seconds=seconds,
+        iterations=result.iterations,
+        accepted_iterations=result.accepted_iterations,
+        n_added=result.n_added,
+        seconds_per_iteration=seconds / max(result.iterations, 1),
+        extra={"selection": "random", "model": "LR"},
+    )
+
+
+def _run_paper_pipeline(
+    *, dataset_name: str, n: int, tau: int, seed: int
+) -> End2EndRecord:
+    """Time the paper's full protocol: context build, FRS draw, FROTE run.
+
+    This exercises the same machinery as the table/figure experiment
+    drivers (rule learning, feedback-pool perturbation, conflict-free FRS
+    draw, coverage-aware split) before timing the edit itself, so the
+    record reflects a realistic experiment workload.
+    """
+    from repro.experiments.setup import build_context, prepare_run
+
+    ctx = build_context(dataset_name, "LR", n=n, random_state=seed)
+    rng = np.random.default_rng(seed)
+    run = prepare_run(ctx, frs_size=2, tcf=0.7, rng=rng)
+    if run is None:  # pragma: no cover - pool draw can fail for tiny n
+        raise RuntimeError(f"no conflict-free FRS drawable for {dataset_name}")
+    t0 = time.perf_counter()
+    result = (
+        repro.edit(run.train)
+        .with_rules(run.frs)
+        .with_algorithm(ctx.algorithm)
+        .configure(tau=tau, q=0.5, selection="random", random_state=seed)
+        .run()
+    )
+    seconds = time.perf_counter() - t0
+    return End2EndRecord(
+        name="paper_pipeline_edit",
+        dataset=dataset_name,
+        n_rows=run.train.n,
+        tau=tau,
+        seconds=seconds,
+        iterations=result.iterations,
+        accepted_iterations=result.accepted_iterations,
+        n_added=result.n_added,
+        seconds_per_iteration=seconds / max(result.iterations, 1),
+        extra={"selection": "random", "model": "LR", "frs_size": 2},
+    )
+
+
+def run_end2end_benchmarks(
+    *, quick: bool = False, seed: int = 42
+) -> list[End2EndRecord]:
+    """Run the end-to-end benchmarks and return the records.
+
+    Parameters
+    ----------
+    quick : bool, default False
+        Smaller datasets and fewer loop iterations — the CI per-PR
+        configuration (a few seconds total).
+    seed : int, default 42
+        Seed for dataset generation, FRS draws, and the edit loops.
+    """
+    if quick:
+        n_syn, n_real, tau = 1200, 400, 6
+    else:
+        n_syn, n_real, tau = 5000, 1200, 20
+    return [
+        _run_synthetic(n=n_syn, tau=tau, seed=seed),
+        _run_paper_pipeline(dataset_name="car", n=n_real, tau=tau, seed=seed),
+    ]

@@ -1,0 +1,258 @@
+"""Timing and ``BENCH_*.json`` emission for the performance harness.
+
+The perf subsystem produces two artifacts at the repository root (or any
+directory passed to the writers):
+
+* ``BENCH_hotpaths.json`` — seed-vs-current micro-benchmarks of the edit
+  loop's hot paths (neighbour search, SMOTE-family candidate generation,
+  selection scoring), where *seed* means the original row-at-a-time
+  implementations kept in :mod:`repro.perf.seed_reference`;
+* ``BENCH_end2end.json`` — wall-clock timings of full FROTE edit runs.
+
+Both files share a small, versioned schema (:data:`SCHEMA_VERSION`);
+:func:`validate_bench_payload` is the single source of truth for it and is
+used by the test suite and CI to keep emitted artifacts machine-readable.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+SCHEMA_VERSION = 1
+
+HOTPATHS_FILENAME = "BENCH_hotpaths.json"
+END2END_FILENAME = "BENCH_end2end.json"
+
+
+@dataclass(frozen=True)
+class CompareRecord:
+    """One seed-vs-current hot-path measurement."""
+
+    name: str
+    dataset: str
+    n_rows: int
+    repeats: int
+    seed_seconds: float
+    current_seconds: float
+    speedup: float
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class End2EndRecord:
+    """One full-run measurement of the edit loop."""
+
+    name: str
+    dataset: str
+    n_rows: int
+    tau: int
+    seconds: float
+    iterations: int
+    accepted_iterations: int
+    n_added: int
+    seconds_per_iteration: float
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+def best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Return the minimum wall time of ``repeats`` calls to ``fn``.
+
+    The minimum is the standard micro-benchmark estimator: it is the run
+    least perturbed by scheduler noise, and both sides of a comparison are
+    measured the same way.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def compare(
+    name: str,
+    dataset: str,
+    n_rows: int,
+    seed_fn: Callable[[], Any],
+    current_fn: Callable[[], Any],
+    *,
+    repeats: int = 3,
+    extra: dict[str, Any] | None = None,
+) -> CompareRecord:
+    """Time the seed and current implementations of one hot path.
+
+    Both callables are invoked once untimed (warm-up: caches, allocator),
+    then ``repeats`` timed rounds each; the best round wins.
+    """
+    seed_fn()
+    current_fn()
+    seed_s = best_of(seed_fn, repeats)
+    cur_s = best_of(current_fn, repeats)
+    # Floor the denominator: a 0.0s reading (coarse perf_counter) must not
+    # produce an Infinity token, which is not valid JSON.
+    return CompareRecord(
+        name=name,
+        dataset=dataset,
+        n_rows=n_rows,
+        repeats=repeats,
+        seed_seconds=seed_s,
+        current_seconds=cur_s,
+        speedup=seed_s / max(cur_s, 1e-12),
+        extra=extra or {},
+    )
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean; 0.0 for an empty list."""
+    if not values:
+        return 0.0
+    return float(math.exp(sum(math.log(v) for v in values) / len(values)))
+
+
+def _payload(
+    kind: str, records: list, *, quick: bool, seed: int, summary: dict[str, Any]
+) -> dict[str, Any]:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": kind,
+        "quick": quick,
+        "seed": seed,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": [asdict(r) for r in records],
+        "summary": summary,
+    }
+
+
+def write_hotpaths_json(
+    records: list[CompareRecord],
+    *,
+    out_dir: str | Path = ".",
+    quick: bool,
+    seed: int,
+) -> Path:
+    """Write ``BENCH_hotpaths.json`` and return its path.
+
+    The summary carries the geometric-mean speedup per dataset — the
+    headline number the CI perf job and the README quote.
+    """
+    per_dataset: dict[str, list[float]] = {}
+    for r in records:
+        per_dataset.setdefault(r.dataset, []).append(r.speedup)
+    summary = {
+        f"{ds}_geomean_speedup": round(geomean(sp), 3)
+        for ds, sp in sorted(per_dataset.items())
+    }
+    payload = _payload("hotpaths", records, quick=quick, seed=seed, summary=summary)
+    return _write_payload(payload, Path(out_dir) / HOTPATHS_FILENAME)
+
+
+def write_end2end_json(
+    records: list[End2EndRecord],
+    *,
+    out_dir: str | Path = ".",
+    quick: bool,
+    seed: int,
+) -> Path:
+    """Write ``BENCH_end2end.json`` and return its path."""
+    total = sum(r.seconds for r in records)
+    summary = {"total_seconds": round(total, 4), "n_runs": len(records)}
+    payload = _payload("end2end", records, quick=quick, seed=seed, summary=summary)
+    return _write_payload(payload, Path(out_dir) / END2END_FILENAME)
+
+
+def _write_payload(payload: dict[str, Any], path: Path) -> Path:
+    """Validate, ensure the target directory exists, and write the JSON."""
+    validate_bench_payload(payload)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+_COMMON_KEYS = {"schema_version", "kind", "quick", "seed", "python", "machine", "results", "summary"}
+_COMPARE_KEYS = {
+    "name", "dataset", "n_rows", "repeats",
+    "seed_seconds", "current_seconds", "speedup", "extra",
+}
+_END2END_KEYS = {
+    "name", "dataset", "n_rows", "tau", "seconds", "iterations",
+    "accepted_iterations", "n_added", "seconds_per_iteration", "extra",
+}
+
+
+def validate_bench_payload(payload: dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``payload`` matches the BENCH schema.
+
+    Checked: the common envelope keys, a supported ``kind``, the matching
+    per-record key set, and numeric timing fields.  Used by the writers
+    (fail fast before emitting a broken artifact), the smoke tests, and
+    the CI perf job.
+    """
+    missing = _COMMON_KEYS - payload.keys()
+    if missing:
+        raise ValueError(f"BENCH payload missing keys: {sorted(missing)}")
+    if payload["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema_version {payload['schema_version']!r}")
+    kind = payload["kind"]
+    if kind == "hotpaths":
+        record_keys, timing_fields = _COMPARE_KEYS, ("seed_seconds", "current_seconds", "speedup")
+    elif kind == "end2end":
+        record_keys, timing_fields = _END2END_KEYS, ("seconds", "seconds_per_iteration")
+    else:
+        raise ValueError(f"unknown BENCH kind {kind!r}")
+    if not isinstance(payload["results"], list):
+        raise ValueError("results must be a list")
+    for i, rec in enumerate(payload["results"]):
+        if set(rec.keys()) != record_keys:
+            raise ValueError(
+                f"results[{i}] keys {sorted(rec.keys())} != expected {sorted(record_keys)}"
+            )
+        for f in timing_fields:
+            if (
+                not isinstance(rec[f], (int, float))
+                or rec[f] < 0
+                or not math.isfinite(rec[f])
+            ):
+                raise ValueError(
+                    f"results[{i}].{f} must be a finite non-negative number"
+                )
+    if not isinstance(payload["summary"], dict):
+        raise ValueError("summary must be a dict")
+
+
+def format_records(records: list, title: str) -> str:
+    """Render records as an aligned ASCII table for CLI output."""
+    if not records:
+        return f"{title}\n(no records)"
+    rows: list[list[str]] = []
+    if isinstance(records[0], CompareRecord):
+        header = ["hot path", "dataset", "rows", "seed (ms)", "current (ms)", "speedup"]
+        for r in records:
+            rows.append([
+                r.name, r.dataset, str(r.n_rows),
+                f"{r.seed_seconds * 1e3:.2f}", f"{r.current_seconds * 1e3:.2f}",
+                f"{r.speedup:.1f}x",
+            ])
+    else:
+        header = ["run", "dataset", "rows", "tau", "seconds", "iters", "s/iter"]
+        for r in records:
+            rows.append([
+                r.name, r.dataset, str(r.n_rows), str(r.tau),
+                f"{r.seconds:.2f}", str(r.iterations),
+                f"{r.seconds_per_iteration:.3f}",
+            ])
+    widths = [max(len(h), *(len(row[c]) for row in rows)) for c, h in enumerate(header)]
+    lines = [title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

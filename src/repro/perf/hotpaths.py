@@ -1,0 +1,246 @@
+"""Seed-vs-current micro-benchmarks of the edit loop's hot paths.
+
+Each benchmark times one hot path twice on identical inputs and identical
+RNG seeds: the *seed* side runs the original row-at-a-time implementation
+preserved in :mod:`repro.perf.seed_reference`; the *current* side runs the
+vectorized implementation now used in production.  Because the two sides
+are bit-for-bit output-compatible (pinned by ``tests/perf``), the speedup
+is a pure measure of the vectorization.
+
+Covered paths, per dataset (a generated mixed-type table and the adult
+registry dataset):
+
+* ``kneighbors_topk`` — top-k selection with self-exclusion over a
+  precomputed distance matrix (:mod:`repro.neighbors.brute`);
+* ``smote_majority`` — SMOTE-NC categorical aggregation;
+* ``window_sampling`` — rule-constrained numeric generation;
+* ``constrained_categorical`` — rule-constrained categorical generation;
+* ``borderline_weights`` — Han-2005 category→weight mapping;
+* ``selection_membership`` — IP-selection chosen-row membership;
+* ``smote_generate`` — the full SMOTE candidate-generation path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import Table, make_schema
+from repro.neighbors import BruteKNN, TableNeighborSpace
+from repro.neighbors.brute import _topk_from_dists
+from repro.perf import seed_reference as seed_ref
+from repro.perf.harness import CompareRecord, compare
+from repro.rules.predicate import Predicate
+from repro.sampling import SMOTE
+from repro.sampling.borderline import (
+    BORDERLINE,
+    DEFAULT_WEIGHTS,
+    NOISY,
+    SAFE,
+    category_weights,
+)
+from repro.sampling.interpolation import majority_categorical_batch
+from repro.sampling.rule_generation import (
+    pick_categorical_batch,
+    sample_in_window_batch,
+    window_from_conditions,
+)
+
+K_NEIGHBORS = 5
+
+
+def synthetic_mixed_table(n: int, seed: int) -> Table:
+    """A mixed-type table shaped like the test-suite fixture, at scale."""
+    schema = make_schema(
+        numeric=["age", "income"],
+        categorical={
+            "marital": ("single", "married", "divorced"),
+            "color": ("red", "green", "blue"),
+        },
+    )
+    rng = np.random.default_rng(seed)
+    return Table(
+        schema,
+        {
+            "age": rng.uniform(18, 80, n),
+            "income": rng.uniform(10, 200, n),
+            "marital": rng.integers(0, 3, n),
+            "color": rng.integers(0, 3, n),
+        },
+    )
+
+
+def _bench_table(dataset: str, n: int, seed: int) -> Table:
+    if dataset == "synthetic":
+        return synthetic_mixed_table(n, seed)
+    from repro.datasets import load_dataset
+
+    return load_dataset(dataset, n, random_state=seed).X
+
+
+def _table_benchmarks(
+    dataset: str, table: Table, *, seed: int, repeats: int
+) -> list[CompareRecord]:
+    """All hot-path comparisons over one table."""
+    records: list[CompareRecord] = []
+    n = table.n_rows
+    space = TableNeighborSpace().fit(table)
+    E = space.encode(table)
+
+    # --- neighbour search: top-k with self-exclusion ------------------- #
+    n_q = min(n, 2500)  # bound the dense distance matrix
+    D = space.metric_.pairwise(E[:n_q], E)
+    records.append(
+        compare(
+            "kneighbors_topk", dataset, n,
+            lambda: seed_ref.seed_topk_from_dists(D, K_NEIGHBORS, exclude_self=True),
+            lambda: _topk_from_dists(D, K_NEIGHBORS, exclude_self=True),
+            repeats=repeats,
+            extra={"n_queries": n_q, "k": K_NEIGHBORS},
+        )
+    )
+
+    # Shared neighbour matrix for the generation benchmarks.
+    knn = BruteKNN(space.metric_).fit(E)
+    _, nbr_idx = knn.kneighbors(E[:n_q], K_NEIGHBORS, exclude_self=True)
+
+    cat_name = table.schema.categorical_names[0]
+    cat_spec = table.schema[cat_name]
+    codes = table.column(cat_name)[nbr_idx]
+
+    # --- SMOTE-NC categorical aggregation ------------------------------ #
+    records.append(
+        compare(
+            "smote_majority", dataset, n,
+            lambda: seed_ref.seed_majority_batch(codes, np.random.default_rng(seed)),
+            lambda: majority_categorical_batch(
+                codes, len(cat_spec.categories), np.random.default_rng(seed)
+            ),
+            repeats=repeats,
+            extra={"n_samples": n_q, "column": cat_name},
+        )
+    )
+
+    # --- rule-constrained numeric windows ------------------------------ #
+    if table.schema.numeric_names:
+        num_name = table.schema.numeric_names[0]
+        col = table.column(num_name)
+        lo, hi = float(np.quantile(col, 0.25)), float(np.quantile(col, 0.75))
+        window = window_from_conditions(
+            (Predicate(num_name, ">=", lo), Predicate(num_name, "<", hi))
+        )
+        attr_range = (float(col.min()), float(col.max()))
+        base_v = col[:n_q]
+        nbr_v = col[nbr_idx[:, 0]]
+        records.append(
+            compare(
+                "window_sampling", dataset, n,
+                lambda: seed_ref.seed_sample_in_window_batch(
+                    window, base_v, nbr_v, attr_range, np.random.default_rng(seed)
+                ),
+                lambda: sample_in_window_batch(
+                    window, base_v, nbr_v, attr_range, np.random.default_rng(seed)
+                ),
+                repeats=repeats,
+                extra={"n_samples": n_q, "column": num_name},
+            )
+        )
+
+    # --- rule-constrained categorical picks ---------------------------- #
+    conds = (Predicate(cat_name, "!=", cat_spec.categories[0]),)
+    records.append(
+        compare(
+            "constrained_categorical", dataset, n,
+            lambda: seed_ref.seed_pick_categorical_batch(
+                codes, conds, cat_spec.categories, np.random.default_rng(seed)
+            ),
+            lambda: pick_categorical_batch(
+                codes, conds, cat_spec.categories, np.random.default_rng(seed)
+            ),
+            repeats=repeats,
+            extra={"n_samples": n_q, "column": cat_name},
+        )
+    )
+
+    # --- borderline category -> weight mapping ------------------------- #
+    rng = np.random.default_rng(seed)
+    cats = np.array(
+        [(NOISY, SAFE, BORDERLINE)[i] for i in rng.integers(0, 3, size=n)],
+        dtype=object,
+    )
+    records.append(
+        compare(
+            "borderline_weights", dataset, n,
+            lambda: seed_ref.seed_borderline_weights(cats, DEFAULT_WEIGHTS),
+            lambda: category_weights(cats, DEFAULT_WEIGHTS),
+            repeats=repeats,
+        )
+    )
+
+    # --- IP-selection chosen-row membership ---------------------------- #
+    pops = [np.sort(rng.choice(n, size=max(n // 5, 1), replace=False)) for _ in range(5)]
+    chosen_rows = rng.choice(n, size=max(n // 10, 1), replace=False)
+
+    def seed_membership() -> list[np.ndarray]:
+        chosen_set = set(chosen_rows.tolist())
+        out = []
+        for pop in pops:
+            mask = np.fromiter(
+                (int(v) in chosen_set for v in pop), dtype=bool, count=pop.size
+            )
+            out.append(np.flatnonzero(mask).astype(np.intp))
+        return out
+
+    def current_membership() -> list[np.ndarray]:
+        return [
+            np.flatnonzero(np.isin(pop, chosen_rows)).astype(np.intp) for pop in pops
+        ]
+
+    records.append(
+        compare(
+            "selection_membership", dataset, n,
+            seed_membership, current_membership, repeats=repeats,
+            extra={"n_rules": len(pops)},
+        )
+    )
+
+    # --- full SMOTE candidate generation ------------------------------- #
+    n_samples = min(n, 2000)
+    records.append(
+        compare(
+            "smote_generate", dataset, n,
+            lambda: seed_ref.seed_smote_generate(
+                table, n_samples, k=K_NEIGHBORS, rng=np.random.default_rng(seed)
+            ),
+            lambda: SMOTE(K_NEIGHBORS).generate(
+                table, n_samples, rng=np.random.default_rng(seed)
+            ),
+            repeats=repeats,
+            extra={"n_samples": n_samples},
+        )
+    )
+    return records
+
+
+def run_hotpath_benchmarks(
+    *, quick: bool = False, seed: int = 0, datasets: tuple[str, ...] | None = None
+) -> list[CompareRecord]:
+    """Run every hot-path comparison and return the records.
+
+    Parameters
+    ----------
+    quick : bool, default False
+        Smaller tables and fewer repeats — the CI per-PR configuration.
+    seed : int, default 0
+        Base seed for table generation and all benchmark RNGs.
+    datasets : tuple of str, optional
+        Override the benchmarked datasets (default: ``synthetic`` and
+        ``adult``).
+    """
+    n = 2500 if quick else 6000
+    repeats = 3 if quick else 5
+    names = datasets if datasets is not None else ("synthetic", "adult")
+    records: list[CompareRecord] = []
+    for dataset in names:
+        table = _bench_table(dataset, n, seed)
+        records.extend(_table_benchmarks(dataset, table, seed=seed, repeats=repeats))
+    return records

@@ -1,0 +1,150 @@
+"""The seed repository's row-at-a-time hot-path implementations, preserved.
+
+When the edit-loop hot paths were vectorized, the original per-row Python
+loops were moved here verbatim (modulo being standalone functions) so that
+
+* ``tests/perf/test_seed_parity.py`` can pin, under a fixed RNG, that the
+  vectorized implementations reproduce the seed outputs **bit-for-bit**
+  (the batch code consumes the random stream in exactly the seed order);
+* ``repro.perf.hotpaths`` can measure the speedup the vectorization buys,
+  emitted to ``BENCH_hotpaths.json``.
+
+Nothing here is used by the production edit loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.neighbors import BruteKNN, TableNeighborSpace
+from repro.neighbors.brute import SELF_DISTANCE_TOL
+from repro.rules.predicate import Predicate
+from repro.sampling.interpolation import interpolate_numeric, majority_categorical
+from repro.sampling.rule_generation import (
+    NumericWindow,
+    pick_categorical,
+    sample_in_window,
+)
+
+
+def seed_topk_from_dists(
+    D: np.ndarray, k: int, *, exclude_self: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """Seed top-k selection: per-row Python loop for ``exclude_self``."""
+    n_q, n_x = D.shape
+    budget = k + 1 if exclude_self else k
+    k_eff = min(budget, n_x)
+    if k_eff == 0:
+        return np.zeros((n_q, 0)), np.zeros((n_q, 0), dtype=np.intp)
+    part = np.argpartition(D, k_eff - 1, axis=1)[:, :k_eff]
+    part_d = np.take_along_axis(D, part, axis=1)
+    order = np.argsort(part_d, axis=1, kind="stable")
+    idx = np.take_along_axis(part, order, axis=1)
+    dist = np.take_along_axis(part_d, order, axis=1)
+    if exclude_self:
+        keep_idx = np.empty((n_q, min(k, max(k_eff - 1, 0))), dtype=np.intp)
+        keep_dist = np.empty_like(keep_idx, dtype=np.float64)
+        for r in range(n_q):
+            row_idx, row_dist = idx[r], dist[r]
+            if row_dist.size and row_dist[0] < SELF_DISTANCE_TOL:
+                row_idx, row_dist = row_idx[1:], row_dist[1:]
+            else:
+                row_idx, row_dist = row_idx[: k_eff - 1], row_dist[: k_eff - 1]
+            keep_idx[r, : row_idx.size] = row_idx[: keep_idx.shape[1]]
+            keep_dist[r, : row_dist.size] = row_dist[: keep_idx.shape[1]]
+        return keep_dist, keep_idx
+    return dist[:, :k], idx[:, :k]
+
+
+def seed_majority_batch(codes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Seed SMOTE-NC categorical aggregation: one bincount per sample."""
+    n = codes.shape[0]
+    vals = np.empty(n, dtype=np.int64)
+    for s in range(n):
+        vals[s] = majority_categorical(codes[s], rng)
+    return vals
+
+
+def seed_sample_in_window_batch(
+    window: NumericWindow,
+    base_v: np.ndarray,
+    nbr_v: np.ndarray,
+    attr_range: tuple[float, float],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Seed constrained numeric generation: one scalar draw per sample."""
+    n = base_v.shape[0]
+    vals = np.empty(n)
+    for s in range(n):
+        vals[s] = sample_in_window(
+            window, float(base_v[s]), float(nbr_v[s]), attr_range, rng
+        )
+    return vals
+
+
+def seed_pick_categorical_batch(
+    codes: np.ndarray,
+    conditions: tuple[Predicate, ...],
+    categories: tuple[str, ...],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Seed constrained categorical generation: one sorted scan per sample."""
+    n = codes.shape[0]
+    vals = np.empty(n, dtype=np.int64)
+    for s in range(n):
+        vals[s] = pick_categorical(codes[s], conditions, categories, rng)
+    return vals
+
+
+def seed_smote_generate(
+    table: Table,
+    n_samples: int,
+    *,
+    k: int,
+    rng: np.random.Generator,
+    base_indices: np.ndarray | None = None,
+) -> Table:
+    """The seed ``SMOTE.generate``: per-sample loop over categorical columns.
+
+    Neighbour search and numeric interpolation were already matrix ops in
+    the seed; only the SMOTE-NC majority step looped per sample.
+    """
+    if table.n_rows < 2:
+        raise ValueError("need at least 2 rows to interpolate")
+    if base_indices is None:
+        base_indices = np.arange(table.n_rows)
+    base_indices = np.asarray(base_indices, dtype=np.intp)
+
+    space = TableNeighborSpace().fit(table)
+    E = space.encode(table)
+    knn = BruteKNN(space.metric_).fit(E)
+    k_eff = min(k, table.n_rows - 1)
+    _, nbr_idx = knn.kneighbors(E[base_indices], k_eff, exclude_self=True)
+
+    chosen_base = rng.integers(0, base_indices.size, size=n_samples)
+    chosen_nbr_col = rng.integers(0, k_eff, size=n_samples)
+
+    schema = table.schema
+    columns: dict[str, np.ndarray] = {}
+    b_rows = base_indices[chosen_base]
+    j_rows = nbr_idx[chosen_base, chosen_nbr_col]
+    omegas = rng.uniform(0.0, 1.0, size=n_samples)
+    for spec in schema:
+        col = table.column(spec.name)
+        if spec.is_numeric:
+            columns[spec.name] = interpolate_numeric(col[b_rows], col[j_rows], omegas)
+        else:
+            vals = np.empty(n_samples, dtype=np.int64)
+            for s in range(n_samples):
+                codes = col[nbr_idx[chosen_base[s]]]
+                vals[s] = majority_categorical(codes, rng)
+            columns[spec.name] = vals
+    return Table(schema, columns, copy=False)
+
+
+def seed_borderline_weights(
+    cats: np.ndarray, weights: dict[str, float]
+) -> np.ndarray:
+    """Seed borderline weight mapping: per-row dict lookup."""
+    return np.array([weights[c] for c in cats], dtype=np.float64)

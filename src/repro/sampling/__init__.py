@@ -14,17 +14,26 @@ from repro.sampling.borderline import (
     SAFE,
     BorderlineAnalysis,
     BorderlineSMOTE,
+    category_weights,
     classify_borderline,
+)
+from repro.sampling.interpolation import (
+    category_counts,
+    interpolate_numeric,
+    majority_categorical,
+    majority_categorical_batch,
 )
 from repro.sampling.rule_generation import (
     GeneratedBatch,
     NumericWindow,
     RuleConstrainedGenerator,
     pick_categorical,
+    pick_categorical_batch,
     sample_in_window,
+    sample_in_window_batch,
     window_from_conditions,
 )
-from repro.sampling.smote import SMOTE, interpolate_numeric, majority_categorical
+from repro.sampling.smote import SMOTE
 
 
 def make_sampler(name: str, **kwargs):
@@ -45,7 +54,10 @@ __all__ = [
     "adasyn_weights",
     "interpolate_numeric",
     "majority_categorical",
+    "majority_categorical_batch",
+    "category_counts",
     "classify_borderline",
+    "category_weights",
     "BorderlineAnalysis",
     "NOISY",
     "SAFE",
@@ -55,5 +67,7 @@ __all__ = [
     "NumericWindow",
     "window_from_conditions",
     "sample_in_window",
+    "sample_in_window_batch",
     "pick_categorical",
+    "pick_categorical_batch",
 ]

@@ -72,8 +72,22 @@ class ADASYN:
         self.random_state = random_state
 
     def fit_resample(self, dataset: Dataset) -> Dataset:
-        """Oversample every minority class to the majority count, allocating
-        synthesis effort by local majority density."""
+        """Oversample every minority class to the majority class count.
+
+        Synthesis effort is allocated per base instance by local majority
+        density (the ADASYN weights), then interpolation proceeds as in
+        SMOTE within each class.
+
+        Parameters
+        ----------
+        dataset : Dataset
+            The imbalanced dataset.
+
+        Returns
+        -------
+        Dataset
+            Original rows followed by the synthetic minority rows.
+        """
         rng = check_random_state(self.random_state)
         counts = dataset.class_counts()
         target = int(counts.max())

@@ -36,6 +36,7 @@ class BorderlineAnalysis:
     weights: np.ndarray  # float weights
 
     def count(self, category: str) -> int:
+        """Number of instances classified as ``category``."""
         return int(np.sum(self.categories == category))
 
 
@@ -84,14 +85,45 @@ def classify_borderline(
 
     lo = 0.5 - borderline_band / 2.0
     hi = 0.5 + borderline_band / 2.0
+    noisy = p_frac < lo
+    border = (p_frac >= lo) & (p_frac <= hi)
     cats = np.empty(table.n_rows, dtype=object)
-    cats[p_frac < lo] = NOISY
-    cats[(p_frac >= lo) & (p_frac <= hi)] = BORDERLINE
+    cats[noisy] = NOISY
+    cats[border] = BORDERLINE
     cats[p_frac > hi] = SAFE
+    return BorderlineAnalysis(cats, category_weights(cats, weights))
 
+
+def category_weights(
+    cats: np.ndarray, weights: dict[str, float] | None = None
+) -> np.ndarray:
+    """Map borderline categories to their selection weights, vectorized.
+
+    Parameters
+    ----------
+    cats : ndarray of object
+        Per-instance categories (``noisy`` / ``safe`` / ``borderline``).
+    weights : dict, optional
+        Weight per category; defaults to the paper's {1, 1, 3}.  A
+        category's weight is looked up only when the category occurs, so
+        partial dicts work.
+
+    Returns
+    -------
+    ndarray of float64
+        One weight per instance.
+    """
     w = weights or DEFAULT_WEIGHTS
-    wvec = np.array([w[c] for c in cats], dtype=np.float64)
-    return BorderlineAnalysis(cats, wvec)
+    wvec = np.empty(cats.shape[0], dtype=np.float64)
+    assigned = np.zeros(cats.shape[0], dtype=bool)
+    for cat in (NOISY, BORDERLINE, SAFE):
+        mask = cats == cat
+        if mask.any():
+            wvec[mask] = w[cat]
+            assigned |= mask
+    if not assigned.all():
+        raise KeyError(cats[~assigned][0])  # unknown category, like the seed
+    return wvec
 
 
 @register_sampler("borderline")
@@ -109,6 +141,18 @@ class BorderlineSMOTE:
         self.random_state = random_state
 
     def fit_resample(self, dataset):
+        """Oversample minority classes from their borderline instances.
+
+        Parameters
+        ----------
+        dataset : Dataset
+            The imbalanced dataset.
+
+        Returns
+        -------
+        Dataset
+            Original rows followed by the synthetic minority rows.
+        """
         from repro.data.dataset import Dataset
         from repro.sampling.smote import SMOTE
         from repro.utils.rng import check_random_state

@@ -14,6 +14,14 @@ Numeric condition attributes use the supplement's window logic: the
 conditions on an attribute define a (min, max) window, the base/neighbour
 values tighten it when they already fall inside, and the value is drawn
 uniformly from the tightest window.
+
+Candidate batches are generated with NumPy array ops:
+:func:`sample_in_window_batch` and :func:`pick_categorical_batch` process a
+whole column at once while consuming the RNG stream exactly like the
+scalar :func:`sample_in_window` / :func:`pick_categorical` loops they
+replace, so fixed-seed outputs are unchanged.  The generator can also
+reuse its fitted neighbour index across edit-loop iterations via the
+``cache_token`` argument (see :meth:`RuleConstrainedGenerator.generate`).
 """
 
 from __future__ import annotations
@@ -26,11 +34,26 @@ from repro.data.table import Table
 from repro.neighbors import BruteKNN, TableNeighborSpace
 from repro.rules.predicate import EQ, GE, GT, LE, LT, NE, Predicate
 from repro.rules.rule import FeedbackRule
+from repro.sampling.interpolation import (
+    category_counts,
+    choose_neighbors,
+    interpolate_numeric,
+)
 
 
 @dataclass(frozen=True)
 class NumericWindow:
-    """Feasible open/closed interval for one numeric attribute."""
+    """Feasible open/closed interval for one numeric attribute.
+
+    Attributes
+    ----------
+    lo, hi : float
+        Window endpoints (infinite when unbounded).
+    lo_strict, hi_strict : bool
+        Whether the matching endpoint is excluded.
+    eq : float or None
+        Exact required value; overrides the interval when set.
+    """
 
     lo: float = -np.inf
     hi: float = np.inf
@@ -39,6 +62,7 @@ class NumericWindow:
     eq: float | None = None
 
     def contains(self, v: float) -> bool:
+        """Return whether ``v`` satisfies the window."""
         if self.eq is not None:
             return v == self.eq
         lo_ok = v > self.lo if self.lo_strict else v >= self.lo
@@ -47,7 +71,18 @@ class NumericWindow:
 
 
 def window_from_conditions(conditions: tuple[Predicate, ...]) -> NumericWindow:
-    """Fold numeric conditions on one attribute into a :class:`NumericWindow`."""
+    """Fold numeric conditions on one attribute into a :class:`NumericWindow`.
+
+    Parameters
+    ----------
+    conditions : tuple of Predicate
+        All predicates of one rule on a single numeric attribute.
+
+    Returns
+    -------
+    NumericWindow
+        The tightest interval implied by the conditions.
+    """
     lo, hi = -np.inf, np.inf
     lo_strict = hi_strict = False
     eq: float | None = None
@@ -75,6 +110,31 @@ def _open_interval(lo: float, hi: float, lo_strict: bool, hi_strict: bool) -> tu
     return lo, hi
 
 
+def _fallback_interval(
+    lo: float, hi: float, attr_range: tuple[float, float]
+) -> tuple[float, float, bool]:
+    """Resolve the column-constant fallback when the SMOTE segment misses.
+
+    Returns ``(fb_lo, fb_hi, fb_draws)`` — the interval every
+    segment-missing row samples from, and whether sampling consumes a
+    random draw (degenerate intervals return their endpoint draw-free,
+    mirroring the scalar :func:`sample_in_window` branches).
+    """
+    r_lo, r_hi = attr_range
+    width = max(r_hi - r_lo, 1.0)
+    cand_lo, cand_hi = max(lo, r_lo), min(hi, r_hi)
+    if cand_lo <= cand_hi:
+        return cand_lo, cand_hi, cand_lo < cand_hi
+    # Window lies entirely outside observed range: synthesize near its edge.
+    if np.isfinite(lo) and np.isfinite(hi):
+        return lo, hi, lo < hi
+    if np.isfinite(lo):
+        return lo, lo + width, True
+    if np.isfinite(hi):
+        return hi - width, hi, True
+    return r_lo, r_hi, True
+
+
 def sample_in_window(
     window: NumericWindow,
     base_v: float,
@@ -82,7 +142,7 @@ def sample_in_window(
     attr_range: tuple[float, float],
     rng: np.random.Generator,
 ) -> float:
-    """Draw a value satisfying ``window``, preferring the SMOTE segment.
+    """Draw one value satisfying ``window``, preferring the SMOTE segment.
 
     Priority order (the supplement's "tightest window"):
 
@@ -90,6 +150,22 @@ def sample_in_window(
     2. the window intersected with the attribute's observed range;
     3. the window alone (midpoint when degenerate, finite bound ± range
        width when half-open).
+
+    Parameters
+    ----------
+    window : NumericWindow
+        Feasible interval from the rule's conditions.
+    base_v, nbr_v : float
+        Attribute values of the base instance and chosen neighbour.
+    attr_range : tuple of float
+        Observed (min, max) of the attribute in the reference table.
+    rng : numpy.random.Generator
+        Source of the (at most one) uniform draw.
+
+    Returns
+    -------
+    float
+        A value inside ``window``.
     """
     if window.eq is not None:
         return float(window.eq)
@@ -98,32 +174,69 @@ def sample_in_window(
     tight_lo, tight_hi = max(lo, seg_lo), min(hi, seg_hi)
     if tight_lo <= tight_hi:
         return float(rng.uniform(tight_lo, tight_hi)) if tight_lo < tight_hi else float(tight_lo)
-    r_lo, r_hi = attr_range
-    width = max(r_hi - r_lo, 1.0)
-    cand_lo, cand_hi = max(lo, r_lo), min(hi, r_hi)
-    if cand_lo <= cand_hi:
-        return float(rng.uniform(cand_lo, cand_hi)) if cand_lo < cand_hi else float(cand_lo)
-    # Window lies entirely outside observed range: synthesize near its edge.
-    if np.isfinite(lo) and np.isfinite(hi):
-        return float(rng.uniform(lo, hi)) if lo < hi else float(lo)
-    if np.isfinite(lo):
-        return float(rng.uniform(lo, lo + width))
-    if np.isfinite(hi):
-        return float(rng.uniform(hi - width, hi))
-    return float(rng.uniform(r_lo, r_hi))
+    fb_lo, fb_hi, fb_draws = _fallback_interval(lo, hi, attr_range)
+    return float(rng.uniform(fb_lo, fb_hi)) if fb_draws else float(fb_lo)
 
 
-def pick_categorical(
-    neighbor_codes: np.ndarray,
-    conditions: tuple[Predicate, ...],
-    categories: tuple[str, ...],
+def sample_in_window_batch(
+    window: NumericWindow,
+    base_v: np.ndarray,
+    nbr_v: np.ndarray,
+    attr_range: tuple[float, float],
     rng: np.random.Generator,
-) -> int:
-    """Majority neighbour value subject to the rule's conditions.
+) -> np.ndarray:
+    """Vectorized :func:`sample_in_window` over whole candidate columns.
 
-    Values are tried in decreasing neighbour frequency (the supplement's
-    sorted-candidates procedure); if every observed value violates a
-    condition, a uniformly random *allowed* category is used.
+    Parameters
+    ----------
+    window : NumericWindow
+        Feasible interval from the rule's conditions (shared by all rows).
+    base_v, nbr_v : ndarray of shape (n,)
+        Base and neighbour attribute values per synthetic candidate.
+    attr_range : tuple of float
+        Observed (min, max) of the attribute in the reference table.
+    rng : numpy.random.Generator
+        Consumes exactly one uniform draw per row whose interval is
+        non-degenerate, in row order — the same stream consumption as a
+        per-row loop over :func:`sample_in_window`.
+
+    Returns
+    -------
+    ndarray of shape (n,)
+        Values inside ``window``.
+    """
+    base_v = np.asarray(base_v, dtype=np.float64)
+    nbr_v = np.asarray(nbr_v, dtype=np.float64)
+    n = base_v.shape[0]
+    if window.eq is not None:
+        return np.full(n, float(window.eq))
+    lo, hi = _open_interval(window.lo, window.hi, window.lo_strict, window.hi_strict)
+    tight_lo = np.maximum(lo, np.minimum(base_v, nbr_v))
+    tight_hi = np.minimum(hi, np.maximum(base_v, nbr_v))
+    in_segment = tight_lo <= tight_hi
+    fb_lo, fb_hi, fb_draws = _fallback_interval(lo, hi, attr_range)
+    draw_lo = np.where(in_segment, tight_lo, fb_lo)
+    draw_hi = np.where(in_segment, tight_hi, fb_hi)
+    draws = np.where(in_segment, tight_lo < tight_hi, fb_draws)
+    vals = draw_lo.copy()  # degenerate intervals collapse to their endpoint
+    rows = np.flatnonzero(draws)
+    if rows.size:
+        # a + (b - a) * random() is exactly Generator.uniform(a, b), so the
+        # batch matches the scalar loop's stream draw for draw.
+        u = rng.random(rows.size)
+        vals[rows] = draw_lo[rows] + (draw_hi[rows] - draw_lo[rows]) * u
+    return vals
+
+
+def _allowed_codes(
+    conditions: tuple[Predicate, ...], categories: tuple[str, ...]
+) -> list[int]:
+    """Category codes admitted by EQ/NE conditions, ascending.
+
+    Raises
+    ------
+    ValueError
+        If the conditions admit no categorical value (unsatisfiable rule).
     """
     allowed = set(range(len(categories)))
     for p in conditions:
@@ -134,13 +247,86 @@ def pick_categorical(
             allowed -= {code}
     if not allowed:
         raise ValueError("conditions admit no categorical value (unsatisfiable rule)")
+    return sorted(allowed)
+
+
+def pick_categorical(
+    neighbor_codes: np.ndarray,
+    conditions: tuple[Predicate, ...],
+    categories: tuple[str, ...],
+    rng: np.random.Generator,
+) -> int:
+    """Pick the majority neighbour value subject to the rule's conditions.
+
+    Values are tried in decreasing neighbour frequency (the supplement's
+    sorted-candidates procedure); if every observed value violates a
+    condition, a uniformly random *allowed* category is used.
+
+    Parameters
+    ----------
+    neighbor_codes : ndarray of shape (k,) of integer codes
+        One sample's neighbour values for the attribute.
+    conditions : tuple of Predicate
+        The rule's EQ/NE conditions on the attribute.
+    categories : tuple of str
+        The attribute's category alphabet.
+    rng : numpy.random.Generator
+        Consulted only in the all-observed-violate fallback.
+
+    Returns
+    -------
+    int
+        An allowed category code.
+    """
+    allowed_list = _allowed_codes(conditions, categories)
+    allowed = set(allowed_list)
     counts = np.bincount(neighbor_codes, minlength=len(categories))
     order = np.argsort(-counts, kind="stable")
     for code in order:
         if counts[code] > 0 and int(code) in allowed:
             return int(code)
-    allowed_list = sorted(allowed)
     return int(allowed_list[rng.integers(len(allowed_list))])
+
+
+def pick_categorical_batch(
+    codes: np.ndarray,
+    conditions: tuple[Predicate, ...],
+    categories: tuple[str, ...],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Vectorized :func:`pick_categorical` over a neighbour-code matrix.
+
+    Parameters
+    ----------
+    codes : ndarray of shape (n, k) of integer codes
+        Row ``i`` holds candidate ``i``'s neighbour values.
+    conditions : tuple of Predicate
+        The rule's EQ/NE conditions on the attribute.
+    categories : tuple of str
+        The attribute's category alphabet.
+    rng : numpy.random.Generator
+        Consulted once per row whose observed values all violate the
+        conditions, in row order — matching the scalar loop's stream.
+
+    Returns
+    -------
+    ndarray of shape (n,) of int64
+        One allowed category code per row.
+    """
+    allowed_list = np.asarray(_allowed_codes(conditions, categories), dtype=np.int64)
+    n_cats = len(categories)
+    allowed_mask = np.zeros(n_cats, dtype=bool)
+    allowed_mask[allowed_list] = True
+    counts = category_counts(codes, n_cats)
+    # Observed + allowed codes score by frequency; argmax breaks frequency
+    # ties toward the lowest code, exactly like the scalar stable argsort.
+    score = np.where(allowed_mask[None, :] & (counts > 0), counts, -1)
+    vals = np.argmax(score, axis=1).astype(np.int64)
+    no_valid = score[np.arange(score.shape[0]), vals] < 0
+    rows = np.flatnonzero(no_valid)
+    if rows.size:
+        vals[rows] = allowed_list[rng.integers(0, allowed_list.size, size=rows.size)]
+    return vals
 
 
 @dataclass(frozen=True)
@@ -152,6 +338,7 @@ class GeneratedBatch:
 
     @property
     def n(self) -> int:
+        """Number of generated rows."""
         return self.table.n_rows
 
 
@@ -160,12 +347,12 @@ class RuleConstrainedGenerator:
 
     Parameters
     ----------
-    rule:
+    rule : FeedbackRule
         The original, unrelaxed feedback rule the output must satisfy.
-    reference:
+    reference : Table
         Table providing attribute ranges for window fallbacks and the
         neighbour-space scaling (typically the current active dataset).
-    k:
+    k : int, default 5
         Neighbours per base instance (paper: 5).
     """
 
@@ -176,6 +363,7 @@ class RuleConstrainedGenerator:
         self.k = k
         self.schema = reference.schema
         self._space = TableNeighborSpace().fit(reference)
+        self._index_cache: tuple[object, np.ndarray, BruteKNN | None] | None = None
         self._ranges: dict[str, tuple[float, float]] = {}
         for name in reference.schema.numeric_names:
             col = reference.column(name)
@@ -193,16 +381,64 @@ class RuleConstrainedGenerator:
         }
 
     # ------------------------------------------------------------------ #
+    def _fitted_index(
+        self, pool: Table, cache_token: object | None
+    ) -> tuple[np.ndarray, BruteKNN | None]:
+        """Encode ``pool`` and fit its KNN index, reusing a cached fit.
+
+        When ``cache_token`` is not ``None`` and matches the token of the
+        previous call, the cached ``(encoded, index)`` pair is returned
+        without re-encoding or re-fitting — the edit loop passes its
+        dataset version so rejected iterations (pool unchanged) skip the
+        rebuild.
+        """
+        if (
+            cache_token is not None
+            and self._index_cache is not None
+            and self._index_cache[0] == cache_token
+        ):
+            return self._index_cache[1], self._index_cache[2]
+        E = self._space.encode(pool)
+        knn = BruteKNN(self._space.metric_).fit(E) if pool.n_rows > 1 else None
+        if cache_token is not None:
+            self._index_cache = (cache_token, E, knn)
+        return E, knn
+
+    # ------------------------------------------------------------------ #
     def generate(
         self,
         pool: Table,
         base_positions: np.ndarray,
         rng: np.random.Generator,
+        *,
+        cache_token: object | None = None,
     ) -> GeneratedBatch:
-        """One synthetic instance per base position.
+        """Generate one synthetic instance per base position.
 
-        ``pool`` is the rule's base population (coverage of the possibly
-        relaxed rule); ``base_positions`` index rows of ``pool``.
+        Parameters
+        ----------
+        pool : Table
+            The rule's base population (coverage of the possibly relaxed
+            rule).
+        base_positions : ndarray of int
+            Row positions into ``pool`` to use as base instances.
+        rng : numpy.random.Generator
+            Source for neighbour choice, interpolation, and labels.
+        cache_token : hashable, optional
+            Identity token for ``pool``.  Consecutive calls with the same
+            non-``None`` token reuse the fitted neighbour index instead of
+            re-encoding and re-fitting it; pass a fresh token (or ``None``)
+            whenever the pool contents change.
+
+        Returns
+        -------
+        GeneratedBatch
+            The synthetic rows and their π-sampled labels.
+
+        Raises
+        ------
+        ValueError
+            If ``pool`` is empty while positions were requested.
         """
         base_positions = np.asarray(base_positions, dtype=np.intp)
         if base_positions.size == 0:
@@ -210,19 +446,17 @@ class RuleConstrainedGenerator:
         if pool.n_rows == 0:
             raise ValueError("empty base population")
 
-        E = self._space.encode(pool)
+        E, knn = self._fitted_index(pool, cache_token)
         if pool.n_rows > 1:
             k_eff = min(self.k, pool.n_rows - 1)
-            knn = BruteKNN(self._space.metric_).fit(E)
+            assert knn is not None
             _, nbr_idx = knn.kneighbors(E[base_positions], k_eff, exclude_self=True)
         else:
             # Single-instance pool: the base is its own neighbourhood.
             nbr_idx = np.zeros((base_positions.size, 1), dtype=np.intp)
-            k_eff = 1
 
         n = base_positions.size
-        chosen_nbr = nbr_idx[np.arange(n), rng.integers(0, k_eff, size=n)]
-        omegas = rng.uniform(0.0, 1.0, size=n)
+        chosen_nbr, omegas = choose_neighbors(nbr_idx, rng)
 
         columns: dict[str, np.ndarray] = {}
         for spec in self.schema:
@@ -232,24 +466,19 @@ class RuleConstrainedGenerator:
                 base_v = col[base_positions]
                 nbr_v = col[chosen_nbr]
                 if not conds:
-                    columns[spec.name] = base_v + (nbr_v - base_v) * omegas
+                    columns[spec.name] = interpolate_numeric(base_v, nbr_v, omegas)
                 else:
-                    window = self._windows[spec.name]
-                    vals = np.empty(n)
-                    rng_attr = self._ranges[spec.name]
-                    for s in range(n):
-                        vals[s] = sample_in_window(
-                            window, float(base_v[s]), float(nbr_v[s]), rng_attr, rng
-                        )
-                    columns[spec.name] = vals
-            else:
-                vals_c = np.empty(n, dtype=np.int64)
-                for s in range(n):
-                    codes = col[nbr_idx[s]]
-                    vals_c[s] = pick_categorical(
-                        codes, conds, spec.categories, rng
+                    columns[spec.name] = sample_in_window_batch(
+                        self._windows[spec.name],
+                        base_v,
+                        nbr_v,
+                        self._ranges[spec.name],
+                        rng,
                     )
-                columns[spec.name] = vals_c
+            else:
+                columns[spec.name] = pick_categorical_batch(
+                    col[nbr_idx], conds, spec.categories, rng
+                )
 
         table = Table(self.schema, columns, copy=False)
         labels = self.rule.sample_labels(n, rng)

@@ -7,6 +7,13 @@ the class-imbalance utility a downstream user of the library would expect.
 * numeric attribute of the synthetic point: uniform on the segment between
   the base instance and one of its ``k`` nearest neighbours (Eq. 6);
 * categorical attribute (SMOTE-NC): majority value among the neighbours.
+
+All candidate generation is batched: one ``kneighbors`` call over the base
+matrix and one :func:`~repro.sampling.interpolation
+.majority_categorical_batch` call per categorical column replace the
+original per-sample Python loops while consuming the RNG stream
+identically (see :mod:`repro.perf.seed_reference` for the loop versions
+the parity tests compare against).
 """
 
 from __future__ import annotations
@@ -14,26 +21,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.dataset import Dataset
-from repro.engine.registry import register_sampler
 from repro.data.table import Table
+from repro.engine.registry import register_sampler
 from repro.neighbors import BruteKNN, TableNeighborSpace
+from repro.sampling.interpolation import (
+    interpolate_numeric,
+    majority_categorical,
+    majority_categorical_batch,
+)
 from repro.utils.rng import RandomState, check_random_state
 
-
-def interpolate_numeric(
-    base: np.ndarray, neighbor: np.ndarray, omega: np.ndarray
-) -> np.ndarray:
-    """Paper Eq. 6: ``v = x_i + (x_j - x_i) * omega`` element-wise."""
-    return base + (neighbor - base) * omega
-
-
-def majority_categorical(
-    neighbor_codes: np.ndarray, rng: np.random.Generator
-) -> int:
-    """Most frequent code among neighbours; ties broken at random."""
-    counts = np.bincount(neighbor_codes)
-    top = np.flatnonzero(counts == counts.max())
-    return int(top[rng.integers(top.size)]) if top.size > 1 else int(top[0])
+__all__ = ["SMOTE", "interpolate_numeric", "majority_categorical"]
 
 
 @register_sampler("smote")
@@ -42,9 +40,9 @@ class SMOTE:
 
     Parameters
     ----------
-    k:
+    k : int, default 5
         Number of nearest neighbours (paper default 5).
-    random_state:
+    random_state : int, Generator, or None
         Seed for neighbour choice and interpolation weights.
     """
 
@@ -65,8 +63,27 @@ class SMOTE:
     ) -> Table:
         """Generate ``n_samples`` synthetic rows from ``table``.
 
-        ``base_indices`` restricts base-instance choice (defaults to all
-        rows).  Neighbours are searched over the full ``table``.
+        Parameters
+        ----------
+        table : Table
+            Source rows; neighbours are searched over the full table.
+        n_samples : int
+            Number of synthetic rows to produce.
+        base_indices : ndarray of int, optional
+            Restricts base-instance choice (defaults to all rows).
+        rng : numpy.random.Generator, optional
+            Overrides the instance's ``random_state`` stream.
+
+        Returns
+        -------
+        Table
+            ``n_samples`` synthetic rows under the source schema.
+
+        Raises
+        ------
+        ValueError
+            If ``table`` has fewer than two rows or ``base_indices`` is
+            empty.
         """
         if table.n_rows < 2:
             raise ValueError("need at least 2 rows to interpolate")
@@ -98,17 +115,26 @@ class SMOTE:
                     col[b_rows], col[j_rows], omegas
                 )
             else:
-                vals = np.empty(n_samples, dtype=np.int64)
-                for s in range(n_samples):
-                    codes = col[nbr_idx[chosen_base[s]]]
-                    vals[s] = majority_categorical(codes, rng)
-                columns[spec.name] = vals
+                codes = col[nbr_idx[chosen_base]]
+                columns[spec.name] = majority_categorical_batch(
+                    codes, len(spec.categories), rng
+                )
         return Table(schema, columns, copy=False)
 
     # ------------------------------------------------------------------ #
     def fit_resample(self, dataset: Dataset) -> Dataset:
-        """Classic imbalance correction: oversample every minority class
-        up to the majority class count."""
+        """Oversample every minority class up to the majority class count.
+
+        Parameters
+        ----------
+        dataset : Dataset
+            The imbalanced dataset.
+
+        Returns
+        -------
+        Dataset
+            Original rows followed by the synthetic minority rows.
+        """
         counts = dataset.class_counts()
         target = int(counts.max())
         rng = check_random_state(self.random_state)

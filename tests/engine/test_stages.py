@@ -209,6 +209,35 @@ class TestEditEngine:
         EditEngine(stages=stages).run(state)
         assert seen == [0, 1, 2]
 
+    def test_custom_preselect_without_pools_still_generates(
+        self, mixed_dataset, single_rule_frs, algorithm
+    ):
+        """A user preselect stage that only sets bp/generators (the
+        pre-pools contract) must keep working: GenerationStage falls back
+        to materializing the pool itself."""
+        from repro.core.preselect import preselect_base_population
+        from repro.sampling.rule_generation import RuleConstrainedGenerator
+
+        class MinimalPreselect:
+            def run(self, state):
+                if not state.population_stale:
+                    return
+                state.bp = preselect_base_population(
+                    state.active, state.frs, k=state.config.k
+                )
+                state.generators = [
+                    RuleConstrainedGenerator(rule, state.active.X, k=state.config.k)
+                    for rule in state.frs
+                ]
+                # Deliberately does NOT set state.pools.
+                state.population_stale = False
+
+        stages = (MinimalPreselect(),) + default_stages()[1:]
+        state = make_state(mixed_dataset, single_rule_frs, algorithm, tau=3)
+        result = EditEngine(stages=stages).run(state)
+        assert result.iterations == 3
+        assert any(rec.n_generated > 0 for rec in result.history)
+
     def test_events_emitted(self, mixed_dataset, single_rule_frs, algorithm):
         events = []
         state = make_state(mixed_dataset, single_rule_frs, algorithm, tau=3)

@@ -46,7 +46,7 @@ class TestParser:
     def test_all_experiments_declared(self):
         assert set(EXPERIMENTS) == {
             "fig2", "fig3", "fig9", "table1", "table2", "table3", "table6",
-            "ablation", "all",
+            "ablation", "bench", "all",
         }
 
 

@@ -1,0 +1,168 @@
+"""Parity pins: vectorized hot paths reproduce the seed row-loop outputs.
+
+Every vectorized implementation was designed to consume the RNG stream in
+exactly the order its seed row-loop predecessor did, so under a fixed seed
+the outputs must match **bit-for-bit** — not approximately.  The seed
+implementations live in :mod:`repro.perf.seed_reference`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import Table, make_schema
+from repro.neighbors.brute import _topk_from_dists
+from repro.perf import seed_reference as seed_ref
+from repro.rules import Predicate
+from repro.sampling import (
+    SMOTE,
+    RuleConstrainedGenerator,
+    classify_borderline,
+    majority_categorical_batch,
+    pick_categorical_batch,
+    sample_in_window_batch,
+)
+from repro.sampling.borderline import DEFAULT_WEIGHTS
+from repro.sampling.rule_generation import NumericWindow
+from repro.rules import FeedbackRule, clause
+
+
+class TestTopKParity:
+    def _dist_matrix(self, seed, n_q=60, n_x=80, with_self=True):
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(0, 1, size=(n_x, 3))
+        Q = X[:n_q] if with_self else rng.uniform(0, 1, size=(n_q, 3))
+        # Duplicate some rows to exercise zero-distance ties.
+        X[1] = X[0]
+        diff = Q[:, None, :] - X[None, :, :]
+        return np.sqrt((diff**2).sum(-1))
+
+    @pytest.mark.parametrize("exclude_self", [False, True])
+    @pytest.mark.parametrize("k", [1, 5, 79, 200])
+    def test_bit_for_bit(self, k, exclude_self):
+        D = self._dist_matrix(0)
+        sd, si = seed_ref.seed_topk_from_dists(D, k, exclude_self=exclude_self)
+        cd, ci = _topk_from_dists(D, k, exclude_self=exclude_self)
+        np.testing.assert_array_equal(sd, cd)
+        np.testing.assert_array_equal(si, ci)
+
+    def test_queries_not_in_fitted_set(self):
+        D = self._dist_matrix(1, with_self=False)
+        sd, si = seed_ref.seed_topk_from_dists(D, 5, exclude_self=True)
+        cd, ci = _topk_from_dists(D, 5, exclude_self=True)
+        np.testing.assert_array_equal(sd, cd)
+        np.testing.assert_array_equal(si, ci)
+
+
+class TestMajorityParity:
+    @pytest.mark.parametrize("n_cats,k", [(2, 2), (3, 5), (6, 4)])
+    def test_bit_for_bit_including_ties(self, n_cats, k):
+        rng = np.random.default_rng(3)
+        codes = rng.integers(0, n_cats, size=(500, k))
+        a = seed_ref.seed_majority_batch(codes, np.random.default_rng(7))
+        b = majority_categorical_batch(codes, n_cats, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+WINDOWS = [
+    NumericWindow(lo=0.3, hi=0.7),
+    NumericWindow(lo=0.3, hi=0.7, lo_strict=True, hi_strict=True),
+    NumericWindow(eq=0.5),
+    NumericWindow(lo=5.0, hi=9.0),      # entirely outside the sampled data
+    NumericWindow(lo=5.0),              # half-open, outside observed range
+    NumericWindow(hi=-5.0),             # half-open below
+    NumericWindow(lo=0.5, hi=0.5),      # degenerate point window
+]
+
+
+class TestWindowParity:
+    @pytest.mark.parametrize("window", WINDOWS)
+    def test_bit_for_bit(self, window):
+        rng = np.random.default_rng(11)
+        base = rng.uniform(0, 1, size=400)
+        nbr = rng.uniform(0, 1, size=400)
+        a = seed_ref.seed_sample_in_window_batch(
+            window, base, nbr, (0.0, 1.0), np.random.default_rng(5)
+        )
+        b = sample_in_window_batch(
+            window, base, nbr, (0.0, 1.0), np.random.default_rng(5)
+        )
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPickCategoricalParity:
+    CATS = ("a", "b", "c")
+
+    @pytest.mark.parametrize(
+        "conds",
+        [
+            (),
+            (Predicate("c", "!=", "a"),),
+            (Predicate("c", "==", "b"),),
+            (Predicate("c", "!=", "a"), Predicate("c", "!=", "b")),
+        ],
+    )
+    def test_bit_for_bit(self, conds):
+        rng = np.random.default_rng(13)
+        codes = rng.integers(0, 2, size=(400, 5))  # never observes 'c':
+        a = seed_ref.seed_pick_categorical_batch(
+            codes, conds, self.CATS, np.random.default_rng(9)
+        )
+        b = pick_categorical_batch(codes, conds, self.CATS, np.random.default_rng(9))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSmoteGenerateParity:
+    def test_bit_for_bit(self, mixed_table):
+        a = seed_ref.seed_smote_generate(
+            mixed_table, 120, k=5, rng=np.random.default_rng(21)
+        )
+        b = SMOTE(5).generate(mixed_table, 120, rng=np.random.default_rng(21))
+        for name in mixed_table.schema.names:
+            np.testing.assert_array_equal(a.column(name), b.column(name))
+
+
+class TestBorderlineWeightsParity:
+    def test_weight_vector_matches_seed_mapping(self, mixed_table):
+        labels = (mixed_table.column("age") < 45).astype(np.int64)
+        analysis = classify_borderline(mixed_table, labels, k=7)
+        np.testing.assert_array_equal(
+            analysis.weights,
+            seed_ref.seed_borderline_weights(analysis.categories, DEFAULT_WEIGHTS),
+        )
+
+
+class TestGeneratorIndexCache:
+    def _gen_and_pool(self, mixed_table):
+        rule = FeedbackRule.deterministic(
+            clause(
+                Predicate("age", "<", 50.0), Predicate("marital", "==", "single")
+            ),
+            1,
+            2,
+        )
+        gen = RuleConstrainedGenerator(rule, mixed_table, k=5)
+        pool = mixed_table.loc_mask(rule.coverage_mask(mixed_table))
+        return gen, pool
+
+    def test_cached_index_reproduces_uncached_output(self, mixed_table):
+        gen_a, pool = self._gen_and_pool(mixed_table)
+        gen_b, _ = self._gen_and_pool(mixed_table)
+        positions = np.arange(min(15, pool.n_rows))
+        # Uncached: every call refits.  Cached: second call reuses the fit.
+        _ = gen_a.generate(pool, positions, np.random.default_rng(1), cache_token=7)
+        a = gen_a.generate(pool, positions, np.random.default_rng(2), cache_token=7)
+        assert gen_a._index_cache is not None
+        b = gen_b.generate(pool, positions, np.random.default_rng(2))
+        for name in mixed_table.schema.names:
+            np.testing.assert_array_equal(a.table.column(name), b.table.column(name))
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_token_change_invalidates(self, mixed_table):
+        gen, pool = self._gen_and_pool(mixed_table)
+        positions = np.arange(min(10, pool.n_rows))
+        gen.generate(pool, positions, np.random.default_rng(0), cache_token=1)
+        first = gen._index_cache
+        smaller = pool.take(np.arange(pool.n_rows // 2))
+        out = gen.generate(smaller, positions[:3], np.random.default_rng(0), cache_token=2)
+        assert gen._index_cache is not first
+        assert out.n == 3
