@@ -15,9 +15,13 @@ model-editing library.  The public API surface:
   black-box training-algorithm wrapper;
 * :mod:`repro.datasets` — synthetic UCI-equivalent benchmark datasets;
 * :mod:`repro.baselines` — the Overlay post-processing baseline;
-* :mod:`repro.experiments` — drivers regenerating every paper table/figure
-  (``python -m repro.experiments --list-strategies`` shows every
-  registered strategy, plugins included).
+* :mod:`repro.experiments` — the declarative experiments layer:
+  :class:`~repro.experiments.ExperimentSpec` grids run by an
+  :class:`~repro.experiments.ExperimentRunner` (serial or
+  process-parallel, resumable via a content-addressed
+  :class:`~repro.experiments.RunStore`), plus the drivers regenerating
+  every paper table/figure (``python -m repro.experiments
+  --list-strategies`` shows every registered strategy, plugins included).
 
 Quick start — the one-liner session::
 

@@ -5,7 +5,9 @@ from repro.datasets.base import (
     BINARY_DATASETS,
     DATASETS,
     DatasetInfo,
+    dataset_defaults,
     load_dataset,
+    register_dataset,
     table1_rows,
 )
 from repro.datasets.breast_cancer import load_breast_cancer
@@ -20,6 +22,8 @@ __all__ = [
     "DATASETS",
     "BINARY_DATASETS",
     "DatasetInfo",
+    "register_dataset",
+    "dataset_defaults",
     "load_dataset",
     "table1_rows",
     "load_adult",

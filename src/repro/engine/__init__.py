@@ -21,8 +21,10 @@ from repro.engine.registry import (
     OBJECTIVES,
     SAMPLERS,
     SELECTORS,
+    InfoRegistry,
     Registry,
     RegistryError,
+    UnknownEntryError,
     register_modifier,
     register_objective,
     register_sampler,
@@ -49,7 +51,9 @@ from repro.engine.state import (
 
 __all__ = [
     "Registry",
+    "InfoRegistry",
     "RegistryError",
+    "UnknownEntryError",
     "SELECTORS",
     "MODIFIERS",
     "SAMPLERS",

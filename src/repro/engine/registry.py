@@ -32,6 +32,19 @@ class RegistryError(ValueError):
     """Unknown or conflicting strategy name (a :class:`ValueError`)."""
 
 
+class UnknownEntryError(RegistryError, KeyError):
+    """Unknown registry name.
+
+    Doubles as a :class:`KeyError` so registries can back mapping-style
+    lookups (``DATASETS[name]``, ``MODELS[name]``) without changing the
+    exception contract of the legacy ``dict``-based APIs, while still
+    carrying the registry's did-you-mean message.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr()-quote the message
+        return Exception.__str__(self)
+
+
 class _LazyEntry:
     """A registration by dotted path, resolved on first use."""
 
@@ -104,7 +117,7 @@ class Registry:
     def validate(self, name: str) -> str:
         """Check membership without importing anything; returns ``name``."""
         if name not in self._entries:
-            raise RegistryError(self._unknown_message(name))
+            raise UnknownEntryError(self._unknown_message(name))
         return name
 
     def get(self, name: str) -> Any:
@@ -112,7 +125,7 @@ class Registry:
         try:
             entry = self._entries[name]
         except KeyError:
-            raise RegistryError(self._unknown_message(name)) from None
+            raise UnknownEntryError(self._unknown_message(name)) from None
         if isinstance(entry, _LazyEntry):
             entry = entry.resolve()
             self._entries[name] = entry
@@ -139,10 +152,40 @@ class Registry:
         known = self.names()
         msg = f"unknown {self.kind} {name!r}; registered: {', '.join(known) or '(none)'}"
         close = difflib.get_close_matches(name, known, n=2, cutoff=0.6)
+        if not close:
+            # Case-insensitive fallback: "lr" should still suggest 'LR'.
+            folded = {k.lower(): k for k in known}
+            close = [
+                folded[c]
+                for c in difflib.get_close_matches(
+                    name.lower(), list(folded), n=2, cutoff=0.6
+                )
+            ]
         if close:
             quoted = " or ".join(repr(c) for c in close)
             msg += f" — did you mean {quoted}?"
         return msg
+
+
+class InfoRegistry(Registry):
+    """A :class:`Registry` of metadata entries with mapping-style access.
+
+    Strategy registries store *factories*; some registries (datasets,
+    models, run kinds) instead store descriptive info records that callers
+    read directly.  This subclass adds the ``dict`` surface those callers
+    expect — ``registry[name]``, ``.values()``, ``.items()`` — on top of
+    the same did-you-mean error handling, so legacy ``DATASETS[name]``
+    code keeps working against a live registry.
+    """
+
+    def __getitem__(self, name: str) -> Any:
+        return self.get(name)
+
+    def values(self) -> list[Any]:
+        return [self.get(name) for name in self.names()]
+
+    def items(self) -> list[tuple[str, Any]]:
+        return [(name, self.get(name)) for name in self.names()]
 
 
 # --------------------------------------------------------------------- #

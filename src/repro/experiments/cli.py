@@ -11,6 +11,14 @@ Usage::
     python -m repro.experiments table6 --dataset mushroom
     python -m repro.experiments ablation --dataset car --model LR --parameter k
     python -m repro.experiments bench   --quick
+    python -m repro.experiments run-spec path/to/spec.json --workers 4 --store runs/
+    python -m repro.experiments status  path/to/spec.json --store runs/
+
+``run-spec`` executes a declarative :class:`~repro.experiments.
+ExperimentSpec` JSON file: ``--workers N`` fans runs out over processes
+(records bit-identical to serial), ``--store DIR`` persists every run by
+spec hash so an interrupted grid resumes where it stopped; ``status`` reports a
+grid's completion counts against a store without running anything.
 
 ``bench`` runs the performance harness (also installed as the
 ``repro-bench`` console script) and writes ``BENCH_hotpaths.json`` and
@@ -19,14 +27,17 @@ Usage::
 Common options: ``--runs`` (repetitions), ``--tau`` (FROTE iteration
 limit), ``--seed``, ``--save out.json`` (persist raw records).
 
-``python -m repro.experiments --list-strategies`` prints every strategy
-registered with the edit engine (user plugins included) and exits.
+Introspection: ``--list-strategies`` prints every strategy registered
+with the edit engine (user plugins included); ``--list-datasets`` and
+``--list-models`` print the dataset registry (per-dataset η defaults
+included) and the model registry.  Each exits immediately.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.experiments.figures import (
     format_fig2,
@@ -51,7 +62,7 @@ from repro.experiments.tables import (
 
 EXPERIMENTS = (
     "fig2", "fig3", "fig9", "table1", "table2", "table3", "table6", "ablation",
-    "bench", "all",
+    "bench", "all", "run-spec", "status",
 )
 
 
@@ -62,10 +73,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("experiment", nargs="?", choices=EXPERIMENTS)
     parser.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help="run-spec/status: path to an ExperimentSpec JSON file",
+    )
+    parser.add_argument(
         "--list-strategies",
         action="store_true",
         help="list every registered engine strategy (selectors, modifiers, "
         "samplers, objectives) and exit",
+    )
+    parser.add_argument(
+        "--list-datasets",
+        action="store_true",
+        help="list the dataset registry (paper sizes and per-dataset η "
+        "defaults) and exit",
+    )
+    parser.add_argument(
+        "--list-models",
+        action="store_true",
+        help="list the model registry and exit",
     )
     parser.add_argument("--dataset", default="car", help="dataset name (see repro.datasets)")
     parser.add_argument("--model", default="LR", help="LR, RF, or LGBM")
@@ -80,6 +108,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="knob for the ablation sweep",
     )
     parser.add_argument("--save", default=None, help="write raw records to this JSON path")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="run-spec/all: processes to fan runs out over (1 = serial; "
+        "records are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="run-spec/status/all: RunStore directory (content-addressed "
+        "per-run records; enables resume)",
+    )
     parser.add_argument(
         "--quick",
         action="store_true",
@@ -103,9 +144,10 @@ def build_parser() -> argparse.ArgumentParser:
 def format_strategies() -> str:
     """Render every engine registry (built-ins and user plugins)."""
     from repro.engine import MODIFIERS, OBJECTIVES, SAMPLERS, SELECTORS
+    from repro.experiments.kinds import RUN_KINDS
 
     lines = ["Registered edit-engine strategies:"]
-    for registry in (SELECTORS, MODIFIERS, SAMPLERS, OBJECTIVES):
+    for registry in (SELECTORS, MODIFIERS, SAMPLERS, OBJECTIVES, RUN_KINDS):
         names = ", ".join(registry.names()) or "(none)"
         lines.append(f"  {registry.kind + ':':25s}{names}")
     lines.append(
@@ -113,6 +155,47 @@ def format_strategies() -> str:
         "then pass the name via FroteConfig or EditSession.configure()."
     )
     return "\n".join(lines)
+
+
+def format_datasets() -> str:
+    """Render the dataset registry, per-dataset experiment defaults included."""
+    from repro.datasets import DATASETS
+
+    rows = []
+    for info in DATASETS.values():
+        rows.append(
+            {
+                "dataset": info.name,
+                "paper |D|": info.paper_instances,
+                "default |D|": info.default_instances,
+                "features": info.n_features,
+                "labels": info.n_labels,
+                "eta": info.eta if info.eta is not None else "-",
+            }
+        )
+    return (
+        format_table(rows, title="Registered datasets (eta = paper §5.1 default)")
+        + "\n\nRegister your own with repro.datasets.register_dataset(...)."
+    )
+
+
+def format_models() -> str:
+    """Render the model registry."""
+    from repro.models import MODELS
+
+    rows = []
+    for info in MODELS.values():
+        rows.append(
+            {
+                "model": info.name,
+                "paper": "yes" if info.paper else "-",
+                "standardize": "yes" if info.standardize else "-",
+            }
+        )
+    return (
+        format_table(rows, title="Registered models")
+        + "\n\nRegister your own with repro.models.register_model(...)."
+    )
 
 
 def run_bench(args: argparse.Namespace) -> tuple[list[dict], str]:
@@ -145,11 +228,75 @@ def run_bench(args: argparse.Namespace) -> tuple[list[dict], str]:
     return [asdict(r) for r in hot] + [asdict(r) for r in e2e], text
 
 
+def _load_spec(args: argparse.Namespace):
+    from repro.experiments.spec import ExperimentSpec
+
+    if not args.spec:
+        raise SystemExit(
+            f"{args.experiment} requires a spec path: "
+            f"python -m repro.experiments {args.experiment} path/to/spec.json"
+        )
+    path = Path(args.spec)
+    if not path.exists():
+        raise SystemExit(f"spec file not found: {path}")
+    return ExperimentSpec.load(path)
+
+
+def run_spec_cmd(args: argparse.Namespace) -> tuple[list[dict], str]:
+    """``run-spec``: execute a declarative ExperimentSpec JSON file."""
+    from repro.experiments.grid import ExperimentRunner
+    from repro.experiments.store import RunStore
+
+    spec = _load_spec(args)
+    store = RunStore(args.store) if args.store else None
+    runner = ExperimentRunner(store=store, workers=args.workers)
+    runner.on_event(
+        lambda ev: print(
+            f"[{spec.name}] {ev.kind} "
+            + (f"{ev.index + 1}/{ev.total} {ev.spec.dataset}/{ev.spec.model}"
+               f" |F|={ev.spec.frs_size} tcf={ev.spec.tcf} run={ev.spec.run}"
+               if ev.spec is not None else f"({ev.total} runs)"),
+            file=sys.stderr,
+        )
+    )
+    result = runner.run(spec)
+    lines = [
+        f"spec {spec.name!r}: {len(result)} runs "
+        f"({result.executed} executed, {result.cached} from store, "
+        f"{result.skipped} skipped draws)",
+    ]
+    if store is not None:
+        lines.append(f"records stored in {store.root} (resume with the same command)")
+    return result.records, "\n".join(lines)
+
+
+def status_cmd(args: argparse.Namespace) -> tuple[list[dict], str]:
+    """``status``: a grid's completion counts against a store."""
+    from repro.experiments.grid import ExperimentRunner
+    from repro.experiments.store import RunStore
+
+    spec = _load_spec(args)
+    if not args.store:
+        raise SystemExit("status requires --store DIR")
+    runner = ExperimentRunner(store=RunStore(args.store))
+    counts = runner.status(spec)
+    text = (
+        f"spec {spec.name!r} in {args.store}: "
+        f"{counts['ok']}/{counts['total']} completed, "
+        f"{counts['skipped']} skipped draws, {counts['missing']} missing"
+    )
+    return [dict(counts)], text
+
+
 def run(args: argparse.Namespace) -> tuple[list[dict], str]:
     """Dispatch one experiment; returns (records, rendered text)."""
     common = dict(n_runs=args.runs, tau=args.tau, n=args.n, random_state=args.seed)
     if args.experiment == "bench":
         return run_bench(args)
+    if args.experiment == "run-spec":
+        return run_spec_cmd(args)
+    if args.experiment == "status":
+        return status_cmd(args)
     if args.experiment == "all":
         from repro.experiments.paper_suite import run_paper_suite
 
@@ -157,6 +304,8 @@ def run(args: argparse.Namespace) -> tuple[list[dict], str]:
             scale=args.scale,
             random_state=args.seed,
             progress=lambda line: print(f"[suite] {line}", file=sys.stderr),
+            store=args.store,
+            workers=args.workers,
         )
         text = "\n\n".join(f"### {key}\n{report}" for key, report in reports.items())
         records = [{"key": k} for k in reports]
@@ -218,11 +367,23 @@ def run(args: argparse.Namespace) -> tuple[list[dict], str]:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    listed = False
     if args.list_strategies:
         print(format_strategies())
+        listed = True
+    if args.list_datasets:
+        print(format_datasets())
+        listed = True
+    if args.list_models:
+        print(format_models())
+        listed = True
+    if listed:
         return 0
     if args.experiment is None:
-        parser.error("an experiment name is required (or --list-strategies)")
+        parser.error(
+            "an experiment name is required (or --list-strategies / "
+            "--list-datasets / --list-models)"
+        )
     records, text = run(args)
     print(text)
     if args.save:

@@ -1,0 +1,115 @@
+"""Executors: how a flat list of :class:`RunSpec`\\ s actually runs.
+
+The :class:`Executor` protocol is one method — ``execute(specs)`` yielding
+``(index, envelope)`` pairs in *any* order — and two implementations:
+
+* :class:`SerialExecutor` — in-process, in order; the reference.
+* :class:`ProcessExecutor` — a ``ProcessPoolExecutor`` fan-out.
+
+Both call the same pure function, :func:`execute_spec`, whose every
+stochastic choice is seeded from the spec's own content (see
+:mod:`repro.experiments.spec`), so the parallel executor's records are
+bit-identical to the serial executor's — the only difference is completion
+order, which the :class:`~repro.experiments.ExperimentRunner` re-sorts.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Iterable, Iterator, Protocol, runtime_checkable
+
+from repro.experiments.kinds import RUN_KINDS
+from repro.experiments.spec import RunSpec
+from repro.experiments.store import STATUS_OK, STATUS_SKIPPED
+
+
+def execute_spec(spec: RunSpec) -> dict:
+    """Execute one run; returns its envelope ``{"status", "record"}``.
+
+    Pure in the spec: dispatches to the registered run kind, which derives
+    all randomness from ``spec.seed`` / ``spec.context_seed``.  A ``None``
+    record from the kind means the run's FRS draw admits no conflict-free
+    rule set (a *skipped* run, persisted as such so resumes don't retry).
+    """
+    kind = RUN_KINDS.get(spec.experiment)
+    record = kind(spec)
+    status = STATUS_OK if record is not None else STATUS_SKIPPED
+    return {"status": status, "record": record}
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Anything that can run specs and yield ``(index, envelope)`` pairs."""
+
+    def execute(
+        self, specs: Iterable[RunSpec]
+    ) -> Iterator[tuple[int, dict]]:  # pragma: no cover - protocol
+        ...
+
+
+class SerialExecutor:
+    """Run every spec in-process, in submission order."""
+
+    workers = 1
+
+    def execute(self, specs: Iterable[RunSpec]) -> Iterator[tuple[int, dict]]:
+        for index, spec in enumerate(specs):
+            yield index, execute_spec(spec)
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ProcessExecutor:
+    """Fan specs out over a process pool; yields in completion order.
+
+    Each worker process rebuilds (and caches) experiment contexts from the
+    specs it receives — no state crosses the process boundary except the
+    specs themselves, which is why records cannot depend on worker count
+    or scheduling.  ``max_pending`` bounds the submission queue so huge
+    grids don't hold every pending future at once.
+
+    Plugins under spawn/forkserver: workers re-import the library, so run
+    kinds, datasets, or models registered imperatively in a ``__main__``
+    script exist in the parent only — under the ``fork`` start method
+    (Linux default) they are inherited, but under ``spawn`` (macOS /
+    Windows default) a spec referencing them fails in the worker with an
+    unknown-name error.  Put such registrations in an importable module
+    (executed at import time) to make them visible everywhere.
+    """
+
+    def __init__(self, workers: int = 2, *, max_pending: int | None = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.max_pending = max_pending if max_pending is not None else 4 * workers
+
+    def execute(self, specs: Iterable[RunSpec]) -> Iterator[tuple[int, dict]]:
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            pending = {}
+            queue = iter(enumerate(specs))
+            exhausted = False
+            while pending or not exhausted:
+                while not exhausted and len(pending) < self.max_pending:
+                    try:
+                        index, spec = next(queue)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    pending[pool.submit(execute_spec, spec)] = index
+                if not pending:
+                    break
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = pending.pop(future)
+                    yield index, future.result()
+
+    def __repr__(self) -> str:
+        return f"ProcessExecutor(workers={self.workers})"
+
+
+def make_executor(workers: int = 1) -> Executor:
+    """The default executor for a worker count (1 → serial)."""
+    if workers <= 1:
+        return SerialExecutor()
+    return ProcessExecutor(workers)

@@ -1,23 +1,20 @@
 """Figure drivers: the series behind paper Figures 2, 3, and 9.
 
-Each driver returns plain records (list of dicts) plus helpers that format
-them as the ASCII equivalents of the paper's plots; benchmarks print those.
+Each driver is a pure consumer of the declarative experiments API: it
+builds an :class:`~repro.experiments.ExperimentSpec`, hands it to an
+:class:`~repro.experiments.ExperimentRunner`, and returns the records.
+Pass your own ``runner`` (with a store and/or parallel executor) to make
+any figure resumable or parallel; the records are identical either way.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
 
-import numpy as np
-
-from repro.core.config import FroteConfig
-from repro.core.frote import FROTE
-from repro.core.objective import evaluate_model
-from repro.experiments.report import BoxStats, ascii_boxplot
-from repro.experiments.runner import default_config, run_many
-from repro.experiments.setup import build_context, prepare_run
-from repro.utils.rng import RandomState, check_random_state
+from repro.experiments.grid import ExperimentRunner, default_runner
+from repro.experiments.report import ascii_boxplot
+from repro.experiments.spec import ExperimentSpec
+from repro.utils.rng import RandomState
 
 
 # ---------------------------------------------------------------------- #
@@ -34,6 +31,7 @@ def run_fig2(
     tau: int = 20,
     n: int | None = None,
     random_state: RandomState = 42,
+    runner: ExperimentRunner | None = None,
 ) -> list[dict]:
     """Test-set J̄ for initial / modified / final models across tcf values.
 
@@ -41,39 +39,39 @@ def run_fig2(
     here are scaled down for bench speed (pass larger ``n_runs``/``tau``
     to approach the paper's protocol).
     """
-    ctx = build_context(dataset_name, model_name, n=n, random_state=random_state)
-    rng = check_random_state(random_state)
-    records: list[dict] = []
-    for tcf in tcf_values:
-        for frs_size in frs_sizes:
-            config = default_config(
-                dataset_name, tau=tau, mod_strategy=mod_strategy,
-                random_state=int(rng.integers(2**31)),
-            )
-            for run in run_many(
-                ctx,
-                frs_size=frs_size,
-                tcf=tcf,
-                n_runs=n_runs,
-                config=config,
-                random_state=int(rng.integers(2**31)),
-            ):
-                records.append(
-                    {
-                        "dataset": dataset_name,
-                        "model": model_name,
-                        "tcf": tcf,
-                        "frs_size": frs_size,
-                        "j_initial": run.initial.j_weighted,
-                        "j_mod": run.modified.j_weighted,
-                        "j_final": run.final.j_weighted,
-                        "mod_improvement": run.modified.j_weighted
-                        - run.initial.j_weighted,
-                        "final_improvement": run.delta_j_vs_modified,
-                        "n_added": run.n_added,
-                    }
-                )
-    return records
+    spec = fig2_spec(
+        dataset_name, model_name, tcf_values=tcf_values, frs_sizes=frs_sizes,
+        n_runs=n_runs, mod_strategy=mod_strategy, tau=tau, n=n,
+        random_state=random_state,
+    )
+    return default_runner(runner).run(spec).records
+
+
+def fig2_spec(
+    dataset_name: str,
+    model_name: str,
+    *,
+    tcf_values: tuple[float, ...] = (0.0, 0.1, 0.2),
+    frs_sizes: tuple[int, ...] = (1, 3, 5),
+    n_runs: int = 5,
+    mod_strategy: str = "relabel",
+    tau: int = 20,
+    n: int | None = None,
+    random_state: RandomState = 42,
+) -> ExperimentSpec:
+    """The declarative grid behind :func:`run_fig2`."""
+    return ExperimentSpec(
+        name=f"fig2-{dataset_name}-{model_name}",
+        experiment="frote",
+        datasets=(dataset_name,),
+        models=(model_name,),
+        frs_sizes=tuple(frs_sizes),
+        tcfs=tuple(tcf_values),
+        n_runs=n_runs,
+        seed=int(random_state),
+        n=n,
+        config={"tau": tau, "mod_strategy": mod_strategy},
+    )
 
 
 def format_fig2(records: list[dict], *, mod_label: str = "relabel") -> str:
@@ -103,39 +101,27 @@ def run_fig3(
     tau: int = 20,
     n: int | None = None,
     random_state: RandomState = 42,
+    runner: ExperimentRunner | None = None,
 ) -> list[dict]:
-    """Test-set J̄ vs |F| at tcf = 0.2 (paper Fig. 3 protocol)."""
-    ctx = build_context(dataset_name, model_name, n=n, random_state=random_state)
-    rng = check_random_state(random_state)
-    records: list[dict] = []
-    for frs_size in frs_sizes:
-        config = default_config(
-            dataset_name, tau=tau, random_state=int(rng.integers(2**31))
-        )
-        runs = run_many(
-            ctx,
-            frs_size=frs_size,
-            tcf=tcf,
-            n_runs=n_runs,
-            config=config,
-            random_state=int(rng.integers(2**31)),
-        )
-        if not runs:
-            # No conflict-free FRS of this size in the pool — the paper
-            # reports the same for |F| in {15, 20} on some datasets.
-            continue
-        for run in runs:
-            records.append(
-                {
-                    "dataset": dataset_name,
-                    "model": model_name,
-                    "frs_size": frs_size,
-                    "j_initial": run.initial.j_weighted,
-                    "j_mod": run.modified.j_weighted,
-                    "j_final": run.final.j_weighted,
-                }
-            )
-    return records
+    """Test-set J̄ vs |F| at tcf = 0.2 (paper Fig. 3 protocol).
+
+    Sizes with no conflict-free FRS in the pool produce skipped runs and
+    simply contribute no records — the paper reports the same for |F| in
+    {15, 20} on some datasets.
+    """
+    spec = ExperimentSpec(
+        name=f"fig3-{dataset_name}-{model_name}",
+        experiment="frote",
+        datasets=(dataset_name,),
+        models=(model_name,),
+        frs_sizes=tuple(frs_sizes),
+        tcfs=(tcf,),
+        n_runs=n_runs,
+        seed=int(random_state),
+        n=n,
+        config={"tau": tau},
+    )
+    return default_runner(runner).run(spec).records
 
 
 def format_fig3(records: list[dict]) -> str:
@@ -164,45 +150,22 @@ def run_fig9(
     tau: int = 25,
     n: int | None = None,
     random_state: RandomState = 42,
+    runner: ExperimentRunner | None = None,
 ) -> list[dict]:
     """Held-out J̄ traced against instances added during augmentation."""
-    ctx = build_context(dataset_name, model_name, n=n, random_state=random_state)
-    rng = check_random_state(random_state)
-    records: list[dict] = []
-    for tcf in tcf_values:
-        for run_id in range(n_runs):
-            prepared = prepare_run(ctx, frs_size=frs_size, tcf=tcf, rng=rng)
-            if prepared is None:
-                continue
-            config = default_config(
-                dataset_name, tau=tau, random_state=int(rng.integers(2**31))
-            )
-            frs = prepared.frs
-            test = prepared.test
-
-            def score(model) -> float:
-                return evaluate_model(model, test, frs).j_weighted()
-
-            frote = FROTE(ctx.algorithm, frs, config)
-            result = frote.run(prepared.train, eval_callback=score)
-            initial_model = ctx.algorithm(prepared.train)
-            records.append(
-                {
-                    "dataset": dataset_name,
-                    "model": model_name,
-                    "tcf": tcf,
-                    "run": run_id,
-                    "n_added": [0]
-                    + [rec.n_added_total for rec in result.history if rec.accepted],
-                    "j_test": [score(initial_model)]
-                    + [
-                        rec.external_score
-                        for rec in result.history
-                        if rec.accepted and rec.external_score is not None
-                    ],
-                }
-            )
-    return records
+    spec = ExperimentSpec(
+        name=f"fig9-{dataset_name}-{model_name}",
+        experiment="trace",
+        datasets=(dataset_name,),
+        models=(model_name,),
+        frs_sizes=(frs_size,),
+        tcfs=tuple(tcf_values),
+        n_runs=n_runs,
+        seed=int(random_state),
+        n=n,
+        config={"tau": tau},
+    )
+    return default_runner(runner).run(spec).records
 
 
 def format_fig9(records: list[dict]) -> str:

@@ -1,0 +1,204 @@
+"""The :class:`ExperimentRunner`: specs in, records out, store in between.
+
+``runner.run(spec)`` expands the grid, skips every run the
+:class:`~repro.experiments.RunStore` already holds (resume), hands the
+misses to the configured :class:`~repro.experiments.executors.Executor`,
+persists each outcome as it lands, and returns a :class:`GridResult` whose
+record order matches the spec's expansion order — independent of executor
+scheduling, so serial and parallel runs are bit-identical end to end.
+
+Progress is surfaced the way the session API surfaces it: structured
+:class:`ExperimentEvent`\\ s pushed to listeners registered with
+:meth:`ExperimentRunner.on_event` (mirroring ``EditSession.on_event`` and
+its :class:`~repro.engine.state.ProgressEvent`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.experiments.executors import Executor, make_executor
+from repro.experiments.spec import ExperimentSpec, RunSpec
+from repro.experiments.store import STATUS_OK, RunStore
+
+
+@dataclass(frozen=True)
+class ExperimentEvent:
+    """A structured notification from the experiment grid.
+
+    ``kind`` is one of ``"started"``, ``"run-started"``,
+    ``"run-completed"``, ``"run-skipped"``, ``"run-cached"``, or
+    ``"finished"``.  ``index``/``total`` locate the run in the expanded
+    grid (``index`` is ``-1`` for grid-level events); ``spec`` and
+    ``record`` describe the run for per-run kinds.
+    """
+
+    kind: str
+    index: int
+    total: int
+    spec: RunSpec | None = None
+    record: dict | None = None
+
+    @property
+    def completed(self) -> bool:
+        return self.kind == "run-completed"
+
+
+EventListener = Callable[[ExperimentEvent], None]
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """Outcome of one grid execution, in spec-expansion order."""
+
+    runs: tuple[RunSpec, ...]
+    envelopes: tuple[dict, ...]  # aligned with runs: {"status", "record"}
+    executed: int  # runs actually computed this call
+    cached: int  # runs served from the store
+    skipped: int  # runs with no conflict-free FRS (both sources)
+
+    @property
+    def records(self) -> list[dict]:
+        """Records of completed runs (skipped draws omitted), grid order."""
+        return [
+            env["record"]
+            for env in self.envelopes
+            if env["status"] == STATUS_OK
+        ]
+
+    @property
+    def pairs(self) -> list[tuple[RunSpec, dict | None]]:
+        """``(spec, record-or-None)`` for every run, grid order."""
+        return [
+            (spec, env["record"]) for spec, env in zip(self.runs, self.envelopes)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+
+class ExperimentRunner:
+    """Executes experiment grids against a pluggable executor and store.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`RunStore`.  With a store, completed runs are
+        skipped on re-execution (resume) and every new outcome is
+        persisted; without one, grids run ephemerally.
+    executor:
+        Any :class:`~repro.experiments.executors.Executor`.  Defaults to
+        :func:`make_executor` on ``workers``.
+    workers:
+        Convenience: ``workers=N`` builds the default parallel executor.
+    """
+
+    def __init__(
+        self,
+        *,
+        store: RunStore | None = None,
+        executor: Executor | None = None,
+        workers: int = 1,
+    ) -> None:
+        self.store = store
+        self.executor = executor if executor is not None else make_executor(workers)
+        self._listeners: list[EventListener] = []
+
+    # ------------------------------------------------------------------ #
+    def on_event(self, listener: EventListener) -> "ExperimentRunner":
+        """Subscribe to every :class:`ExperimentEvent` this runner emits."""
+        self._listeners.append(listener)
+        return self
+
+    def _emit(self, event: ExperimentEvent) -> None:
+        for listener in self._listeners:
+            listener(event)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _expand(spec: ExperimentSpec | Sequence[RunSpec]) -> list[RunSpec]:
+        if isinstance(spec, ExperimentSpec):
+            return spec.validate().expand()
+        return list(spec)
+
+    def run(self, spec: ExperimentSpec | Sequence[RunSpec]) -> GridResult:
+        """Execute a grid (or an explicit run list); returns its results.
+
+        Store hits are served without executing; misses run on the
+        executor and are persisted the moment they complete, so an
+        interrupted grid resumes from its last finished run.
+        """
+        runs = self._expand(spec)
+        total = len(runs)
+        envelopes: list[dict | None] = [None] * total
+        self._emit(ExperimentEvent("started", -1, total))
+
+        to_run: list[int] = []
+        cached = 0
+        for index, run_spec in enumerate(runs):
+            stored = self.store.get(run_spec) if self.store is not None else None
+            if stored is not None:
+                envelopes[index] = {"status": stored.status, "record": stored.record}
+                cached += 1
+                self._emit(
+                    ExperimentEvent(
+                        "run-cached", index, total, spec=run_spec,
+                        record=stored.record,
+                    )
+                )
+            else:
+                to_run.append(index)
+
+        if to_run:
+            def pending():
+                # Lazy so "run-started" fires when the executor actually
+                # pulls the run (serial: right before execution; parallel:
+                # at submission, bounded by the executor's max_pending).
+                for index in to_run:
+                    self._emit(
+                        ExperimentEvent("run-started", index, total, spec=runs[index])
+                    )
+                    yield runs[index]
+
+            for local_index, envelope in self.executor.execute(pending()):
+                index = to_run[local_index]
+                run_spec = runs[index]
+                envelopes[index] = envelope
+                if self.store is not None:
+                    self.store.put(run_spec, envelope["record"])
+                kind = (
+                    "run-completed"
+                    if envelope["status"] == STATUS_OK
+                    else "run-skipped"
+                )
+                self._emit(
+                    ExperimentEvent(
+                        kind, index, total, spec=run_spec,
+                        record=envelope["record"],
+                    )
+                )
+
+        skipped = sum(1 for env in envelopes if env["status"] != STATUS_OK)
+        result = GridResult(
+            runs=tuple(runs),
+            envelopes=tuple(envelopes),
+            executed=len(to_run),
+            cached=cached,
+            skipped=skipped,
+        )
+        self._emit(ExperimentEvent("finished", -1, total))
+        return result
+
+    # ------------------------------------------------------------------ #
+    def status(self, spec: ExperimentSpec | Sequence[RunSpec]) -> dict[str, int]:
+        """Completion counts for a grid against this runner's store."""
+        runs = self._expand(spec)
+        if self.store is None:
+            return {"total": len(runs), "ok": 0, "skipped": 0, "missing": len(runs)}
+        return self.store.status_counts(runs)
+
+
+def default_runner(runner: ExperimentRunner | None) -> ExperimentRunner:
+    """The given runner, or a fresh ephemeral serial one (driver default)."""
+    return runner if runner is not None else ExperimentRunner()

@@ -1,8 +1,12 @@
 """One-call reproduction of the paper's full experiment suite.
 
 ``run_paper_suite`` executes every table/figure driver at a chosen scale
-and returns the rendered reports; the CLI exposes it as
-``python -m repro.experiments all``.  Scales:
+through a single shared :class:`~repro.experiments.ExperimentRunner` and
+returns the rendered reports; the CLI exposes it as
+``python -m repro.experiments all``.  Because the drivers are pure
+consumers of the spec API, passing a ``store`` makes the whole suite
+resumable and ``workers`` runs it in parallel — with records identical to
+a serial, storeless run.  Scales:
 
 * ``smoke`` — seconds; 1 run, τ = 4 (CI sanity).
 * ``bench`` — minutes; the defaults the benchmark suite uses.
@@ -13,6 +17,7 @@ and returns the rendered reports; the CLI exposes it as
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable
 
 from repro.experiments.figures import (
@@ -23,7 +28,9 @@ from repro.experiments.figures import (
     run_fig3,
     run_fig9,
 )
+from repro.experiments.grid import ExperimentRunner
 from repro.experiments.report import format_table
+from repro.experiments.store import RunStore
 from repro.experiments.tables import (
     format_ablation,
     format_table2,
@@ -44,12 +51,16 @@ SCALES = {
 
 @dataclass(frozen=True)
 class SuiteItem:
-    """One suite entry: experiment id, driver thunk, renderer."""
+    """One suite entry: experiment id, driver thunk, renderer.
+
+    ``runner`` receives the suite's shared :class:`ExperimentRunner` so
+    every item draws from the same store/executor.
+    """
 
     experiment: str
     dataset: str
     model: str
-    runner: Callable[[], list[dict]]
+    runner: Callable[[ExperimentRunner], list[dict]]
     renderer: Callable[[list[dict]], str]
 
 
@@ -72,9 +83,9 @@ def build_suite(
             items.append(
                 SuiteItem(
                     "fig2", ds, model,
-                    lambda ds=ds, model=model: run_fig2(
+                    lambda r, ds=ds, model=model: run_fig2(
                         ds, model, n_runs=n_runs, tau=tau, n=n,
-                        random_state=random_state,
+                        random_state=random_state, runner=r,
                     ),
                     format_fig2,
                 )
@@ -82,9 +93,9 @@ def build_suite(
     items.append(
         SuiteItem(
             "fig3", "breast_cancer", "LR",
-            lambda: run_fig3(
+            lambda r: run_fig3(
                 "breast_cancer", "LR", frs_sizes=(3, 5, 8), n_runs=n_runs,
-                tau=tau, n=n, random_state=random_state,
+                tau=tau, n=n, random_state=random_state, runner=r,
             ),
             format_fig3,
         )
@@ -92,9 +103,9 @@ def build_suite(
     items.append(
         SuiteItem(
             "fig9", "adult", "LR",
-            lambda: run_fig9(
+            lambda r: run_fig9(
                 "adult", "LR", n_runs=max(1, n_runs // 2), tau=tau,
-                n=n or 1200, random_state=random_state,
+                n=n or 1200, random_state=random_state, runner=r,
             ),
             format_fig9,
         )
@@ -103,9 +114,9 @@ def build_suite(
         items.append(
             SuiteItem(
                 "table2", ds, "LR",
-                lambda ds=ds: run_table2(
+                lambda r, ds=ds: run_table2(
                     ds, "LR", n_runs=n_runs, tau=tau, n=n,
-                    random_state=random_state,
+                    random_state=random_state, runner=r,
                 ),
                 format_table2,
             )
@@ -113,9 +124,9 @@ def build_suite(
     items.append(
         SuiteItem(
             "table3", "car", "LR",
-            lambda: run_table3(
+            lambda r: run_table3(
                 "car", "LR", n_runs=n_runs, tau=tau, n=n,
-                random_state=random_state,
+                random_state=random_state, runner=r,
             ),
             format_table3,
         )
@@ -123,9 +134,9 @@ def build_suite(
     items.append(
         SuiteItem(
             "table6", "mushroom", "LR",
-            lambda: run_table6(
+            lambda r: run_table6(
                 "mushroom", n_runs=n_runs, tau=tau, n=n,
-                random_state=random_state,
+                random_state=random_state, runner=r,
             ),
             format_table6,
         )
@@ -133,10 +144,10 @@ def build_suite(
     items.append(
         SuiteItem(
             "ablation", "car", "LR",
-            lambda: run_ablation(
+            lambda r: run_ablation(
                 "car", "LR", parameter="k", values=(2, 5, 10),
                 n_runs=max(1, n_runs // 2), tau=tau, n=n,
-                random_state=random_state,
+                random_state=random_state, runner=r,
             ),
             format_ablation,
         )
@@ -149,12 +160,21 @@ def run_paper_suite(
     scale: str = "bench",
     random_state: int = 42,
     progress: Callable[[str], None] | None = None,
+    store: RunStore | str | Path | None = None,
+    workers: int = 1,
 ) -> dict[str, str]:
     """Run every suite item; returns ``{"<exp>/<dataset>/<model>": report}``.
 
-    ``progress`` (optional) receives a line per completed item.
+    ``progress`` (optional) receives a line per completed item.  ``store``
+    (a :class:`RunStore` or directory path) makes the suite resumable;
+    ``workers > 1`` executes each item's grid in parallel — both without
+    changing any record.
     """
     from repro.datasets import table1_rows
+
+    if store is not None and not isinstance(store, RunStore):
+        store = RunStore(store)
+    runner = ExperimentRunner(store=store, workers=workers)
 
     reports: dict[str, str] = {
         "table1": format_table(table1_rows(), title="Table 1 — dataset properties")
@@ -163,7 +183,7 @@ def run_paper_suite(
         progress("table1 done")
     for item in build_suite(scale=scale, random_state=random_state):
         key = f"{item.experiment}/{item.dataset}/{item.model}"
-        records = item.runner()
+        records = item.runner(runner)
         reports[key] = item.renderer(records)
         if progress:
             progress(f"{key} done ({len(records)} records)")

@@ -2,31 +2,68 @@
 
 Every driver in :mod:`repro.experiments` returns plain dict records; this
 module writes/reads them with a small metadata envelope so the CLI (and
-EXPERIMENTS.md regeneration) can cache expensive runs.
+EXPERIMENTS.md regeneration) can cache expensive runs.  The
+content-addressed per-run store behind :class:`~repro.experiments.RunStore`
+shares this module's :func:`to_jsonable` / :func:`from_jsonable` coercions.
+
+Non-finite floats (``NaN``, ``±inf``) are encoded explicitly as
+``{"__float__": "nan" | "inf" | "-inf"}`` markers: ``json.dumps`` would
+otherwise emit the bare tokens ``NaN``/``Infinity``, which are *not* valid
+JSON and break any strict parser reading the archives.  All dumps here pass
+``allow_nan=False`` so a non-finite value that slips past the coercion
+fails loudly instead of silently corrupting the file.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+_NONFINITE_KEY = "__float__"
+_NONFINITE_ENCODE = {math.inf: "inf", -math.inf: "-inf"}
+_NONFINITE_DECODE = {"nan": math.nan, "inf": math.inf, "-inf": -math.inf}
 
-def _jsonable(value):
-    """Coerce NumPy scalars/arrays inside records to JSON-friendly types."""
+
+def to_jsonable(value):
+    """Coerce NumPy scalars/arrays and non-finite floats to strict JSON."""
     if isinstance(value, (np.integer,)):
         return int(value)
     if isinstance(value, (np.floating,)):
-        return float(value)
+        return to_jsonable(float(value))
+    if isinstance(value, float) and not math.isfinite(value):
+        marker = "nan" if math.isnan(value) else _NONFINITE_ENCODE[value]
+        return {_NONFINITE_KEY: marker}
     if isinstance(value, np.ndarray):
-        return [_jsonable(v) for v in value.tolist()]
+        return [to_jsonable(v) for v in value.tolist()]
     if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
+        return {str(k): to_jsonable(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
+        return [to_jsonable(v) for v in value]
     return value
+
+
+def from_jsonable(value):
+    """Invert :func:`to_jsonable`'s non-finite markers after ``json.loads``."""
+    if isinstance(value, dict):
+        if set(value) == {_NONFINITE_KEY} and value[_NONFINITE_KEY] in _NONFINITE_DECODE:
+            return _NONFINITE_DECODE[value[_NONFINITE_KEY]]
+        return {k: from_jsonable(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [from_jsonable(v) for v in value]
+    return value
+
+
+def dump_json(payload, *, indent: int | None = 2, sort_keys: bool = False) -> str:
+    """Strict-JSON dumps of an already-:func:`to_jsonable` payload."""
+    return json.dumps(payload, indent=indent, sort_keys=sort_keys, allow_nan=False)
+
+
+# Backwards-compatible alias (pre-RunStore name).
+_jsonable = to_jsonable
 
 
 @dataclass(frozen=True)
@@ -38,13 +75,12 @@ class ExperimentArchive:
     metadata: dict
 
     def to_json(self) -> str:
-        return json.dumps(
+        return dump_json(
             {
                 "name": self.name,
-                "metadata": _jsonable(self.metadata),
-                "records": _jsonable(self.records),
-            },
-            indent=2,
+                "metadata": to_jsonable(self.metadata),
+                "records": to_jsonable(self.records),
+            }
         )
 
     @classmethod
@@ -55,8 +91,8 @@ class ExperimentArchive:
                 raise ValueError(f"archive missing required key {key!r}")
         return cls(
             name=payload["name"],
-            records=list(payload["records"]),
-            metadata=dict(payload.get("metadata", {})),
+            records=list(from_jsonable(payload["records"])),
+            metadata=dict(from_jsonable(payload.get("metadata", {}))),
         )
 
 

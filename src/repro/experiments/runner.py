@@ -8,7 +8,8 @@ tables.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections.abc import Mapping
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -16,20 +17,41 @@ from repro.core.config import FroteConfig
 from repro.core.frote import FROTE, FroteResult
 from repro.core.modification import apply_modification
 from repro.core.objective import Evaluation, evaluate_model
+from repro.datasets import DATASETS
 from repro.experiments.setup import ExperimentContext, PreparedRun, prepare_run
 from repro.utils.rng import RandomState, check_random_state
 
-# Paper §5.1 "Configuration": per-iteration generation counts by dataset.
-PAPER_ETA = {
-    "adult": 200,
-    "nursery": 50,
-    "mushroom": 50,
-    "splice": 50,
-    "wine": 50,
-    "car": 20,
-    "contraceptive": 20,
-    "breast_cancer": 20,
-}
+
+class _PaperEtaView(Mapping):
+    """Live, read-only view of the registry's per-dataset η defaults.
+
+    The paper's §5.1 per-iteration generation counts live with the
+    datasets themselves (``DatasetInfo.eta``, set at
+    :func:`repro.datasets.register_dataset` time), so a dataset
+    registered after import shows up here immediately.  Read-only by
+    design: to change a default, re-register the dataset with
+    ``overwrite=True`` — mutating this mapping would silently diverge
+    from what the runner actually uses.
+    """
+
+    def __getitem__(self, name: str) -> int:
+        info = DATASETS[name]
+        if info.eta is None:
+            raise KeyError(name)
+        return info.eta
+
+    def __iter__(self):
+        return (name for name, info in DATASETS.items() if info.eta is not None)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def __repr__(self) -> str:
+        return f"PAPER_ETA({dict(self)})"
+
+
+#: Backwards-compatible mapping over the registry's η defaults (live).
+PAPER_ETA = _PaperEtaView()
 
 
 @dataclass(frozen=True)
@@ -179,7 +201,7 @@ def default_config(
     per-dataset η (optionally scaled), which preserves the oversampling
     quota dynamics at a fraction of the retraining cost.
     """
-    eta = PAPER_ETA.get(dataset_name)
+    eta = DATASETS[dataset_name].eta if dataset_name in DATASETS else None
     if eta is not None:
         eta = max(1, int(eta * eta_scale))
     return FroteConfig(

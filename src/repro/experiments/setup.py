@@ -20,7 +20,7 @@ import numpy as np
 from repro.data.dataset import Dataset
 from repro.data.split import CoverageSplit, coverage_aware_split
 from repro.datasets import load_dataset
-from repro.models import paper_algorithm
+from repro.models import algorithm as model_algorithm
 from repro.models.base import TrainingAlgorithm
 from repro.rules.learning import GreedyRuleLearner, learn_model_explanation
 from repro.rules.perturbation import generate_feedback_pool
@@ -52,7 +52,7 @@ def build_context(
     """Load a dataset, train the initial model, and build the rule pool."""
     rng = check_random_state(random_state)
     dataset = load_dataset(dataset_name, n, random_state=rng.integers(2**31))
-    algorithm = paper_algorithm(model_name)
+    algorithm = model_algorithm(model_name)
     model = algorithm(dataset)
     explanation = learn_model_explanation(
         dataset,

@@ -1,0 +1,352 @@
+"""Declarative experiment specifications: grids as data.
+
+The paper's evidence is a grid — datasets × model families × FROTE
+configurations × seeded repetitions.  This module makes that grid a value:
+
+* :class:`RunSpec` — one fully-determined run.  Frozen, hashable, and
+  round-trippable through JSON; its :attr:`~RunSpec.spec_hash` is a stable
+  content address (identical across processes and machines), which is what
+  makes the run store resumable and parallel execution bit-identical to
+  serial.
+* :class:`ExperimentSpec` — the declarative grid.  :meth:`~ExperimentSpec.
+  expand` flattens it into ``RunSpec``s, deriving every per-run seed from
+  the spec's coordinates (never from shared RNG stream order), so the same
+  spec always expands to the same runs no matter who executes them, in
+  what order, or in how many processes.
+
+Seed derivation is deliberately *sweep-blind*: two runs that differ only
+in swept values (``sweep={"config.k": (2, 5)}``) share their seed, FRS
+draw, and split — the paper's matched-comparison protocol for ablations
+and strategy tables falls out of the derivation rule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from itertools import product
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.experiments.persistence import from_jsonable, to_jsonable
+
+_SEED_SPACE = 2**31
+
+#: Scalar types allowed inside config/params/sweep values (JSON-stable).
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def derive_seed(*parts: Any) -> int:
+    """A seed in ``[0, 2**31)`` derived from ``parts`` content.
+
+    Uses SHA-256 over the canonical JSON of ``parts`` — stable across
+    processes (unlike ``hash()``, which is salted per interpreter) and
+    across platforms, which is what allows a parallel executor to
+    reproduce the serial executor's runs bit-for-bit.
+    """
+    payload = json.dumps(parts, sort_keys=True, separators=(",", ":"), default=str)
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % _SEED_SPACE
+
+
+def _freeze(mapping: Mapping[str, Any] | Sequence | None, *, what: str) -> tuple:
+    """Normalize a mapping (or item tuple) to a sorted, hashable item tuple."""
+    if mapping is None:
+        return ()
+    items = mapping.items() if isinstance(mapping, Mapping) else mapping
+    frozen = []
+    for key, value in items:
+        if not isinstance(value, _SCALARS):
+            raise TypeError(
+                f"{what}[{key!r}] must be a JSON scalar "
+                f"(str/int/float/bool/None), got {type(value).__name__}"
+            )
+        frozen.append((str(key), value))
+    return tuple(sorted(frozen))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-determined experimental run.
+
+    Every stochastic choice downstream (FRS draw, split, FROTE loop) is
+    seeded from :attr:`seed` / :attr:`context_seed`, so a ``RunSpec`` is a
+    pure function's argument: same spec → same record, on any executor.
+
+    ``config`` holds :class:`~repro.core.config.FroteConfig` overrides and
+    ``params`` holds run-kind-specific extras (e.g. ``p`` for the
+    probabilistic-rule kind); both are stored as sorted item tuples so the
+    spec stays hashable — use :attr:`config_mapping` / :attr:`params_mapping`
+    to read them.
+    """
+
+    experiment: str
+    dataset: str
+    model: str
+    frs_size: int
+    tcf: float
+    run: int
+    seed: int
+    context_seed: int
+    n: int | None = None
+    config: tuple = ()
+    params: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "config", _freeze(self.config, what="config"))
+        object.__setattr__(self, "params", _freeze(self.params, what="params"))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def config_mapping(self) -> dict[str, Any]:
+        return dict(self.config)
+
+    @property
+    def params_mapping(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON representation (inverse of :meth:`from_dict`)."""
+        return {
+            "experiment": self.experiment,
+            "dataset": self.dataset,
+            "model": self.model,
+            "frs_size": self.frs_size,
+            "tcf": self.tcf,
+            "run": self.run,
+            "seed": self.seed,
+            "context_seed": self.context_seed,
+            "n": self.n,
+            "config": self.config_mapping,
+            "params": self.params_mapping,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunSpec":
+        return cls(
+            experiment=payload["experiment"],
+            dataset=payload["dataset"],
+            model=payload["model"],
+            frs_size=int(payload["frs_size"]),
+            tcf=float(payload["tcf"]),
+            run=int(payload["run"]),
+            seed=int(payload["seed"]),
+            context_seed=int(payload["context_seed"]),
+            n=payload.get("n"),
+            config=from_jsonable(dict(payload.get("config", {}))),
+            params=from_jsonable(dict(payload.get("params", {}))),
+        )
+
+    @property
+    def spec_hash(self) -> str:
+        """Stable content address of this run (hex, 16 chars).
+
+        SHA-256 over the canonical JSON of :meth:`to_dict` (non-finite
+        floats — e.g. the documented ``q=math.inf`` config — encoded via
+        the persistence markers); the :class:`~repro.experiments.RunStore`
+        uses it as the record key.
+        """
+        canonical = json.dumps(
+            to_jsonable(self.to_dict()),
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def with_params(self, **params: Any) -> "RunSpec":
+        """A copy with ``params`` entries merged in."""
+        merged = self.params_mapping
+        merged.update(params)
+        return replace(self, params=merged)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative experiment grid: define-by-data, execute-by-runner.
+
+    ``expand()`` is the only semantics: the cartesian product of
+    ``datasets × models × frs_sizes × tcfs × sweep × range(n_runs)``, one
+    :class:`RunSpec` each.  ``sweep`` axes target dotted keys —
+    ``"config.<knob>"`` for :class:`~repro.core.config.FroteConfig`
+    overrides, ``"params.<name>"`` for run-kind parameters — and do *not*
+    participate in seed derivation, so swept variants of a run share FRS
+    draw and split (matched comparison).
+
+    Round-trips through JSON (:meth:`to_json` / :meth:`from_json`,
+    :meth:`save` / :meth:`load`): a checked-in spec file fully describes an
+    experiment.
+    """
+
+    name: str
+    datasets: tuple[str, ...]
+    models: tuple[str, ...]
+    experiment: str = "frote"
+    frs_sizes: tuple[int, ...] = (3,)
+    tcfs: tuple[float, ...] = (0.2,)
+    n_runs: int = 1
+    seed: int = 42
+    n: int | None = None
+    config: tuple = ()
+    params: tuple = ()
+    sweep: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "datasets", tuple(self.datasets))
+        object.__setattr__(self, "models", tuple(self.models))
+        object.__setattr__(self, "frs_sizes", tuple(int(s) for s in self.frs_sizes))
+        object.__setattr__(self, "tcfs", tuple(float(t) for t in self.tcfs))
+        object.__setattr__(self, "config", _freeze(self.config, what="config"))
+        object.__setattr__(self, "params", _freeze(self.params, what="params"))
+        sweep = self.sweep
+        if isinstance(sweep, Mapping):
+            sweep = tuple(sorted((str(k), tuple(v)) for k, v in sweep.items()))
+        else:
+            sweep = tuple(sorted((str(k), tuple(v)) for k, v in sweep))
+        object.__setattr__(self, "sweep", sweep)
+        if not self.name:
+            raise ValueError("ExperimentSpec.name must be non-empty")
+        if not self.datasets or not self.models:
+            raise ValueError("ExperimentSpec needs at least one dataset and model")
+        if self.n_runs < 1:
+            raise ValueError(f"n_runs must be >= 1, got {self.n_runs}")
+        for axis, _ in self.sweep:
+            scope, _, key = axis.partition(".")
+            if scope not in ("config", "params") or not key:
+                raise ValueError(
+                    f"sweep axis {axis!r} must be 'config.<knob>' or 'params.<name>'"
+                )
+
+    # ------------------------------------------------------------------ #
+    def validate(self) -> "ExperimentSpec":
+        """Check every referenced name against the live registries.
+
+        Deferred (not in ``__post_init__``) so a spec may be built before
+        its plugin datasets/models/kinds are registered; the runner calls
+        this right before execution.
+        """
+        from repro.datasets import DATASETS
+        from repro.experiments.kinds import RUN_KINDS
+        from repro.models import MODELS
+
+        RUN_KINDS.validate(self.experiment)
+        for name in self.datasets:
+            DATASETS.validate(name)
+        for name in self.models:
+            MODELS.validate(name)
+        return self
+
+    @property
+    def total_runs(self) -> int:
+        sweep_size = 1
+        for _, values in self.sweep:
+            sweep_size *= len(values)
+        return (
+            len(self.datasets) * len(self.models) * len(self.frs_sizes)
+            * len(self.tcfs) * sweep_size * self.n_runs
+        )
+
+    def expand(self) -> list[RunSpec]:
+        """Flatten the grid into its runs (deterministic order and seeds)."""
+        sweep_axes = [(axis, values) for axis, values in self.sweep]
+        sweep_combos = [
+            tuple(zip((a for a, _ in sweep_axes), combo))
+            for combo in product(*(values for _, values in sweep_axes))
+        ] or [()]
+        runs: list[RunSpec] = []
+        for dataset, model in product(self.datasets, self.models):
+            context_seed = derive_seed(self.seed, "context", dataset, model, self.n)
+            for frs_size, tcf in product(self.frs_sizes, self.tcfs):
+                for combo in sweep_combos:
+                    for run_id in range(self.n_runs):
+                        config = dict(self.config)
+                        params = dict(self.params)
+                        for axis, value in combo:
+                            scope, _, key = axis.partition(".")
+                            (config if scope == "config" else params)[key] = value
+                        runs.append(
+                            RunSpec(
+                                experiment=self.experiment,
+                                dataset=dataset,
+                                model=model,
+                                frs_size=frs_size,
+                                tcf=tcf,
+                                run=run_id,
+                                seed=derive_seed(
+                                    self.seed, "run", self.experiment, dataset,
+                                    model, frs_size, tcf, run_id,
+                                ),
+                                context_seed=context_seed,
+                                n=self.n,
+                                config=config,
+                                params=params,
+                            )
+                        )
+        return runs
+
+    def __iter__(self) -> Iterator[RunSpec]:
+        return iter(self.expand())
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "experiment": self.experiment,
+            "datasets": list(self.datasets),
+            "models": list(self.models),
+            "frs_sizes": list(self.frs_sizes),
+            "tcfs": list(self.tcfs),
+            "n_runs": self.n_runs,
+            "seed": self.seed,
+            "n": self.n,
+            "config": dict(self.config),
+            "params": dict(self.params),
+            "sweep": {axis: list(values) for axis, values in self.sweep},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentSpec":
+        known = {
+            "name", "experiment", "datasets", "models", "frs_sizes", "tcfs",
+            "n_runs", "seed", "n", "config", "params", "sweep",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentSpec keys: {sorted(unknown)}; known: {sorted(known)}"
+            )
+        return cls(
+            name=payload["name"],
+            datasets=tuple(payload["datasets"]),
+            models=tuple(payload["models"]),
+            experiment=payload.get("experiment", "frote"),
+            frs_sizes=tuple(payload.get("frs_sizes", (3,))),
+            tcfs=tuple(payload.get("tcfs", (0.2,))),
+            n_runs=int(payload.get("n_runs", 1)),
+            seed=int(payload.get("seed", 42)),
+            n=payload.get("n"),
+            config=from_jsonable(dict(payload.get("config", {}))),
+            params=from_jsonable(dict(payload.get("params", {}))),
+            sweep={
+                k: tuple(from_jsonable(list(v)))
+                for k, v in dict(payload.get("sweep", {})).items()
+            },
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(to_jsonable(self.to_dict()), indent=indent, allow_nan=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> Path:
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(self.to_json() + "\n")
+        return out
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentSpec":
+        return cls.from_json(Path(path).read_text())

@@ -1,0 +1,136 @@
+"""Content-addressed storage for experiment run records.
+
+A :class:`RunStore` maps :attr:`~repro.experiments.spec.RunSpec.spec_hash`
+→ one JSON file per run under a root directory.  Because the key is the
+*content* of the run's spec, the store is what makes grids resumable: a
+re-run of a half-completed grid looks up each expanded run by hash and
+executes only the misses, and two stores populated by different executors
+(serial, parallel, different machines) of the same spec are byte-identical.
+
+Record files are deterministic strict JSON — sorted keys, explicit
+non-finite float markers (see :mod:`repro.experiments.persistence`), no
+timestamps — so ``diff -r serial/ parallel/`` is a valid equality check
+(CI runs exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.experiments.persistence import dump_json, from_jsonable, to_jsonable
+from repro.experiments.spec import RunSpec
+
+#: Format tag written into every record envelope.
+RECORD_FORMAT = "repro.run-record/v1"
+
+#: Run completed and produced a record.
+STATUS_OK = "ok"
+#: Run executed but was skipped (no conflict-free FRS of the requested
+#: size — the paper drops those settings too).  Stored so resume does not
+#: retry a draw that deterministically fails.
+STATUS_SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class StoredRun:
+    """One persisted run: its spec, status, and record (if any)."""
+
+    spec_hash: str
+    spec: RunSpec
+    status: str
+    record: dict | None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+class RunStore:
+    """Spec-hash-addressed run records in a directory of JSON files."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.root / f"{spec.spec_hash}.json"
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return self.path_for(spec).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    # ------------------------------------------------------------------ #
+    def put(self, spec: RunSpec, record: dict | None) -> Path:
+        """Persist one run's outcome (``record=None`` → skipped draw)."""
+        status = STATUS_OK if record is not None else STATUS_SKIPPED
+        envelope = {
+            "format": RECORD_FORMAT,
+            "spec_hash": spec.spec_hash,
+            "spec": to_jsonable(spec.to_dict()),  # config may hold e.g. q=inf
+            "status": status,
+            "record": to_jsonable(record),
+        }
+        path = self.path_for(spec)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(dump_json(envelope, sort_keys=True) + "\n")
+        tmp.replace(path)  # atomic: readers never observe a partial record
+        return path
+
+    def get(self, spec: RunSpec) -> StoredRun | None:
+        """The stored outcome for ``spec``, or ``None`` if not yet run."""
+        path = self.path_for(spec)
+        if not path.exists():
+            return None
+        return self._read(path)
+
+    def _read(self, path: Path) -> StoredRun:
+        payload = json.loads(path.read_text())
+        if payload.get("format") != RECORD_FORMAT:
+            raise ValueError(
+                f"{path} is not a {RECORD_FORMAT} record "
+                f"(format={payload.get('format')!r})"
+            )
+        record = from_jsonable(payload["record"])
+        return StoredRun(
+            spec_hash=payload["spec_hash"],
+            spec=RunSpec.from_dict(payload["spec"]),
+            status=payload["status"],
+            record=record,
+        )
+
+    def __iter__(self) -> Iterator[StoredRun]:
+        for path in sorted(self.root.glob("*.json")):
+            yield self._read(path)
+
+    # ------------------------------------------------------------------ #
+    def missing(self, specs: Sequence[RunSpec]) -> list[RunSpec]:
+        """The subset of ``specs`` with no stored outcome yet."""
+        return [spec for spec in specs if spec not in self]
+
+    def completed(self, specs: Sequence[RunSpec]) -> list[StoredRun]:
+        """Stored outcomes for the subset of ``specs`` already run."""
+        out = []
+        for spec in specs:
+            stored = self.get(spec)
+            if stored is not None:
+                out.append(stored)
+        return out
+
+    def status_counts(self, specs: Sequence[RunSpec]) -> dict[str, int]:
+        """``{"total", "ok", "skipped", "missing"}`` counts for a grid."""
+        counts = {"total": len(specs), "ok": 0, "skipped": 0, "missing": 0}
+        for spec in specs:
+            stored = self.get(spec)
+            if stored is None:
+                counts["missing"] += 1
+            elif stored.ok:
+                counts["ok"] += 1
+            else:
+                counts["skipped"] += 1
+        return counts

@@ -1,30 +1,22 @@
 """Table drivers: the rows behind paper Tables 2, 3, 4, 5, and 6.
 
-Every driver returns records (dicts) and a ``format_*`` helper renders them
-in the paper's layout (mean ± std cells).
+Every driver is a pure consumer of the declarative experiments API — it
+builds an :class:`~repro.experiments.ExperimentSpec` (sweeps included),
+runs it through an :class:`~repro.experiments.ExperimentRunner`, and
+post-processes the records; a ``format_*`` helper renders them in the
+paper's layout (mean ± std cells).  Matched comparisons (same FRS draw and
+split across swept values or strategies) come from the spec layer's
+sweep-blind seed derivation, not from shared RNG state.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 
-import numpy as np
-
-from repro.baselines.overlay import HARD, SOFT, Overlay
-from repro.core.config import FroteConfig
-from repro.core.frote import FROTE
-from repro.core.objective import evaluate_predictions
-from repro.data.split import coverage_aware_split
+from repro.experiments.grid import ExperimentRunner, default_runner
 from repro.experiments.report import format_mean_std, format_table
-from repro.experiments.runner import default_config, execute_run, run_many
-from repro.experiments.setup import (
-    build_context,
-    prepare_run,
-    probabilistic_variant,
-)
-from repro.metrics.classification import accuracy_score
-from repro.rules.ruleset import FeedbackRuleSet, draw_conflict_free
-from repro.utils.rng import RandomState, check_random_state
+from repro.experiments.spec import ExperimentSpec
+from repro.utils.rng import RandomState
 
 
 # ---------------------------------------------------------------------- #
@@ -39,70 +31,27 @@ def run_table2(
     tau: int = 20,
     n: int | None = None,
     random_state: RandomState = 42,
+    runner: ExperimentRunner | None = None,
 ) -> list[dict]:
     """ΔJ̄ / ΔMRA / ΔF of Overlay-Soft, Overlay-Hard, and FROTE.
 
     Paper protocol: 3 rules per run, 50/50 coverage and outside-coverage
     splits, deltas relative to the unpatched initial model.
     """
-    ctx = build_context(dataset_name, model_name, n=n, random_state=random_state)
-    rng = check_random_state(random_state)
-    records: list[dict] = []
-    for run_id in range(n_runs):
-        frs = draw_conflict_free(
-            list(ctx.rule_pool), frs_size, ctx.dataset.X.schema, rng
-        )
-        if frs is None:
-            continue
-        coverage = frs.coverage_mask(ctx.dataset.X)
-        split = coverage_aware_split(
-            ctx.dataset,
-            coverage,
-            tcf=0.5,
-            outside_test_fraction=0.5,
-            random_state=rng,
-        )
-        model = ctx.algorithm(split.train)
-        test = split.test
-        base_eval = evaluate_predictions(model.predict(test.X), test, frs)
-
-        overlay_evals = {}
-        for mode in (SOFT, HARD):
-            overlay = Overlay(model, frs, split.train.X, mode=mode)
-            overlay_evals[mode] = evaluate_predictions(
-                overlay.predict(test.X), test, frs
-            )
-
-        config = default_config(
-            dataset_name,
-            tau=tau,
-            mod_strategy="relabel",
-            random_state=int(rng.integers(2**31)),
-        )
-        frote = FROTE(ctx.algorithm, frs, config)
-        frote_result = frote.run(split.train)
-        frote_eval = evaluate_predictions(
-            frote_result.model.predict(test.X), test, frs
-        )
-
-        def deltas(ev) -> dict:
-            return {
-                "delta_j": ev.j_weighted() - base_eval.j_weighted(),
-                "delta_mra": ev.mra - base_eval.mra,
-                "delta_f1": ev.f1_outside - base_eval.f1_outside,
-            }
-
-        records.append(
-            {
-                "dataset": dataset_name,
-                "model": model_name,
-                "run": run_id,
-                "overlay_soft": deltas(overlay_evals[SOFT]),
-                "overlay_hard": deltas(overlay_evals[HARD]),
-                "frote": deltas(frote_eval),
-            }
-        )
-    return records
+    spec = ExperimentSpec(
+        name=f"table2-{dataset_name}-{model_name}",
+        experiment="overlay",
+        datasets=(dataset_name,),
+        models=(model_name,),
+        frs_sizes=(frs_size,),
+        tcfs=(0.5,),
+        n_runs=n_runs,
+        seed=int(random_state),
+        n=n,
+        config={"tau": tau, "mod_strategy": "relabel"},
+        params={"outside_test_fraction": 0.5},
+    )
+    return default_runner(runner).run(spec).records
 
 
 def format_table2(records: list[dict], *, metric: str = "delta_j") -> str:
@@ -140,43 +89,35 @@ def run_table3(
     tau: int = 20,
     n: int | None = None,
     random_state: RandomState = 42,
+    runner: ExperimentRunner | None = None,
 ) -> list[dict]:
     """ΔJ̄, Δ#Ins/|D|, ΔMRA, ΔF for the random and IP strategies.
 
-    The paper aggregates over all runs of a dataset × model; the same rule
-    sets and splits are used for both strategies (matched comparison).
+    The paper aggregates over all runs of a dataset × model; both
+    strategies execute against the same rule set and split inside one run
+    kind (matched comparison).  Run ``i`` uses ``frs_sizes[i % len]``,
+    cycling the sizes across repetitions like the paper's pooled draws —
+    expressed here by expanding the full grid and filtering it, because
+    specs are plain data.
     """
-    ctx = build_context(dataset_name, model_name, n=n, random_state=random_state)
-    rng = check_random_state(random_state)
-    records: list[dict] = []
-    for run_id in range(n_runs):
-        frs_size = int(frs_sizes[run_id % len(frs_sizes)])
-        prepared = prepare_run(ctx, frs_size=frs_size, tcf=tcf, rng=rng)
-        if prepared is None:
-            continue
-        seed = int(rng.integers(2**31))
-        per_strategy = {}
-        for strategy in ("random", "ip"):
-            config = default_config(
-                dataset_name, tau=tau, selection=strategy, random_state=seed
-            )
-            run, _ = execute_run(ctx, prepared, config=config)
-            per_strategy[strategy] = {
-                "delta_j": run.delta_j,
-                "delta_mra": run.delta_mra,
-                "delta_f1": run.delta_f1,
-                "added_fraction": run.added_fraction,
-            }
-        records.append(
-            {
-                "dataset": dataset_name,
-                "model": model_name,
-                "run": run_id,
-                "frs_size": frs_size,
-                **{f"{s}_{k}": v for s, d in per_strategy.items() for k, v in d.items()},
-            }
-        )
-    return records
+    frs_sizes = tuple(int(s) for s in frs_sizes)
+    spec = ExperimentSpec(
+        name=f"table3-{dataset_name}-{model_name}",
+        experiment="selection",
+        datasets=(dataset_name,),
+        models=(model_name,),
+        frs_sizes=frs_sizes,
+        tcfs=(tcf,),
+        n_runs=n_runs,
+        seed=int(random_state),
+        n=n,
+        config={"tau": tau},
+    )
+    cycled = [
+        run for run in spec.expand()
+        if run.frs_size == frs_sizes[run.run % len(frs_sizes)]
+    ]
+    return default_runner(runner).run(cycled).records
 
 
 def format_table3(records: list[dict]) -> str:
@@ -216,58 +157,28 @@ def run_table6(
     n: int | None = None,
     model_name: str = "LR",
     random_state: RandomState = 42,
+    runner: ExperimentRunner | None = None,
 ) -> list[dict]:
     """Δmra and ΔJ̄ when the single feedback rule is *wrong* (paper Table 6).
 
     Protocol: |F| = 1, tcf = 0, test distribution unchanged (the expert's
-    rule does not take effect), LR model.  MRA here measures agreement with
-    the *original* labels inside the rule coverage, so a probabilistic rule
-    (p < 1) that hedges toward the data should beat a fully confident one.
+    rule does not take effect), LR model.  The ``p`` values are a sweep
+    axis, so every probability sees the same rule draw and split per run.
     """
-    ctx = build_context(dataset_name, model_name, n=n, random_state=random_state)
-    rng = check_random_state(random_state)
-    marginal = ctx.dataset.class_counts().astype(float)
-    marginal /= marginal.sum()
-    records: list[dict] = []
-    for run_id in range(n_runs):
-        prepared = prepare_run(ctx, frs_size=1, tcf=0.0, rng=rng)
-        if prepared is None:
-            continue
-        base_rule = prepared.frs[0]
-        test = prepared.test
-        cov_mask = base_rule.coverage_mask(test.X)
-
-        initial_model = ctx.algorithm(prepared.train)
-        init_pred = initial_model.predict(test.X)
-        init_mra = accuracy_score(test.y[cov_mask], init_pred[cov_mask])
-        init_eval = evaluate_predictions(init_pred, test, prepared.frs)
-
-        for p in probabilities:
-            rule_p = probabilistic_variant(base_rule, p, marginal)
-            frs_p = FeedbackRuleSet((rule_p,))
-            config = default_config(
-                dataset_name,
-                tau=tau,
-                mod_strategy="none",  # tcf=0: relabel/drop are inapplicable
-                random_state=int(rng.integers(2**31)),
-            )
-            frote = FROTE(ctx.algorithm, frs_p, config)
-            result = frote.run(prepared.train)
-            pred = result.model.predict(test.X)
-            # "Rule not in effect": agreement w.r.t. original labels in
-            # the coverage region.
-            mra_orig = accuracy_score(test.y[cov_mask], pred[cov_mask])
-            ev = evaluate_predictions(pred, test, prepared.frs)
-            records.append(
-                {
-                    "dataset": dataset_name,
-                    "run": run_id,
-                    "p": p,
-                    "delta_mra": mra_orig - init_mra,
-                    "delta_j": ev.j_weighted() - init_eval.j_weighted(),
-                }
-            )
-    return records
+    spec = ExperimentSpec(
+        name=f"table6-{dataset_name}",
+        experiment="probabilistic",
+        datasets=(dataset_name,),
+        models=(model_name,),
+        frs_sizes=(1,),
+        tcfs=(0.0,),
+        n_runs=n_runs,
+        seed=int(random_state),
+        n=n,
+        config={"tau": tau},
+        sweep={"params.p": tuple(float(p) for p in probabilities)},
+    )
+    return default_runner(runner).run(spec).records
 
 
 def format_table6(records: list[dict]) -> str:
@@ -302,40 +213,45 @@ def run_ablation(
     tau: int = 15,
     n: int | None = None,
     random_state: RandomState = 42,
+    runner: ExperimentRunner | None = None,
 ) -> list[dict]:
-    """Sweep one FROTE knob (``k``, ``q``, ``eta``, or ``mod_strategy``)."""
+    """Sweep one FROTE knob (``k``, ``q``, ``eta``, or ``mod_strategy``).
+
+    The knob is a ``config.*`` sweep axis: every value of a run shares the
+    same FRS draw, split, and FROTE seed (matched sweep).
+    """
     if parameter not in ("k", "q", "eta", "mod_strategy"):
         raise ValueError(f"unsupported ablation parameter {parameter!r}")
-    ctx = build_context(dataset_name, model_name, n=n, random_state=random_state)
-    rng = check_random_state(random_state)
-    records: list[dict] = []
-    for run_id in range(n_runs):
-        prepared = prepare_run(ctx, frs_size=frs_size, tcf=tcf, rng=rng)
-        if prepared is None:
+    spec = ExperimentSpec(
+        name=f"ablation-{parameter}-{dataset_name}-{model_name}",
+        experiment="frote",
+        datasets=(dataset_name,),
+        models=(model_name,),
+        frs_sizes=(frs_size,),
+        tcfs=(tcf,),
+        n_runs=n_runs,
+        seed=int(random_state),
+        n=n,
+        config={"tau": tau},
+        sweep={f"config.{parameter}": tuple(values)},
+    )
+    records = []
+    for run_spec, record in default_runner(runner).run(spec).pairs:
+        if record is None:
             continue
-        seed = int(rng.integers(2**31))
-        for value in values:
-            kwargs = {
-                "tau": tau,
-                "random_state": seed,
-                "eta": default_config(dataset_name).eta,
+        records.append(
+            {
+                "dataset": record["dataset"],
+                "model": record["model"],
+                "run": record["run"],
+                "parameter": parameter,
+                "value": run_spec.config_mapping[parameter],
+                "delta_j": record["delta_j"],
+                "delta_mra": record["delta_mra"],
+                "delta_f1": record["delta_f1"],
+                "n_added": record["n_added"],
             }
-            kwargs[parameter] = value
-            config = FroteConfig(**kwargs)
-            run, _ = execute_run(ctx, prepared, config=config)
-            records.append(
-                {
-                    "dataset": dataset_name,
-                    "model": model_name,
-                    "run": run_id,
-                    "parameter": parameter,
-                    "value": value,
-                    "delta_j": run.delta_j,
-                    "delta_mra": run.delta_mra,
-                    "delta_f1": run.delta_f1,
-                    "n_added": run.n_added,
-                }
-            )
+        )
     return records
 
 

@@ -3,8 +3,22 @@
 The three model families the paper evaluates — random forest, logistic
 regression, and a LightGBM-style GBDT — plus the online logistic regression
 used by the supplement's objective-approximation proxy.
+
+Models are registered by name in :data:`MODELS`, an
+:class:`~repro.engine.registry.InfoRegistry`.  Register your own and every
+experiment surface (``ExperimentSpec``, drivers, CLI) accepts the name::
+
+    from repro.models import register_model
+
+    register_model("MLP", lambda: MyMLP(hidden=64), standardize=True)
 """
 
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.engine.registry import InfoRegistry
 from repro.models.base import (
     MatrixClassifier,
     TableModel,
@@ -34,40 +48,82 @@ __all__ = [
     "OnlineLogisticRegression",
     "GaussianNB",
     "KNeighborsClassifier",
+    "ModelInfo",
+    "MODELS",
+    "register_model",
+    "algorithm",
+    "paper_algorithm",
+    "extended_algorithm",
+    "PAPER_MODELS",
+    "EXTENDED_MODELS",
 ]
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Registry entry: zero-argument classifier factory plus training hints.
+
+    ``standardize`` — wrap training with feature standardization (distance-
+    and likelihood-based models want it; trees are scale-invariant).
+    ``paper`` — one of the paper's three §5.1 configurations.
+    """
+
+    name: str
+    factory: Callable[[], object]
+    standardize: bool = False
+    paper: bool = False
+
+
+#: Live model registry; supports ``MODELS[name]`` / ``in`` / iteration.
+MODELS: InfoRegistry = InfoRegistry("model")
+
+
+def register_model(
+    name: str,
+    factory: Callable[[], object],
+    *,
+    standardize: bool = False,
+    paper: bool = False,
+    overwrite: bool = False,
+) -> ModelInfo:
+    """Register a classifier factory under ``name``; returns its entry."""
+    info = ModelInfo(name, factory, standardize=standardize, paper=paper)
+    MODELS.register(name, info, overwrite=overwrite)
+    return info
+
 
 # The paper's three model configurations (§5.1): scikit-learn defaults with
 # max_iter=500 for LR, max_depth=3 for RF, LightGBM defaults.
-PAPER_MODELS = {
-    "LR": lambda: LogisticRegression(max_iter=500),
-    "RF": lambda: RandomForestClassifier(max_depth=3, random_state=42),
-    "LGBM": lambda: GradientBoostingClassifier(),
-}
+register_model("LR", lambda: LogisticRegression(max_iter=500),
+               standardize=True, paper=True)
+register_model("RF", lambda: RandomForestClassifier(max_depth=3, random_state=42),
+               paper=True)
+register_model("LGBM", lambda: GradientBoostingClassifier(), paper=True)
+
+# Extension models (beyond the paper) for the model-agnostic ablations.
+register_model("NB", lambda: GaussianNB(), standardize=True)
+register_model("KNN", lambda: KNeighborsClassifier(k=5), standardize=True)
+
+
+def algorithm(name: str) -> TrainingAlgorithm:
+    """Training algorithm for any registered model (did-you-mean errors)."""
+    info: ModelInfo = MODELS[name]
+    return make_algorithm(info.factory, standardize=info.standardize)
+
+
+# Name → factory views kept for backwards compatibility; the registry is
+# the source of truth (snapshots taken at import, built-ins only).
+PAPER_MODELS = {n: MODELS[n].factory for n in MODELS if MODELS[n].paper}
+EXTENDED_MODELS = {n: MODELS[n].factory for n in MODELS}
 
 
 def paper_algorithm(name: str) -> TrainingAlgorithm:
     """Training algorithm for one of the paper's model names (LR/RF/LGBM)."""
     if name not in PAPER_MODELS:
         raise KeyError(f"unknown model {name!r}; choose from {sorted(PAPER_MODELS)}")
-    # Trees are scale-invariant; only LR benefits from standardization.
-    return make_algorithm(PAPER_MODELS[name], standardize=(name == "LR"))
-
-
-# Extension models (beyond the paper) for the model-agnostic ablations.
-EXTENDED_MODELS = {
-    **PAPER_MODELS,
-    "NB": lambda: GaussianNB(),
-    "KNN": lambda: KNeighborsClassifier(k=5),
-}
-
-# Distance- and likelihood-based models want standardized features.
-_STANDARDIZE = {"LR", "NB", "KNN"}
+    return algorithm(name)
 
 
 def extended_algorithm(name: str) -> TrainingAlgorithm:
-    """Training algorithm from the extended registry (paper's 3 + NB + KNN)."""
-    if name not in EXTENDED_MODELS:
-        raise KeyError(
-            f"unknown model {name!r}; choose from {sorted(EXTENDED_MODELS)}"
-        )
-    return make_algorithm(EXTENDED_MODELS[name], standardize=(name in _STANDARDIZE))
+    """Training algorithm from the full registry (paper's 3 + NB + KNN + plugins)."""
+    return algorithm(name)

@@ -46,8 +46,20 @@ class TestParser:
     def test_all_experiments_declared(self):
         assert set(EXPERIMENTS) == {
             "fig2", "fig3", "fig9", "table1", "table2", "table3", "table6",
-            "ablation", "bench", "all",
+            "ablation", "bench", "all", "run-spec", "status",
         }
+
+    def test_list_datasets_prints_eta(self, capsys):
+        assert main(["--list-datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "adult" in out and "200" in out
+        assert "register_dataset" in out
+
+    def test_list_models(self, capsys):
+        assert main(["--list-models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("LR", "RF", "LGBM", "NB", "KNN"):
+            assert name in out
 
 
 class TestRun:
@@ -69,6 +81,48 @@ class TestRun:
         args = build_parser().parse_args(["fig3", "--runs", "1", "--tau", "2"])
         records, text = run(args)
         assert isinstance(records, list)
+
+
+class TestSpecCommands:
+    @pytest.fixture()
+    def spec_path(self, tmp_path):
+        from repro.experiments import ExperimentSpec
+
+        spec = ExperimentSpec(
+            name="cli-smoke",
+            datasets=("car",),
+            models=("LR",),
+            frs_sizes=(2,),
+            tcfs=(0.2,),
+            n_runs=1,
+            seed=11,
+            n=400,
+            config={"tau": 2},
+        )
+        return str(spec.save(tmp_path / "spec.json"))
+
+    def test_run_spec_requires_path(self):
+        with pytest.raises(SystemExit):
+            main(["run-spec"])
+
+    def test_status_requires_store(self, spec_path):
+        with pytest.raises(SystemExit, match="--store"):
+            main(["status", spec_path])
+
+    def test_run_spec_then_status(self, spec_path, tmp_path, capsys):
+        store = str(tmp_path / "runs")
+        assert main(["run-spec", spec_path, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "1 executed" in out
+
+        assert main(["status", spec_path, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 completed" in out and "0 missing" in out
+
+        # Re-running serves everything from the store.
+        assert main(["run-spec", spec_path, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out and "1 from store" in out
 
 
 class TestMain:

@@ -1,0 +1,98 @@
+"""Tests for executors: serial/parallel equivalence and the kind registry."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSpec,
+    ProcessExecutor,
+    SerialExecutor,
+    execute_spec,
+    make_executor,
+    register_run_kind,
+)
+from repro.experiments.kinds import RUN_KINDS, clear_context_cache
+
+SMALL_GRID = ExperimentSpec(
+    name="executor-test",
+    datasets=("car",),
+    models=("LR",),
+    frs_sizes=(2, 3),
+    tcfs=(0.0, 0.2),
+    n_runs=1,
+    seed=7,
+    n=500,
+    config={"tau": 2},
+)
+
+
+class TestExecuteSpec:
+    def test_pure_in_the_spec(self):
+        spec = SMALL_GRID.expand()[0]
+        first = execute_spec(spec)
+        clear_context_cache()
+        second = execute_spec(spec)
+        assert first == second
+
+    def test_envelope_shape(self):
+        envelope = execute_spec(SMALL_GRID.expand()[0])
+        assert set(envelope) == {"status", "record"}
+        assert envelope["status"] in ("ok", "skipped")
+
+
+class TestSerialExecutor:
+    def test_yields_in_order(self):
+        runs = SMALL_GRID.expand()
+        indices = [i for i, _ in SerialExecutor().execute(runs)]
+        assert indices == list(range(len(runs)))
+
+
+class TestProcessExecutor:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError, match="workers"):
+            ProcessExecutor(0)
+
+    def test_make_executor_dispatch(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+        parallel = make_executor(3)
+        assert isinstance(parallel, ProcessExecutor)
+        assert parallel.workers == 3
+
+    @pytest.mark.slow
+    def test_parallel_bit_identical_to_serial(self):
+        """The acceptance criterion: same spec, same records, any executor."""
+        runs = SMALL_GRID.expand()
+        serial = dict(SerialExecutor().execute(runs))
+        parallel = dict(ProcessExecutor(workers=2).execute(runs))
+        assert serial == parallel
+
+
+class TestRunKindRegistry:
+    def test_builtin_kinds_registered(self):
+        assert {"frote", "trace", "overlay", "selection", "probabilistic"} <= set(
+            RUN_KINDS.names()
+        )
+
+    def test_unknown_kind_did_you_mean(self):
+        with pytest.raises(ValueError, match="did you mean 'frote'"):
+            RUN_KINDS.get("frotee")
+
+    def test_custom_kind_executes(self):
+        @register_run_kind("executor-test-kind")
+        def fake_kind(spec):
+            return {"dataset": spec.dataset, "echo": spec.params_mapping["x"]}
+
+        try:
+            spec = ExperimentSpec(
+                name="custom",
+                experiment="executor-test-kind",
+                datasets=("car",),
+                models=("LR",),
+                params={"x": 5},
+            ).expand()[0]
+            envelope = execute_spec(spec)
+            assert envelope == {
+                "status": "ok",
+                "record": {"dataset": "car", "echo": 5},
+            }
+        finally:
+            RUN_KINDS.unregister("executor-test-kind")

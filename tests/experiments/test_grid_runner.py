@@ -1,0 +1,129 @@
+"""Tests for the ExperimentRunner: resume, events, and store interplay."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    ExperimentSpec,
+    RunStore,
+)
+
+GRID = ExperimentSpec(
+    name="runner-test",
+    datasets=("car",),
+    models=("LR",),
+    frs_sizes=(2, 3),
+    tcfs=(0.0, 0.2),
+    n_runs=1,
+    seed=7,
+    n=500,
+    config={"tau": 2},
+)
+
+
+class TestEphemeralRuns:
+    def test_records_in_grid_order(self):
+        result = ExperimentRunner().run(GRID)
+        runs = GRID.expand()
+        assert result.runs == tuple(runs)
+        assert len(result.envelopes) == len(runs)
+        assert result.cached == 0
+        for (spec, record) in result.pairs:
+            if record is not None:
+                assert record["frs_size"] == spec.frs_size
+                assert record["tcf"] == spec.tcf
+
+    def test_explicit_run_lists_accepted(self):
+        runs = GRID.expand()[:2]
+        result = ExperimentRunner().run(runs)
+        assert len(result) == 2
+        assert result.executed == 2
+
+    def test_status_without_store(self):
+        counts = ExperimentRunner().status(GRID)
+        assert counts == {"total": 4, "ok": 0, "skipped": 0, "missing": 4}
+
+
+class TestResume:
+    def test_half_completed_grid_executes_only_missing(self, tmp_path):
+        """Acceptance criterion: resume runs exactly the missing runs."""
+        runs = GRID.expand()
+        store = RunStore(tmp_path / "runs")
+
+        # Interrupt after the first half of the grid.
+        first = ExperimentRunner(store=store).run(runs[: len(runs) // 2])
+        assert first.executed == len(runs) // 2
+
+        executed = []
+        runner = ExperimentRunner(store=store).on_event(
+            lambda ev: executed.append(ev.spec)
+            if ev.kind in ("run-completed", "run-skipped") else None
+        )
+        result = runner.run(GRID)
+        assert result.executed == len(runs) - len(runs) // 2
+        assert result.cached == len(runs) // 2
+        assert set(executed) == set(runs[len(runs) // 2:])
+
+        # And the resumed grid equals a from-scratch run, record for record.
+        fresh = ExperimentRunner().run(GRID)
+        assert result.records == fresh.records
+
+    def test_completed_grid_is_all_cache(self, tmp_path):
+        store = RunStore(tmp_path)
+        ExperimentRunner(store=store).run(GRID)
+        again = ExperimentRunner(store=store).run(GRID)
+        assert again.executed == 0
+        assert again.cached == len(GRID.expand())
+
+    def test_status_reflects_store(self, tmp_path):
+        store = RunStore(tmp_path)
+        runs = GRID.expand()
+        ExperimentRunner(store=store).run(runs[:1])
+        counts = ExperimentRunner(store=store).status(GRID)
+        assert counts["total"] == len(runs)
+        assert counts["ok"] + counts["skipped"] == 1
+        assert counts["missing"] == len(runs) - 1
+
+
+class TestEvents:
+    def test_event_stream_structure(self):
+        events = []
+        ExperimentRunner().on_event(events.append).run(GRID.expand()[:2])
+        kinds = [ev.kind for ev in events]
+        assert kinds[0] == "started"
+        assert kinds[-1] == "finished"
+        assert kinds.count("run-started") == 2
+        assert kinds.count("run-completed") + kinds.count("run-skipped") == 2
+        for ev in events:
+            assert ev.total == 2
+            if ev.kind.startswith("run-"):
+                assert ev.spec is not None
+            if ev.kind == "run-completed":
+                assert ev.completed and ev.record is not None
+
+    def test_cached_runs_emit_cache_events(self, tmp_path):
+        store = RunStore(tmp_path)
+        runs = GRID.expand()[:2]
+        ExperimentRunner(store=store).run(runs)
+        events = []
+        ExperimentRunner(store=store).on_event(events.append).run(runs)
+        assert [ev.kind for ev in events if ev.kind.startswith("run-")] == [
+            "run-cached", "run-cached",
+        ]
+
+
+@pytest.mark.slow
+class TestParallelRunner:
+    def test_workers_produce_identical_store(self, tmp_path):
+        serial_store = RunStore(tmp_path / "serial")
+        parallel_store = RunStore(tmp_path / "parallel")
+        serial = ExperimentRunner(store=serial_store).run(GRID)
+        parallel = ExperimentRunner(store=parallel_store, workers=2).run(GRID)
+        assert serial.records == parallel.records
+        serial_files = sorted(p.name for p in serial_store.root.glob("*.json"))
+        parallel_files = sorted(p.name for p in parallel_store.root.glob("*.json"))
+        assert serial_files == parallel_files
+        for name in serial_files:
+            assert (serial_store.root / name).read_text() == (
+                parallel_store.root / name
+            ).read_text()

@@ -48,3 +48,39 @@ class TestArchive:
     def test_to_json_is_valid(self):
         archive = ExperimentArchive("n", [{"v": 1}], {})
         json.loads(archive.to_json())
+
+
+class TestNonFiniteFloats:
+    def test_round_trip(self, tmp_path):
+        import math
+
+        records = [
+            {
+                "nan": float("nan"),
+                "inf": float("inf"),
+                "ninf": float("-inf"),
+                "np_nan": np.float64("nan"),
+                "nested": {"trace": [1.0, float("nan")]},
+            }
+        ]
+        path = save_records("nf", records, tmp_path / "nf.json")
+        # Strict JSON on disk: json.dumps would otherwise emit bare
+        # NaN/Infinity tokens, which json.loads-with-strict parsers reject.
+        text = path.read_text()
+        assert "NaN" not in text and "Infinity" not in text
+        back = load_records(path).records[0]
+        assert math.isnan(back["nan"]) and math.isnan(back["np_nan"])
+        assert back["inf"] == math.inf and back["ninf"] == -math.inf
+        assert math.isnan(back["nested"]["trace"][1])
+
+    def test_marker_shape_is_explicit(self):
+        from repro.experiments import from_jsonable, to_jsonable
+
+        assert to_jsonable(float("inf")) == {"__float__": "inf"}
+        assert to_jsonable(float("-inf")) == {"__float__": "-inf"}
+        assert to_jsonable(float("nan")) == {"__float__": "nan"}
+        # A user dict that merely resembles the marker decodes to a float —
+        # the marker key is reserved, by design.
+        assert from_jsonable({"__float__": "inf"}) == float("inf")
+        # Finite floats pass through untouched.
+        assert to_jsonable(1.5) == 1.5

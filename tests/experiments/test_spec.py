@@ -1,0 +1,197 @@
+"""Tests for declarative experiment specs: expansion, seeds, hashing, JSON."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments import ExperimentSpec, RunSpec, derive_seed
+
+BASE = dict(
+    name="grid",
+    datasets=("car", "wine"),
+    models=("LR",),
+    frs_sizes=(2, 3),
+    tcfs=(0.0, 0.2),
+    n_runs=2,
+    seed=42,
+    n=500,
+    config={"tau": 3},
+)
+
+
+class TestExpansion:
+    def test_flat_count_is_product(self):
+        spec = ExperimentSpec(**BASE)
+        runs = spec.expand()
+        assert len(runs) == spec.total_runs == 2 * 1 * 2 * 2 * 2
+
+    def test_coordinates_cover_grid(self):
+        runs = ExperimentSpec(**BASE).expand()
+        assert {r.dataset for r in runs} == {"car", "wine"}
+        assert {r.frs_size for r in runs} == {2, 3}
+        assert {r.tcf for r in runs} == {0.0, 0.2}
+        assert {r.run for r in runs} == {0, 1}
+
+    def test_expansion_is_deterministic(self):
+        a = ExperimentSpec(**BASE).expand()
+        b = ExperimentSpec(**BASE).expand()
+        assert a == b
+
+    def test_iter_matches_expand(self):
+        spec = ExperimentSpec(**BASE)
+        assert list(spec) == spec.expand()
+
+    def test_seeds_unique_per_coordinate(self):
+        runs = ExperimentSpec(**BASE).expand()
+        assert len({r.seed for r in runs}) == len(runs)
+
+    def test_sweep_axes_apply_to_config_and_params(self):
+        spec = ExperimentSpec(
+            **{**BASE, "sweep": {"config.k": (2, 5), "params.p": (0.5, 1.0)}}
+        )
+        runs = spec.expand()
+        assert len(runs) == 2 * 1 * 2 * 2 * 2 * 2 * 2
+        assert {r.config_mapping["k"] for r in runs} == {2, 5}
+        assert {r.params_mapping["p"] for r in runs} == {0.5, 1.0}
+
+    def test_sweep_is_seed_blind(self):
+        """Swept variants of a run share their seed (matched comparison)."""
+        spec = ExperimentSpec(**{**BASE, "sweep": {"config.k": (2, 5)}})
+        by_coord = {}
+        for r in spec.expand():
+            by_coord.setdefault(
+                (r.dataset, r.model, r.frs_size, r.tcf, r.run), set()
+            ).add(r.seed)
+        assert all(len(seeds) == 1 for seeds in by_coord.values())
+
+    def test_bad_sweep_axis_rejected(self):
+        with pytest.raises(ValueError, match="sweep axis"):
+            ExperimentSpec(**{**BASE, "sweep": {"tau": (1, 2)}})
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="dataset"):
+            ExperimentSpec(**{**BASE, "datasets": ()})
+        with pytest.raises(ValueError, match="n_runs"):
+            ExperimentSpec(**{**BASE, "n_runs": 0})
+
+    def test_non_scalar_config_rejected(self):
+        with pytest.raises(TypeError, match="config"):
+            ExperimentSpec(**{**BASE, "config": {"tau": [1, 2]}})
+
+
+class TestValidation:
+    def test_unknown_dataset_did_you_mean(self):
+        spec = ExperimentSpec(**{**BASE, "datasets": ("carr",)})
+        with pytest.raises(ValueError, match="unknown dataset .*did you mean 'car'"):
+            spec.validate()
+
+    def test_unknown_model_rejected(self):
+        spec = ExperimentSpec(**{**BASE, "models": ("LRR",)})
+        with pytest.raises(ValueError, match="unknown model"):
+            spec.validate()
+
+    def test_unknown_kind_rejected(self):
+        spec = ExperimentSpec(**{**BASE, "experiment": "nope"})
+        with pytest.raises(ValueError, match="unknown run kind"):
+            spec.validate()
+
+    def test_registered_plugin_dataset_validates(self):
+        from repro.datasets import DATASETS, load_car, register_dataset
+
+        register_dataset(
+            "spec-test-plugin", load_car, paper_instances=1, n_numeric=0,
+            n_nominal=6, n_labels=4, default_instances=100,
+        )
+        try:
+            spec = ExperimentSpec(**{**BASE, "datasets": ("spec-test-plugin",)})
+            assert spec.validate() is spec
+        finally:
+            DATASETS.unregister("spec-test-plugin")
+
+
+class TestJsonRoundTrip:
+    def test_experiment_spec_round_trips(self):
+        spec = ExperimentSpec(
+            **{**BASE, "sweep": {"config.k": (2, 5)}, "params": {"p": 0.5}}
+        )
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_save_load(self, tmp_path):
+        spec = ExperimentSpec(**BASE)
+        path = spec.save(tmp_path / "spec.json")
+        assert ExperimentSpec.load(path) == spec
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown ExperimentSpec keys"):
+            ExperimentSpec.from_dict({**BASE, "typo_key": 1})
+
+    def test_run_spec_round_trips(self):
+        run = ExperimentSpec(**BASE).expand()[3]
+        assert RunSpec.from_dict(run.to_dict()) == run
+        assert RunSpec.from_dict(json.loads(json.dumps(run.to_dict()))) == run
+
+
+class TestSpecHash:
+    def test_hash_is_content_addressed(self):
+        a, b = ExperimentSpec(**BASE).expand()[:2]
+        assert a.spec_hash != b.spec_hash
+        assert a.spec_hash == RunSpec.from_dict(a.to_dict()).spec_hash
+
+    def test_hash_changes_with_config(self):
+        run = ExperimentSpec(**BASE).expand()[0]
+        tweaked = RunSpec.from_dict({**run.to_dict(), "config": {"tau": 4}})
+        assert tweaked.spec_hash != run.spec_hash
+
+    def test_nonfinite_config_round_trips_and_hashes(self):
+        """q=math.inf is a documented FroteConfig knob; specs must carry it."""
+        import math
+
+        from repro.experiments import to_jsonable
+
+        spec = ExperimentSpec(**{**BASE, "config": {"tau": 3, "q": math.inf}})
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+        run = spec.expand()[0]
+        assert run.spec_hash  # hashable despite the non-finite value
+        # Strict-JSON round trip via the persistence markers.
+        payload = json.loads(json.dumps(to_jsonable(run.to_dict()), allow_nan=False))
+        assert RunSpec.from_dict(payload) == run
+
+    def test_hash_stable_across_processes(self):
+        """The content address must not depend on interpreter hash salting."""
+        run = ExperimentSpec(**BASE).expand()[0]
+        code = (
+            "import json, sys\n"
+            "from repro.experiments import RunSpec\n"
+            "print(RunSpec.from_dict(json.loads(sys.argv[1])).spec_hash)\n"
+        )
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        pythonpath = os.pathsep.join(
+            p for p in (src_dir, os.environ.get("PYTHONPATH")) if p
+        )
+        hashes = set()
+        for seed in ("0", "1"):
+            out = subprocess.run(
+                [sys.executable, "-c", code, json.dumps(run.to_dict())],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={**os.environ, "PYTHONPATH": pythonpath, "PYTHONHASHSEED": seed},
+            )
+            hashes.add(out.stdout.strip())
+        assert hashes == {run.spec_hash}
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_distinct(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_in_numpy_seed_range(self):
+        for i in range(50):
+            assert 0 <= derive_seed(i, "x") < 2**31

@@ -1,0 +1,130 @@
+"""Tests for the content-addressed run store."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentSpec, RunStore
+from repro.experiments.store import STATUS_OK, STATUS_SKIPPED
+
+
+def _runs(n=4):
+    return ExperimentSpec(
+        name="store-test",
+        datasets=("car",),
+        models=("LR",),
+        frs_sizes=(2, 3),
+        tcfs=(0.0, 0.2),
+        n_runs=1,
+        seed=3,
+        config={"tau": 2},
+    ).expand()[:n]
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        spec = _runs(1)[0]
+        record = {"j_final": 0.75, "n_added": 12}
+        store.put(spec, record)
+        stored = store.get(spec)
+        assert stored.ok
+        assert stored.status == STATUS_OK
+        assert stored.record == record
+        assert stored.spec == spec
+        assert stored.spec_hash == spec.spec_hash
+
+    def test_skipped_run_persisted(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _runs(1)[0]
+        store.put(spec, None)
+        stored = store.get(spec)
+        assert not stored.ok
+        assert stored.status == STATUS_SKIPPED
+        assert stored.record is None
+        assert spec in store  # resume must not retry a failed draw
+
+    def test_file_named_by_spec_hash(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _runs(1)[0]
+        path = store.put(spec, {"x": 1})
+        assert path.name == f"{spec.spec_hash}.json"
+
+    def test_nonfinite_floats_round_trip(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _runs(1)[0]
+        record = {
+            "nan": float("nan"),
+            "inf": float("inf"),
+            "ninf": float("-inf"),
+            "nested": [np.float64("nan"), 1.5],
+        }
+        path = store.put(spec, record)
+        # The file itself is strict JSON (no bare NaN/Infinity tokens).
+        json.loads(path.read_text())
+        back = store.get(spec).record
+        assert math.isnan(back["nan"])
+        assert back["inf"] == math.inf
+        assert back["ninf"] == -math.inf
+        assert math.isnan(back["nested"][0]) and back["nested"][1] == 1.5
+
+    def test_nonfinite_config_spec_stored(self, tmp_path):
+        """A spec with q=inf (documented knob) must store and read back."""
+        import math
+
+        from repro.experiments import ExperimentSpec
+
+        store = RunStore(tmp_path)
+        spec = ExperimentSpec(
+            name="inf-q", datasets=("car",), models=("LR",),
+            config={"tau": 2, "q": math.inf},
+        ).expand()[0]
+        path = store.put(spec, {"ok": 1})
+        json.loads(path.read_text())  # strict JSON on disk
+        stored = store.get(spec)
+        assert stored.spec == spec
+        assert stored.spec.config_mapping["q"] == math.inf
+
+    def test_deterministic_bytes(self, tmp_path):
+        a, b = RunStore(tmp_path / "a"), RunStore(tmp_path / "b")
+        spec = _runs(1)[0]
+        record = {"z": 1, "a": float("inf"), "m": [1.0, 2.0]}
+        pa = a.put(spec, record)
+        pb = b.put(spec, dict(reversed(record.items())))
+        assert pa.read_text() == pb.read_text()
+
+    def test_foreign_file_rejected(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _runs(1)[0]
+        store.path_for(spec).write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="run-record"):
+            store.get(spec)
+
+
+class TestGridQueries:
+    def test_missing_and_completed(self, tmp_path):
+        store = RunStore(tmp_path)
+        runs = _runs(4)
+        store.put(runs[0], {"v": 1})
+        store.put(runs[1], None)
+        assert store.missing(runs) == runs[2:]
+        assert [s.spec for s in store.completed(runs)] == runs[:2]
+
+    def test_status_counts(self, tmp_path):
+        store = RunStore(tmp_path)
+        runs = _runs(4)
+        store.put(runs[0], {"v": 1})
+        store.put(runs[1], None)
+        assert store.status_counts(runs) == {
+            "total": 4, "ok": 1, "skipped": 1, "missing": 2,
+        }
+
+    def test_iteration_and_len(self, tmp_path):
+        store = RunStore(tmp_path)
+        runs = _runs(3)
+        for run in runs:
+            store.put(run, {"seed": run.seed})
+        assert len(store) == 3
+        assert {s.spec for s in store} == set(runs)
