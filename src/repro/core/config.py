@@ -48,6 +48,19 @@ class FroteConfig:
     accept_equal:
         Accept batches that leave the loss exactly unchanged (paper
         requires strict improvement; kept as a knob for ablations).
+    incremental:
+        Opt into the delta-proportional compute path: candidate models
+        partial-refit in O(batch) when they support it (KNN, NB over
+        unstandardized encoders) and prediction caches extend over
+        appended rows instead of recomputing.  Results are mathematically
+        identical to the default rebuild path, but not guaranteed
+        bit-identical, hence off by default.  The caveats: NB refits from
+        exactly-merged moments (floating-point rounding only), and
+        ball-tree KNN may break *exact distance ties* at the k-th
+        neighbour differently than a from-scratch build — on tie-heavy
+        all-categorical data this can steer the loop down a different
+        (equally valid) trajectory.  Brute-force KNN and the
+        assignment/table layers are bit-exact always.
     random_state:
         Seed for all stochastic steps (paper runs use 42).
     """
@@ -61,6 +74,7 @@ class FroteConfig:
     objective: str = "equal"
     mra_weight: float = 0.5
     accept_equal: bool = False
+    incremental: bool = False
     random_state: RandomState = 42
 
     #: Upper bound on ``q``; the paper sweeps (0, 1], anything past this is

@@ -1,5 +1,6 @@
 """Tabular data substrate: schemas, tables, datasets, encoders, splits."""
 
+from repro.data.builder import DatasetBuilder, GrowableArray, TableBuilder
 from repro.data.dataset import Dataset
 from repro.data.encoding import OrdinalEncoder, StandardScaler, TabularEncoder
 from repro.data.io import (
@@ -25,6 +26,9 @@ __all__ = [
     "Schema",
     "Table",
     "make_schema",
+    "TableBuilder",
+    "DatasetBuilder",
+    "GrowableArray",
     "Dataset",
     "TabularEncoder",
     "OrdinalEncoder",

@@ -44,6 +44,27 @@ class Dataset:
         self.y = y
         self.label_names = names
 
+    @classmethod
+    def _from_trusted(
+        cls, X: Table, y: np.ndarray, label_names: tuple[str, ...]
+    ) -> "Dataset":
+        """Wrap pre-validated components without the O(n) label scan.
+
+        Internal fast path for :class:`~repro.data.builder.DatasetBuilder`
+        snapshots, whose rows were validated when first appended.
+        """
+        ds = object.__new__(cls)
+        ds.X = X
+        ds.y = y
+        ds.label_names = label_names
+        return ds
+
+    def row_slice(self, start: int, stop: int) -> "Dataset":
+        """Rows ``[start, stop)`` as a zero-copy view dataset (see
+        :meth:`Table.row_slice`)."""
+        X = self.X.row_slice(start, stop)
+        return Dataset._from_trusted(X, self.y[start:stop], self.label_names)
+
     # ------------------------------------------------------------------ #
     @property
     def n(self) -> int:

@@ -112,6 +112,24 @@ class Table:
         }
         return cls(schema, cols, copy=False)
 
+    @classmethod
+    def _wrap(
+        cls, schema: Schema, columns: dict[str, np.ndarray], n_rows: int
+    ) -> "Table":
+        """Wrap pre-validated column arrays without copies or checks.
+
+        Internal fast path for the append builders and zero-copy slicing,
+        where the arrays are views of already-validated storage — the
+        O(n) categorical code scan of ``__init__`` would make every
+        snapshot cost a full pass.  Callers guarantee dtypes, lengths,
+        and code ranges.
+        """
+        table = object.__new__(cls)
+        table.schema = schema
+        table._data = columns
+        table._n_rows = int(n_rows)
+        return table
+
     @staticmethod
     def concat(tables: Iterable["Table"]) -> "Table":
         """Row-wise concatenation of tables sharing one schema."""
@@ -182,6 +200,19 @@ class Table:
         idx = np.asarray(indices, dtype=np.intp)
         cols = {name: arr[idx] for name, arr in self._data.items()}
         return Table(self.schema, cols, copy=False)
+
+    def row_slice(self, start: int, stop: int) -> "Table":
+        """Return rows ``[start, stop)`` as a zero-copy view table.
+
+        Unlike :meth:`take`, no arrays are copied — the returned table
+        shares storage with this one (both are immutable by contract).
+        The edit loop uses this to evaluate only the rows a
+        :class:`~repro.engine.delta.DatasetDelta` appended.
+        """
+        start, stop, _ = slice(start, stop).indices(self._n_rows)
+        n = max(stop - start, 0)
+        cols = {name: arr[start:stop] for name, arr in self._data.items()}
+        return Table._wrap(self.schema, cols, n)
 
     def loc_mask(self, mask: np.ndarray) -> "Table":
         """Return a new table with the rows where ``mask`` is True."""

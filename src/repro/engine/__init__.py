@@ -30,6 +30,7 @@ from repro.engine.registry import (
     register_sampler,
     register_selector,
 )
+from repro.engine.delta import DatasetDelta, DeltaJournal
 from repro.engine.session import EditSession, edit
 from repro.engine.stages import (
     AcceptanceStage,
@@ -72,6 +73,8 @@ __all__ = [
     "default_stages",
     "default_setup_stages",
     "EditState",
+    "DatasetDelta",
+    "DeltaJournal",
     "ProgressEvent",
     "IterationRecord",
     "FroteResult",

@@ -110,6 +110,14 @@ class EditSession:
         self._config_kwargs.update(kwargs)
         return self
 
+    def incremental(self, enabled: bool = True) -> "EditSession":
+        """Opt into the delta-proportional compute path (sugar for
+        ``configure(incremental=True)``): O(batch) partial model refits
+        where supported and delta-extended prediction caches.  See
+        :class:`~repro.core.config.FroteConfig` for the exactness
+        contract."""
+        return self.configure(incremental=enabled)
+
     def with_selector(self, selector: Any) -> "EditSession":
         """Use a selection strategy directly (bypasses the registry; handy
         for one-off strategies and tests).

@@ -21,14 +21,16 @@ consumption order), which :mod:`tests.test_legacy_api` asserts.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.core.modification import apply_modification
-from repro.core.objective import evaluate_model
+from repro.core.objective import evaluate_predictions
 from repro.core.preselect import preselect_base_population
 from repro.core.selection import SelectionContext
+from repro.data.builder import DatasetBuilder
 from repro.data.dataset import Dataset
 from repro.engine.registry import SELECTORS
 from repro.engine.state import EditState, IterationRecord
@@ -72,10 +74,21 @@ class ModificationStage:
         state.run_start_iteration = state.iteration
         state.max_iteration = state.iteration + cfg.tau
 
-        state.bump_dataset_version()
+        # Record the rebuild first (it drops any builder from a prior
+        # run), then move the active dataset into a fresh append builder:
+        # accepted batches cost O(batch) from here on, and
+        # ``state.active`` is always a zero-copy snapshot of the
+        # builder's committed rows.
+        state.record_rebuild("setup")
+        state.active_builder = DatasetBuilder.from_dataset(state.active)
+        state.active = state.active_builder.snapshot()
         state.model = state.algorithm(state.active)
-        state.evaluation = evaluate_model(
-            state.model, state.active, state.frs, assign=state.active_assignment()
+        # Routing the initial evaluation through the prediction cache
+        # seeds it for the first SelectionStage — one full predict pass
+        # at setup instead of two (values identical either way).
+        state.evaluation = evaluate_predictions(
+            state.active_predictions(), state.active, state.frs,
+            assign=state.active_assignment(),
         )
         state.best_loss = state.loss_of(state.evaluation)
         state.initial_evaluation = state.evaluation
@@ -188,6 +201,16 @@ class GenerationStage:
 class AcceptanceStage:
     """Retrain on the tentative dataset and keep the batch iff ĵ improves.
 
+    The tentative dataset is *staged* in the state's
+    :class:`~repro.data.builder.DatasetBuilder`: its rows are written past
+    the committed length, so building the candidate costs O(batch), a
+    rejected candidate costs nothing to discard (the next stage call
+    overwrites it), and an accepted one is committed by advancing the
+    length.  With ``FroteConfig(incremental=True)`` and a model that
+    supports the partial-update protocol, the candidate model is an
+    in-place O(batch) partial refit (rolled back on rejection) instead of
+    a from-scratch ``algorithm(candidate)`` fit.
+
     Parameters
     ----------
     patience:
@@ -201,25 +224,34 @@ class AcceptanceStage:
         self.patience = patience
 
     def run(self, state: EditState) -> None:
+        t0 = time.perf_counter()
         if state.batch.n == 0:
             record = IterationRecord(
                 state.iteration, state.best_loss, False, 0, state.n_added
             )
-            self._finish_iteration(state, record, "empty-batch")
+            self._finish_iteration(state, record, "empty-batch", t0)
             return
 
-        candidate = Dataset.concat(
-            [
-                state.active,
-                Dataset(state.batch.table, state.batch.labels, state.active.label_names),
-            ]
-        )
-        cand_model = state.algorithm(candidate)
+        candidate, staged = self._stage_candidate(state)
+
+        # Train the candidate model: a partial refit when the incremental
+        # path is on and the model supports it, else a full fit.
+        partial_token = None
+        if state.incremental and getattr(
+            state.model, "supports_partial_update", False
+        ):
+            partial_token = state.model.checkpoint()
+            delta = candidate.row_slice(state.active.n, candidate.n)
+            cand_model = state.model.partial_update(delta)
+        else:
+            cand_model = state.algorithm(candidate)
+
         # ĵ is evaluated over the current active dataset D̂ (line 11); its
         # FRS row assignment is memoized per dataset version, so only the
         # candidate model's prediction pass is fresh work here.
-        cand_eval = evaluate_model(
-            cand_model, state.active, state.frs, assign=state.active_assignment()
+        cand_pred = cand_model.predict(state.active.X)
+        cand_eval = evaluate_predictions(
+            cand_pred, state.active, state.frs, assign=state.active_assignment()
         )
         cand_loss = state.loss_of(cand_eval)
         improved = (
@@ -229,7 +261,15 @@ class AcceptanceStage:
         )
         external: float | None = None
         if improved:
-            state.active = candidate
+            if staged:
+                state.active_builder.commit(candidate.n)
+                state.active = candidate
+            else:
+                # Concat fallback accepted: re-home the active dataset
+                # into a fresh builder so later batches append in
+                # O(batch) again.
+                state.active_builder = DatasetBuilder.from_dataset(candidate)
+                state.active = state.active_builder.snapshot()
             state.n_added += state.batch.n
             state.best_loss = cand_loss
             state.model = cand_model
@@ -238,9 +278,18 @@ class AcceptanceStage:
                 state.per_rule_counts, state.iteration
             )
             state.population_stale = True
-            state.bump_dataset_version()
+            # The candidate predictions over the pre-batch rows seed the
+            # prediction cache before the version moves, so the appended
+            # rows are all the next prediction pass has left to cover
+            # (incremental mode) — and the append delta keeps the FRS
+            # assignment cache extendable in every mode.
+            state.seed_predictions(cand_model, cand_pred)
+            state.record_append(state.batch.n, "accepted-batch")
             if state.eval_callback is not None:
                 external = float(state.eval_callback(state.model))
+        elif partial_token is not None:
+            # Rejected in-place partial refit: restore the model state.
+            state.model.rollback(partial_token)
         record = IterationRecord(
             state.iteration,
             cand_loss,
@@ -249,11 +298,48 @@ class AcceptanceStage:
             state.n_added,
             external,
         )
-        self._finish_iteration(state, record, "accepted" if improved else "rejected")
+        self._finish_iteration(
+            state, record, "accepted" if improved else "rejected", t0
+        )
+
+    @staticmethod
+    def _stage_candidate(state: EditState) -> tuple[Dataset, bool]:
+        """The tentative dataset D̂ ∪ batch, staged without copying D̂.
+
+        Returns ``(candidate, staged)``: ``staged`` says the candidate
+        lives in the state's builder (commit on acceptance).  Falls back
+        to a concat when no builder owns the active dataset — custom
+        stages that assign ``state.active`` directly and record a
+        rebuild delta (which drops the builder) keep working, at the
+        legacy O(n) cost for that one acceptance.
+        """
+        builder = state.active_builder
+        if builder is not None and builder.n_rows == state.active.n:
+            return builder.stage(state.batch.table, state.batch.labels), True
+        return (
+            Dataset.concat(
+                [
+                    state.active,
+                    Dataset(
+                        state.batch.table, state.batch.labels, state.active.label_names
+                    ),
+                ]
+            ),
+            False,
+        )
 
     def _finish_iteration(
-        self, state: EditState, record: IterationRecord, kind: str
+        self,
+        state: EditState,
+        record: IterationRecord,
+        kind: str,
+        t0: float | None = None,
     ) -> None:
+        if t0 is not None:
+            # Self-timed so the per-iteration event carries a complete
+            # stage breakdown (the engine's own measurement of this stage
+            # lands only after run() returns, past the emit below).
+            state.stage_seconds[type(self).__name__] = time.perf_counter() - t0
         state.history.append(record)
         state.emit(kind, record)
         state.iteration += 1
@@ -308,15 +394,25 @@ class EditEngine:
 
     def initialize(self, state: EditState) -> EditState:
         """Run the setup stages and announce the run to listeners."""
+        state.stage_seconds = {}
         for stage in self.setup_stages:
             stage.run(state)
         state.emit("started")
         return state
 
     def step(self, state: EditState) -> EditState:
-        """Advance the state by one full pass over the loop stages."""
+        """Advance the state by one full pass over the loop stages.
+
+        Each stage is timed into ``state.stage_seconds`` (stage class
+        name → seconds, reset every step) so per-iteration progress
+        events carry a structured wall-time breakdown — incremental
+        savings are observable without the perf harness.
+        """
+        state.stage_seconds = {}
         for stage in self.stages:
+            t0 = time.perf_counter()
             stage.run(state)
+            state.stage_seconds[type(stage).__name__] = time.perf_counter() - t0
         return state
 
     def run(self, state: EditState):
@@ -324,8 +420,15 @@ class EditEngine:
         self.initialize(state)
         while not state.done:
             self.step(state)
-        final_evaluation = evaluate_model(
-            state.model, state.active, state.frs, assign=state.active_assignment()
+        # The delta-aware prediction cache was seeded by the last accepted
+        # batch, so this costs one pass over at most the appended rows in
+        # incremental mode (and matches evaluate_model exactly otherwise).
+        final_evaluation = evaluate_predictions(
+            state.active_predictions(), state.active, state.frs,
+            assign=state.active_assignment(),
         )
+        # Out-of-loop events carry no stage breakdown (the last
+        # iteration's timings already went out with its own event).
+        state.stage_seconds = {}
         state.emit("finished")
         return state.to_result(final_evaluation)

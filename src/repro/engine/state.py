@@ -17,7 +17,9 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.core.audit import EditAudit, RowProvenance
+from repro.data.builder import DatasetBuilder
 from repro.data.dataset import Dataset
+from repro.engine.delta import DatasetDelta, DeltaJournal
 from repro.rules.ruleset import FeedbackRuleSet
 
 
@@ -82,10 +84,21 @@ class ProgressEvent:
     record: IterationRecord | None = None
     model: Any = None
     evaluation: Any = None
+    #: Wall-clock seconds per pipeline stage for the iteration just
+    #: finished (stage class name → seconds); ``None`` for events emitted
+    #: outside the loop or by drivers that do not time stages.
+    stage_seconds: dict[str, float] | None = None
 
     @property
     def accepted(self) -> bool:
         return self.kind == "accepted"
+
+    @property
+    def iteration_seconds(self) -> float | None:
+        """Total stage wall time of the iteration (``None`` when untimed)."""
+        if self.stage_seconds is None:
+            return None
+        return sum(self.stage_seconds.values())
 
 
 EventListener = Callable[[ProgressEvent], None]
@@ -112,8 +125,12 @@ class EditState:
     config: Any = None  # FroteConfig
     rng: np.random.Generator = None  # type: ignore[assignment]
 
-    # The evolving dataset and model.
+    # The evolving dataset and model.  ``active`` is a snapshot of
+    # ``active_builder`` when the default stages drive the loop; custom
+    # stage chains may leave the builder unset and assign ``active``
+    # directly (the concat path).
     active: Dataset | None = None
+    active_builder: DatasetBuilder | None = None
     model: Any = None
     evaluation: Any = None
     initial_evaluation: Any = None
@@ -139,11 +156,16 @@ class EditState:
     # every accepted batch); anything derived purely from the active
     # dataset — model predictions, the FRS row assignment, fitted
     # neighbour indices — is memoized against it so rejected iterations
-    # never recompute unchanged work.  The default is drawn from the same
-    # counter so two states never share a token even before setup runs.
+    # never recompute unchanged work.  ``journal`` records *how* each
+    # version relates to its parent (appended row range vs rebuild), so
+    # caches can extend themselves by the delta instead of starting over
+    # (see :meth:`record_append`).  The version default is drawn from the
+    # same counter so two states never share a token even before setup.
     dataset_version: int = field(default_factory=lambda: next(_DATASET_VERSIONS))
-    predictions_cache: tuple[int, np.ndarray] | None = None
+    journal: DeltaJournal = field(default_factory=DeltaJournal)
+    predictions_cache: tuple[int, Any, np.ndarray] | None = None
     assign_cache: tuple[int, np.ndarray] | None = None
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
     # Transient slots written by one stage, consumed by the next.
     predictions: np.ndarray | None = None
@@ -176,43 +198,148 @@ class EditState:
             or self.n_added > self.quota
         )
 
-    def bump_dataset_version(self) -> None:
-        """Invalidate every active-dataset-derived cache.
+    @property
+    def incremental(self) -> bool:
+        """Whether the opt-in incremental compute path is enabled
+        (``FroteConfig(incremental=True)``): partial model refits and
+        delta-extended prediction caches.  The always-exact delta
+        machinery — O(batch) appends and incremental FRS assignment — is
+        on regardless."""
+        return bool(getattr(self.config, "incremental", False))
 
-        Called whenever ``active`` is (re)established — at setup and after
-        each accepted batch.  Memoized values keyed on the old version
-        (predictions, FRS assignment, fitted neighbour indices) are
-        recomputed lazily on next use.  Versions are drawn from a
-        process-global counter so tokens never collide across states —
-        a strategy instance shared between sessions (``with_selector``
-        accepts instances) cannot be handed a stale cache hit.
+    # ------------------------------------------------------------------ #
+    # The delta journal: every mutation of ``active`` is recorded so
+    # consumers can ask "what changed since version v?".
+    def record_rebuild(self, provenance: str = "") -> DatasetDelta:
+        """Move to a fresh dataset version sharing nothing with the last.
+
+        Called whenever ``active`` is (re)established wholesale — setup,
+        modification, warm start.  Every memoized value keyed on the old
+        version (predictions, FRS assignment, fitted neighbour indices)
+        is recomputed lazily on next use, and the append builder is
+        dropped — a rebuilt ``active`` no longer corresponds to the
+        builder's rows, so staging onto them would resurrect stale data
+        (the acceptance stage re-establishes a builder on the next
+        accepted batch).  Versions are drawn from a process-global
+        counter so tokens never collide across states — a strategy
+        instance shared between sessions (``with_selector`` accepts
+        instances) cannot be handed a stale cache hit.
         """
+        parent = self.dataset_version
         self.dataset_version = next(_DATASET_VERSIONS)
         self.predictions_cache = None
         self.assign_cache = None
+        self.active_builder = None
+        return self.journal.record_rebuild(parent, self.dataset_version, provenance)
 
+    def record_append(self, n_appended: int, provenance: str = "") -> DatasetDelta:
+        """Move to a fresh dataset version that appended ``n_appended`` rows.
+
+        Unlike :meth:`record_rebuild`, caches are *not* cleared: the
+        journal remembers the appended row range, and cache reads extend
+        the memoized value over just those rows (assignment always;
+        predictions only when the cached model is the live one).  Call
+        *after* ``active`` already reflects the appended rows.
+        """
+        parent = self.dataset_version
+        n = self.active.n
+        self.dataset_version = next(_DATASET_VERSIONS)
+        # A prediction cache can only be extended for the model object it
+        # was computed with; acceptance re-seeds it for the new model.
+        return self.journal.record_append(
+            parent, self.dataset_version, n - n_appended, n, provenance
+        )
+
+    def bump_dataset_version(self) -> None:
+        """Invalidate every active-dataset-derived cache.
+
+        .. deprecated::
+            Compatibility shim for pre-delta custom stages; equivalent to
+            ``record_rebuild("bump")``.  New code should record an
+            explicit :class:`~repro.engine.delta.DatasetDelta` via
+            :meth:`record_append` / :meth:`record_rebuild` so caches can
+            stay warm across accepted batches (see ``docs/migration.md``).
+        """
+        self.record_rebuild("bump")
+
+    # ------------------------------------------------------------------ #
     def active_predictions(self) -> np.ndarray:
         """Current model's predictions on the active dataset, memoized.
 
         The (model, active) pair only changes when a batch is accepted, so
         between acceptances every iteration reuses one prediction pass.
+        After an acceptance the cache is version-stale but — in
+        incremental mode — extendable: see :meth:`predict_cached`.
+        """
+        return self.predict_cached()
+
+    def predict_cached(self) -> np.ndarray:
+        """Delta-aware memoized predictions of ``model`` on ``active``.
+
+        Cache hits require the same dataset version *and* the same model
+        object.  On a version miss where the cached model **is** the live
+        model and the journal proves the path is append-only, only the
+        appended rows are predicted and the cached array is extended —
+        O(batch) instead of O(n).  The extension is gated on
+        :attr:`incremental` because row-sliced prediction, while
+        mathematically identical, is not guaranteed bit-identical for
+        every BLAS-backed model; the default path keeps the seed's exact
+        full-pass behaviour.
         """
         cached = self.predictions_cache
-        if cached is not None and cached[0] == self.dataset_version:
-            return cached[1]
+        if cached is not None:
+            version, model, preds = cached
+            if model is self.model:
+                if version == self.dataset_version:
+                    return preds
+                if self.incremental:
+                    span = self.journal.appended_between(
+                        version, self.dataset_version
+                    )
+                    if span is not None and span[0] == preds.shape[0]:
+                        fresh = self.model.predict(
+                            self.active.X.row_slice(span[0], span[1])
+                        )
+                        preds = np.concatenate([preds, fresh])
+                        self.predictions_cache = (
+                            self.dataset_version, self.model, preds,
+                        )
+                        return preds
         preds = self.model.predict(self.active.X)
-        self.predictions_cache = (self.dataset_version, preds)
+        self.predictions_cache = (self.dataset_version, self.model, preds)
         return preds
+
+    def seed_predictions(self, model: Any, preds: np.ndarray) -> None:
+        """Install already-computed predictions of ``model`` on ``active``.
+
+        The acceptance stage predicts every candidate model on the active
+        dataset anyway; seeding the cache with that pass means the next
+        iteration's selection step starts warm — and in incremental mode
+        extends it over the accepted batch instead of re-predicting n
+        rows.
+        """
+        self.predictions_cache = (self.dataset_version, model, preds)
 
     def active_assignment(self) -> np.ndarray:
         """First-match FRS rule assignment over the active dataset, memoized.
 
-        Rule coverage masks are pure functions of the active table, so the
-        assignment is recomputed only when ``dataset_version`` moves.
+        Rule coverage masks are pure per-row functions of the active
+        table, so on an append-only version change the cached assignment
+        is *extended* by assigning just the appended rows — bit-identical
+        to a full pass, and O(batch · rules) instead of O(n · rules).
+        Full recomputation only happens after a rebuild delta.
         """
         cached = self.assign_cache
-        if cached is not None and cached[0] == self.dataset_version:
-            return cached[1]
+        if cached is not None:
+            version, assign = cached
+            if version == self.dataset_version:
+                return assign
+            span = self.journal.appended_between(version, self.dataset_version)
+            if span is not None and span[0] == assign.shape[0]:
+                fresh = self.frs.assign(self.active.X.row_slice(span[0], span[1]))
+                assign = np.concatenate([assign, fresh])
+                self.assign_cache = (self.dataset_version, assign)
+                return assign
         assign = self.frs.assign(self.active.X)
         self.assign_cache = (self.dataset_version, assign)
         return assign
@@ -236,6 +363,7 @@ class EditState:
             record=record,
             model=self.model,
             evaluation=self.evaluation,
+            stage_seconds=dict(self.stage_seconds) if self.stage_seconds else None,
         )
         for listener in self.listeners:
             listener(event)

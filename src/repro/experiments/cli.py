@@ -23,6 +23,9 @@ grid's completion counts against a store without running anything.
 ``bench`` runs the performance harness (also installed as the
 ``repro-bench`` console script) and writes ``BENCH_hotpaths.json`` and
 ``BENCH_end2end.json`` to ``--out-dir`` (default: the current directory).
+``bench-check`` compares the written ``BENCH_end2end.json`` against the
+checked-in baseline (``--baseline``) and exits non-zero past a
+``--threshold`` geomean wall-time regression — the CI perf guard.
 
 Common options: ``--runs`` (repetitions), ``--tau`` (FROTE iteration
 limit), ``--seed``, ``--save out.json`` (persist raw records).
@@ -62,7 +65,7 @@ from repro.experiments.tables import (
 
 EXPERIMENTS = (
     "fig2", "fig3", "fig9", "table1", "table2", "table3", "table6", "ablation",
-    "bench", "all", "run-spec", "status",
+    "bench", "bench-check", "all", "run-spec", "status",
 )
 
 
@@ -137,6 +140,18 @@ def build_parser() -> argparse.ArgumentParser:
         default="bench",
         choices=("smoke", "bench", "paper"),
         help="scale for the 'all' suite",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/baselines/BENCH_end2end.baseline.json",
+        help="bench-check: checked-in baseline BENCH_end2end payload",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="bench-check: maximum tolerated geomean wall-time regression "
+        "(default: $BENCH_REGRESSION_THRESHOLD or 0.30)",
     )
     return parser
 
@@ -228,6 +243,37 @@ def run_bench(args: argparse.Namespace) -> tuple[list[dict], str]:
     return [asdict(r) for r in hot] + [asdict(r) for r in e2e], text
 
 
+def bench_check_cmd(args: argparse.Namespace) -> tuple[list[dict], str]:
+    """``bench-check``: CI guard comparing BENCH_end2end.json to a baseline.
+
+    Exits non-zero on a >threshold geomean wall-time regression or a
+    baseline scenario missing from the current payload.
+    """
+    from dataclasses import asdict
+
+    from repro.perf.regression import compare_end2end, load_payload
+
+    current_path = Path(args.out_dir) / "BENCH_end2end.json"
+    if not current_path.exists():
+        raise SystemExit(
+            f"{current_path} not found; run "
+            "`python -m repro.experiments bench --quick` first"
+        )
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        raise SystemExit(f"baseline not found: {baseline_path}")
+    report = compare_end2end(
+        load_payload(current_path),
+        load_payload(baseline_path),
+        threshold=args.threshold,
+    )
+    text = report.format()
+    if not report.ok:
+        print(text)
+        raise SystemExit(1)
+    return [asdict(e) for e in report.entries], text
+
+
 def _load_spec(args: argparse.Namespace):
     from repro.experiments.spec import ExperimentSpec
 
@@ -293,6 +339,8 @@ def run(args: argparse.Namespace) -> tuple[list[dict], str]:
     common = dict(n_runs=args.runs, tau=args.tau, n=args.n, random_state=args.seed)
     if args.experiment == "bench":
         return run_bench(args)
+    if args.experiment == "bench-check":
+        return bench_check_cmd(args)
     if args.experiment == "run-spec":
         return run_spec_cmd(args)
     if args.experiment == "status":

@@ -168,6 +168,17 @@ def run_frote_kind(spec: RunSpec) -> dict | None:
 # --------------------------------------------------------------------- #
 @register_run_kind("trace")
 def run_trace_kind(spec: RunSpec) -> dict | None:
+    """Fig 9's progress trace, optionally with wall-time instrumentation.
+
+    Passing ``params={"timings": true}`` adds ``iteration_seconds`` (one
+    entry per loop iteration) and ``stage_seconds`` (pipeline stage →
+    total seconds) from the engine's per-stage timers — the incremental
+    core's savings, observable per run.  Timing fields are wall-clock
+    and therefore *not* covered by the executor-interchangeability
+    invariant (everything else in the record is).
+    """
+    import repro
+
     ctx = shared_context(spec)
     prepared = prepared_for(spec)
     if prepared is None:
@@ -178,10 +189,31 @@ def run_trace_kind(spec: RunSpec) -> dict | None:
     def score(model) -> float:
         return evaluate_model(model, test, frs).j_weighted()
 
-    frote = FROTE(ctx.algorithm, frs, frote_config_for(spec))
-    result = frote.run(prepared.train, eval_callback=score)
+    want_timings = bool(spec.params_mapping.get("timings", False))
+    iteration_seconds: list[float] = []
+    stage_totals: dict[str, float] = {}
+
+    def collect_timing(event) -> None:
+        if event.stage_seconds is None:
+            return
+        iteration_seconds.append(event.iteration_seconds)
+        for stage, seconds in event.stage_seconds.items():
+            stage_totals[stage] = stage_totals.get(stage, 0.0) + seconds
+
+    from dataclasses import asdict
+
+    session = (
+        repro.edit(prepared.train)
+        .with_rules(frs)
+        .with_algorithm(ctx.algorithm)
+        .configure(**asdict(frote_config_for(spec)))
+        .track_metric(score)
+    )
+    if want_timings:
+        session.on_iteration(collect_timing)
+    result = session.run()
     initial_model = ctx.algorithm(prepared.train)
-    return {
+    record = {
         **_coords(spec),
         "n_added": [0]
         + [rec.n_added_total for rec in result.history if rec.accepted],
@@ -192,6 +224,10 @@ def run_trace_kind(spec: RunSpec) -> dict | None:
             if rec.accepted and rec.external_score is not None
         ],
     }
+    if want_timings:
+        record["iteration_seconds"] = iteration_seconds
+        record["stage_seconds"] = stage_totals
+    return record
 
 
 # --------------------------------------------------------------------- #

@@ -73,6 +73,51 @@ class TableModel:
         self.estimator.fit(X, dataset.y, n_classes=dataset.n_classes)
         return self
 
+    # ------------------------------------------------------------------ #
+    # Incremental refits (the engine's opt-in `incremental=True` path).
+    @property
+    def supports_partial_update(self) -> bool:
+        """Whether :meth:`partial_update` is an *exact* refit shortcut.
+
+        Three conditions: the estimator implements the partial-update
+        protocol (``supports_partial_update`` + ``partial_update`` +
+        ``checkpoint``/``rollback``); the encoder holds no standardization
+        statistics (scaler means/stds are dataset-global, so any appended
+        row would change every encoded row — a delta cannot be exact);
+        and the model is not in the degenerate constant-class fallback.
+        """
+        return (
+            self.encoder_ is not None
+            and self._constant_class is None
+            and getattr(self.encoder_, "_scaler", None) is None
+            and getattr(self.estimator, "supports_partial_update", False)
+        )
+
+    def partial_update(self, delta: Dataset) -> "TableModel":
+        """Refit in O(batch) by folding ``delta``'s rows into the estimator.
+
+        Only valid when :attr:`supports_partial_update` is true; the
+        encoder (vocabulary-driven, no fitted statistics) transforms the
+        appended rows exactly as a refit would, and the estimator appends
+        them to its training state in place.
+        """
+        if not self.supports_partial_update:
+            raise RuntimeError(
+                "this TableModel cannot partial-update; check "
+                "supports_partial_update and fall back to a full fit"
+            )
+        X = self.encoder_.transform(delta.X)
+        self.estimator.partial_update(X, delta.y)
+        return self
+
+    def checkpoint(self):
+        """Estimator state token for :meth:`rollback` (rejected candidates)."""
+        return self.estimator.checkpoint()
+
+    def rollback(self, token) -> None:
+        """Undo every :meth:`partial_update` since ``token``."""
+        self.estimator.rollback(token)
+
     def predict_proba(self, table: Table) -> np.ndarray:
         if self.encoder_ is None or self.n_classes_ is None:
             raise RuntimeError("TableModel is not fitted")

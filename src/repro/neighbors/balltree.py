@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.data.builder import append_rows_2d
 from repro.neighbors.brute import SELF_DISTANCE_TOL
 from repro.neighbors.distance import MixedMetric
 from repro.utils.rng import RandomState, check_random_state
@@ -49,13 +50,22 @@ class BallTree:
         *,
         leaf_size: int = 32,
         random_state: RandomState = 0,
+        rebuild_threshold: float = 0.5,
     ) -> None:
         if leaf_size < 1:
             raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
+        if rebuild_threshold <= 0:
+            raise ValueError(
+                f"rebuild_threshold must be positive, got {rebuild_threshold}"
+            )
         self.metric = metric
         self.leaf_size = leaf_size
         self.random_state = random_state
+        self.rebuild_threshold = rebuild_threshold
         self._X: np.ndarray | None = None
+        self._buf: np.ndarray | None = None  # growable storage; _X = _buf[:_n]
+        self._n = 0
+        self._tree_n = 0  # rows covered by _root; [_tree_n, _n) are pending
         self._root: _Node | None = None
 
     # ------------------------------------------------------------------ #
@@ -76,6 +86,9 @@ class BallTree:
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2:
             raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        self._buf = X
+        self._n = X.shape[0]
+        self._tree_n = X.shape[0]
         self._X = X
         rng = check_random_state(self.random_state)
         if X.shape[0]:
@@ -83,6 +96,79 @@ class BallTree:
         else:
             self._root = None
         return self
+
+    def append(self, X_new: np.ndarray) -> "BallTree":
+        """Insert new rows, amortizing tree maintenance.
+
+        Appended rows join a *pending* region that queries scan exactly
+        (a brute-force pass merged into the tree search), so results stay
+        identical to a fresh ``fit`` on the concatenated matrix —
+        bit-for-bit whenever neighbour distances are distinct, which is
+        the only case where tree shape could matter.  When the pending
+        region outgrows ``rebuild_threshold`` × the tree size, the whole
+        tree is rebuilt over all rows with the configured
+        ``random_state`` — byte-equivalent to refitting from scratch —
+        giving amortized O(log n) insertion cost per row.
+
+        Parameters
+        ----------
+        X_new : ndarray of shape (n_new, n_features)
+            Rows to add, same feature layout as the fitted matrix.
+
+        Returns
+        -------
+        BallTree
+            ``self``, for chaining.
+        """
+        if self._buf is None:
+            return self.fit(X_new)
+        X_new = np.asarray(X_new, dtype=np.float64)
+        if X_new.ndim != 2 or X_new.shape[1] != self._buf.shape[1]:
+            raise ValueError(
+                f"X_new must have shape (n, {self._buf.shape[1]}), "
+                f"got {X_new.shape}"
+            )
+        if X_new.shape[0] == 0:
+            return self
+        self._buf = append_rows_2d(self._buf, self._n, X_new)
+        self._n += X_new.shape[0]
+        self._X = self._buf[: self._n]
+        pending = self._n - self._tree_n
+        if self._root is None or pending > self.rebuild_threshold * self._tree_n:
+            self._rebuild()
+        return self
+
+    def _rebuild(self) -> None:
+        """Re-run construction over all rows — identical to a fresh fit."""
+        self._tree_n = self._n
+        rng = check_random_state(self.random_state)
+        if self._n:
+            self._root = self._build(np.arange(self._n, dtype=np.intp), rng)
+        else:
+            self._root = None
+
+    def checkpoint(self) -> tuple[int, int, "_Node | None"]:
+        """Opaque token capturing the index state before staged appends.
+
+        Restoring via :meth:`rollback` is O(1) even across an amortized
+        rebuild: tree nodes only reference row indices below their
+        build-time size, and committed rows are never overwritten.
+        """
+        if self._buf is None:
+            raise RuntimeError("BallTree is not fitted")
+        return (self._n, self._tree_n, self._root)
+
+    def rollback(self, token: tuple[int, int, "_Node | None"]) -> None:
+        """Forget every row appended since ``token`` was captured."""
+        if self._buf is None:
+            raise RuntimeError("BallTree is not fitted")
+        n, tree_n, root = token
+        if not 0 <= tree_n <= n <= self._n:
+            raise ValueError(f"invalid checkpoint token {token!r}")
+        self._n = n
+        self._tree_n = tree_n
+        self._root = root
+        self._X = self._buf[: self._n]
 
     @property
     def n_samples(self) -> int:
@@ -148,12 +234,23 @@ class BallTree:
         out_k = max(out_k, 0)
         dists = np.full((Q.shape[0], out_k), np.inf)
         idxs = np.zeros((Q.shape[0], out_k), dtype=np.intp)
+        # Rows appended since the last (re)build live outside the tree;
+        # they are scanned exactly, with the same heap discipline as a
+        # leaf, so appends never change query results (see append()).
+        pending = np.arange(self._tree_n, self._n, dtype=np.intp)
         for r in range(Q.shape[0]):
             heap: list[tuple[float, int]] = []  # max-heap via negated dists
+            q = Q[r]
             if self._root is not None and k_eff:
-                q = Q[r]
                 d_root = float(self._dists(q, np.array([self._root.center]))[0])
                 self._query_one(q, self._root, k_eff, heap, d_root)
+            if pending.size and k_eff:
+                ds = self._dists(q, pending)
+                for d, i in zip(ds.tolist(), pending.tolist()):
+                    if len(heap) < k_eff:
+                        heapq.heappush(heap, (-d, i))
+                    elif d < -heap[0][0]:
+                        heapq.heapreplace(heap, (-d, i))
             if not heap:
                 continue
             neg_d = np.array([p[0] for p in heap])

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.data.builder import append_rows_2d
 from repro.neighbors.distance import MixedMetric, pairwise_euclidean
 
 
@@ -19,6 +20,8 @@ class BruteKNN:
     def __init__(self, metric: str | MixedMetric = "euclidean") -> None:
         self.metric = metric
         self._X: np.ndarray | None = None
+        self._buf: np.ndarray | None = None  # growable storage; _X = _buf[:_n]
+        self._n = 0
 
     def fit(self, X: np.ndarray) -> "BruteKNN":
         """Store the reference matrix queries are answered against.
@@ -37,8 +40,65 @@ class BruteKNN:
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2:
             raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        self._buf = X
+        self._n = X.shape[0]
         self._X = X
         return self
+
+    def append(self, X_new: np.ndarray) -> "BruteKNN":
+        """Extend the fitted matrix with new rows in O(batch) amortized.
+
+        The reference matrix lives in a capacity-doubling buffer; queries
+        after an append are answered against exactly the rows a fresh
+        ``fit`` on the concatenated matrix would hold, so results are
+        bit-identical to refitting from scratch.
+
+        Parameters
+        ----------
+        X_new : ndarray of shape (n_new, n_features)
+            Rows to add, same feature layout as the fitted matrix.
+
+        Returns
+        -------
+        BruteKNN
+            ``self``, for chaining.
+        """
+        if self._buf is None:
+            return self.fit(X_new)
+        X_new = np.asarray(X_new, dtype=np.float64)
+        if X_new.ndim != 2 or X_new.shape[1] != self._buf.shape[1]:
+            raise ValueError(
+                f"X_new must have shape (n, {self._buf.shape[1]}), "
+                f"got {X_new.shape}"
+            )
+        if X_new.shape[0] == 0:
+            return self
+        self._buf = append_rows_2d(self._buf, self._n, X_new)
+        self._n += X_new.shape[0]
+        self._X = self._buf[: self._n]
+        return self
+
+    def checkpoint(self) -> int:
+        """Opaque token capturing the current fitted-row count.
+
+        Pair with :meth:`rollback` to discard rows appended during a
+        rejected edit-loop candidate in O(1).
+        """
+        if self._buf is None:
+            raise RuntimeError("BruteKNN is not fitted")
+        return self._n
+
+    def rollback(self, token: int) -> None:
+        """Forget every row appended since ``token`` was captured.
+
+        O(1): the buffer is re-sliced, not copied.
+        """
+        if self._buf is None:
+            raise RuntimeError("BruteKNN is not fitted")
+        if not 0 <= token <= self._n:
+            raise ValueError(f"invalid checkpoint token {token}")
+        self._n = token
+        self._X = self._buf[: self._n]
 
     @property
     def n_samples(self) -> int:

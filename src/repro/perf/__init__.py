@@ -28,6 +28,13 @@ from repro.perf.harness import (
     write_end2end_json,
     write_hotpaths_json,
 )
+from repro.perf.regression import (
+    RegressionEntry,
+    RegressionReport,
+    compare_end2end,
+    load_payload,
+    regression_threshold,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -35,6 +42,11 @@ __all__ = [
     "END2END_FILENAME",
     "CompareRecord",
     "End2EndRecord",
+    "RegressionEntry",
+    "RegressionReport",
+    "compare_end2end",
+    "load_payload",
+    "regression_threshold",
     "format_records",
     "validate_bench_payload",
     "write_hotpaths_json",

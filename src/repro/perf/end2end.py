@@ -102,6 +102,104 @@ def _run_paper_pipeline(
     )
 
 
+def _run_incremental_vs_rebuild(
+    *, n: int, batch_size: int, steps: int, seed: int
+) -> End2EndRecord:
+    """Matched dataset-maintenance workloads: delta path vs rebuild path.
+
+    Both sides apply the same ``steps`` accepted batches of
+    ``batch_size`` synthetic rows to a base dataset of ``n`` rows, and
+    after every batch hold an up-to-date (dataset, trained KNN model,
+    FRS row assignment) triple — the per-iteration state maintenance of
+    the edit loop.  The *rebuild* side pays full-dataset cost each time
+    (``Dataset.concat``, from-scratch ``fit``, full ``frs.assign``); the
+    *incremental* side drives the delta APIs end to end
+    (:class:`~repro.data.builder.DatasetBuilder` append, ``BallTree``
+    index append via ``partial_update``, and the
+    :class:`~repro.engine.state.EditState` delta journal merging the
+    cached assignment) at O(batch) per step.  The model's prediction
+    pass on the grown dataset is excluded: it costs the same in both
+    modes, so including it would only dilute the number the scenario
+    exists to track.  ``extra["speedup"]`` is the headline
+    rebuild/incremental ratio; parity of the two paths' *outputs* is
+    pinned by the test suite, not re-checked here.
+    """
+    from repro.core.config import FroteConfig
+    from repro.data.builder import DatasetBuilder
+    from repro.engine.state import EditState
+    from repro.models import KNeighborsClassifier, make_algorithm
+    from repro.rules.parser import parse_rule
+    from repro.rules.ruleset import FeedbackRuleSet
+
+    base = _synthetic_dataset(n, seed)
+    pool = _synthetic_dataset(batch_size * steps, seed + 1)
+    deltas = [
+        pool.row_slice(i * batch_size, (i + 1) * batch_size) for i in range(steps)
+    ]
+    frs = FeedbackRuleSet(
+        tuple(
+            parse_rule(text, base.X.schema, base.label_names)
+            for text in (
+                "age < 35 => approve",
+                "income < 40 AND marital = 'single' => deny",
+            )
+        )
+    )
+    algorithm = make_algorithm(lambda: KNeighborsClassifier(k=5), standardize=False)
+
+    # Rebuild path: full-dataset cost per batch.
+    t0 = time.perf_counter()
+    active = base
+    model = algorithm(active)
+    frs.assign(active.X)
+    for delta in deltas:
+        active = Dataset.concat([active, delta])
+        model = algorithm(active)
+        frs.assign(active.X)
+    rebuild_seconds = time.perf_counter() - t0
+
+    # Incremental path: the same end state via the delta APIs.
+    t0 = time.perf_counter()
+    state = EditState(
+        input_dataset=base,
+        frs=frs,
+        algorithm=algorithm,
+        config=FroteConfig(incremental=True, mod_strategy="none"),
+        rng=np.random.default_rng(seed),
+    )
+    state.record_rebuild("bench-setup")
+    state.active_builder = DatasetBuilder.from_dataset(base)
+    state.active = state.active_builder.snapshot()
+    state.model = algorithm(state.active)
+    state.active_assignment()
+    for delta in deltas:
+        state.active = state.active_builder.append(delta.X, delta.y)
+        state.model.partial_update(delta)
+        state.record_append(delta.n, "bench-batch")
+        state.active_assignment()
+    incremental_seconds = time.perf_counter() - t0
+
+    return End2EndRecord(
+        name="incremental_vs_rebuild",
+        dataset="synthetic",
+        n_rows=base.n + batch_size * steps,
+        tau=steps,
+        seconds=incremental_seconds,
+        iterations=steps,
+        accepted_iterations=steps,
+        n_added=batch_size * steps,
+        seconds_per_iteration=incremental_seconds / max(steps, 1),
+        extra={
+            "rebuild_seconds": rebuild_seconds,
+            "speedup": rebuild_seconds / max(incremental_seconds, 1e-12),
+            "batch_size": batch_size,
+            "base_rows": base.n,
+            "model": "KNN(ball_tree)",
+            "work": "per accepted batch: extend dataset + refit model + FRS assignment",
+        },
+    )
+
+
 def run_end2end_benchmarks(
     *, quick: bool = False, seed: int = 42
 ) -> list[End2EndRecord]:
@@ -117,9 +215,14 @@ def run_end2end_benchmarks(
     """
     if quick:
         n_syn, n_real, tau = 1200, 400, 6
+        n_ivr, batch_ivr, steps_ivr = 6000, 60, 6
     else:
         n_syn, n_real, tau = 5000, 1200, 20
+        n_ivr, batch_ivr, steps_ivr = 30000, 150, 10
     return [
         _run_synthetic(n=n_syn, tau=tau, seed=seed),
         _run_paper_pipeline(dataset_name="car", n=n_real, tau=tau, seed=seed),
+        _run_incremental_vs_rebuild(
+            n=n_ivr, batch_size=batch_ivr, steps=steps_ivr, seed=seed
+        ),
     ]

@@ -1,0 +1,218 @@
+"""CI regression guard: compare ``BENCH_end2end.json`` against a baseline.
+
+The repository checks in a baseline end-to-end payload
+(``benchmarks/baselines/BENCH_end2end.baseline.json``); the CI perf job
+re-runs ``repro-bench --quick`` and calls :func:`compare_end2end` on the
+fresh payload.  Records are matched by ``(name, dataset)`` and scored by
+their wall-time ratio; the job fails when the **geometric mean** of the
+ratios exceeds ``1 + threshold`` (default: a 30% regression) or when a
+baseline scenario disappeared (silent coverage loss).
+
+Wall-clock comparisons across machines are inherently noisy — the
+geomean over all scenarios plus a generous threshold absorbs most of it,
+and ``BENCH_REGRESSION_THRESHOLD`` overrides the threshold for unusually
+slow runners without a code change.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.perf.harness import geomean, validate_bench_payload
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "THRESHOLD_ENV_VAR",
+    "RegressionEntry",
+    "RegressionReport",
+    "compare_end2end",
+    "load_payload",
+    "regression_threshold",
+]
+
+#: Fail when the geomean wall-time ratio exceeds 1 + this.
+DEFAULT_THRESHOLD = 0.30
+
+#: Environment override for the threshold (a float, e.g. ``0.5``).
+THRESHOLD_ENV_VAR = "BENCH_REGRESSION_THRESHOLD"
+
+
+def regression_threshold(default: float = DEFAULT_THRESHOLD) -> float:
+    """The active threshold: :data:`THRESHOLD_ENV_VAR` or ``default``."""
+    raw = os.environ.get(THRESHOLD_ENV_VAR)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{THRESHOLD_ENV_VAR}={raw!r} is not a float"
+        ) from exc
+    if value < 0:
+        raise ValueError(f"{THRESHOLD_ENV_VAR} must be >= 0, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class RegressionEntry:
+    """One (name, dataset) scenario present in both payloads."""
+
+    name: str
+    dataset: str
+    baseline_seconds: float
+    current_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        """Current / baseline wall time (> 1 means slower)."""
+        return self.current_seconds / max(self.baseline_seconds, 1e-12)
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """Outcome of one baseline comparison."""
+
+    entries: tuple[RegressionEntry, ...]
+    missing: tuple[str, ...]  # scenarios in the baseline but not current
+    added: tuple[str, ...]  # scenarios in current but not the baseline
+    threshold: float
+    extra_failures: tuple[str, ...] = field(default=())
+
+    @property
+    def geomean_ratio(self) -> float:
+        return geomean([e.ratio for e in self.entries])
+
+    @property
+    def failures(self) -> tuple[str, ...]:
+        out = list(self.extra_failures)
+        if self.missing:
+            out.append(
+                "baseline scenarios missing from the current payload: "
+                + ", ".join(self.missing)
+            )
+        if self.entries and self.geomean_ratio > 1.0 + self.threshold:
+            out.append(
+                f"geomean wall-time ratio {self.geomean_ratio:.3f} exceeds "
+                f"the {1.0 + self.threshold:.2f} regression bound"
+            )
+        return tuple(out)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def format(self) -> str:
+        """Human-readable comparison table plus the verdict."""
+        lines = ["Perf regression check (BENCH_end2end vs baseline)"]
+        header = f"{'scenario':34s}{'baseline (s)':>14s}{'current (s)':>13s}{'ratio':>8s}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for e in self.entries:
+            lines.append(
+                f"{e.name + '/' + e.dataset:34s}"
+                f"{e.baseline_seconds:14.4f}{e.current_seconds:13.4f}"
+                f"{e.ratio:8.2f}"
+            )
+        if self.entries:
+            lines.append(
+                f"geomean ratio: {self.geomean_ratio:.3f} "
+                f"(bound: {1.0 + self.threshold:.2f})"
+            )
+        for name in self.added:
+            lines.append(f"new scenario (no baseline yet): {name}")
+        if self.ok:
+            lines.append("OK: no perf regression")
+        else:
+            for failure in self.failures:
+                lines.append(f"FAIL: {failure}")
+        return "\n".join(lines)
+
+
+def load_payload(path: str | Path) -> dict[str, Any]:
+    """Read and schema-validate a ``BENCH_*.json`` payload."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    validate_bench_payload(payload)
+    return payload
+
+
+def _keyed(payload: dict[str, Any]) -> dict[str, dict[str, Any]]:
+    return {f"{r['name']}/{r['dataset']}": r for r in payload["results"]}
+
+
+def compare_end2end(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    *,
+    threshold: float | None = None,
+) -> RegressionReport:
+    """Compare two validated end-to-end payloads; see the module docstring.
+
+    Parameters
+    ----------
+    current, baseline:
+        Payloads of ``kind == "end2end"`` (as loaded by
+        :func:`load_payload`).
+    threshold:
+        Maximum tolerated geomean regression; ``None`` uses
+        :func:`regression_threshold` (env override, else 30%).
+
+    Returns
+    -------
+    RegressionReport
+        ``report.ok`` is the pass/fail verdict; ``report.format()`` the
+        printable summary.
+    """
+    if threshold is None:
+        threshold = regression_threshold()
+    extra_failures: list[str] = []
+    for label, payload in (("current", current), ("baseline", baseline)):
+        if payload.get("kind") != "end2end":
+            extra_failures.append(f"{label} payload kind is not 'end2end'")
+    if current.get("quick") != baseline.get("quick"):
+        extra_failures.append(
+            f"scale mismatch: current quick={current.get('quick')} vs "
+            f"baseline quick={baseline.get('quick')} — wall times of "
+            "different bench scales are not comparable (re-run "
+            "`bench --quick`, or refresh the baseline)"
+        )
+    cur, base = _keyed(current), _keyed(baseline)
+    entries = []
+    for key in base:
+        if key not in cur:
+            continue
+        b, c = base[key], cur[key]
+        # Same-named scenarios at different workload sizes (bench sizes
+        # retuned without refreshing the baseline) would produce a
+        # meaningless ratio — surface that instead of a bogus verdict.
+        if (b["n_rows"], b["tau"]) != (c["n_rows"], c["tau"]):
+            extra_failures.append(
+                f"workload mismatch for {key}: baseline "
+                f"(n_rows={b['n_rows']}, tau={b['tau']}) vs current "
+                f"(n_rows={c['n_rows']}, tau={c['tau']}) — refresh the baseline"
+            )
+            continue
+        entries.append(
+            RegressionEntry(
+                name=b["name"],
+                dataset=b["dataset"],
+                baseline_seconds=float(b["seconds"]),
+                current_seconds=float(c["seconds"]),
+            )
+        )
+    entries = tuple(entries)
+    for entry in entries:
+        if not math.isfinite(entry.ratio):
+            extra_failures.append(f"non-finite ratio for {entry.name}/{entry.dataset}")
+    return RegressionReport(
+        entries=entries,
+        missing=tuple(sorted(k for k in base if k not in cur)),
+        added=tuple(sorted(k for k in cur if k not in base)),
+        threshold=threshold,
+        extra_failures=tuple(extra_failures),
+    )

@@ -1,0 +1,170 @@
+"""Tests for the append builders backing the incremental compute core."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, DatasetBuilder, GrowableArray, Table, TableBuilder, make_schema
+
+SCHEMA = make_schema(
+    numeric=["a", "b"], categorical={"c": ("x", "y", "z")}
+)
+
+
+def make_table(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return Table(
+        SCHEMA,
+        {
+            "a": rng.normal(size=n),
+            "b": rng.uniform(size=n),
+            "c": rng.integers(0, 3, size=n),
+        },
+    )
+
+
+def make_dataset(n, seed=0):
+    rng = np.random.default_rng(seed + 100)
+    return Dataset(make_table(n, seed), rng.integers(0, 2, size=n), ("neg", "pos"))
+
+
+class TestGrowableArray:
+    def test_append_and_view(self):
+        arr = GrowableArray(np.int64, initial=np.arange(5))
+        arr.append(np.array([5, 6]))
+        np.testing.assert_array_equal(arr.view(), np.arange(7))
+        assert arr.n == 7
+
+    def test_views_are_read_only(self):
+        arr = GrowableArray(np.float64, initial=np.zeros(3))
+        view = arr.view()
+        with pytest.raises(ValueError):
+            view[0] = 1.0
+
+    def test_old_views_survive_growth(self):
+        arr = GrowableArray(np.int64, initial=np.arange(4))
+        old = arr.view()
+        arr.append(np.arange(1000))  # forces reallocation
+        np.testing.assert_array_equal(old, np.arange(4))
+
+    def test_write_at_cannot_touch_committed(self):
+        arr = GrowableArray(np.int64, initial=np.arange(4))
+        with pytest.raises(ValueError, match="committed"):
+            arr.write_at(2, np.array([9]))
+
+    def test_write_at_then_set_length(self):
+        arr = GrowableArray(np.int64, initial=np.arange(4))
+        arr.write_at(4, np.array([7, 8]))
+        assert arr.n == 4  # staged, not committed
+        arr.set_length(6)
+        np.testing.assert_array_equal(arr.view(), [0, 1, 2, 3, 7, 8])
+
+    def test_truncate_rolls_back(self):
+        arr = GrowableArray(np.int64, initial=np.arange(4))
+        arr.append(np.array([9, 9]))
+        arr.truncate(4)
+        assert arr.n == 4
+        np.testing.assert_array_equal(arr.view(), np.arange(4))
+        with pytest.raises(ValueError):
+            arr.truncate(5)
+
+    def test_amortized_doubling(self):
+        arr = GrowableArray(np.int64)
+        for i in range(100):
+            arr.append(np.array([i]))
+        np.testing.assert_array_equal(arr.view(), np.arange(100))
+
+
+class TestTableBuilder:
+    def test_append_matches_concat(self):
+        parts = [make_table(n, seed=n) for n in (50, 7, 23, 1)]
+        builder = TableBuilder.from_table(parts[0])
+        for part in parts[1:]:
+            builder.append(part)
+        expected = Table.concat(parts)
+        got = builder.snapshot()
+        assert got.n_rows == expected.n_rows
+        for name in SCHEMA.names:
+            np.testing.assert_array_equal(got.column(name), expected.column(name))
+
+    def test_stage_without_commit_is_discarded(self):
+        base = make_table(20)
+        builder = TableBuilder.from_table(base)
+        staged = builder.stage(make_table(5, seed=1))
+        assert staged.n_rows == 25
+        assert builder.n_rows == 20
+        # Re-staging overwrites the previous staged rows.
+        other = make_table(3, seed=2)
+        staged2 = builder.stage(other)
+        assert staged2.n_rows == 23
+        for name in SCHEMA.names:
+            np.testing.assert_array_equal(
+                staged2.column(name)[20:], other.column(name)
+            )
+
+    def test_commit_makes_staged_rows_permanent(self):
+        builder = TableBuilder.from_table(make_table(10))
+        staged = builder.stage(make_table(4, seed=3))
+        builder.commit(staged.n_rows)
+        assert builder.n_rows == 14
+        snap = builder.snapshot()
+        for name in SCHEMA.names:
+            np.testing.assert_array_equal(snap.column(name), staged.column(name))
+
+    def test_committed_snapshots_survive_later_growth(self):
+        builder = TableBuilder.from_table(make_table(8))
+        early = builder.snapshot()
+        expected = {name: early.column(name).copy() for name in SCHEMA.names}
+        for i in range(30):
+            builder.append(make_table(17, seed=i))
+        for name in SCHEMA.names:
+            np.testing.assert_array_equal(early.column(name), expected[name])
+
+    def test_snapshot_is_read_only(self):
+        builder = TableBuilder.from_table(make_table(5))
+        snap = builder.snapshot()
+        with pytest.raises(ValueError):
+            snap.column("a")[0] = 99.0
+
+    def test_schema_mismatch_rejected(self):
+        builder = TableBuilder.from_table(make_table(5))
+        other = Table(make_schema(numeric=["a"]), {"a": np.zeros(2)})
+        with pytest.raises(ValueError, match="schema"):
+            builder.append(other)
+
+
+class TestDatasetBuilder:
+    def test_append_matches_concat(self):
+        base, extra = make_dataset(40), make_dataset(9, seed=1)
+        builder = DatasetBuilder.from_dataset(base)
+        got = builder.append(extra.X, extra.y)
+        expected = Dataset.concat([base, extra])
+        np.testing.assert_array_equal(got.y, expected.y)
+        for name in SCHEMA.names:
+            np.testing.assert_array_equal(
+                got.X.column(name), expected.X.column(name)
+            )
+        assert got.label_names == expected.label_names
+
+    def test_stage_then_commit_or_discard(self):
+        base = make_dataset(30)
+        builder = DatasetBuilder.from_dataset(base)
+        extra = make_dataset(6, seed=2)
+        cand = builder.stage(extra.X, extra.y)
+        assert cand.n == 36 and builder.n_rows == 30
+        # Discard by staging something else.
+        cand2 = builder.stage(extra.X.take(np.arange(2)), extra.y[:2])
+        assert cand2.n == 32
+        builder.commit(cand2.n)
+        assert builder.snapshot().n == 32
+
+    def test_label_length_mismatch(self):
+        builder = DatasetBuilder.from_dataset(make_dataset(10))
+        with pytest.raises(ValueError, match="labels"):
+            builder.stage(make_table(3, seed=5), np.zeros(2, dtype=np.int64))
+
+    def test_row_slice_view(self):
+        ds = make_dataset(20)
+        part = ds.row_slice(5, 11)
+        assert part.n == 6
+        np.testing.assert_array_equal(part.y, ds.y[5:11])
+        np.testing.assert_array_equal(part.X.column("a"), ds.X.column("a")[5:11])

@@ -60,7 +60,14 @@ class TestModificationStage:
         state = make_state(mixed_dataset, single_rule_frs, algorithm)
         state.warm_start = True
         ModificationStage().run(state)
-        assert state.active is mixed_dataset
+        # The active dataset moves into the append builder (a zero-copy
+        # snapshot), so compare contents: no rows were relabelled/dropped.
+        assert state.active.n == mixed_dataset.n
+        np.testing.assert_array_equal(state.active.y, mixed_dataset.y)
+        for name in mixed_dataset.X.schema.names:
+            np.testing.assert_array_equal(
+                state.active.X.column(name), mixed_dataset.X.column(name)
+            )
         assert state.n_relabelled == 0
 
     def test_preseeded_selector_kept(self, mixed_dataset, single_rule_frs, algorithm):

@@ -1,0 +1,48 @@
+"""The trace run kind's opt-in wall-time fields."""
+
+from repro.experiments import ExperimentSpec
+from repro.experiments.kinds import RUN_KINDS
+
+
+def _spec(**params):
+    return ExperimentSpec(
+        name="trace-timing-test",
+        experiment="trace",
+        datasets=("car",),
+        models=("LR",),
+        frs_sizes=(2,),
+        tcfs=(0.2,),
+        n_runs=1,
+        seed=11,
+        n=400,
+        config={"tau": 3},
+        params=params,
+    ).expand()[0]
+
+
+class TestTraceTimings:
+    def test_default_record_has_no_timing_fields(self):
+        """Without the param, records keep the executor purity invariant."""
+        record = RUN_KINDS["trace"](_spec())
+        assert record is not None
+        assert "iteration_seconds" not in record
+        assert "stage_seconds" not in record
+
+    def test_timings_param_adds_wall_time_fields(self):
+        record = RUN_KINDS["trace"](_spec(timings=True))
+        assert record is not None
+        assert len(record["iteration_seconds"]) == 3  # one per iteration
+        assert all(s >= 0 for s in record["iteration_seconds"])
+        assert set(record["stage_seconds"]) >= {
+            "PreselectStage",
+            "SelectionStage",
+            "GenerationStage",
+            "AcceptanceStage",
+        }
+
+    def test_data_fields_identical_with_and_without_timings(self):
+        """Timing instrumentation must not perturb the traced run."""
+        plain = RUN_KINDS["trace"](_spec())
+        timed = RUN_KINDS["trace"](_spec(timings=True))
+        assert plain["n_added"] == timed["n_added"]
+        assert plain["j_test"] == timed["j_test"]

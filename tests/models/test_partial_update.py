@@ -1,0 +1,170 @@
+"""Partial model refits reproduce fresh fits.
+
+KNN's training state IS its data, so ``partial_update`` is exactly a
+refit (bit-identical probabilities).  GaussianNB folds exactly-merged
+moments, so parameters agree to floating-point rounding and predictions
+agree wherever posteriors are not exactly tied (randomized workloads:
+everywhere).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, Table, make_schema
+from repro.models import GaussianNB, KNeighborsClassifier
+from repro.models.base import TableModel
+
+
+def random_xy(n, seed, d=6, n_classes=3):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, d)), rng.integers(0, n_classes, size=n)
+
+
+class TestKNNPartialUpdate:
+    @pytest.mark.parametrize("algorithm", ["ball_tree", "brute"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_bit_identical_to_fresh_fit(self, algorithm, seed):
+        X, y = random_xy(300, seed)
+        Xq, _ = random_xy(120, seed + 10)
+        inc = KNeighborsClassifier(k=5, algorithm=algorithm).fit(X, y, n_classes=3)
+        parts_X, parts_y = [X], [y]
+        for step in range(4):
+            Xb, yb = random_xy(20 + 7 * step, seed + 20 + step)
+            inc.partial_update(Xb, yb)
+            parts_X.append(Xb)
+            parts_y.append(yb)
+            full = KNeighborsClassifier(k=5, algorithm=algorithm).fit(
+                np.concatenate(parts_X), np.concatenate(parts_y), n_classes=3
+            )
+            np.testing.assert_array_equal(
+                inc.predict_proba(Xq), full.predict_proba(Xq)
+            )
+
+    def test_rollback_restores_fit(self):
+        X, y = random_xy(200, 3)
+        Xq, _ = random_xy(50, 4)
+        inc = KNeighborsClassifier(k=3).fit(X, y, n_classes=3)
+        token = inc.checkpoint()
+        for _ in range(2):  # two rejected candidates in a row
+            Xb, yb = random_xy(31, 5)
+            inc.partial_update(Xb, yb)
+            inc.rollback(token)
+        base = KNeighborsClassifier(k=3).fit(X, y, n_classes=3)
+        np.testing.assert_array_equal(inc.predict_proba(Xq), base.predict_proba(Xq))
+
+    def test_rejects_out_of_range_labels(self):
+        X, y = random_xy(50, 6)
+        model = KNeighborsClassifier().fit(X, y, n_classes=3)
+        with pytest.raises(ValueError, match="codes"):
+            model.partial_update(X[:2], np.array([3, 0]))
+
+
+class TestGaussianNBPartialUpdate:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_fresh_fit(self, seed):
+        X, y = random_xy(400, seed)
+        Xq, _ = random_xy(150, seed + 10)
+        inc = GaussianNB().fit(X, y, n_classes=3)
+        parts_X, parts_y = [X], [y]
+        for step in range(3):
+            Xb, yb = random_xy(25, seed + 30 + step)
+            inc.partial_update(Xb, yb)
+            parts_X.append(Xb)
+            parts_y.append(yb)
+        full = GaussianNB().fit(
+            np.concatenate(parts_X), np.concatenate(parts_y), n_classes=3
+        )
+        np.testing.assert_allclose(inc.theta_, full.theta_, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(inc.var_, full.var_, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(inc.class_log_prior_, full.class_log_prior_)
+        np.testing.assert_array_equal(inc.predict(Xq), full.predict(Xq))
+
+    def test_class_absent_then_appearing(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(100, 4))
+        y = rng.integers(0, 2, size=100)  # class 2 absent at fit time
+        inc = GaussianNB().fit(X, y, n_classes=3)
+        Xb = rng.normal(loc=3.0, size=(30, 4))
+        yb = np.full(30, 2, dtype=np.int64)
+        inc.partial_update(Xb, yb)
+        full = GaussianNB().fit(
+            np.concatenate([X, Xb]), np.concatenate([y, yb]), n_classes=3
+        )
+        np.testing.assert_allclose(inc.theta_, full.theta_, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(inc.var_, full.var_, rtol=1e-9, atol=1e-12)
+        Xq = rng.normal(size=(80, 4))
+        np.testing.assert_array_equal(inc.predict(Xq), full.predict(Xq))
+
+    def test_rollback_restores_exactly(self):
+        X, y = random_xy(120, 7)
+        inc = GaussianNB().fit(X, y, n_classes=3)
+        token = inc.checkpoint()
+        Xb, yb = random_xy(15, 8)
+        inc.partial_update(Xb, yb)
+        inc.rollback(token)
+        base = GaussianNB().fit(X, y, n_classes=3)
+        np.testing.assert_array_equal(inc.theta_, base.theta_)
+        np.testing.assert_array_equal(inc.var_, base.var_)
+        np.testing.assert_array_equal(inc.class_log_prior_, base.class_log_prior_)
+
+
+SCHEMA = make_schema(numeric=["a", "b"], categorical={"c": ("x", "y", "z")})
+
+
+def table_dataset(n, seed):
+    rng = np.random.default_rng(seed)
+    table = Table(
+        SCHEMA,
+        {
+            "a": rng.normal(size=n),
+            "b": rng.uniform(size=n),
+            "c": rng.integers(0, 3, size=n),
+        },
+    )
+    return Dataset(table, rng.integers(0, 2, size=n), ("neg", "pos"))
+
+
+class TestTableModelPartialUpdate:
+    def test_knn_exact_through_encoder(self):
+        base, delta = table_dataset(250, 0), table_dataset(30, 1)
+        inc = TableModel(KNeighborsClassifier(k=5), standardize=False).fit(base)
+        assert inc.supports_partial_update
+        inc.partial_update(delta)
+        full_ds = Dataset.concat([base, delta])
+        full = TableModel(KNeighborsClassifier(k=5), standardize=False).fit(full_ds)
+        np.testing.assert_array_equal(
+            inc.predict_proba(full_ds.X), full.predict_proba(full_ds.X)
+        )
+
+    def test_standardized_encoder_falls_back(self):
+        """Scaler statistics are dataset-global, so deltas must refit."""
+        model = TableModel(KNeighborsClassifier(k=5), standardize=True).fit(
+            table_dataset(100, 2)
+        )
+        assert not model.supports_partial_update
+        with pytest.raises(RuntimeError, match="partial-update"):
+            model.partial_update(table_dataset(5, 3))
+
+    def test_unsupported_estimator_falls_back(self):
+        from repro.models import LogisticRegression
+
+        model = TableModel(LogisticRegression(max_iter=50), standardize=False).fit(
+            table_dataset(100, 4)
+        )
+        assert not model.supports_partial_update
+
+    def test_constant_class_falls_back(self):
+        ds = table_dataset(60, 5)
+        ds = Dataset(ds.X, np.zeros(ds.n, dtype=np.int64), ds.label_names)
+        model = TableModel(KNeighborsClassifier(k=3), standardize=False).fit(ds)
+        assert not model.supports_partial_update
+
+    def test_checkpoint_rollback_through_table_model(self):
+        base = table_dataset(200, 6)
+        inc = TableModel(GaussianNB(), standardize=False).fit(base)
+        token = inc.checkpoint()
+        inc.partial_update(table_dataset(20, 7))
+        inc.rollback(token)
+        fresh = TableModel(GaussianNB(), standardize=False).fit(base)
+        Xq = table_dataset(40, 8).X
+        np.testing.assert_array_equal(inc.predict(Xq), fresh.predict(Xq))

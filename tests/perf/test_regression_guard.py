@@ -1,0 +1,216 @@
+"""Tests for the BENCH_end2end baseline regression guard."""
+
+import json
+
+import pytest
+
+from repro.perf.harness import SCHEMA_VERSION
+from repro.perf.regression import (
+    THRESHOLD_ENV_VAR,
+    compare_end2end,
+    load_payload,
+    regression_threshold,
+)
+
+
+def payload(*records):
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "end2end",
+        "quick": True,
+        "seed": 42,
+        "python": "3.11",
+        "machine": "x86_64",
+        "results": [
+            {
+                "name": name,
+                "dataset": dataset,
+                "n_rows": 100,
+                "tau": 5,
+                "seconds": seconds,
+                "iterations": 5,
+                "accepted_iterations": 2,
+                "n_added": 10,
+                "seconds_per_iteration": seconds / 5,
+                "extra": {},
+            }
+            for name, dataset, seconds in records
+        ],
+        "summary": {},
+    }
+
+
+BASE = payload(
+    ("session_edit", "synthetic", 1.0),
+    ("paper_pipeline_edit", "car", 2.0),
+    ("incremental_vs_rebuild", "synthetic", 0.5),
+)
+
+
+class TestCompareEnd2End:
+    def test_identical_payloads_pass(self):
+        report = compare_end2end(BASE, BASE, threshold=0.30)
+        assert report.ok
+        assert report.geomean_ratio == pytest.approx(1.0)
+        assert "OK" in report.format()
+
+    def test_within_threshold_passes(self):
+        current = payload(
+            ("session_edit", "synthetic", 1.2),
+            ("paper_pipeline_edit", "car", 2.2),
+            ("incremental_vs_rebuild", "synthetic", 0.55),
+        )
+        assert compare_end2end(current, BASE, threshold=0.30).ok
+
+    def test_geomean_regression_fails(self):
+        current = payload(
+            ("session_edit", "synthetic", 1.5),
+            ("paper_pipeline_edit", "car", 3.0),
+            ("incremental_vs_rebuild", "synthetic", 0.75),
+        )
+        report = compare_end2end(current, BASE, threshold=0.30)
+        assert not report.ok
+        assert any("geomean" in f for f in report.failures)
+        assert "FAIL" in report.format()
+
+    def test_single_outlier_absorbed_by_geomean(self):
+        """One noisy scenario does not fail the guard on its own."""
+        current = payload(
+            ("session_edit", "synthetic", 1.6),  # 1.6x on one scenario
+            ("paper_pipeline_edit", "car", 2.0),
+            ("incremental_vs_rebuild", "synthetic", 0.5),
+        )
+        assert compare_end2end(current, BASE, threshold=0.30).ok
+
+    def test_missing_scenario_fails(self):
+        current = payload(("session_edit", "synthetic", 1.0))
+        report = compare_end2end(current, BASE, threshold=0.30)
+        assert not report.ok
+        assert any("missing" in f for f in report.failures)
+
+    def test_new_scenario_is_noted_not_failed(self):
+        current = payload(
+            ("session_edit", "synthetic", 1.0),
+            ("paper_pipeline_edit", "car", 2.0),
+            ("incremental_vs_rebuild", "synthetic", 0.5),
+            ("brand_new", "synthetic", 9.9),
+        )
+        report = compare_end2end(current, BASE, threshold=0.30)
+        assert report.ok
+        assert report.added == ("brand_new/synthetic",)
+
+    def test_wrong_kind_fails(self):
+        bad = dict(BASE, kind="hotpaths")
+        report = compare_end2end(bad, BASE, threshold=0.30)
+        assert not report.ok
+
+    def test_quick_vs_full_scale_mismatch_fails_clearly(self):
+        """A full-scale payload against the quick baseline must not
+        produce a bogus regression verdict — it fails as incomparable."""
+        full = dict(BASE, quick=False)
+        report = compare_end2end(full, BASE, threshold=0.30)
+        assert not report.ok
+        assert any("scale mismatch" in f for f in report.failures)
+
+    def test_retuned_workload_fails_as_mismatch_not_regression(self):
+        current = dict(BASE, results=[dict(r) for r in BASE["results"]])
+        current["results"][0] = dict(
+            current["results"][0], n_rows=99999, seconds=50.0,
+            seconds_per_iteration=10.0,
+        )
+        report = compare_end2end(current, BASE, threshold=0.30)
+        assert not report.ok
+        assert any("workload mismatch" in f for f in report.failures)
+        # The mismatched scenario is excluded from the ratio set.
+        assert len(report.entries) == 2
+        assert not any("geomean" in f for f in report.failures)
+
+
+class TestThreshold:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(THRESHOLD_ENV_VAR, raising=False)
+        assert regression_threshold() == pytest.approx(0.30)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(THRESHOLD_ENV_VAR, "0.75")
+        assert regression_threshold() == pytest.approx(0.75)
+        current = payload(
+            ("session_edit", "synthetic", 1.5),
+            ("paper_pipeline_edit", "car", 3.0),
+            ("incremental_vs_rebuild", "synthetic", 0.75),
+        )
+        assert compare_end2end(current, BASE).ok
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv(THRESHOLD_ENV_VAR, "fast")
+        with pytest.raises(ValueError, match="not a float"):
+            regression_threshold()
+
+
+class TestBenchCheckCli:
+    def _write(self, path, data):
+        path.write_text(json.dumps(data))
+        return path
+
+    def test_passing_comparison_exits_zero(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        self._write(tmp_path / "BENCH_end2end.json", BASE)
+        baseline = self._write(tmp_path / "baseline.json", BASE)
+        code = main(
+            [
+                "bench-check",
+                "--out-dir", str(tmp_path),
+                "--baseline", str(baseline),
+                "--threshold", "0.3",
+            ]
+        )
+        assert code == 0
+        assert "OK: no perf regression" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path):
+        from repro.experiments.cli import main
+
+        current = payload(
+            ("session_edit", "synthetic", 5.0),
+            ("paper_pipeline_edit", "car", 9.0),
+            ("incremental_vs_rebuild", "synthetic", 2.0),
+        )
+        self._write(tmp_path / "BENCH_end2end.json", current)
+        baseline = self._write(tmp_path / "baseline.json", BASE)
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "bench-check",
+                    "--out-dir", str(tmp_path),
+                    "--baseline", str(baseline),
+                    "--threshold", "0.3",
+                ]
+            )
+        assert exc.value.code == 1
+
+    def test_missing_current_file_errors(self, tmp_path):
+        from repro.experiments.cli import main
+
+        baseline = self._write(tmp_path / "baseline.json", BASE)
+        with pytest.raises(SystemExit, match="not found"):
+            main(
+                [
+                    "bench-check",
+                    "--out-dir", str(tmp_path / "nowhere"),
+                    "--baseline", str(baseline),
+                ]
+            )
+
+
+class TestLoadPayload:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_end2end.json"
+        path.write_text(json.dumps(BASE))
+        assert load_payload(path)["kind"] == "end2end"
+
+    def test_schema_violation_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "end2end"}))
+        with pytest.raises(ValueError):
+            load_payload(path)
