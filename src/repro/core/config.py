@@ -61,6 +61,31 @@ class FroteConfig:
         all-categorical data this can steer the loop down a different
         (equally valid) trajectory.  Brute-force KNN and the
         assignment/table layers are bit-exact always.
+    max_resident_mb:
+        Opt into the out-of-core path: the active dataset's column
+        buffers are sharded into fixed-size chunks whose sealed heap
+        copies are bounded by this many MiB — least-recently-used chunks
+        spill to memory-mapped files and stream back on demand.
+        Results are bit-identical to the dense path (the same bytes are
+        read, only from different storage).  The budget bounds the
+        dataset's *storage* footprint; whole-column consumers — model
+        encoders on a full fit/predict pass, a full ``frs.assign`` —
+        still materialize transient O(n) working sets through the
+        :meth:`~repro.data.shards.ShardedTable.column` escape hatch, so
+        pair with ``incremental=True`` and a partial-update model to
+        keep full passes off the loop (chunked encode/predict is the
+        ROADMAP follow-up).  The resident floor outside the budget is
+        one machine word per row for labels and cached FRS assignments.
+        ``None`` (default) keeps every buffer dense in RAM, bit-for-bit
+        as before.
+    shard_rows:
+        Rows per shard for the out-of-core path (default
+        :data:`repro.data.shards.DEFAULT_SHARD_ROWS`); requires
+        ``max_resident_mb``.
+    spill_dir:
+        Base directory for spill files (default: the platform temp
+        dir); requires ``max_resident_mb``.  A private subdirectory is
+        created per run and removed when the run's data is released.
     random_state:
         Seed for all stochastic steps (paper runs use 42).
     """
@@ -75,6 +100,9 @@ class FroteConfig:
     mra_weight: float = 0.5
     accept_equal: bool = False
     incremental: bool = False
+    max_resident_mb: float | None = None
+    shard_rows: int | None = None
+    spill_dir: str | None = None
     random_state: RandomState = 42
 
     #: Upper bound on ``q``; the paper sweeps (0, 1], anything past this is
@@ -98,6 +126,23 @@ class FroteConfig:
             raise ValueError(f"k must be >= 1, got {self.k}")
         if not 0.0 <= self.mra_weight <= 1.0:
             raise ValueError(f"mra_weight must be in [0, 1], got {self.mra_weight}")
+        if self.max_resident_mb is not None and self.max_resident_mb <= 0:
+            raise ValueError(
+                f"max_resident_mb must be positive, got {self.max_resident_mb}"
+            )
+        if self.shard_rows is not None:
+            if self.shard_rows < 1:
+                raise ValueError(f"shard_rows must be >= 1, got {self.shard_rows}")
+            if self.max_resident_mb is None:
+                raise ValueError(
+                    "shard_rows only applies to the out-of-core path; "
+                    "set max_resident_mb too"
+                )
+        if self.spill_dir is not None and self.max_resident_mb is None:
+            raise ValueError(
+                "spill_dir only applies to the out-of-core path; "
+                "set max_resident_mb too"
+            )
         # Registry lookups: unknown names raise with the full registered
         # list (user plugins included) and a did-you-mean suggestion.
         SELECTORS.validate(self.selection)

@@ -2,6 +2,13 @@
 
 from repro.data.builder import DatasetBuilder, GrowableArray, TableBuilder
 from repro.data.dataset import Dataset
+from repro.data.shards import (
+    ShardedArray,
+    ShardedTable,
+    SpillDir,
+    SpillPolicy,
+    spill_policy_for,
+)
 from repro.data.encoding import OrdinalEncoder, StandardScaler, TabularEncoder
 from repro.data.io import (
     infer_schema,
@@ -29,6 +36,11 @@ __all__ = [
     "TableBuilder",
     "DatasetBuilder",
     "GrowableArray",
+    "ShardedArray",
+    "ShardedTable",
+    "SpillDir",
+    "SpillPolicy",
+    "spill_policy_for",
     "Dataset",
     "TabularEncoder",
     "OrdinalEncoder",

@@ -20,6 +20,16 @@ Snapshots are :class:`Table` views over the committed prefix of the
 buffers (read-only, so accidental mutation of shared storage raises).
 Committed rows are never overwritten and buffer growth reallocates rather
 than moving them, so every snapshot ever returned stays valid forever.
+
+Builders are storage-polymorphic: by default each column is a dense
+in-RAM :class:`GrowableArray`; constructed with a
+:class:`~repro.data.shards.SpillPolicy` they shard every column into
+fixed-size chunks that spill to memory-mapped files past a resident
+budget (:class:`~repro.data.shards.ShardedArray`), and snapshots become
+shard-aware :class:`~repro.data.shards.ShardedTable` views — the
+out-of-core path for active datasets larger than RAM.  Labels stay in a
+dense buffer either way: one machine word per row is the documented
+resident floor (the evaluation layer needs the full label vector).
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.data.schema import Schema
+from repro.data.shards import ShardedArray, ShardedTable, SpillPolicy
 from repro.data.table import Table
 
 __all__ = ["GrowableArray", "TableBuilder", "DatasetBuilder", "append_rows_2d"]
@@ -165,6 +176,12 @@ class TableBuilder:
     ----------
     schema:
         Column layout every appended table must match.
+    policy:
+        Optional :class:`~repro.data.shards.SpillPolicy`; when given,
+        columns are sharded and may spill to memory-mapped files past
+        the policy's resident budget, and snapshots are shard-aware
+        :class:`~repro.data.shards.ShardedTable` views.  ``None``
+        (default) keeps the dense in-RAM storage, bit-for-bit as before.
 
     Examples
     --------
@@ -174,21 +191,33 @@ class TableBuilder:
     >>> # ... or just call stage() again to discard the staged rows.
     """
 
-    def __init__(self, schema: Schema) -> None:
+    def __init__(self, schema: Schema, *, policy: SpillPolicy | None = None) -> None:
         self.schema = schema
-        self._columns: dict[str, GrowableArray] = {
-            spec.name: GrowableArray(np.float64 if spec.is_numeric else np.int64)
+        self.policy = policy
+        self._columns: dict[str, GrowableArray | ShardedArray] = {
+            spec.name: self._new_column(
+                np.dtype(np.float64 if spec.is_numeric else np.int64)
+            )
             for spec in schema
         }
         self._n = 0
 
+    def _new_column(
+        self, dtype: np.dtype, initial: np.ndarray | None = None
+    ) -> "GrowableArray | ShardedArray":
+        if self.policy is not None:
+            return ShardedArray(dtype, policy=self.policy, initial=initial)
+        return GrowableArray(dtype, initial=initial)
+
     @classmethod
-    def from_table(cls, table: Table) -> "TableBuilder":
+    def from_table(
+        cls, table: Table, *, policy: SpillPolicy | None = None
+    ) -> "TableBuilder":
         """Seed a builder with ``table``'s rows (one copy, then appends are cheap)."""
-        builder = cls(table.schema)
+        builder = cls(table.schema, policy=policy)
         for spec in table.schema:
             arr = table.column(spec.name)
-            builder._columns[spec.name] = GrowableArray(arr.dtype, initial=arr)
+            builder._columns[spec.name] = builder._new_column(arr.dtype, initial=arr)
         builder._n = table.n_rows
         return builder
 
@@ -233,8 +262,42 @@ class TableBuilder:
         return self._snapshot(self._n)
 
     def _snapshot(self, n: int) -> Table:
+        if self.policy is not None:
+            return ShardedTable._wrap_sharded(self.schema, self._columns, n)
         cols = {name: col.view(n) for name, col in self._columns.items()}
         return Table._wrap(self.schema, cols, n)
+
+    # ------------------------------------------------------------------ #
+    def checkpoint(self) -> int:
+        """Token for :meth:`rollback`: the current committed length."""
+        return self._n
+
+    def rollback(self, token: int) -> None:
+        """Shrink back to a :meth:`checkpoint` (O(1) dense; sharded
+        storage unseals — and reloads, if spilled — the boundary shard).
+
+        Same caveat as :meth:`GrowableArray.truncate`: the caller owns
+        the invariant that no consumer still relies on a snapshot longer
+        than the checkpoint.
+        """
+        for col in self._columns.values():
+            col.truncate(token)
+        self._n = token
+
+    def advise_cold(self) -> None:
+        """Drop spilled shards' pages from the OS page cache (no-op dense)."""
+        if self.policy is not None:
+            for col in self._columns.values():
+                col.advise_cold()
+
+    def storage_stats(self) -> dict[str, int]:
+        """Aggregate shard statistics (all zeros for dense storage)."""
+        total = {"n_shards": 0, "n_spilled": 0, "heap_bytes": 0, "spilled_bytes": 0}
+        if self.policy is not None:
+            for col in self._columns.values():
+                for key, value in col.storage_stats().items():
+                    total[key] += value
+        return total
 
 
 class DatasetBuilder:
@@ -246,16 +309,27 @@ class DatasetBuilder:
     zero-copy views (see the module docstring for the staging contract).
     """
 
-    def __init__(self, schema: Schema, label_names: tuple[str, ...]) -> None:
-        self.tables = TableBuilder(schema)
+    def __init__(
+        self,
+        schema: Schema,
+        label_names: tuple[str, ...],
+        *,
+        policy: SpillPolicy | None = None,
+    ) -> None:
+        self.tables = TableBuilder(schema, policy=policy)
         self.label_names = tuple(label_names)
+        # Labels stay dense even under a spill policy: the evaluation
+        # layer consumes the full vector and one int64 per row is the
+        # documented resident floor of the out-of-core path.
         self._y = GrowableArray(np.int64)
 
     @classmethod
-    def from_dataset(cls, dataset: Dataset) -> "DatasetBuilder":
+    def from_dataset(
+        cls, dataset: Dataset, *, policy: SpillPolicy | None = None
+    ) -> "DatasetBuilder":
         """Seed a builder with ``dataset``'s rows (one copy)."""
-        builder = cls(dataset.X.schema, dataset.label_names)
-        builder.tables = TableBuilder.from_table(dataset.X)
+        builder = cls(dataset.X.schema, dataset.label_names, policy=policy)
+        builder.tables = TableBuilder.from_table(dataset.X, policy=policy)
         builder._y = GrowableArray(np.int64, initial=dataset.y)
         return builder
 
@@ -293,3 +367,27 @@ class DatasetBuilder:
         return Dataset._from_trusted(
             self.tables.snapshot(), self._y.view(n), self.label_names
         )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def policy(self) -> SpillPolicy | None:
+        """The spill policy the feature columns were built with."""
+        return self.tables.policy
+
+    def checkpoint(self) -> int:
+        """Token for :meth:`rollback`: the current committed length."""
+        return self.tables.checkpoint()
+
+    def rollback(self, token: int) -> None:
+        """Shrink back to a :meth:`checkpoint` (see
+        :meth:`TableBuilder.rollback` for the view-invalidation caveat)."""
+        self.tables.rollback(token)
+        self._y.truncate(token)
+
+    def advise_cold(self) -> None:
+        """Drop spilled shards' pages from the OS page cache (no-op dense)."""
+        self.tables.advise_cold()
+
+    def storage_stats(self) -> dict[str, int]:
+        """Aggregate shard statistics of the feature columns."""
+        return self.tables.storage_stats()

@@ -118,6 +118,37 @@ class EditSession:
         contract."""
         return self.configure(incremental=enabled)
 
+    def out_of_core(
+        self,
+        max_resident_mb: float,
+        *,
+        shard_rows: int | None = None,
+        spill_dir: str | None = None,
+    ) -> "EditSession":
+        """Opt into out-of-core sharded storage for the active dataset
+        (sugar for ``configure(max_resident_mb=...)``).
+
+        The active dataset's column buffers are sharded into
+        ``shard_rows``-row chunks; sealed chunks beyond the
+        ``max_resident_mb`` budget spill to memory-mapped files under
+        ``spill_dir`` (default: the platform temp dir) and stream back
+        on demand.  Results are bit-identical to the dense path.  The
+        budget bounds the dataset's *storage* footprint — full model
+        fit/predict passes still materialize transient O(n) encoded
+        matrices — so pair with :meth:`incremental` and a
+        partial-update model to keep full-dataset passes off the hot
+        loop (see :class:`~repro.core.config.FroteConfig`).
+        """
+        # Only set the knobs the caller actually passed — configure()
+        # documents merge semantics, and a bare out_of_core(budget) must
+        # not clobber a shard_rows/spill_dir from an earlier call.
+        kwargs: dict[str, Any] = {"max_resident_mb": max_resident_mb}
+        if shard_rows is not None:
+            kwargs["shard_rows"] = shard_rows
+        if spill_dir is not None:
+            kwargs["spill_dir"] = spill_dir
+        return self.configure(**kwargs)
+
     def with_selector(self, selector: Any) -> "EditSession":
         """Use a selection strategy directly (bypasses the registry; handy
         for one-off strategies and tests).

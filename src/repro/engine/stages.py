@@ -30,7 +30,6 @@ from repro.core.modification import apply_modification
 from repro.core.objective import evaluate_predictions
 from repro.core.preselect import preselect_base_population
 from repro.core.selection import SelectionContext
-from repro.data.builder import DatasetBuilder
 from repro.data.dataset import Dataset
 from repro.engine.registry import SELECTORS
 from repro.engine.state import EditState, IterationRecord
@@ -78,9 +77,11 @@ class ModificationStage:
         # run), then move the active dataset into a fresh append builder:
         # accepted batches cost O(batch) from here on, and
         # ``state.active`` is always a zero-copy snapshot of the
-        # builder's committed rows.
+        # builder's committed rows.  The builder's storage follows the
+        # config: dense in RAM by default, sharded-with-spill under
+        # ``max_resident_mb`` (the out-of-core path).
         state.record_rebuild("setup")
-        state.active_builder = DatasetBuilder.from_dataset(state.active)
+        state.active_builder = state.make_builder(state.active)
         state.active = state.active_builder.snapshot()
         state.model = state.algorithm(state.active)
         # Routing the initial evaluation through the prediction cache
@@ -266,9 +267,9 @@ class AcceptanceStage:
                 state.active = candidate
             else:
                 # Concat fallback accepted: re-home the active dataset
-                # into a fresh builder so later batches append in
-                # O(batch) again.
-                state.active_builder = DatasetBuilder.from_dataset(candidate)
+                # into a fresh builder (same storage policy as setup) so
+                # later batches append in O(batch) again.
+                state.active_builder = state.make_builder(candidate)
                 state.active = state.active_builder.snapshot()
             state.n_added += state.batch.n
             state.best_loss = cand_loss

@@ -250,6 +250,24 @@ class EditState:
             parent, self.dataset_version, n - n_appended, n, provenance
         )
 
+    def make_builder(self, dataset: Dataset) -> DatasetBuilder:
+        """Home ``dataset`` in a fresh append builder under the config's
+        storage policy.
+
+        With ``FroteConfig(max_resident_mb=...)`` the builder shards its
+        column buffers and spills cold chunks to memory-mapped files
+        (the out-of-core path); otherwise storage is dense, exactly as
+        before.  A fresh policy (and spill directory) per builder keeps
+        residency accounting scoped to the builder's own shards — a
+        rebuild drops the old builder, and its spill files vanish once
+        no snapshot references them.
+        """
+        from repro.data.shards import spill_policy_for
+
+        return DatasetBuilder.from_dataset(
+            dataset, policy=spill_policy_for(self.config)
+        )
+
     def bump_dataset_version(self) -> None:
         """Invalidate every active-dataset-derived cache.
 

@@ -26,6 +26,11 @@ grid's completion counts against a store without running anything.
 ``bench-check`` compares the written ``BENCH_end2end.json`` against the
 checked-in baseline (``--baseline``) and exits non-zero past a
 ``--threshold`` geomean wall-time regression — the CI perf guard.
+``bench-mem`` asserts the ``out_of_core`` scenario's peak-RSS budget
+(the CI memory guard), and ``bench-ratchet`` proposes a refreshed
+baseline to ``--propose-dir`` when the suite is consistently at least
+``--improvement`` faster than the checked-in one (always exits zero;
+the CI job uploads the proposal as an artifact).
 
 Common options: ``--runs`` (repetitions), ``--tau`` (FROTE iteration
 limit), ``--seed``, ``--save out.json`` (persist raw records).
@@ -39,6 +44,7 @@ included) and the model registry.  Each exits immediately.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -65,7 +71,8 @@ from repro.experiments.tables import (
 
 EXPERIMENTS = (
     "fig2", "fig3", "fig9", "table1", "table2", "table3", "table6", "ablation",
-    "bench", "bench-check", "all", "run-spec", "status",
+    "bench", "bench-check", "bench-mem", "bench-ratchet", "all",
+    "run-spec", "status",
 )
 
 
@@ -152,6 +159,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bench-check: maximum tolerated geomean wall-time regression "
         "(default: $BENCH_REGRESSION_THRESHOLD or 0.30)",
+    )
+    parser.add_argument(
+        "--improvement",
+        type=float,
+        default=None,
+        help="bench-ratchet: geomean speedup fraction required before a "
+        "baseline refresh is proposed (default 0.15)",
+    )
+    parser.add_argument(
+        "--propose-dir",
+        default="ratchet",
+        help="bench-ratchet: directory for the proposed refreshed baseline "
+        "(uploaded as a CI artifact when a ratchet qualifies)",
     )
     return parser
 
@@ -253,17 +273,12 @@ def bench_check_cmd(args: argparse.Namespace) -> tuple[list[dict], str]:
 
     from repro.perf.regression import compare_end2end, load_payload
 
-    current_path = Path(args.out_dir) / "BENCH_end2end.json"
-    if not current_path.exists():
-        raise SystemExit(
-            f"{current_path} not found; run "
-            "`python -m repro.experiments bench --quick` first"
-        )
+    current = _current_end2end(args)
     baseline_path = Path(args.baseline)
     if not baseline_path.exists():
         raise SystemExit(f"baseline not found: {baseline_path}")
     report = compare_end2end(
-        load_payload(current_path),
+        current,
         load_payload(baseline_path),
         threshold=args.threshold,
     )
@@ -272,6 +287,72 @@ def bench_check_cmd(args: argparse.Namespace) -> tuple[list[dict], str]:
         print(text)
         raise SystemExit(1)
     return [asdict(e) for e in report.entries], text
+
+
+def _current_end2end(args: argparse.Namespace):
+    from repro.perf.regression import load_payload
+
+    current_path = Path(args.out_dir) / "BENCH_end2end.json"
+    if not current_path.exists():
+        raise SystemExit(
+            f"{current_path} not found; run "
+            "`python -m repro.experiments bench --quick` first"
+        )
+    return load_payload(current_path)
+
+
+def bench_mem_cmd(args: argparse.Namespace) -> tuple[list[dict], str]:
+    """``bench-mem``: CI guard asserting the out-of-core peak-RSS budget.
+
+    Reads the ``out_of_core`` scenario from ``BENCH_end2end.json`` and
+    exits non-zero when its workload RSS exceeded ``budget * 1.5 +
+    tolerance`` (the bound the scenario's worker computed), or when the
+    scenario is missing — a spill regression either way.
+    """
+    from repro.perf.regression import memory_report
+
+    report = memory_report(_current_end2end(args))
+    text = report.format()
+    if not report.ok:
+        print(text)
+        raise SystemExit(1)
+    return [dict(e) for e in report.entries], text
+
+
+def bench_ratchet_cmd(args: argparse.Namespace) -> tuple[list[dict], str]:
+    """``bench-ratchet``: propose a refreshed baseline when consistently faster.
+
+    Advisory (always exits zero): when the fresh ``BENCH_end2end.json``
+    beats the checked-in baseline by the required geomean margin with no
+    individual scenario slower, the current payload is written to
+    ``--propose-dir`` for the CI job to upload as an artifact, and the
+    summary table is appended to ``$GITHUB_STEP_SUMMARY`` when set.
+    """
+    from dataclasses import asdict
+
+    from repro.perf.ratchet import DEFAULT_IMPROVEMENT, propose_ratchet, write_proposal
+    from repro.perf.regression import load_payload
+
+    current = _current_end2end(args)
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        raise SystemExit(f"baseline not found: {baseline_path}")
+    report = propose_ratchet(
+        current,
+        load_payload(baseline_path),
+        improvement=(
+            DEFAULT_IMPROVEMENT if args.improvement is None else args.improvement
+        ),
+    )
+    lines = [report.format()]
+    if report.should_ratchet:
+        proposal = write_proposal(current, args.propose_dir)
+        lines.append(f"proposed baseline written to {proposal}")
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as fh:
+            fh.write(report.markdown() + "\n")
+    return [asdict(e) for e in report.entries], "\n".join(lines)
 
 
 def _load_spec(args: argparse.Namespace):
@@ -341,6 +422,10 @@ def run(args: argparse.Namespace) -> tuple[list[dict], str]:
         return run_bench(args)
     if args.experiment == "bench-check":
         return bench_check_cmd(args)
+    if args.experiment == "bench-mem":
+        return bench_mem_cmd(args)
+    if args.experiment == "bench-ratchet":
+        return bench_ratchet_cmd(args)
     if args.experiment == "run-spec":
         return run_spec_cmd(args)
     if args.experiment == "status":

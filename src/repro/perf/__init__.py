@@ -9,7 +9,14 @@ is the library's.  It has three parts:
 * :mod:`repro.perf.hotpaths` / :mod:`repro.perf.end2end` — the benchmark
   definitions;
 * :mod:`repro.perf.harness` — timing plus the versioned ``BENCH_*.json``
-  schema and writers.
+  schema and writers;
+* :mod:`repro.perf.regression` / :mod:`repro.perf.ratchet` — the CI
+  guards: geomean wall-time comparison against the checked-in baseline,
+  the out-of-core peak-RSS budget check, and the baseline-refresh
+  ratchet proposal;
+* :mod:`repro.perf.oocbench` — the beyond-RAM streaming workload behind
+  the ``out_of_core`` scenario (run as a subprocess for clean peak-RSS
+  accounting).
 
 Run everything with ``repro-bench`` (or
 ``python -m repro.experiments.cli bench``); add ``--quick`` for the
@@ -28,11 +35,14 @@ from repro.perf.harness import (
     write_end2end_json,
     write_hotpaths_json,
 )
+from repro.perf.ratchet import RatchetReport, propose_ratchet, write_proposal
 from repro.perf.regression import (
+    MemoryReport,
     RegressionEntry,
     RegressionReport,
     compare_end2end,
     load_payload,
+    memory_report,
     regression_threshold,
 )
 
@@ -42,11 +52,16 @@ __all__ = [
     "END2END_FILENAME",
     "CompareRecord",
     "End2EndRecord",
+    "MemoryReport",
+    "RatchetReport",
     "RegressionEntry",
     "RegressionReport",
     "compare_end2end",
     "load_payload",
+    "memory_report",
+    "propose_ratchet",
     "regression_threshold",
+    "write_proposal",
     "format_records",
     "validate_bench_payload",
     "write_hotpaths_json",

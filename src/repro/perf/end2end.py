@@ -11,6 +11,10 @@ performance trajectory.
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+import sys
 import time
 
 import numpy as np
@@ -19,6 +23,12 @@ import repro
 from repro.data.dataset import Dataset
 from repro.perf.harness import End2EndRecord
 from repro.perf.hotpaths import synthetic_mixed_table
+
+#: Environment override for the out-of-core scenario's fixed RSS slack
+#: (MiB added to ``budget * 1.5`` to form the assertion bound), for
+#: unusually noisy runners — the memory analogue of
+#: ``BENCH_REGRESSION_THRESHOLD``.
+RSS_TOLERANCE_ENV_VAR = "BENCH_RSS_TOLERANCE_MB"
 
 
 def _synthetic_dataset(n: int, seed: int) -> Dataset:
@@ -200,6 +210,68 @@ def _run_incremental_vs_rebuild(
     )
 
 
+def _run_out_of_core(
+    *, budget_mb: float, batch_rows: int, shard_rows: int, seed: int
+) -> End2EndRecord:
+    """Beyond-RAM streaming workload with peak-RSS accounting.
+
+    Runs :mod:`repro.perf.oocbench` in a **fresh subprocess**: peak RSS
+    is a process-lifetime high-water mark, so measuring it in the bench
+    process (which has already held the other scenarios' arrays) would
+    be meaningless.  The worker streams batches through the sharded
+    builder until the active dataset's dense size is ~4× the
+    ``max_resident_mb`` budget, exercising appends (accept and reject
+    paths), partial model refits, incremental FRS-assignment merges,
+    and snapshot slice/gather reads on spilled data.
+
+    ``extra["within_budget"]`` is the CI memory guard's verdict:
+    workload RSS (peak minus the worker's post-import baseline) must
+    stay under ``budget * 1.5`` plus a fixed tolerance
+    (:data:`RSS_TOLERANCE_ENV_VAR` overrides the tolerance).  A
+    regression that silently re-densifies the storage holds the full
+    dataset on heap and fails the bound by construction.
+    """
+    tolerance_mb = float(os.environ.get(RSS_TOLERANCE_ENV_VAR, 48.0))
+    cmd = [
+        sys.executable, "-m", "repro.perf.oocbench",
+        "--budget-mb", str(budget_mb),
+        "--batch-rows", str(batch_rows),
+        "--shard-rows", str(shard_rows),
+        "--tolerance-mb", str(tolerance_mb),
+        "--seed", str(seed),
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, env=env, timeout=1800
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"oocbench worker failed (exit {proc.returncode}):\n{proc.stderr}"
+        )
+    worker = json.loads(proc.stdout)
+    return End2EndRecord(
+        name="out_of_core",
+        dataset="synthetic",
+        n_rows=worker["rows"],
+        tau=worker["steps"],
+        seconds=worker["seconds"],
+        iterations=worker["steps"],
+        accepted_iterations=worker["steps"],
+        n_added=worker["rows"] - batch_rows,
+        seconds_per_iteration=worker["seconds"] / max(worker["steps"], 1),
+        extra={
+            key: worker[key]
+            for key in (
+                "dense_mb", "budget_mb", "tolerance_mb", "baseline_rss_mb",
+                "peak_rss_mb", "workload_rss_mb", "rss_limit_mb",
+                "within_budget", "n_shards", "n_spilled_shards",
+                "spilled_mb", "resident_mb", "batch_rows", "shard_rows",
+            )
+        },
+    )
+
+
 def run_end2end_benchmarks(
     *, quick: bool = False, seed: int = 42
 ) -> list[End2EndRecord]:
@@ -216,13 +288,19 @@ def run_end2end_benchmarks(
     if quick:
         n_syn, n_real, tau = 1200, 400, 6
         n_ivr, batch_ivr, steps_ivr = 6000, 60, 6
+        ooc_budget, ooc_batch = 24.0, 16384
     else:
         n_syn, n_real, tau = 5000, 1200, 20
         n_ivr, batch_ivr, steps_ivr = 30000, 150, 10
+        ooc_budget, ooc_batch = 48.0, 16384
     return [
         _run_synthetic(n=n_syn, tau=tau, seed=seed),
         _run_paper_pipeline(dataset_name="car", n=n_real, tau=tau, seed=seed),
         _run_incremental_vs_rebuild(
             n=n_ivr, batch_size=batch_ivr, steps=steps_ivr, seed=seed
+        ),
+        _run_out_of_core(
+            budget_mb=ooc_budget, batch_rows=ooc_batch, shard_rows=16384,
+            seed=seed,
         ),
     ]

@@ -1,0 +1,176 @@
+"""Baseline ratcheting: propose a refreshed perf baseline when the suite
+gets consistently faster.
+
+The regression guard (:mod:`repro.perf.regression`) compares fresh
+``BENCH_end2end.json`` payloads against a checked-in baseline and fails
+past a geomean slowdown bound — but the baseline itself is static, so
+after a run of optimization PRs the bound quietly becomes loose: a
+change could give back every win of the last N PRs before the guard
+noticed.  Ratcheting closes that gap from the other side.
+
+:func:`propose_ratchet` compares the same two payloads and, when the
+current run is *consistently* faster — geomean wall-time ratio at or
+below ``1 - improvement`` (default 15%) **and** no individual scenario
+slower than the baseline **and** the payloads actually comparable (same
+scale, same workloads, no missing scenarios) — recommends adopting the
+current payload as the new baseline.  The ``bench-ratchet`` CLI writes
+that proposal to a file the CI job uploads as a workflow artifact
+together with a summary table; a human lands it as a normal PR, so the
+ratchet never tightens the guard without review.
+
+The per-scenario "no scenario slower" condition is what makes the
+ratchet safe: a single regressed scenario hidden under a large win
+elsewhere must not be frozen into the new baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.perf.regression import (
+    RegressionEntry,
+    compare_end2end,
+    format_entry_table,
+)
+
+__all__ = [
+    "DEFAULT_IMPROVEMENT",
+    "RatchetReport",
+    "propose_ratchet",
+    "write_proposal",
+]
+
+#: Propose a refresh when the geomean is at least this much faster.
+DEFAULT_IMPROVEMENT = 0.15
+
+
+@dataclass(frozen=True)
+class RatchetReport:
+    """Outcome of one ratchet evaluation."""
+
+    entries: tuple[RegressionEntry, ...]
+    geomean_ratio: float
+    improvement: float
+    blockers: tuple[str, ...]
+
+    @property
+    def should_ratchet(self) -> bool:
+        """Whether the current payload qualifies as the new baseline."""
+        return not self.blockers
+
+    def format(self) -> str:
+        """Plain-text summary table plus the verdict."""
+        lines = ["Baseline ratchet check (BENCH_end2end vs baseline)"]
+        lines.extend(format_entry_table(self.entries))
+        lines.append(
+            f"geomean ratio: {self.geomean_ratio:.3f} "
+            f"(ratchet at <= {1.0 - self.improvement:.2f})"
+        )
+        if self.should_ratchet:
+            lines.append(
+                f"RATCHET: suite is consistently >= {self.improvement:.0%} "
+                "faster; proposing the current payload as the new baseline"
+            )
+        else:
+            for blocker in self.blockers:
+                lines.append(f"no ratchet: {blocker}")
+        return "\n".join(lines)
+
+    def markdown(self) -> str:
+        """GitHub-flavoured summary for ``$GITHUB_STEP_SUMMARY``."""
+        lines = ["### Perf baseline ratchet", ""]
+        lines.append("| scenario | baseline (s) | current (s) | ratio |")
+        lines.append("|---|---:|---:|---:|")
+        for e in self.entries:
+            lines.append(
+                f"| {e.name}/{e.dataset} | {e.baseline_seconds:.4f} "
+                f"| {e.current_seconds:.4f} | {e.ratio:.2f} |"
+            )
+        lines.append("")
+        lines.append(
+            f"geomean ratio **{self.geomean_ratio:.3f}** "
+            f"(ratchet at ≤ {1.0 - self.improvement:.2f})"
+        )
+        lines.append("")
+        if self.should_ratchet:
+            lines.append(
+                f"**Ratchet proposed** — the suite is consistently ≥ "
+                f"{self.improvement:.0%} faster than the checked-in "
+                "baseline.  Download the `bench-ratchet` artifact and land "
+                "the refreshed baseline as a PR."
+            )
+        else:
+            lines.extend(f"- no ratchet: {b}" for b in self.blockers)
+        return "\n".join(lines)
+
+
+def propose_ratchet(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    *,
+    improvement: float = DEFAULT_IMPROVEMENT,
+) -> RatchetReport:
+    """Evaluate whether ``current`` should replace ``baseline``.
+
+    Parameters
+    ----------
+    current, baseline:
+        Validated ``kind == "end2end"`` payloads (see
+        :func:`repro.perf.regression.load_payload`).
+    improvement:
+        Required geomean speedup fraction, in ``(0, 1)``.
+
+    Returns
+    -------
+    RatchetReport
+        ``report.should_ratchet`` is the verdict; blockers explain a
+        negative one.
+    """
+    if not 0.0 < improvement < 1.0:
+        raise ValueError(f"improvement must be in (0, 1), got {improvement}")
+    comparison = compare_end2end(current, baseline, threshold=float("inf"))
+    blockers: list[str] = []
+    # Incomparable payloads (scale/workload/kind mismatches, missing
+    # scenarios) can never justify a refresh.
+    blockers.extend(comparison.extra_failures)
+    if comparison.missing:
+        blockers.append(
+            "baseline scenarios missing from the current payload: "
+            + ", ".join(comparison.missing)
+        )
+    geomean = comparison.geomean_ratio if comparison.entries else 1.0
+    if not comparison.entries:
+        blockers.append("no comparable scenarios")
+    elif geomean > 1.0 - improvement:
+        blockers.append(
+            f"geomean ratio {geomean:.3f} is not <= {1.0 - improvement:.2f} "
+            f"(requires a consistent >= {improvement:.0%} speedup)"
+        )
+    slower = [e for e in comparison.entries if e.ratio > 1.0]
+    if slower:
+        blockers.append(
+            "scenario(s) slower than the baseline: "
+            + ", ".join(
+                f"{e.name}/{e.dataset} ({e.ratio:.2f}x)" for e in slower
+            )
+        )
+    return RatchetReport(
+        entries=comparison.entries,
+        geomean_ratio=geomean,
+        improvement=improvement,
+        blockers=tuple(blockers),
+    )
+
+
+def write_proposal(
+    current: dict[str, Any], out_dir: str | Path
+) -> Path:
+    """Write the current payload as the proposed refreshed baseline."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / "BENCH_end2end.baseline.proposed.json"
+    path.write_text(json.dumps(current, indent=2) + "\n")
+    return path

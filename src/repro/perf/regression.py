@@ -28,10 +28,13 @@ from repro.perf.harness import geomean, validate_bench_payload
 __all__ = [
     "DEFAULT_THRESHOLD",
     "THRESHOLD_ENV_VAR",
+    "MemoryReport",
     "RegressionEntry",
     "RegressionReport",
     "compare_end2end",
+    "format_entry_table",
     "load_payload",
+    "memory_report",
     "regression_threshold",
 ]
 
@@ -73,6 +76,20 @@ class RegressionEntry:
         return self.current_seconds / max(self.baseline_seconds, 1e-12)
 
 
+def format_entry_table(entries: tuple["RegressionEntry", ...]) -> list[str]:
+    """Fixed-width scenario/baseline/current/ratio rows, shared by the
+    regression and ratchet reports so the two outputs cannot drift."""
+    header = f"{'scenario':34s}{'baseline (s)':>14s}{'current (s)':>13s}{'ratio':>8s}"
+    lines = [header, "-" * len(header)]
+    for e in entries:
+        lines.append(
+            f"{e.name + '/' + e.dataset:34s}"
+            f"{e.baseline_seconds:14.4f}{e.current_seconds:13.4f}"
+            f"{e.ratio:8.2f}"
+        )
+    return lines
+
+
 @dataclass(frozen=True)
 class RegressionReport:
     """Outcome of one baseline comparison."""
@@ -109,15 +126,7 @@ class RegressionReport:
     def format(self) -> str:
         """Human-readable comparison table plus the verdict."""
         lines = ["Perf regression check (BENCH_end2end vs baseline)"]
-        header = f"{'scenario':34s}{'baseline (s)':>14s}{'current (s)':>13s}{'ratio':>8s}"
-        lines.append(header)
-        lines.append("-" * len(header))
-        for e in self.entries:
-            lines.append(
-                f"{e.name + '/' + e.dataset:34s}"
-                f"{e.baseline_seconds:14.4f}{e.current_seconds:13.4f}"
-                f"{e.ratio:8.2f}"
-            )
+        lines.extend(format_entry_table(self.entries))
         if self.entries:
             lines.append(
                 f"geomean ratio: {self.geomean_ratio:.3f} "
@@ -133,6 +142,76 @@ class RegressionReport:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class MemoryReport:
+    """Outcome of the out-of-core peak-RSS budget check (``bench-mem``).
+
+    One entry per ``out_of_core`` record in the payload; the check fails
+    when any record exceeded its in-worker RSS bound (``budget * 1.5 +
+    tolerance``) — or when the scenario is missing entirely, which would
+    silently disable the guard.
+    """
+
+    entries: tuple[dict[str, Any], ...]
+
+    @property
+    def failures(self) -> tuple[str, ...]:
+        out = []
+        if not self.entries:
+            out.append(
+                "no out_of_core scenario in the payload — the memory "
+                "guard has nothing to check (re-run `bench --quick`)"
+            )
+        for rec in self.entries:
+            extra = rec["extra"]
+            if not extra.get("within_budget"):
+                out.append(
+                    f"out_of_core/{rec['dataset']}: workload RSS "
+                    f"{extra['workload_rss_mb']:.1f} MiB exceeds the "
+                    f"{extra['rss_limit_mb']:.1f} MiB bound "
+                    f"(budget {extra['budget_mb']:.0f} MiB * 1.5 + "
+                    f"{extra['tolerance_mb']:.0f} MiB tolerance)"
+                )
+        return tuple(out)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def format(self) -> str:
+        """Human-readable peak-RSS table plus the verdict."""
+        lines = ["Memory-budget check (out_of_core peak RSS vs budget)"]
+        header = (
+            f"{'scenario':24s}{'dense (MB)':>11s}{'budget':>8s}"
+            f"{'workload RSS':>14s}{'bound':>8s}{'spilled':>9s}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for rec in self.entries:
+            extra = rec["extra"]
+            lines.append(
+                f"{'out_of_core/' + rec['dataset']:24s}"
+                f"{extra['dense_mb']:11.1f}{extra['budget_mb']:8.1f}"
+                f"{extra['workload_rss_mb']:14.1f}{extra['rss_limit_mb']:8.1f}"
+                f"{extra['spilled_mb']:8.1f}M"
+            )
+        if self.ok:
+            lines.append("OK: peak RSS within the memory budget")
+        else:
+            for failure in self.failures:
+                lines.append(f"FAIL: {failure}")
+        return "\n".join(lines)
+
+
+def memory_report(payload: dict[str, Any]) -> MemoryReport:
+    """Check a ``BENCH_end2end.json`` payload's out-of-core RSS verdicts."""
+    return MemoryReport(
+        entries=tuple(
+            r for r in payload["results"] if r["name"] == "out_of_core"
+        )
+    )
+
+
 def load_payload(path: str | Path) -> dict[str, Any]:
     """Read and schema-validate a ``BENCH_*.json`` payload."""
     with open(path) as fh:
@@ -143,6 +222,11 @@ def load_payload(path: str | Path) -> dict[str, Any]:
 
 def _keyed(payload: dict[str, Any]) -> dict[str, dict[str, Any]]:
     return {f"{r['name']}/{r['dataset']}": r for r in payload["results"]}
+
+
+def _scale_label(payload: dict[str, Any]) -> str:
+    """Human name of a payload's bench scale (the ``quick`` flag)."""
+    return "quick" if payload.get("quick") else "full"
 
 
 def compare_end2end(
@@ -174,15 +258,22 @@ def compare_end2end(
     for label, payload in (("current", current), ("baseline", baseline)):
         if payload.get("kind") != "end2end":
             extra_failures.append(f"{label} payload kind is not 'end2end'")
-    if current.get("quick") != baseline.get("quick"):
-        extra_failures.append(
-            f"scale mismatch: current quick={current.get('quick')} vs "
-            f"baseline quick={baseline.get('quick')} — wall times of "
-            "different bench scales are not comparable (re-run "
-            "`bench --quick`, or refresh the baseline)"
-        )
     cur, base = _keyed(current), _keyed(baseline)
+    if current.get("quick") != baseline.get("quick"):
+        cur_scale = _scale_label(current)
+        base_scale = _scale_label(baseline)
+        shared = ", ".join(sorted(k for k in base if k in cur)) or "(none)"
+        extra_failures.append(
+            f"scale mismatch: the current payload is {cur_scale}-scale but "
+            f"the baseline is {base_scale}-scale, so no scenario "
+            f"({shared}) has comparable wall times — re-run `bench "
+            f"--quick` for a {base_scale}-scale payload, or refresh the "
+            "baseline"
+        )
     entries = []
+    # Every mismatched scenario is reported, not just the first: after a
+    # bench retune the whole list of stale scenarios must be visible at
+    # once, or fixing them becomes a fail/refresh/fail loop.
     for key in base:
         if key not in cur:
             continue
@@ -191,10 +282,14 @@ def compare_end2end(
         # retuned without refreshing the baseline) would produce a
         # meaningless ratio — surface that instead of a bogus verdict.
         if (b["n_rows"], b["tau"]) != (c["n_rows"], c["tau"]):
+            fields = ", ".join(
+                f"{field}: baseline {b[field]} vs current {c[field]}"
+                for field in ("n_rows", "tau")
+                if b[field] != c[field]
+            )
             extra_failures.append(
-                f"workload mismatch for {key}: baseline "
-                f"(n_rows={b['n_rows']}, tau={b['tau']}) vs current "
-                f"(n_rows={c['n_rows']}, tau={c['tau']}) — refresh the baseline"
+                f"workload mismatch for scenario {key}: {fields} — "
+                "refresh the baseline"
             )
             continue
         entries.append(

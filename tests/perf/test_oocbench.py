@@ -1,0 +1,133 @@
+"""Tests for the out-of-core workload worker and the bench-mem guard."""
+
+import json
+
+import pytest
+
+from repro.perf.harness import SCHEMA_VERSION
+from repro.perf.oocbench import run_streaming_workload
+from repro.perf.regression import memory_report
+
+
+class TestStreamingWorkload:
+    @pytest.fixture(scope="class")
+    def record(self):
+        # Tiny configuration: a few KB of budget, sub-second runtime.
+        return run_streaming_workload(
+            budget_mb=0.05, batch_rows=256, shard_rows=64, seed=0
+        )
+
+    def test_record_shape(self, record):
+        for key in (
+            "rows", "steps", "dense_mb", "budget_mb", "baseline_rss_mb",
+            "peak_rss_mb", "workload_rss_mb", "rss_limit_mb", "within_budget",
+            "n_shards", "n_spilled_shards", "spilled_mb", "seconds",
+        ):
+            assert key in record, key
+        assert record["scenario"] == "out_of_core"
+        json.dumps(record)  # JSON-serializable as printed by the worker
+
+    def test_dataset_grew_past_budget_with_spills(self, record):
+        assert record["dense_mb"] > record["budget_mb"]
+        assert record["n_spilled_shards"] > 0
+        assert record["spilled_mb"] > 0
+        assert record["rows"] == (record["steps"] + 1) * 256
+
+    def test_rss_limit_formula(self, record):
+        assert record["rss_limit_mb"] == pytest.approx(
+            record["budget_mb"] * 1.5 + record["tolerance_mb"], abs=0.02
+        )
+        assert record["within_budget"] == (
+            record["workload_rss_mb"] <= record["rss_limit_mb"]
+        )
+
+
+def end2end_payload(*extras):
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "end2end",
+        "quick": True,
+        "seed": 42,
+        "python": "3.11",
+        "machine": "x86_64",
+        "results": [
+            {
+                "name": "out_of_core",
+                "dataset": "synthetic",
+                "n_rows": 1000,
+                "tau": 5,
+                "seconds": 1.0,
+                "iterations": 5,
+                "accepted_iterations": 5,
+                "n_added": 900,
+                "seconds_per_iteration": 0.2,
+                "extra": extra,
+            }
+            for extra in extras
+        ],
+        "summary": {},
+    }
+
+
+def ok_extra(**overrides):
+    extra = {
+        "dense_mb": 96.0,
+        "budget_mb": 24.0,
+        "tolerance_mb": 32.0,
+        "baseline_rss_mb": 80.0,
+        "peak_rss_mb": 140.0,
+        "workload_rss_mb": 60.0,
+        "rss_limit_mb": 68.0,
+        "within_budget": True,
+        "spilled_mb": 72.0,
+        "resident_mb": 24.0,
+    }
+    extra.update(overrides)
+    return extra
+
+
+class TestMemoryReport:
+    def test_within_budget_ok(self):
+        report = memory_report(end2end_payload(ok_extra()))
+        assert report.ok
+        assert "OK: peak RSS within the memory budget" in report.format()
+
+    def test_over_budget_fails_with_numbers(self):
+        report = memory_report(
+            end2end_payload(
+                ok_extra(within_budget=False, workload_rss_mb=160.0)
+            )
+        )
+        assert not report.ok
+        assert any("160.0 MiB exceeds the 68.0 MiB bound" in f for f in report.failures)
+
+    def test_missing_scenario_fails(self):
+        report = memory_report(end2end_payload())
+        assert not report.ok
+        assert any("no out_of_core scenario" in f for f in report.failures)
+
+
+class TestBenchMemCli:
+    def _write(self, tmp_path, payload):
+        (tmp_path / "BENCH_end2end.json").write_text(json.dumps(payload))
+
+    def test_pass_exits_zero(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        self._write(tmp_path, end2end_payload(ok_extra()))
+        assert main(["bench-mem", "--out-dir", str(tmp_path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_over_budget_exits_nonzero(self, tmp_path):
+        from repro.experiments.cli import main
+
+        self._write(tmp_path, end2end_payload(ok_extra(within_budget=False)))
+        with pytest.raises(SystemExit) as exc:
+            main(["bench-mem", "--out-dir", str(tmp_path)])
+        assert exc.value.code == 1
+
+    def test_missing_payload_errors(self, tmp_path):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit, match="not found"):
+            main(["bench-mem", "--out-dir", str(tmp_path / "nowhere")])

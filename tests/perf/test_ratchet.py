@@ -1,0 +1,181 @@
+"""Tests for the baseline-ratcheting proposal (bench-ratchet)."""
+
+import json
+
+import pytest
+
+from repro.perf.harness import SCHEMA_VERSION
+from repro.perf.ratchet import propose_ratchet, write_proposal
+
+
+def payload(*records, quick=True):
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "end2end",
+        "quick": quick,
+        "seed": 42,
+        "python": "3.11",
+        "machine": "x86_64",
+        "results": [
+            {
+                "name": name,
+                "dataset": dataset,
+                "n_rows": 100,
+                "tau": 5,
+                "seconds": seconds,
+                "iterations": 5,
+                "accepted_iterations": 2,
+                "n_added": 10,
+                "seconds_per_iteration": seconds / 5,
+                "extra": {},
+            }
+            for name, dataset, seconds in records
+        ],
+        "summary": {},
+    }
+
+
+BASE = payload(
+    ("session_edit", "synthetic", 1.0),
+    ("paper_pipeline_edit", "car", 2.0),
+    ("incremental_vs_rebuild", "synthetic", 0.5),
+)
+
+
+class TestProposeRatchet:
+    def test_consistent_speedup_ratchets(self):
+        current = payload(
+            ("session_edit", "synthetic", 0.7),
+            ("paper_pipeline_edit", "car", 1.5),
+            ("incremental_vs_rebuild", "synthetic", 0.4),
+        )
+        report = propose_ratchet(current, BASE, improvement=0.15)
+        assert report.should_ratchet
+        assert report.geomean_ratio < 0.85
+        assert "RATCHET" in report.format()
+        assert "Ratchet proposed" in report.markdown()
+
+    def test_identical_payloads_do_not_ratchet(self):
+        report = propose_ratchet(BASE, BASE, improvement=0.15)
+        assert not report.should_ratchet
+        assert any("geomean" in b for b in report.blockers)
+
+    def test_small_speedup_does_not_ratchet(self):
+        current = payload(
+            ("session_edit", "synthetic", 0.95),
+            ("paper_pipeline_edit", "car", 1.9),
+            ("incremental_vs_rebuild", "synthetic", 0.47),
+        )
+        assert not propose_ratchet(current, BASE, improvement=0.15).should_ratchet
+
+    def test_one_slower_scenario_blocks_even_with_big_geomean_win(self):
+        """'Consistently faster' means no scenario regressed — a large win
+        elsewhere must not freeze a regression into the new baseline."""
+        current = payload(
+            ("session_edit", "synthetic", 0.1),
+            ("paper_pipeline_edit", "car", 0.2),
+            ("incremental_vs_rebuild", "synthetic", 0.6),  # 1.2x slower
+        )
+        report = propose_ratchet(current, BASE, improvement=0.15)
+        assert report.geomean_ratio < 0.85
+        assert not report.should_ratchet
+        assert any("slower than the baseline" in b for b in report.blockers)
+        assert "incremental_vs_rebuild/synthetic" in "".join(report.blockers)
+
+    def test_scale_mismatch_blocks(self):
+        current = dict(
+            payload(
+                ("session_edit", "synthetic", 0.1),
+                ("paper_pipeline_edit", "car", 0.2),
+                ("incremental_vs_rebuild", "synthetic", 0.05),
+            ),
+            quick=False,
+        )
+        report = propose_ratchet(current, BASE, improvement=0.15)
+        assert not report.should_ratchet
+        assert any("scale mismatch" in b for b in report.blockers)
+
+    def test_missing_scenario_blocks(self):
+        current = payload(("session_edit", "synthetic", 0.1))
+        report = propose_ratchet(current, BASE, improvement=0.15)
+        assert not report.should_ratchet
+        assert any("missing" in b for b in report.blockers)
+
+    def test_invalid_improvement_raises(self):
+        with pytest.raises(ValueError, match="improvement"):
+            propose_ratchet(BASE, BASE, improvement=0.0)
+        with pytest.raises(ValueError, match="improvement"):
+            propose_ratchet(BASE, BASE, improvement=1.0)
+
+    def test_write_proposal_round_trips(self, tmp_path):
+        path = write_proposal(BASE, tmp_path / "ratchet")
+        assert path.name == "BENCH_end2end.baseline.proposed.json"
+        assert json.loads(path.read_text()) == BASE
+
+
+class TestBenchRatchetCli:
+    def _write(self, path, data):
+        path.write_text(json.dumps(data))
+        return path
+
+    def test_qualifying_run_writes_proposal_and_summary(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.experiments.cli import main
+
+        current = payload(
+            ("session_edit", "synthetic", 0.7),
+            ("paper_pipeline_edit", "car", 1.5),
+            ("incremental_vs_rebuild", "synthetic", 0.4),
+        )
+        self._write(tmp_path / "BENCH_end2end.json", current)
+        baseline = self._write(tmp_path / "baseline.json", BASE)
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        code = main(
+            [
+                "bench-ratchet",
+                "--out-dir", str(tmp_path),
+                "--baseline", str(baseline),
+                "--propose-dir", str(tmp_path / "ratchet"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RATCHET" in out
+        proposed = tmp_path / "ratchet" / "BENCH_end2end.baseline.proposed.json"
+        assert json.loads(proposed.read_text()) == current
+        assert "Ratchet proposed" in summary.read_text()
+
+    def test_non_qualifying_run_exits_zero_without_proposal(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.experiments.cli import main
+
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        self._write(tmp_path / "BENCH_end2end.json", BASE)
+        baseline = self._write(tmp_path / "baseline.json", BASE)
+        code = main(
+            [
+                "bench-ratchet",
+                "--out-dir", str(tmp_path),
+                "--baseline", str(baseline),
+                "--propose-dir", str(tmp_path / "ratchet"),
+            ]
+        )
+        assert code == 0
+        assert "no ratchet" in capsys.readouterr().out
+        assert not (tmp_path / "ratchet").exists()
+
+    def test_missing_baseline_errors(self, tmp_path):
+        from repro.experiments.cli import main
+
+        self._write(tmp_path / "BENCH_end2end.json", BASE)
+        with pytest.raises(SystemExit, match="baseline not found"):
+            main(
+                [
+                    "bench-ratchet",
+                    "--out-dir", str(tmp_path),
+                    "--baseline", str(tmp_path / "nope.json"),
+                ]
+            )

@@ -112,6 +112,18 @@ class TestCompareEnd2End:
         assert not report.ok
         assert any("scale mismatch" in f for f in report.failures)
 
+    def test_scale_mismatch_names_both_scale_labels_and_scenarios(self):
+        """The message must say which side is which scale — "quick" and
+        "full" by name, not raw booleans — and list the affected
+        scenarios, so the fix (re-run or refresh) is obvious."""
+        full = dict(BASE, quick=False)
+        report = compare_end2end(full, BASE, threshold=0.30)
+        [failure] = [f for f in report.failures if "scale mismatch" in f]
+        assert "current payload is full-scale" in failure
+        assert "baseline is quick-scale" in failure
+        assert "session_edit/synthetic" in failure
+        assert "True" not in failure and "False" not in failure
+
     def test_retuned_workload_fails_as_mismatch_not_regression(self):
         current = dict(BASE, results=[dict(r) for r in BASE["results"]])
         current["results"][0] = dict(
@@ -124,6 +136,30 @@ class TestCompareEnd2End:
         # The mismatched scenario is excluded from the ratio set.
         assert len(report.entries) == 2
         assert not any("geomean" in f for f in report.failures)
+
+    def test_workload_mismatch_names_scenario_and_values(self):
+        current = dict(BASE, results=[dict(r) for r in BASE["results"]])
+        current["results"][0] = dict(current["results"][0], n_rows=99999)
+        report = compare_end2end(current, BASE, threshold=0.30)
+        [failure] = [f for f in report.failures if "workload mismatch" in f]
+        assert "scenario session_edit/synthetic" in failure
+        assert "n_rows: baseline 100 vs current 99999" in failure
+        # The matching field is not blamed.
+        assert "tau" not in failure
+
+    def test_every_workload_mismatch_reported_not_just_the_first(self):
+        """Two retuned scenarios -> two named failures in one run, so a
+        bench retune surfaces the full refresh list at once."""
+        current = dict(BASE, results=[dict(r) for r in BASE["results"]])
+        current["results"][0] = dict(current["results"][0], n_rows=99999)
+        current["results"][2] = dict(current["results"][2], tau=50)
+        report = compare_end2end(current, BASE, threshold=0.30)
+        mismatches = [f for f in report.failures if "workload mismatch" in f]
+        assert len(mismatches) == 2
+        blob = "\n".join(mismatches)
+        assert "scenario session_edit/synthetic" in blob
+        assert "scenario incremental_vs_rebuild/synthetic" in blob
+        assert "tau: baseline 5 vs current 50" in blob
 
 
 class TestThreshold:
