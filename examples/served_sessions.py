@@ -1,0 +1,106 @@
+"""Served sessions: concurrent tenants, priorities, events, cancellation.
+
+Scenario: three teams submit model edits to one shared edit service at
+the same time.  Compliance has a hard deadline (high priority), product
+is routine (normal), and research is exploratory (low priority — and
+gets cancelled partway through when the exploration is called off).
+The service interleaves all three fairly under one memory budget while
+each team streams its own progress events.
+
+Run:  python examples/served_sessions.py
+"""
+
+import asyncio
+
+import repro
+from repro.datasets import load_dataset
+from repro.serve import EditService, SessionCancelled
+
+
+def make_session(rule: str, seed: int):
+    """One tenant's edit spec — exactly what EditSession.run() would use."""
+    data = load_dataset("adult", n=800, random_state=seed)
+    return (
+        repro.edit(data)
+        .with_rules(rule)
+        .with_algorithm("LR")
+        .configure(tau=12, q=0.5, eta=30, random_state=seed)
+    )
+
+
+TENANTS = [
+    # (name, rule, priority)
+    ("compliance", "age < 29 AND education = 'bachelors' => >50K", 3.0),
+    ("product", "hours-per-week > 55 => >50K", 1.0),
+    ("research", "education = 'doctorate' => >50K", 0.5),
+]
+
+
+async def stream_events(handle, cancel_after_iterations: int | None = None):
+    """Print a tenant's progress; optionally call off its run mid-flight."""
+    async for event in handle.events():
+        print(f"  [{handle.name:<10}] {event.kind:<12} iter={event.iteration}")
+        if (
+            cancel_after_iterations is not None
+            and event.iteration >= cancel_after_iterations
+        ):
+            print(f"  [{handle.name:<10}] -- exploration called off --")
+            handle.cancel(reason="exploration called off")
+
+
+async def main() -> None:
+    # One service for everyone: weighted-priority scheduling (compliance
+    # goes first, but fairness aging keeps research from starving) and a
+    # shared resident budget carved per session.
+    async with EditService(
+        policy="weighted-priority",
+        memory_budget_mb=256.0,
+        default_session_mb=64.0,
+    ) as service:
+        handles = [
+            service.submit(make_session(rule, seed=7 + i), name=name, priority=prio)
+            for i, (name, rule, prio) in enumerate(TENANTS)
+        ]
+
+        # Stream everyone's events; cancel research after 3 iterations.
+        watchers = [
+            asyncio.ensure_future(
+                stream_events(
+                    handle,
+                    cancel_after_iterations=3 if handle.name == "research" else None,
+                )
+            )
+            for handle in handles
+        ]
+        outcomes = await asyncio.gather(
+            *(handle.run_to_completion() for handle in handles),
+            return_exceptions=True,
+        )
+        await asyncio.gather(*watchers)
+
+        print("\nOutcomes:")
+        for handle, outcome in zip(handles, outcomes):
+            if isinstance(outcome, SessionCancelled):
+                print(f"  {handle.name:<10} cancelled ({outcome.reason})")
+            elif isinstance(outcome, BaseException):
+                print(f"  {handle.name:<10} failed: {outcome!r}")
+            else:
+                print(
+                    f"  {handle.name:<10} done: +{outcome.n_added} rows, "
+                    f"MRA {outcome.initial_evaluation.mra:.3f} -> "
+                    f"{outcome.final_evaluation.mra:.3f}"
+                )
+
+        stats = service.stats()
+        print(
+            f"\nService: {stats['n_completed']} completed, "
+            f"{stats['n_cancelled']} cancelled; "
+            f"step latency p50={stats['p50_step_ms']:.1f} ms "
+            f"p99={stats['p99_step_ms']:.1f} ms; "
+            f"peak pool {stats['peak_reserved_mb']:.0f}/"
+            f"{stats['pool_mb']:.0f} MiB"
+        )
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -416,11 +416,14 @@ class EditEngine:
             state.stage_seconds[type(stage).__name__] = time.perf_counter() - t0
         return state
 
-    def run(self, state: EditState):
-        """Initialize, loop to completion, and package the result."""
-        self.initialize(state)
-        while not state.done:
-            self.step(state)
+    def finalize(self, state: EditState):
+        """Score the final dataset, emit ``finished``, package the result.
+
+        Exposed separately from :meth:`run` so external drivers — the
+        async serving layer interleaves many sessions at
+        :meth:`initialize`/:meth:`step`/:meth:`finalize` granularity —
+        can reproduce ``run()`` exactly, one quantum at a time.
+        """
         # The delta-aware prediction cache was seeded by the last accepted
         # batch, so this costs one pass over at most the appended rows in
         # incremental mode (and matches evaluate_model exactly otherwise).
@@ -433,3 +436,10 @@ class EditEngine:
         state.stage_seconds = {}
         state.emit("finished")
         return state.to_result(final_evaluation)
+
+    def run(self, state: EditState):
+        """Initialize, loop to completion, and package the result."""
+        self.initialize(state)
+        while not state.done:
+            self.step(state)
+        return self.finalize(state)

@@ -11,6 +11,7 @@ session listeners — the generalization of the old single ``eval_callback``.
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -187,6 +188,13 @@ class EditState:
     # Notifications.
     eval_callback: Callable[[Any], float] | None = None
     listeners: list[EventListener] = field(default_factory=list)
+    #: ``(event kind, exception)`` pairs from listeners that raised during
+    #: :meth:`emit`.  Listener failures are *isolated*: the engine's own
+    #: bookkeeping (history append, iteration advance, cache seeding) must
+    #: never be corrupted by observer code, so exceptions are recorded here
+    #: (and warned about once per listener) instead of propagating mid-step.
+    listener_errors: list[tuple[str, Exception]] = field(default_factory=list)
+    _warned_listener_ids: set = field(default_factory=set, repr=False)
 
     # ------------------------------------------------------------------ #
     @property
@@ -371,7 +379,15 @@ class EditState:
         return self.objective(evaluation, self.config)
 
     def emit(self, kind: str, record: IterationRecord | None = None) -> None:
-        """Notify all listeners; listeners must not raise."""
+        """Notify all listeners, isolating any that raise.
+
+        A listener exception must not corrupt engine state mid-step
+        (events fire between a history append and the iteration advance,
+        and the serving layer fans them out to per-session queues), so
+        failures are swallowed into :attr:`listener_errors` and reported
+        via a :class:`RuntimeWarning` once per listener; every remaining
+        listener still sees the event.
+        """
         if not self.listeners:
             return
         event = ProgressEvent(
@@ -384,7 +400,19 @@ class EditState:
             stage_seconds=dict(self.stage_seconds) if self.stage_seconds else None,
         )
         for listener in self.listeners:
-            listener(event)
+            try:
+                listener(event)
+            except Exception as exc:
+                self.listener_errors.append((kind, exc))
+                if id(listener) not in self._warned_listener_ids:
+                    self._warned_listener_ids.add(id(listener))
+                    warnings.warn(
+                        f"progress listener {listener!r} raised "
+                        f"{type(exc).__name__}: {exc} (event {kind!r}); "
+                        "suppressed — listeners must not affect the edit loop",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
 
     def to_result(self, final_evaluation: Any) -> FroteResult:
         return FroteResult(

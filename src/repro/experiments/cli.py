@@ -143,6 +143,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: current directory, i.e. the repo root)",
     )
     parser.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="SCENARIO",
+        help="bench: run only this end2end scenario (repeatable; skips the "
+        "hot-path suite). The written BENCH_end2end.json is then partial — "
+        "use a dedicated --out-dir, not the bench-check baseline workflow",
+    )
+    parser.add_argument(
         "--scale",
         default="bench",
         choices=("smoke", "bench", "paper"),
@@ -245,21 +254,27 @@ def run_bench(args: argparse.Namespace) -> tuple[list[dict], str]:
         write_hotpaths_json,
     )
 
-    hot = run_hotpath_benchmarks(quick=args.quick, seed=args.seed)
-    hot_path = write_hotpaths_json(
-        hot, out_dir=args.out_dir, quick=args.quick, seed=args.seed
-    )
-    e2e = run_end2end_benchmarks(quick=args.quick, seed=args.seed)
+    only = getattr(args, "only", None)
+    sections = []
+    hot: list = []
+    if only is None:
+        hot = run_hotpath_benchmarks(quick=args.quick, seed=args.seed)
+        hot_path = write_hotpaths_json(
+            hot, out_dir=args.out_dir, quick=args.quick, seed=args.seed
+        )
+    e2e = run_end2end_benchmarks(quick=args.quick, seed=args.seed, only=only)
     e2e_path = write_end2end_json(
         e2e, out_dir=args.out_dir, quick=args.quick, seed=args.seed
     )
     mode = "quick" if args.quick else "full"
-    text = "\n\n".join(
-        [
-            format_records(hot, f"Hot-path benchmarks ({mode}) -> {hot_path}"),
-            format_records(e2e, f"End-to-end benchmarks ({mode}) -> {e2e_path}"),
-        ]
+    if only is None:
+        sections.append(
+            format_records(hot, f"Hot-path benchmarks ({mode}) -> {hot_path}")
+        )
+    sections.append(
+        format_records(e2e, f"End-to-end benchmarks ({mode}) -> {e2e_path}")
     )
+    text = "\n\n".join(sections)
     return [asdict(r) for r in hot] + [asdict(r) for r in e2e], text
 
 

@@ -77,7 +77,12 @@ class TableModel:
     # Incremental refits (the engine's opt-in `incremental=True` path).
     @property
     def supports_partial_update(self) -> bool:
-        """Whether :meth:`partial_update` is an *exact* refit shortcut.
+        """Whether :meth:`partial_update` is an exact delta shortcut.
+
+        "Exact" in the estimator's own contract: a refit-equivalent for
+        memory/moment models (KNN, GaussianNB), an exact *online-training
+        continuation* for SGD models (``OnlineLogisticRegression`` —
+        the supplement's approximation; see its ``partial_update``).
 
         Three conditions: the estimator implements the partial-update
         protocol (``supports_partial_update`` + ``partial_update`` +

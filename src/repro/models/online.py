@@ -32,6 +32,12 @@ class OnlineLogisticRegression:
         Shuffle sample order per epoch in :meth:`fit`.
     """
 
+    #: Partial-refit protocol: an accepted batch *continues online
+    #: training* (one deterministic AdaGrad pass) instead of refitting
+    #: from scratch — the FROTE supplement's online approximation.  See
+    #: :meth:`partial_update` for the exactness contract.
+    supports_partial_update = True
+
     def __init__(
         self,
         learning_rate: float = 0.5,
@@ -108,6 +114,53 @@ class OnlineLogisticRegression:
             order = rng.permutation(X.shape[0]) if self.shuffle else np.arange(X.shape[0])
             self.partial_fit(X[order], y[order], n_classes=n_classes)
         return self
+
+    # ------------------------------------------------------------------ #
+    # Incremental refits (the engine's opt-in `incremental=True` path).
+    def partial_update(
+        self, X_new: np.ndarray, y_new: np.ndarray
+    ) -> "OnlineLogisticRegression":
+        """Continue online training on the appended rows, in place.
+
+        **Exactness contract.**  ``partial_update(X, y)`` is bit-identical
+        to ``partial_fit(X, y)`` on the same fitted state: one
+        mini-batched AdaGrad pass over the rows *in the given order* —
+        deterministic, no shuffling, no RNG consumed.  Unlike
+        :meth:`KNeighborsClassifier.partial_update` (exact refit) or
+        :meth:`GaussianNB.partial_update` (exact moment merge), it is
+        **not** equivalent to ``fit`` on the concatenated data: SGD is
+        path-dependent, so weights depend on arrival order and epoch
+        count.  This is precisely the FROTE supplement's online-learning
+        approximation — fold each accepted batch into the running model
+        instead of retraining — and the engine's delta path reproduces
+        the *online* training trajectory exactly, batch for batch.
+
+        Parameters
+        ----------
+        X_new : ndarray of shape (n_new, n_features)
+            Appended (encoded) feature rows.
+        y_new : ndarray of shape (n_new,)
+            Their labels (codes within the fitted ``n_classes_``).
+        """
+        if self.W_ is None or self.n_classes_ is None:
+            raise RuntimeError("OnlineLogisticRegression is not fitted")
+        return self.partial_fit(X_new, y_new, n_classes=self.n_classes_)
+
+    def checkpoint(self):
+        """State token — copies of ``(W_, _grad_sq)`` — for :meth:`rollback`."""
+        if self.W_ is None or self._grad_sq is None:
+            raise RuntimeError("OnlineLogisticRegression is not fitted")
+        return (self.W_.copy(), self._grad_sq.copy())
+
+    def rollback(self, token) -> None:
+        """Restore the state captured by :meth:`checkpoint`.
+
+        Copies the token's arrays (updates mutate ``_grad_sq`` in place),
+        so one token survives any number of rollbacks.
+        """
+        W, grad_sq = token
+        self.W_ = W.copy()
+        self._grad_sq = grad_sq.copy()
 
     def clone_state(self) -> "OnlineLogisticRegression":
         """Deep copy of the fitted state (for what-if updates)."""

@@ -273,7 +273,7 @@ def _run_out_of_core(
 
 
 def run_end2end_benchmarks(
-    *, quick: bool = False, seed: int = 42
+    *, quick: bool = False, seed: int = 42, only: list[str] | None = None
 ) -> list[End2EndRecord]:
     """Run the end-to-end benchmarks and return the records.
 
@@ -284,7 +284,13 @@ def run_end2end_benchmarks(
         configuration (a few seconds total).
     seed : int, default 42
         Seed for dataset generation, FRS draws, and the edit loops.
+    only : list of str, optional
+        Scenario names to run (default: all).  Unknown names raise
+        ``ValueError`` so a typo in CI fails loudly instead of silently
+        benchmarking nothing.
     """
+    from repro.perf.servebench import run_serving_bench
+
     if quick:
         n_syn, n_real, tau = 1200, 400, 6
         n_ivr, batch_ivr, steps_ivr = 6000, 60, 6
@@ -293,14 +299,28 @@ def run_end2end_benchmarks(
         n_syn, n_real, tau = 5000, 1200, 20
         n_ivr, batch_ivr, steps_ivr = 30000, 150, 10
         ooc_budget, ooc_batch = 48.0, 16384
-    return [
-        _run_synthetic(n=n_syn, tau=tau, seed=seed),
-        _run_paper_pipeline(dataset_name="car", n=n_real, tau=tau, seed=seed),
-        _run_incremental_vs_rebuild(
+    scenarios = {
+        "session_edit": lambda: _run_synthetic(n=n_syn, tau=tau, seed=seed),
+        "paper_pipeline_edit": lambda: _run_paper_pipeline(
+            dataset_name="car", n=n_real, tau=tau, seed=seed
+        ),
+        "incremental_vs_rebuild": lambda: _run_incremental_vs_rebuild(
             n=n_ivr, batch_size=batch_ivr, steps=steps_ivr, seed=seed
         ),
-        _run_out_of_core(
+        "out_of_core": lambda: _run_out_of_core(
             budget_mb=ooc_budget, batch_rows=ooc_batch, shard_rows=16384,
             seed=seed,
         ),
-    ]
+        "serving": lambda: run_serving_bench(quick=quick, seed=seed),
+    }
+    if only is not None:
+        unknown = [name for name in only if name not in scenarios]
+        if unknown:
+            raise ValueError(
+                f"unknown end2end scenario(s) {unknown}; "
+                f"known: {sorted(scenarios)}"
+            )
+        selected = [name for name in scenarios if name in set(only)]
+    else:
+        selected = list(scenarios)
+    return [scenarios[name]() for name in selected]

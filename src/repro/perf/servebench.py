@@ -1,0 +1,142 @@
+"""Serving benchmark: N concurrent edit sessions through ``repro.serve``.
+
+Measures what the serving layer is *for* — multi-tenant throughput and
+tail latency: submit ``n_sessions`` independent edit sessions with
+mixed priorities to one :class:`~repro.serve.service.EditService`
+under a shared resident-byte budget, drive them all concurrently, and
+report sessions/sec plus p50/p99 engine-step latency.  The pool's
+high-water mark (``peak_reserved_mb``) doubles as the CI guard that
+the shared budget was never exceeded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import repro
+from repro.perf.harness import End2EndRecord
+
+
+def _session_spec(n: int, tau: int, seed: int):
+    """One tenant's edit session over its own synthetic dataset."""
+    from repro.perf.end2end import _synthetic_dataset
+
+    dataset = _synthetic_dataset(n, seed)
+    return (
+        repro.edit(dataset)
+        .with_rules(
+            "age < 35 => approve",
+            "income < 40 AND marital = 'single' => deny",
+        )
+        .with_algorithm("LR")
+        .configure(tau=tau, q=0.5, random_state=seed)
+    )
+
+
+async def _serve_fleet(
+    *,
+    n_sessions: int,
+    n: int,
+    tau: int,
+    seed: int,
+    pool_mb: float,
+    session_mb: float,
+    policy: str,
+) -> dict:
+    """Submit and drive the fleet; return outcomes plus service stats."""
+    from repro.serve import EditService
+
+    service = EditService(
+        policy=policy,
+        memory_budget_mb=pool_mb,
+        default_session_mb=session_mb,
+    )
+    handles = [
+        service.submit(
+            _session_spec(n, tau, seed + i),
+            name=f"tenant-{i}",
+            priority=1.0 + (i % 3),  # mixed priorities: 1, 2, 3
+        )
+        for i in range(n_sessions)
+    ]
+    results = await asyncio.gather(*(h.run_to_completion() for h in handles))
+    stats = service.stats()
+    stats["results"] = results
+    stats["reserved_after_mb"] = service.pool.reserved_mb
+    stats["max_concurrent"] = service.scheduler.max_concurrent
+    return stats
+
+
+def run_serving_bench(*, quick: bool = False, seed: int = 42) -> End2EndRecord:
+    """Benchmark concurrent serving and return its ``serving`` record.
+
+    Parameters
+    ----------
+    quick : bool, default False
+        CI scale: 8 sessions on small datasets.  Full scale runs 12
+        sessions on larger ones.
+    seed : int, default 42
+        Base seed; session *i* uses ``seed + i``.
+
+    Returns
+    -------
+    End2EndRecord
+        ``extra`` carries the serving metrics: ``sessions_per_sec``,
+        ``p50_step_ms`` / ``p99_step_ms``, ``n_sessions``, ``pool_mb``,
+        ``peak_reserved_mb``, and ``within_budget`` (the shared-budget
+        guard read by ``bench-check``'s memory report).
+    """
+    if quick:
+        n_sessions, n, tau = 8, 400, 5
+    else:
+        n_sessions, n, tau = 12, 900, 8
+    pool_mb = 16.0 * n_sessions
+    session_mb = 16.0
+    policy = "weighted-priority"
+
+    t0 = time.perf_counter()
+    stats = asyncio.run(
+        _serve_fleet(
+            n_sessions=n_sessions,
+            n=n,
+            tau=tau,
+            seed=seed,
+            pool_mb=pool_mb,
+            session_mb=session_mb,
+            policy=policy,
+        )
+    )
+    seconds = time.perf_counter() - t0
+    results = stats.pop("results")
+    iterations = sum(r.iterations for r in results)
+    within_budget = (
+        stats["peak_reserved_mb"] <= pool_mb + 1e-9
+        and stats["reserved_after_mb"] <= 1e-9
+        and stats["n_completed"] == n_sessions
+    )
+    return End2EndRecord(
+        name="serving",
+        dataset="synthetic",
+        n_rows=n_sessions * n,
+        tau=tau,
+        seconds=seconds,
+        iterations=iterations,
+        accepted_iterations=sum(r.accepted_iterations for r in results),
+        n_added=sum(r.n_added for r in results),
+        seconds_per_iteration=seconds / max(iterations, 1),
+        extra={
+            "n_sessions": n_sessions,
+            "sessions_per_sec": n_sessions / max(seconds, 1e-12),
+            "p50_step_ms": stats["p50_step_ms"],
+            "p99_step_ms": stats["p99_step_ms"],
+            "steps_total": stats["steps_total"],
+            "pool_mb": pool_mb,
+            "session_mb": session_mb,
+            "peak_reserved_mb": stats["peak_reserved_mb"],
+            "within_budget": within_budget,
+            "policy": policy,
+            "max_concurrent": stats["max_concurrent"],
+            "model": "LR",
+        },
+    )

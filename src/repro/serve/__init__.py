@@ -1,0 +1,73 @@
+"""Multi-tenant async serving layer for FROTE edit sessions.
+
+``repro.serve`` promotes :class:`~repro.engine.session.EditSession`
+from a library object to a served workload: an asyncio
+:class:`EditService` admits many sessions, a cooperative
+:class:`SessionScheduler` interleaves them at engine-quantum
+granularity (setup / step / finalize, each in a worker thread), and an
+:class:`AdmissionController` applies backpressure — a bounded
+submission queue plus a shared resident-byte :class:`MemoryPool` that
+composes with the data layer's ``max_resident_mb`` out-of-core spill.
+
+Quick start::
+
+    import asyncio, repro
+    from repro.serve import EditService
+
+    async def main():
+        service = EditService(memory_budget_mb=128.0)
+        handle = service.submit(
+            repro.edit(data).with_rules(rule).with_algorithm("LR")
+        )
+        return await handle.run_to_completion()
+
+    result = asyncio.run(main())
+
+Served execution is bit-identical to ``EditSession.run()`` — see
+``docs/architecture.md`` ("Serving layer") and the parity tests in
+``tests/serve/``.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionError,
+    MemoryGrant,
+    MemoryPool,
+)
+from repro.serve.scheduler import (
+    SCHEDULING_POLICIES,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    SessionScheduler,
+    SessionTicket,
+    WeightedPriorityPolicy,
+    default_max_concurrent,
+    register_policy,
+)
+from repro.serve.service import (
+    EditService,
+    ServeError,
+    SessionCancelled,
+    SessionHandle,
+    SessionView,
+)
+
+__all__ = [
+    "EditService",
+    "SessionHandle",
+    "SessionView",
+    "ServeError",
+    "SessionCancelled",
+    "SessionScheduler",
+    "SessionTicket",
+    "SchedulingPolicy",
+    "SCHEDULING_POLICIES",
+    "register_policy",
+    "RoundRobinPolicy",
+    "WeightedPriorityPolicy",
+    "default_max_concurrent",
+    "AdmissionController",
+    "AdmissionError",
+    "MemoryGrant",
+    "MemoryPool",
+]

@@ -1,0 +1,213 @@
+"""Admission control and backpressure for the edit service.
+
+The service's resources are finite on two axes and this module guards
+both:
+
+* **Resident bytes** — a :class:`MemoryPool` holds the service-wide
+  budget (MiB); every admitted session carves a per-session budget out
+  of it.  The carved amount becomes the session's
+  ``FroteConfig(max_resident_mb=...)``, so the out-of-core machinery of
+  the data layer (sharded builders, LRU spill) enforces per-session
+  what the pool accounts for service-wide: the sum of admitted budgets
+  never exceeds the pool.
+* **Concurrency** — at most ``max_active`` sessions hold a grant at
+  once, and at most ``max_pending`` may wait for one.  A submit beyond
+  the pending bound fails *immediately* with :class:`AdmissionError`
+  (backpressure to the caller) instead of queueing unboundedly.
+
+Grants are issued strictly in arrival order (FIFO): a small session
+never overtakes a large one, so a large request cannot be starved by a
+stream of small ones.  All bookkeeping happens synchronously on the
+event loop thread — :meth:`AdmissionController.request` either grants,
+enqueues, or rejects before it returns — so no locks are needed and
+the pool's accounting is exact by construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass
+
+
+class AdmissionError(RuntimeError):
+    """The service refused a submission (queue full or impossible request)."""
+
+
+@dataclass
+class MemoryPool:
+    """Service-wide resident-byte budget, accounted in MiB.
+
+    Parameters
+    ----------
+    total_mb:
+        The shared budget.  Per-session carve-outs are reserved against
+        it on admission and released when the session reaches a terminal
+        state.
+
+    Attributes
+    ----------
+    reserved_mb:
+        Sum of currently admitted sessions' budgets.
+    peak_reserved_mb:
+        High-water mark of :attr:`reserved_mb` — the serving benchmark's
+        "never exceeded the shared budget" assertion reads this.
+    """
+
+    total_mb: float
+    reserved_mb: float = 0.0
+    peak_reserved_mb: float = 0.0
+
+    def fits(self, mb: float) -> bool:
+        """Whether a reservation of ``mb`` MiB fits right now."""
+        return self.reserved_mb + mb <= self.total_mb + 1e-9
+
+    def reserve(self, mb: float) -> None:
+        """Carve ``mb`` MiB out of the pool (caller checked :meth:`fits`)."""
+        if not self.fits(mb):
+            raise AdmissionError(
+                f"cannot reserve {mb:.1f} MiB: {self.reserved_mb:.1f} of "
+                f"{self.total_mb:.1f} MiB already reserved"
+            )
+        self.reserved_mb += mb
+        self.peak_reserved_mb = max(self.peak_reserved_mb, self.reserved_mb)
+
+    def release(self, mb: float) -> None:
+        """Return a reservation to the pool."""
+        self.reserved_mb = max(0.0, self.reserved_mb - mb)
+
+
+@dataclass(frozen=True)
+class MemoryGrant:
+    """A session's admitted carve-out (``mb == 0`` when no pool is set)."""
+
+    mb: float
+
+
+@dataclass
+class _Waiter:
+    """One submission waiting for admission."""
+
+    required_mb: float
+    future: asyncio.Future
+
+
+class AdmissionController:
+    """FIFO admission: bounded waiting, byte-pool carving, active cap.
+
+    Parameters
+    ----------
+    pool:
+        Shared :class:`MemoryPool`, or ``None`` to admit on concurrency
+        alone (grants then carry ``mb=0``).
+    max_active:
+        Maximum sessions holding a grant at once.
+    max_pending:
+        Maximum sessions waiting for a grant; a submission past this
+        bound raises :class:`AdmissionError` immediately.
+    """
+
+    def __init__(
+        self,
+        *,
+        pool: MemoryPool | None = None,
+        max_active: int = 64,
+        max_pending: int = 64,
+    ) -> None:
+        if max_active < 1:
+            raise ValueError(f"max_active must be >= 1, got {max_active}")
+        if max_pending < 0:
+            raise ValueError(f"max_pending must be >= 0, got {max_pending}")
+        self.pool = pool
+        self.max_active = max_active
+        self.max_pending = max_pending
+        self.n_active = 0
+        self.n_rejected = 0
+        self._waiters: deque[_Waiter] = deque()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_pending(self) -> int:
+        """Sessions currently waiting for a grant."""
+        return len(self._waiters)
+
+    def _fits_now(self, required_mb: float) -> bool:
+        if self.n_active >= self.max_active:
+            return False
+        return self.pool is None or self.pool.fits(required_mb)
+
+    def _grant(self, required_mb: float) -> MemoryGrant:
+        if self.pool is not None:
+            self.pool.reserve(required_mb)
+        self.n_active += 1
+        return MemoryGrant(mb=required_mb if self.pool is not None else 0.0)
+
+    def request(self, required_mb: float = 0.0) -> "asyncio.Future[MemoryGrant]":
+        """Request admission; the returned future resolves to the grant.
+
+        Synchronous bookkeeping: on return the request has either been
+        granted (future already done), parked in the bounded FIFO queue,
+        or rejected.  Cancelling the future abandons the spot in line.
+
+        Raises
+        ------
+        AdmissionError
+            When the request can never fit (larger than the whole pool)
+            or the bounded pending queue is already full.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        if self.pool is not None and required_mb > self.pool.total_mb + 1e-9:
+            self.n_rejected += 1
+            raise AdmissionError(
+                f"session budget {required_mb:.1f} MiB exceeds the service "
+                f"pool ({self.pool.total_mb:.1f} MiB); it can never be "
+                "admitted"
+            )
+        # FIFO: even a request that fits right now queues behind waiters.
+        if not self._waiters and self._fits_now(required_mb):
+            future.set_result(self._grant(required_mb))
+            return future
+        self._prune_cancelled()
+        if len(self._waiters) >= self.max_pending:
+            self.n_rejected += 1
+            raise AdmissionError(
+                f"submission queue full ({self.max_pending} pending); "
+                "retry after a session completes"
+            )
+        self._waiters.append(_Waiter(required_mb, future))
+        return future
+
+    async def acquire(self, required_mb: float = 0.0) -> MemoryGrant:
+        """Await admission (convenience wrapper over :meth:`request`)."""
+        future = self.request(required_mb)
+        try:
+            return await future
+        except asyncio.CancelledError:
+            if future.done() and not future.cancelled():
+                self.release(future.result())  # granted in the same tick
+            else:
+                future.cancel()
+            raise
+
+    def release(self, grant: MemoryGrant) -> None:
+        """Return a grant and pump the FIFO queue."""
+        self.n_active = max(0, self.n_active - 1)
+        if self.pool is not None:
+            self.pool.release(grant.mb)
+        self._pump()
+
+    def _prune_cancelled(self) -> None:
+        if any(w.future.cancelled() for w in self._waiters):
+            self._waiters = deque(
+                w for w in self._waiters if not w.future.cancelled()
+            )
+
+    def _pump(self) -> None:
+        """Grant the queue head(s) while they fit — strictly in order."""
+        self._prune_cancelled()
+        while self._waiters and self._fits_now(self._waiters[0].required_mb):
+            waiter = self._waiters.popleft()
+            if waiter.future.cancelled():
+                continue
+            waiter.future.set_result(self._grant(waiter.required_mb))

@@ -1,10 +1,13 @@
-"""Partial model refits reproduce fresh fits.
+"""Partial model refits honour each estimator's exactness contract.
 
 KNN's training state IS its data, so ``partial_update`` is exactly a
 refit (bit-identical probabilities).  GaussianNB folds exactly-merged
 moments, so parameters agree to floating-point rounding and predictions
 agree wherever posteriors are not exactly tied (randomized workloads:
-everywhere).
+everywhere).  OnlineLogisticRegression's contract is different in kind:
+``partial_update`` is bit-identical to *continuing online training*
+(``partial_fit``) — deterministic, order-dependent — and explicitly NOT
+a from-scratch refit.
 """
 
 import numpy as np
@@ -13,6 +16,7 @@ import pytest
 from repro.data import Dataset, Table, make_schema
 from repro.models import GaussianNB, KNeighborsClassifier
 from repro.models.base import TableModel
+from repro.models.online import OnlineLogisticRegression
 
 
 def random_xy(n, seed, d=6, n_classes=3):
@@ -108,6 +112,65 @@ class TestGaussianNBPartialUpdate:
         np.testing.assert_array_equal(inc.class_log_prior_, base.class_log_prior_)
 
 
+class TestOnlineLRPartialUpdate:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bit_identical_to_partial_fit_continuation(self, seed):
+        """The contract: partial_update == continuing online training."""
+        X, y = random_xy(300, seed)
+        Xq, _ = random_xy(100, seed + 10)
+        served = OnlineLogisticRegression(random_state=seed).fit(X, y, n_classes=3)
+        reference = served.clone_state()
+        for step in range(4):
+            Xb, yb = random_xy(20 + 5 * step, seed + 20 + step)
+            served.partial_update(Xb, yb)
+            reference.partial_fit(Xb, yb, n_classes=3)
+            np.testing.assert_array_equal(served.W_, reference.W_)
+            np.testing.assert_array_equal(served._grad_sq, reference._grad_sq)
+        np.testing.assert_array_equal(
+            served.predict_proba(Xq), reference.predict_proba(Xq)
+        )
+
+    def test_deterministic_and_rng_free(self):
+        """No RNG is consumed: two updates from the same state agree."""
+        X, y = random_xy(200, 3)
+        Xb, yb = random_xy(40, 4)
+        a = OnlineLogisticRegression(shuffle=True).fit(X, y, n_classes=3)
+        b = a.clone_state()
+        a.partial_update(Xb, yb)
+        b.partial_update(Xb, yb)
+        np.testing.assert_array_equal(a.W_, b.W_)
+
+    def test_not_a_from_scratch_refit(self):
+        """SGD is path-dependent: the contract is continuation, not refit."""
+        X, y = random_xy(300, 5)
+        Xb, yb = random_xy(60, 6)
+        inc = OnlineLogisticRegression(random_state=0).fit(X, y, n_classes=3)
+        inc.partial_update(Xb, yb)
+        full = OnlineLogisticRegression(random_state=0).fit(
+            np.concatenate([X, Xb]), np.concatenate([y, yb]), n_classes=3
+        )
+        assert not np.array_equal(inc.W_, full.W_)
+
+    def test_rollback_restores_exactly_and_token_is_reusable(self):
+        X, y = random_xy(150, 7)
+        inc = OnlineLogisticRegression().fit(X, y, n_classes=3)
+        W0, g0 = inc.W_.copy(), inc._grad_sq.copy()
+        token = inc.checkpoint()
+        for _ in range(2):  # two rejected candidates against one token
+            Xb, yb = random_xy(25, 8)
+            inc.partial_update(Xb, yb)
+            inc.rollback(token)
+        np.testing.assert_array_equal(inc.W_, W0)
+        np.testing.assert_array_equal(inc._grad_sq, g0)
+
+    def test_unfitted_raises(self):
+        model = OnlineLogisticRegression()
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model.partial_update(*random_xy(5, 9))
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model.checkpoint()
+
+
 SCHEMA = make_schema(numeric=["a", "b"], categorical={"c": ("x", "y", "z")})
 
 
@@ -158,6 +221,28 @@ class TestTableModelPartialUpdate:
         ds = Dataset(ds.X, np.zeros(ds.n, dtype=np.int64), ds.label_names)
         model = TableModel(KNeighborsClassifier(k=3), standardize=False).fit(ds)
         assert not model.supports_partial_update
+
+    def test_online_lr_continuation_through_encoder(self):
+        base, delta = table_dataset(250, 10), table_dataset(30, 11)
+        inc = TableModel(
+            OnlineLogisticRegression(random_state=0), standardize=False
+        ).fit(base)
+        assert inc.supports_partial_update
+        ref = TableModel(
+            OnlineLogisticRegression(random_state=0), standardize=False
+        ).fit(base)
+        token = inc.checkpoint()
+        inc.partial_update(delta)
+        ref.estimator.partial_fit(
+            ref.encoder_.transform(delta.X), delta.y, n_classes=base.n_classes
+        )
+        np.testing.assert_array_equal(inc.estimator.W_, ref.estimator.W_)
+        inc.rollback(token)
+        np.testing.assert_array_equal(
+            inc.estimator.W_, TableModel(
+                OnlineLogisticRegression(random_state=0), standardize=False
+            ).fit(base).estimator.W_,
+        )
 
     def test_checkpoint_rollback_through_table_model(self):
         base = table_dataset(200, 6)

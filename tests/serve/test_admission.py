@@ -1,0 +1,131 @@
+"""AdmissionController: pool accounting, FIFO grants, bounded queue."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve import AdmissionController, AdmissionError, MemoryPool
+
+
+class TestMemoryPool:
+    def test_reserve_release_and_peak(self):
+        pool = MemoryPool(100.0)
+        pool.reserve(60.0)
+        pool.reserve(40.0)
+        assert pool.reserved_mb == 100.0
+        assert not pool.fits(0.1)
+        pool.release(40.0)
+        assert pool.reserved_mb == 60.0
+        assert pool.peak_reserved_mb == 100.0  # high-water mark sticks
+
+    def test_over_reserve_raises(self):
+        pool = MemoryPool(10.0)
+        pool.reserve(8.0)
+        with pytest.raises(AdmissionError, match="cannot reserve"):
+            pool.reserve(4.0)
+
+    def test_release_floors_at_zero(self):
+        pool = MemoryPool(10.0)
+        pool.reserve(5.0)
+        pool.release(9.0)
+        assert pool.reserved_mb == 0.0
+
+
+class TestAdmissionController:
+    def test_grants_immediately_when_free(self):
+        async def main():
+            ctrl = AdmissionController(pool=MemoryPool(32.0))
+            grant = await ctrl.acquire(16.0)
+            assert ctrl.n_active == 1
+            assert ctrl.pool.reserved_mb == 16.0
+            ctrl.release(grant)
+            assert ctrl.n_active == 0
+            assert ctrl.pool.reserved_mb == 0.0
+
+        asyncio.run(main())
+
+    def test_fifo_no_small_request_overtaking(self):
+        """A later small request must not jump a queued large one."""
+
+        async def main():
+            ctrl = AdmissionController(pool=MemoryPool(32.0))
+            first = await ctrl.acquire(24.0)
+            big = asyncio.ensure_future(ctrl.acquire(24.0))  # doesn't fit yet
+            small = asyncio.ensure_future(ctrl.acquire(4.0))  # would fit now
+            await asyncio.sleep(0)
+            assert not big.done() and not small.done()
+            ctrl.release(first)
+            grant_big = await big
+            assert small.done()  # pumped right behind big (24 + 4 <= 32)
+            ctrl.release(grant_big)
+            ctrl.release(await small)
+            assert ctrl.pool.reserved_mb == 0.0
+
+        asyncio.run(main())
+
+    def test_bounded_pending_queue_rejects(self):
+        async def main():
+            ctrl = AdmissionController(
+                pool=MemoryPool(8.0), max_pending=1
+            )
+            grant = await ctrl.acquire(8.0)
+            queued = ctrl.request(8.0)
+            with pytest.raises(AdmissionError, match="queue full"):
+                ctrl.request(8.0)
+            assert ctrl.n_rejected == 1
+            ctrl.release(grant)
+            ctrl.release(await queued)
+
+        asyncio.run(main())
+
+    def test_impossible_request_rejected_outright(self):
+        async def main():
+            ctrl = AdmissionController(pool=MemoryPool(8.0))
+            with pytest.raises(AdmissionError, match="never"):
+                ctrl.request(9.0)
+            assert ctrl.n_rejected == 1
+            assert ctrl.n_pending == 0
+
+        asyncio.run(main())
+
+    def test_max_active_caps_without_pool(self):
+        async def main():
+            ctrl = AdmissionController(max_active=2)
+            a = await ctrl.acquire()
+            b = await ctrl.acquire()
+            c = asyncio.ensure_future(ctrl.acquire())
+            await asyncio.sleep(0)
+            assert not c.done()
+            assert ctrl.n_pending == 1
+            ctrl.release(a)
+            grant_c = await c
+            ctrl.release(b)
+            ctrl.release(grant_c)
+            assert ctrl.n_active == 0
+
+        asyncio.run(main())
+
+    def test_cancelled_waiter_abandons_its_spot(self):
+        async def main():
+            ctrl = AdmissionController(pool=MemoryPool(8.0), max_pending=2)
+            grant = await ctrl.acquire(8.0)
+            doomed = asyncio.ensure_future(ctrl.acquire(8.0))
+            queued = ctrl.request(8.0)
+            await asyncio.sleep(0)
+            doomed.cancel()
+            await asyncio.gather(doomed, return_exceptions=True)
+            ctrl.release(grant)
+            # The cancelled head is skipped; the next waiter is granted.
+            ctrl.release(await queued)
+            assert ctrl.pool.reserved_mb == 0.0
+            assert ctrl.n_pending == 0
+
+        asyncio.run(main())
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="max_active"):
+            AdmissionController(max_active=0)
+        with pytest.raises(ValueError, match="max_pending"):
+            AdmissionController(max_pending=-1)

@@ -1,0 +1,181 @@
+"""SessionScheduler: policies, fairness aging, slot accounting."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve import (
+    SCHEDULING_POLICIES,
+    RoundRobinPolicy,
+    SessionScheduler,
+    SessionTicket,
+    WeightedPriorityPolicy,
+    register_policy,
+)
+
+
+def ticket(name, priority=1.0, **kw):
+    t = SessionTicket(name=name, priority=priority)
+    for key, value in kw.items():
+        setattr(t, key, value)
+    return t
+
+
+class TestPolicies:
+    def test_round_robin_picks_least_recently_granted(self):
+        a = ticket("a", last_granted=5)
+        b = ticket("b", last_granted=2)
+        c = ticket("c", last_granted=9)
+        assert RoundRobinPolicy().pick((a, b, c), now=10) is b
+
+    def test_round_robin_breaks_ties_by_arrival(self):
+        a = ticket("a", arrival=3)
+        b = ticket("b", arrival=1)
+        assert RoundRobinPolicy().pick((a, b), now=0) is b
+
+    def test_weighted_priority_prefers_high_priority(self):
+        lo = ticket("lo", priority=1.0)
+        hi = ticket("hi", priority=5.0)
+        assert WeightedPriorityPolicy().pick((lo, hi), now=0) is hi
+
+    def test_fairness_aging_prevents_starvation(self):
+        """A long-waiting low-priority ticket outranks fresh high-priority."""
+        policy = WeightedPriorityPolicy(aging_rate=0.5)
+        lo = ticket("lo", priority=1.0, waiting_since=0)
+        fresh_hi = ticket("hi", priority=3.0, waiting_since=2)
+        # At now=2, lo has aged 1.0 + 0.5*2 = 2.0 < 3.0: hi still wins.
+        assert policy.pick((lo, fresh_hi), now=2) is fresh_hi
+        # A fresh high-priority arrival at now=10 loses to the aged waiter:
+        # lo is at 1.0 + 0.5*10 = 6.0 > 3.0.
+        fresh_hi.waiting_since = 10
+        assert policy.pick((lo, fresh_hi), now=10) is lo
+
+    def test_zero_aging_is_strict_priority(self):
+        policy = WeightedPriorityPolicy(aging_rate=0.0)
+        lo = ticket("lo", priority=1.0, waiting_since=0)
+        hi = ticket("hi", priority=2.0, waiting_since=1000)
+        assert policy.pick((lo, hi), now=10**6) is hi
+
+    def test_negative_aging_rejected(self):
+        with pytest.raises(ValueError, match="aging_rate"):
+            WeightedPriorityPolicy(aging_rate=-0.1)
+
+    def test_registry_names_and_custom_registration(self):
+        assert "round-robin" in SCHEDULING_POLICIES
+        assert "weighted-priority" in SCHEDULING_POLICIES
+
+        @register_policy("most-steps-first", overwrite=True)
+        class MostStepsFirst:
+            def pick(self, waiting, now):
+                return max(waiting, key=lambda t: t.steps_done)
+
+        scheduler = SessionScheduler(policy="most-steps-first")
+        assert isinstance(scheduler.policy, MostStepsFirst)
+
+    def test_unknown_policy_fails_with_suggestion(self):
+        with pytest.raises(KeyError, match="round-robin"):
+            SessionScheduler(policy="round-robbin")
+
+
+class TestSchedulerTurnstile:
+    def test_serializes_beyond_max_concurrent(self):
+        async def main():
+            scheduler = SessionScheduler(max_concurrent=2, policy="round-robin")
+            tickets = [scheduler.register(ticket(f"t{i}")) for i in range(4)]
+            running = 0
+            peak = 0
+
+            async def work(t):
+                nonlocal running, peak
+                await scheduler.acquire(t)
+                running += 1
+                peak = max(peak, running)
+                await asyncio.sleep(0.005)
+                running -= 1
+                scheduler.release(t)
+
+            await asyncio.gather(*(work(t) for t in tickets))
+            return peak, scheduler.in_flight, scheduler.grant_log
+
+        peak, in_flight, log = asyncio.run(main())
+        assert peak == 2
+        assert in_flight == 0
+        assert sorted(log) == ["t0", "t1", "t2", "t3"]
+
+    def test_round_robin_interleaves_quanta(self):
+        async def main():
+            scheduler = SessionScheduler(max_concurrent=1, policy="round-robin")
+            a = scheduler.register(ticket("a"))
+            b = scheduler.register(ticket("b"))
+
+            async def work(t, quanta):
+                for _ in range(quanta):
+                    await scheduler.acquire(t)
+                    await asyncio.sleep(0)
+                    scheduler.release(t)
+
+            await asyncio.gather(work(a, 3), work(b, 3))
+            return scheduler.grant_log
+
+        log = asyncio.run(main())
+        # Strict alternation: a session never runs twice while the other waits.
+        assert log == ["a", "b", "a", "b", "a", "b"]
+
+    def test_weighted_priority_grants_contested_slot_to_high_priority(self):
+        async def main():
+            scheduler = SessionScheduler(
+                max_concurrent=1,
+                policy=WeightedPriorityPolicy(aging_rate=0.0),
+            )
+            blocker = scheduler.register(ticket("blocker"))
+            hi = scheduler.register(ticket("hi", priority=5.0))
+            lo = scheduler.register(ticket("lo", priority=1.0))
+            await scheduler.acquire(blocker)
+            # lo enters the waiting set *first*; priority must still win.
+            lo_task = asyncio.ensure_future(scheduler.acquire(lo))
+            hi_task = asyncio.ensure_future(scheduler.acquire(hi))
+            await asyncio.sleep(0)
+            scheduler.release(blocker)
+            await hi_task
+            assert not lo_task.done()
+            scheduler.release(hi)
+            await lo_task
+            scheduler.release(lo)
+            return scheduler.grant_log
+
+        assert asyncio.run(main()) == ["blocker", "hi", "lo"]
+
+    def test_cancelled_waiter_is_removed(self):
+        async def main():
+            scheduler = SessionScheduler(max_concurrent=1)
+            a = scheduler.register(ticket("a"))
+            b = scheduler.register(ticket("b"))
+            await scheduler.acquire(a)  # occupy the only slot
+            waiter = asyncio.ensure_future(scheduler.acquire(b))
+            await asyncio.sleep(0)
+            waiter.cancel()
+            await asyncio.gather(waiter, return_exceptions=True)
+            scheduler.release(a)
+            return scheduler.in_flight, scheduler.grant_log
+
+        in_flight, log = asyncio.run(main())
+        assert in_flight == 0
+        assert log == ["a"]
+
+    def test_policy_returning_foreign_ticket_errors(self):
+        class Broken:
+            def pick(self, waiting, now):
+                return ticket("impostor")
+
+        async def main():
+            scheduler = SessionScheduler(max_concurrent=1, policy=Broken())
+            with pytest.raises(RuntimeError, match="not waiting"):
+                await scheduler.acquire(scheduler.register(ticket("x")))
+
+        asyncio.run(main())
+
+    def test_max_concurrent_validation(self):
+        with pytest.raises(ValueError, match="max_concurrent"):
+            SessionScheduler(max_concurrent=0)
