@@ -86,8 +86,26 @@ class FroteConfig:
         Base directory for spill files (default: the platform temp
         dir); requires ``max_resident_mb``.  A private subdirectory is
         created per run and removed when the run's data is released.
+    journal_dir:
+        Opt into the durable run journal: ``EditSession.run()`` appends
+        every iteration to an append-only, crash-safe journal under
+        this directory (see :mod:`repro.journal`) and — when the
+        journal already holds committed iterations for this exact
+        session — fast-forwards through them instead of recomputing
+        (journal-based crash-resume).  ``None`` (default) runs exactly
+        as before.
+    journal_name:
+        Subdirectory name for this session's journal under
+        ``journal_dir`` (default ``"session"``); requires
+        ``journal_dir``.
+    journal_resume:
+        Whether re-running a journaled session resumes from its journal
+        (default ``True``).  ``False`` wipes the journal and starts
+        fresh; requires ``journal_dir`` to matter.
     random_state:
-        Seed for all stochastic steps (paper runs use 42).
+        Seed for all stochastic steps (paper runs use 42).  Journal
+        resume requires an integer seed (the RNG stream must be
+        reconstructible).
     """
 
     tau: int = 200
@@ -103,6 +121,9 @@ class FroteConfig:
     max_resident_mb: float | None = None
     shard_rows: int | None = None
     spill_dir: str | None = None
+    journal_dir: str | None = None
+    journal_name: str | None = None
+    journal_resume: bool = True
     random_state: RandomState = 42
 
     #: Upper bound on ``q``; the paper sweeps (0, 1], anything past this is
@@ -142,6 +163,11 @@ class FroteConfig:
             raise ValueError(
                 "spill_dir only applies to the out-of-core path; "
                 "set max_resident_mb too"
+            )
+        if self.journal_name is not None and self.journal_dir is None:
+            raise ValueError(
+                "journal_name only applies to journaled runs; "
+                "set journal_dir too"
             )
         # Registry lookups: unknown names raise with the full registered
         # list (user plugins included) and a did-you-mean suggestion.

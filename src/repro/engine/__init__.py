@@ -47,6 +47,7 @@ from repro.engine.state import (
     EditState,
     FroteResult,
     IterationRecord,
+    ListenerError,
     ProgressEvent,
 )
 
@@ -75,6 +76,7 @@ __all__ = [
     "EditState",
     "DatasetDelta",
     "DeltaJournal",
+    "ListenerError",
     "ProgressEvent",
     "IterationRecord",
     "FroteResult",

@@ -149,6 +149,33 @@ class EditSession:
             kwargs["spill_dir"] = spill_dir
         return self.configure(**kwargs)
 
+    def journaled(
+        self,
+        journal_dir: str,
+        *,
+        name: str | None = None,
+        resume: bool = True,
+    ) -> "EditSession":
+        """Opt into the durable run journal (sugar for
+        ``configure(journal_dir=...)``).
+
+        :meth:`run` then appends every iteration — verdict, losses,
+        stage timings, accepted batch rows, RNG state — to an
+        append-only crash-safe journal at ``journal_dir/name`` and, on
+        re-run, fast-forwards through already-committed iterations
+        instead of recomputing them (journal-based crash-resume; see
+        :mod:`repro.journal` for the exactness contract).  Requires an
+        integer ``random_state`` when ``resume`` is on.  Pass
+        ``resume=False`` to wipe any prior journal and start fresh.
+        """
+        kwargs: dict[str, Any] = {
+            "journal_dir": str(journal_dir),
+            "journal_resume": resume,
+        }
+        if name is not None:
+            kwargs["journal_name"] = name
+        return self.configure(**kwargs)
+
     def with_selector(self, selector: Any) -> "EditSession":
         """Use a selection strategy directly (bypasses the registry; handy
         for one-off strategies and tests).
@@ -276,7 +303,16 @@ class EditSession:
         return EditEngine()
 
     def run(self) -> FroteResult:
-        """Execute the edit and return the :class:`FroteResult`."""
+        """Execute the edit and return the :class:`FroteResult`.
+
+        With ``journal_dir`` configured (see :meth:`journaled`) the run
+        is journaled and crash-resumable; the result is identical
+        either way.
+        """
+        if self._config_kwargs.get("journal_dir"):
+            from repro.journal.replay import run_journaled
+
+            return run_journaled(self)
         return self.build_engine().run(self.build_state())
 
 

@@ -104,6 +104,26 @@ class ProgressEvent:
 
 EventListener = Callable[[ProgressEvent], None]
 
+
+@dataclass(frozen=True)
+class ListenerError:
+    """One swallowed listener exception, attributable to its event.
+
+    ``event_kind`` and ``iteration`` locate exactly which notification
+    the listener dropped — so a gap in a consumer (a journal missing an
+    iteration record, a serving queue missing an event) can be traced to
+    the failure that caused it instead of guessing from counts.
+    """
+
+    event_kind: str
+    iteration: int
+    error: Exception
+
+    def __iter__(self):
+        # Back-compat with the old ``(kind, exc)`` tuple entries:
+        # ``for kind, exc in state.listener_errors`` keeps working.
+        return iter((self.event_kind, self.error))
+
 # Process-global source of dataset-version cache tokens (see
 # EditState.bump_dataset_version).
 _DATASET_VERSIONS = itertools.count(1)
@@ -188,12 +208,13 @@ class EditState:
     # Notifications.
     eval_callback: Callable[[Any], float] | None = None
     listeners: list[EventListener] = field(default_factory=list)
-    #: ``(event kind, exception)`` pairs from listeners that raised during
-    #: :meth:`emit`.  Listener failures are *isolated*: the engine's own
-    #: bookkeeping (history append, iteration advance, cache seeding) must
-    #: never be corrupted by observer code, so exceptions are recorded here
-    #: (and warned about once per listener) instead of propagating mid-step.
-    listener_errors: list[tuple[str, Exception]] = field(default_factory=list)
+    #: :class:`ListenerError` records (event kind, iteration, exception)
+    #: from listeners that raised during :meth:`emit`.  Listener failures
+    #: are *isolated*: the engine's own bookkeeping (history append,
+    #: iteration advance, cache seeding) must never be corrupted by
+    #: observer code, so exceptions are recorded here (and warned about
+    #: once per listener) instead of propagating mid-step.
+    listener_errors: list[ListenerError] = field(default_factory=list)
     _warned_listener_ids: set = field(default_factory=set, repr=False)
 
     # ------------------------------------------------------------------ #
@@ -403,7 +424,9 @@ class EditState:
             try:
                 listener(event)
             except Exception as exc:
-                self.listener_errors.append((kind, exc))
+                self.listener_errors.append(
+                    ListenerError(kind, self.iteration, exc)
+                )
                 if id(listener) not in self._warned_listener_ids:
                     self._warned_listener_ids.add(id(listener))
                     warnings.warn(

@@ -30,7 +30,12 @@ checked-in baseline (``--baseline``) and exits non-zero past a
 (the CI memory guard), and ``bench-ratchet`` proposes a refreshed
 baseline to ``--propose-dir`` when the suite is consistently at least
 ``--improvement`` faster than the checked-in one (always exits zero;
-the CI job uploads the proposal as an artifact).
+the CI job uploads the proposal as an artifact).  ``bench-journal``
+runs the journaled-serving overhead benchmark: serving with journals
+must match serving without bit-for-bit, every journal must replay, and
+journal I/O must stay under ``$BENCH_JOURNAL_OVERHEAD_PCT`` (default
+5%) of serving time — exits non-zero otherwise; journals are kept
+under ``--out-dir`` for CI artifact upload.
 
 Common options: ``--runs`` (repetitions), ``--tau`` (FROTE iteration
 limit), ``--seed``, ``--save out.json`` (persist raw records).
@@ -71,8 +76,8 @@ from repro.experiments.tables import (
 
 EXPERIMENTS = (
     "fig2", "fig3", "fig9", "table1", "table2", "table3", "table6", "ablation",
-    "bench", "bench-check", "bench-mem", "bench-ratchet", "all",
-    "run-spec", "status",
+    "bench", "bench-check", "bench-mem", "bench-ratchet", "bench-journal",
+    "all", "run-spec", "status",
 )
 
 
@@ -370,6 +375,44 @@ def bench_ratchet_cmd(args: argparse.Namespace) -> tuple[list[dict], str]:
     return [asdict(e) for e in report.entries], "\n".join(lines)
 
 
+def bench_journal_cmd(args: argparse.Namespace) -> tuple[list[dict], str]:
+    """``bench-journal``: CI guard on the cost and fidelity of journaling.
+
+    Runs the serving fleet plain and journaled (parity is asserted
+    record-for-record, and every journal must scan clean and replay to
+    its session's live history), then exits non-zero when journal I/O
+    exceeds the overhead threshold.  Journals land under
+    ``--out-dir/journals`` so the CI job can upload them as an artifact.
+    """
+    from dataclasses import asdict
+
+    from repro.perf.journalbench import run_journal_bench
+
+    journal_dir = Path(args.out_dir) / "journals"
+    record = run_journal_bench(
+        quick=args.quick, seed=args.seed, journal_dir=str(journal_dir)
+    )
+    extra = record.extra
+    lines = [
+        f"journaled serving: {extra['n_sessions']} sessions, "
+        f"{record.iterations} iterations, {extra['n_journals']} journals "
+        f"({extra['journal_records']} records) -> {journal_dir}",
+        f"  plain     {extra['plain_seconds']:.3f}s",
+        f"  journaled {extra['journaled_seconds']:.3f}s "
+        f"(wall delta {extra['wall_delta_pct']:+.1f}%, informational)",
+        f"  journal I/O {extra['journal_io_seconds'] * 1e3:.1f}ms = "
+        f"{extra['overhead_pct']:.2f}% of serving time "
+        f"(threshold {extra['threshold_pct']:.1f}%)",
+        f"  parity: {'ok' if extra['parity'] else 'FAILED'}, "
+        f"journal errors: {extra['journal_errors']}",
+    ]
+    text = "\n".join(lines)
+    if not extra["within_overhead"] or extra["journal_errors"]:
+        print(text)
+        raise SystemExit(1)
+    return [asdict(record)], text
+
+
 def _load_spec(args: argparse.Namespace):
     from repro.experiments.spec import ExperimentSpec
 
@@ -441,6 +484,8 @@ def run(args: argparse.Namespace) -> tuple[list[dict], str]:
         return bench_mem_cmd(args)
     if args.experiment == "bench-ratchet":
         return bench_ratchet_cmd(args)
+    if args.experiment == "bench-journal":
+        return bench_journal_cmd(args)
     if args.experiment == "run-spec":
         return run_spec_cmd(args)
     if args.experiment == "status":

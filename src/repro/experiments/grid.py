@@ -92,6 +92,14 @@ class ExperimentRunner:
         :func:`make_executor` on ``workers``.
     workers:
         Convenience: ``workers=N`` builds the default parallel executor.
+    journal_dir:
+        Opt into the durable run journal: every :meth:`run` call appends
+        its :class:`ExperimentEvent` stream — grid start/finish plus one
+        record per run outcome — to an append-only journal under this
+        directory (one journal per grid, named from the spec; see
+        :mod:`repro.journal`).  Complements the store's
+        resume-by-missing-hash with a durable *trace* of what executed
+        when.
     """
 
     def __init__(
@@ -100,9 +108,11 @@ class ExperimentRunner:
         store: RunStore | None = None,
         executor: Executor | None = None,
         workers: int = 1,
+        journal_dir: str | None = None,
     ) -> None:
         self.store = store
         self.executor = executor if executor is not None else make_executor(workers)
+        self.journal_dir = journal_dir
         self._listeners: list[EventListener] = []
 
     # ------------------------------------------------------------------ #
@@ -122,13 +132,69 @@ class ExperimentRunner:
             return spec.validate().expand()
         return list(spec)
 
+    def _journal_name(self, spec: ExperimentSpec | Sequence[RunSpec]) -> str:
+        if isinstance(spec, ExperimentSpec):
+            import hashlib
+
+            digest = hashlib.sha256(spec.name.encode("utf-8")).hexdigest()[:8]
+            return f"{spec.name}-{digest}"
+        return "grid"
+
+    def _open_journal(self, spec: ExperimentSpec | Sequence[RunSpec]):
+        """A journal writer plus the translating event listener, or None."""
+        if self.journal_dir is None:
+            return None, None
+        from pathlib import Path
+
+        from repro.journal.writer import JournalWriter
+
+        name = self._journal_name(spec)
+        writer = JournalWriter(
+            Path(self.journal_dir) / name,
+            meta={"journal_kind": "grid", "name": name},
+        )
+
+        def listener(event: ExperimentEvent) -> None:
+            data: dict = {"index": event.index, "total": event.total}
+            if event.spec is not None:
+                data.update(
+                    dataset=event.spec.dataset,
+                    model=event.spec.model,
+                    experiment=event.spec.experiment,
+                    spec_hash=event.spec.spec_hash,
+                    seed=event.spec.seed,
+                )
+            if event.record is not None and event.kind in (
+                "run-completed", "run-skipped",
+            ):
+                data["record"] = event.record
+            # Outcome records are the grid's durability boundary (the
+            # analogue of the session journal's iteration fsync).
+            durable = event.kind in ("run-completed", "run-skipped", "finished")
+            kind = f"grid-{event.kind}" if event.index < 0 else event.kind
+            writer.append(kind, data, sync=durable)
+
+        return writer, listener
+
     def run(self, spec: ExperimentSpec | Sequence[RunSpec]) -> GridResult:
         """Execute a grid (or an explicit run list); returns its results.
 
         Store hits are served without executing; misses run on the
         executor and are persisted the moment they complete, so an
-        interrupted grid resumes from its last finished run.
+        interrupted grid resumes from its last finished run.  With
+        ``journal_dir`` set, the full event stream is also journaled.
         """
+        writer, journal_listener = self._open_journal(spec)
+        if journal_listener is not None:
+            self._listeners.append(journal_listener)
+        try:
+            return self._run(spec)
+        finally:
+            if journal_listener is not None:
+                self._listeners.remove(journal_listener)
+                writer.close()
+
+    def _run(self, spec: ExperimentSpec | Sequence[RunSpec]) -> GridResult:
         runs = self._expand(spec)
         total = len(runs)
         envelopes: list[dict | None] = [None] * total

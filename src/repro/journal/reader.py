@@ -1,0 +1,207 @@
+"""Reading journals back: verified iteration, tailing, corruption reports.
+
+The reader's contract is the inverse of the writer's durability contract:
+*whatever* bytes are on disk — a clean journal, one with a torn final
+line from a crash mid-write, or one a disk/operator corrupted — scanning
+**never raises**.  It returns every record up to the last verifiable one
+plus a structured :class:`Truncation` describing what stopped it, so
+consumers (replay, crash-resume, the status CLI) can make their own call:
+resume from the last good sequence number, repair a torn tail, or refuse
+a journal whose middle was tampered with.
+
+The taxonomy, in detection order per line:
+
+``torn-tail``
+    The final line of the final segment is not valid JSON — the classic
+    crash-during-append artifact.  *Repairable*: truncating the file at
+    the recorded byte offset restores a clean journal (the writer does
+    exactly this when reopening).
+``corrupt-record`` / ``checksum-mismatch``
+    A non-final line fails to parse, or parses but fails its own ``h``
+    self-checksum — in-place damage.  Not repairable by truncation
+    because everything after it is intact but unanchored.
+``hash-chain-break``
+    A record's ``prev`` does not match the previous line's hash.  The
+    self-checksum already cleared both records individually, so one of
+    them was *replaced* wholesale; the previous record is dropped from
+    the verified set too (conservative: we cannot tell which of the two
+    is the impostor).
+``sequence-gap``
+    Sequence numbers are not gapless (a missing segment, or lines
+    removed with their successors left behind).
+``schema-version``
+    A segment header from a future format version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.journal.records import (
+    KIND_HEADER,
+    SCHEMA_VERSION,
+    MalformedLine,
+    Record,
+    decode_line,
+    list_segments,
+    segment_index,
+)
+
+
+@dataclass(frozen=True)
+class Truncation:
+    """Why a scan stopped before the physical end of the journal.
+
+    ``last_good_seq`` is the sequence number of the last record that
+    remains in the verified set (``-1`` when none survived);
+    ``repairable`` marks the one case (a torn final line) where
+    truncating the segment file at ``byte_offset`` restores a clean
+    journal.
+    """
+
+    reason: str  # torn-tail | corrupt-record | checksum-mismatch |
+    #              hash-chain-break | sequence-gap | schema-version
+    detail: str
+    segment: int
+    last_good_seq: int
+    repairable: bool = False
+    #: Byte offset of the first damaged line within its segment file
+    #: (meaningful for ``torn-tail`` repair; ``-1`` otherwise).
+    byte_offset: int = -1
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Verified prefix of a journal plus what (if anything) cut it short."""
+
+    records: list[Record]
+    truncation: Truncation | None
+    segments: list[Path]
+
+    @property
+    def ok(self) -> bool:
+        return self.truncation is None
+
+    @property
+    def last_seq(self) -> int:
+        return self.records[-1].seq if self.records else -1
+
+    @property
+    def last_hash(self) -> str:
+        return self.records[-1].raw_hash if self.records else ""
+
+    def of_kind(self, kind: str) -> list[Record]:
+        return [r for r in self.records if r.kind == kind]
+
+    @property
+    def header(self) -> Record | None:
+        """The first segment header (journal-level metadata lives there)."""
+        for record in self.records:
+            if record.kind == KIND_HEADER:
+                return record
+        return None
+
+
+class JournalReader:
+    """Verified read access to one journal directory."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------ #
+    def scan(self) -> ScanResult:
+        """Read and verify every segment; never raises on bad bytes."""
+        records: list[Record] = []
+        segments = list_segments(self.path)
+
+        def cut(
+            reason: str, detail: str, segment: int, offset: int = -1,
+            repairable: bool = False,
+        ) -> ScanResult:
+            return ScanResult(
+                records,
+                Truncation(
+                    reason=reason,
+                    detail=detail,
+                    segment=segment,
+                    last_good_seq=records[-1].seq if records else -1,
+                    repairable=repairable,
+                    byte_offset=offset,
+                ),
+                segments,
+            )
+
+        next_seq = 0
+        for seg_pos, seg_path in enumerate(segments):
+            seg_idx = segment_index(seg_path)
+            assert seg_idx is not None
+            data = seg_path.read_bytes()
+            offset = 0
+            for line in data.split(b"\n"):
+                if line == b"":
+                    offset += 1
+                    continue
+                # A chunk with no newline anywhere after its start is the
+                # file's final, unterminated line.
+                unterminated = b"\n" not in data[offset:]
+                try:
+                    record = decode_line(line, seg_idx)
+                except MalformedLine as exc:
+                    if unterminated and seg_pos == len(segments) - 1:
+                        return cut(
+                            "torn-tail", f"torn final line: {exc}", seg_idx,
+                            offset, repairable=True,
+                        )
+                    reason = (
+                        "checksum-mismatch"
+                        if "checksum" in str(exc)
+                        else "corrupt-record"
+                    )
+                    return cut(reason, str(exc), seg_idx, offset)
+                if record.kind == KIND_HEADER:
+                    version = record.data.get("schema_version")
+                    if version != SCHEMA_VERSION:
+                        return cut(
+                            "schema-version",
+                            f"segment {seg_idx} has schema_version "
+                            f"{version!r}; this reader understands "
+                            f"{SCHEMA_VERSION}",
+                            seg_idx,
+                        )
+                if record.seq != next_seq:
+                    return cut(
+                        "sequence-gap",
+                        f"expected seq {next_seq}, found {record.seq}",
+                        seg_idx, offset,
+                    )
+                expected_prev = records[-1].raw_hash if records else ""
+                if record.prev != expected_prev:
+                    # Both lines pass their self-checksums yet don't
+                    # chain: one of the pair was rewritten wholesale.
+                    # Drop the earlier record too — it can't be vouched
+                    # for (an empty verified set chains from "").
+                    detail = f"record seq {record.seq} does not chain"
+                    if records:
+                        dropped = records.pop()
+                        detail += f" to seq {dropped.seq}; both dropped"
+                    return cut("hash-chain-break", detail, seg_idx, offset)
+                records.append(record)
+                next_seq = record.seq + 1
+                offset += len(line) + 1
+        return ScanResult(records, None, segments)
+
+    # ------------------------------------------------------------------ #
+    def iter_records(self) -> Iterator[Record]:
+        """Iterate verified records (the scan's verified prefix)."""
+        yield from self.scan().records
+
+    def tail(self, n: int = 10) -> list[Record]:
+        """The last ``n`` verified records."""
+        records = self.scan().records
+        return records[-n:] if n else []
+
+    @property
+    def exists(self) -> bool:
+        return bool(list_segments(self.path))

@@ -1,0 +1,187 @@
+"""On-disk format of the run journal: segmented, chained, strict JSONL.
+
+A journal is a *directory* of segment files (``segment-00000.jsonl``,
+``segment-00001.jsonl``, ...).  Every line is one strict-JSON record::
+
+    {"seq": 7, "prev": "a1b2...", "h": "c3d4...", "t": 1723.4,
+     "kind": "iteration", "data": {...}}
+
+with five integrity properties, checked by the reader and relied on by
+replay and crash-resume:
+
+* ``seq`` — a gapless sequence number across all segments, so a deleted
+  record (or a whole missing segment) is a detectable *sequence gap*;
+* ``prev`` — the hash of the previous record's exact line bytes (empty
+  for the very first record), so reordering, rewriting, or truncating
+  anywhere but the tail is a detectable *hash-chain break*;
+* ``h`` — a checksum of this record's own canonical payload, so
+  in-place corruption of a single record is attributable to exactly
+  that record (without it, a chain break could only say "one of these
+  two records is bad");
+* strict JSON — non-finite floats travel as the repo-wide
+  ``{"__float__": "nan" | "inf" | "-inf"}`` markers (reusing
+  :func:`repro.experiments.persistence.to_jsonable`), and every dump
+  passes ``allow_nan=False`` so nothing invalid can slip out;
+* a ``header`` record opens every segment, carrying the format's
+  ``schema_version`` plus writer metadata, so readers can refuse
+  future formats loudly instead of misparsing them.
+
+Hashes are truncated sha256 (16 hex chars): this is tamper-*evidence*
+for operational corruption (torn writes, lost pages, fat-fingered
+edits), not a cryptographic authenticity scheme.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.persistence import from_jsonable, to_jsonable
+
+#: Format version written into every segment header.  Bump on any
+#: incompatible change to the line layout; readers refuse newer versions.
+SCHEMA_VERSION = 1
+
+#: Segment file naming: fixed-width indices keep lexicographic order ==
+#: numeric order, so ``sorted(glob)`` is the read order.
+SEGMENT_PATTERN = re.compile(r"^segment-(\d{5})\.jsonl$")
+
+#: Truncated-sha256 length (hex chars) for ``prev`` / ``h``.
+HASH_LEN = 16
+
+#: Record kinds with engine-session semantics (see ``writer.SessionJournal``).
+KIND_HEADER = "header"
+KIND_RUN_META = "run-meta"
+KIND_RUN_RESUMED = "run-resumed"
+KIND_RUN_FINISHED = "run-finished"
+KIND_ITERATION = "iteration"
+
+#: Required top-level fields of every record line.
+_FIELDS = ("seq", "prev", "h", "t", "kind", "data")
+
+
+def segment_name(index: int) -> str:
+    """File name of segment ``index`` (``segment-00007.jsonl``)."""
+    return f"segment-{index:05d}.jsonl"
+
+
+def segment_index(path: Path) -> int | None:
+    """Inverse of :func:`segment_name`; ``None`` for non-segment files."""
+    match = SEGMENT_PATTERN.match(path.name)
+    return int(match.group(1)) if match else None
+
+
+def list_segments(path: Path) -> list[Path]:
+    """Segment files of journal directory ``path``, in read order."""
+    if not path.is_dir():
+        return []
+    segments = [p for p in path.iterdir() if segment_index(p) is not None]
+    return sorted(segments, key=lambda p: segment_index(p))  # type: ignore[arg-type]
+
+
+def line_hash(line: bytes) -> str:
+    """Chain hash of one record's exact line bytes (no newline)."""
+    return hashlib.sha256(line).hexdigest()[:HASH_LEN]
+
+
+def payload_hash(seq: int, prev: str, kind: str, t: float, data: Any) -> str:
+    """Self-checksum over a record's canonical payload.
+
+    ``data`` must already be strict-jsonable (markers applied); the
+    canonical form is a compact sorted-key dump so writer and verifier
+    agree byte-for-byte regardless of dict insertion order.
+    """
+    canonical = json.dumps(
+        [seq, prev, kind, t, data],
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:HASH_LEN]
+
+
+def encode_line(seq: int, prev: str, kind: str, t: float, data: Any) -> bytes:
+    """Serialize one record to its exact line bytes (no trailing newline)."""
+    data_j = to_jsonable(data)
+    record = {
+        "seq": seq,
+        "prev": prev,
+        "h": payload_hash(seq, prev, kind, t, data_j),
+        "t": t,
+        "kind": kind,
+        "data": data_j,
+    }
+    return json.dumps(record, separators=(",", ":"), allow_nan=False).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class Record:
+    """One verified journal record, markers decoded.
+
+    Attributes
+    ----------
+    seq:
+        Gapless sequence number across the whole journal.
+    kind:
+        Record kind (``header`` / ``run-meta`` / ``iteration`` / ...).
+    t:
+        Wall-clock write time (``time.time()``).
+    data:
+        The record payload with non-finite-float markers decoded back to
+        ``nan`` / ``±inf``.
+    raw_hash:
+        Chain hash of this record's line bytes (what the *next* record's
+        ``prev`` must equal).
+    segment:
+        Index of the segment file the record was read from.
+    """
+
+    seq: int
+    kind: str
+    t: float
+    data: Any
+    raw_hash: str
+    segment: int
+    #: The ``prev`` field as written — the chain hash this record claims
+    #: for its predecessor (empty for the very first record).
+    prev: str = ""
+
+
+class MalformedLine(ValueError):
+    """A line that fails structural or checksum verification."""
+
+
+def decode_line(line: bytes, segment: int) -> Record:
+    """Parse and self-verify one line; raises :class:`MalformedLine`.
+
+    Chain and sequence verification (``prev`` / ``seq`` against the
+    preceding record) is the reader's job — this function only checks
+    what a single line can vouch for: JSON shape, field types, and the
+    ``h`` self-checksum.
+    """
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise MalformedLine(f"not valid JSON: {exc}") from None
+    if not isinstance(payload, dict) or any(f not in payload for f in _FIELDS):
+        raise MalformedLine("missing required record fields")
+    seq, prev, h, t, kind = (
+        payload["seq"], payload["prev"], payload["h"], payload["t"], payload["kind"]
+    )
+    if not isinstance(seq, int) or not isinstance(kind, str):
+        raise MalformedLine("wrong field types")
+    if payload_hash(seq, prev, kind, t, payload["data"]) != h:
+        raise MalformedLine(f"checksum mismatch at seq {seq}")
+    return Record(
+        seq=seq,
+        kind=kind,
+        t=float(t),
+        data=from_jsonable(payload["data"]),
+        raw_hash=line_hash(line),
+        segment=segment,
+        prev=str(prev),
+    )

@@ -1,0 +1,446 @@
+"""Replay and crash-resume: rebuilding run state from the journal alone.
+
+Two consumers of a session journal live here:
+
+:class:`SessionReplay`
+    The post-hoc debugger.  From the journal alone it reconstructs the
+    full per-iteration history — accepted/rejected/empty-batch verdicts,
+    candidate losses, the objective trajectory, stage wall-time
+    breakdowns, batch sizes — as :class:`ReplayIteration` rows whose
+    :meth:`~ReplayIteration.to_record` projections match the live run's
+    ``FroteResult.history`` field-for-field (pinned by
+    ``tests/journal/test_replay_parity.py``).
+
+:func:`run_journaled`
+    Journal-based crash-resume.  Re-running a journaled session
+    fast-forwards through every committed iteration instead of
+    recomputing it: accepted batches are re-applied from their journaled
+    rows (O(batch) builder appends), the model is refit once at the
+    resume point, and the RNG is restored to its journaled
+    post-iteration state — so the continuation consumes the exact random
+    stream the uninterrupted run would have.
+
+Exactness contract
+------------------
+With the default full-refit path (``incremental=False``), a resumed run
+is **bit-identical** to the uninterrupted one: every stage input at the
+resume point — active dataset bytes, model (a deterministic function of
+those bytes), RNG stream position — is reproduced exactly.  This holds
+for out-of-core configs too (same bytes, different storage).  With
+``incremental=True`` the live run's model is a chain of in-place partial
+refits that the journal cannot replay; resume refits from scratch at the
+resume point, which is the documented online-continuation semantics —
+mathematically equivalent, not guaranteed bit-identical.  Two smaller
+divergences: ``state.evaluation`` between events is recomputed over the
+post-append dataset (the live loop carries the candidate evaluation over
+the pre-append rows — event payload only, never loop numerics), and an
+``AcceptanceStage(patience=...)`` rejection streak does not survive the
+boundary (the journal records verdicts, not the early-stop counter's
+in-flight state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.journal.reader import JournalReader, ScanResult, Truncation
+from repro.journal.records import (
+    KIND_ITERATION,
+    KIND_RUN_FINISHED,
+    KIND_RUN_META,
+    KIND_RUN_RESUMED,
+    Record,
+)
+from repro.journal.writer import (
+    SessionJournal,
+    config_snapshot,
+    dataset_fingerprint,
+)
+
+
+class JournalResumeError(RuntimeError):
+    """The journal cannot be fast-forwarded onto this session."""
+
+
+@dataclass(frozen=True)
+class ReplayIteration:
+    """One iteration reconstructed from its journal record."""
+
+    iteration: int
+    kind: str  # accepted | rejected | empty-batch
+    candidate_loss: float
+    accepted: bool
+    n_generated: int
+    n_added_total: int
+    external_score: float | None
+    best_loss: float
+    n_active: int
+    t: float
+    stage_seconds: dict[str, float] | None = None
+    rng: dict[str, Any] | None = None
+    per_rule_counts: list[int] | None = None
+    batch: dict[str, Any] | None = None
+
+    @classmethod
+    def from_record(cls, record: Record) -> "ReplayIteration":
+        data = record.data
+        return cls(
+            iteration=int(data["iteration"]),
+            kind=str(data["kind"]),
+            candidate_loss=float(data["candidate_loss"]),
+            accepted=bool(data["accepted"]),
+            n_generated=int(data["n_generated"]),
+            n_added_total=int(data["n_added_total"]),
+            external_score=data.get("external_score"),
+            best_loss=float(data["best_loss"]),
+            n_active=int(data["n_active"]),
+            t=record.t,
+            stage_seconds=data.get("stage_seconds"),
+            rng=data.get("rng"),
+            per_rule_counts=data.get("per_rule_counts"),
+            batch=data.get("batch"),
+        )
+
+    def to_record(self):
+        """Project onto the live loop's :class:`IterationRecord`."""
+        from repro.engine.state import IterationRecord
+
+        return IterationRecord(
+            iteration=self.iteration,
+            candidate_loss=self.candidate_loss,
+            accepted=self.accepted,
+            n_generated=self.n_generated,
+            n_added_total=self.n_added_total,
+            external_score=self.external_score,
+        )
+
+    @property
+    def iteration_seconds(self) -> float | None:
+        if self.stage_seconds is None:
+            return None
+        return sum(self.stage_seconds.values())
+
+
+@dataclass
+class _Span:
+    """One logical run within a journal: a run-meta plus its iterations.
+
+    A ``run-meta`` record starts a new span; ``run-resumed`` continues
+    the latest one (crash-resume keeps extending the same logical run).
+    Iterations are keyed by number with later-wins semantics, so an
+    iteration that was journaled, lost to a crash *after* the fsync, and
+    re-emitted by the resumed process resolves to its latest record.
+    """
+
+    meta: Record
+    iterations: dict[int, Record] = field(default_factory=dict)
+    resumes: list[Record] = field(default_factory=list)
+    finished: Record | None = None
+
+
+def _session_spans(records: list[Record]) -> list[_Span]:
+    spans: list[_Span] = []
+    for record in records:
+        if record.kind == KIND_RUN_META:
+            spans.append(_Span(meta=record))
+        elif not spans:
+            continue  # segment headers / foreign kinds before any run
+        elif record.kind == KIND_ITERATION:
+            spans[-1].iterations[int(record.data["iteration"])] = record
+        elif record.kind == KIND_RUN_RESUMED:
+            spans[-1].resumes.append(record)
+        elif record.kind == KIND_RUN_FINISHED:
+            spans[-1].finished = record
+    return spans
+
+
+def _committed(span: _Span) -> list[ReplayIteration]:
+    """The contiguous committed iteration prefix of a span."""
+    start = int(span.meta.data.get("start_iteration", 0))
+    out: list[ReplayIteration] = []
+    i = start
+    while i in span.iterations:
+        out.append(ReplayIteration.from_record(span.iterations[i]))
+        i += 1
+    return out
+
+
+class SessionReplay:
+    """Post-hoc view of one journaled session."""
+
+    def __init__(
+        self,
+        path: Path,
+        scan: ScanResult,
+        spans: list[_Span],
+    ) -> None:
+        self.path = path
+        self.scan = scan
+        self.spans = spans
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SessionReplay":
+        scan = JournalReader(path).scan()
+        return cls(Path(path), scan, _session_spans(scan.records))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def truncation(self) -> Truncation | None:
+        return self.scan.truncation
+
+    @property
+    def span(self) -> _Span | None:
+        """The latest logical run (replay and resume both use it)."""
+        return self.spans[-1] if self.spans else None
+
+    @property
+    def meta(self) -> dict[str, Any] | None:
+        return dict(self.span.meta.data) if self.span else None
+
+    @property
+    def finished(self) -> dict[str, Any] | None:
+        span = self.span
+        return dict(span.finished.data) if span and span.finished else None
+
+    @property
+    def iterations(self) -> list[ReplayIteration]:
+        span = self.span
+        if span is None:
+            return []
+        return [
+            ReplayIteration.from_record(span.iterations[i])
+            for i in sorted(span.iterations)
+        ]
+
+    def history(self):
+        """The run's ``FroteResult.history``, reconstructed."""
+        return [it.to_record() for it in self.iterations]
+
+    def objective_trajectory(self) -> list[float]:
+        """Best-loss-so-far after each iteration."""
+        return [it.best_loss for it in self.iterations]
+
+    def committed(self) -> list[ReplayIteration]:
+        """The contiguous prefix crash-resume would fast-forward."""
+        span = self.span
+        return _committed(span) if span else []
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> dict[str, Any]:
+        iterations = self.iterations
+        accepted = [it for it in iterations if it.accepted]
+        rejected = [it for it in iterations if it.kind == "rejected"]
+        empty = [it for it in iterations if it.kind == "empty-batch"]
+        meta = self.meta or {}
+        finished = self.finished
+        timed = [
+            it.iteration_seconds
+            for it in iterations
+            if it.iteration_seconds is not None
+        ]
+        return {
+            "path": str(self.path),
+            "runs": len(self.spans),
+            "resumes": len(self.span.resumes) if self.span else 0,
+            "iterations": len(iterations),
+            "accepted": len(accepted),
+            "rejected": len(rejected),
+            "empty": len(empty),
+            "n_added": iterations[-1].n_added_total if iterations else 0,
+            "initial_loss": meta.get("initial_loss"),
+            "best_loss": iterations[-1].best_loss if iterations else meta.get("initial_loss"),
+            "finished": finished is not None,
+            "stopped": bool(finished and finished.get("stopped")),
+            "seconds": sum(timed) if timed else None,
+            "truncation": (
+                f"{self.truncation.reason} (last good seq "
+                f"{self.truncation.last_good_seq})"
+                if self.truncation
+                else None
+            ),
+        }
+
+
+# ---------------------------------------------------------------------- #
+# Crash-resume.
+# ---------------------------------------------------------------------- #
+def _validate_resume(state, meta: dict[str, Any]) -> None:
+    config = state.config
+    if not meta.get("seedable") or not isinstance(config.random_state, int):
+        raise JournalResumeError(
+            "journal resume requires an integer random_state (the original "
+            "run's RNG stream must be reconstructible); rerun with "
+            "journal_resume=False for a fresh journal"
+        )
+    if meta.get("random_state") != config.random_state:
+        raise JournalResumeError(
+            f"journal was written with random_state="
+            f"{meta.get('random_state')!r}, session has "
+            f"{config.random_state!r}"
+        )
+    snapshot = config_snapshot(config)
+    journaled = meta.get("config", {})
+    mismatched = {
+        key: (journaled.get(key), value)
+        for key, value in snapshot.items()
+        if journaled.get(key) != value
+    }
+    if mismatched:
+        raise JournalResumeError(
+            f"journaled config disagrees with session config on "
+            f"{sorted(mismatched)}: {mismatched}"
+        )
+    live_fp = dataset_fingerprint(state.input_dataset)
+    if meta.get("dataset") != live_fp:
+        raise JournalResumeError(
+            "journaled input-dataset fingerprint does not match this "
+            "session's dataset; refusing to replay foreign rows"
+        )
+    if meta.get("bit_generator") != type(state.rng.bit_generator).__name__:
+        raise JournalResumeError(
+            f"journal used bit generator {meta.get('bit_generator')!r}, "
+            f"session has {type(state.rng.bit_generator).__name__!r}"
+        )
+    if int(meta.get("start_iteration", 0)) != state.iteration:
+        raise JournalResumeError(
+            f"journal starts at iteration {meta.get('start_iteration')}, "
+            f"session starts at {state.iteration} (warm-start mismatch)"
+        )
+
+
+def fast_forward(state, entries: list[ReplayIteration]):
+    """Re-apply committed iterations onto a freshly initialized state.
+
+    Must be called right after ``engine.initialize(state)``: setup
+    (modification, initial fit, budgets) is deterministically re-run by
+    the engine, then each journaled iteration is replayed as pure
+    bookkeeping — no model fits, no generation — with accepted batches
+    re-appended from their journaled rows.  Finishes by refitting the
+    model once and restoring the journaled RNG state.
+    """
+    from repro.core.objective import evaluate_predictions
+    from repro.data.table import Table
+
+    any_accepted = False
+    for entry in entries:
+        if entry.iteration != state.iteration:
+            raise JournalResumeError(
+                f"journal iteration {entry.iteration} does not follow "
+                f"live iteration {state.iteration}"
+            )
+        if entry.accepted:
+            if entry.batch is None or entry.per_rule_counts is None:
+                raise JournalResumeError(
+                    f"accepted iteration {entry.iteration} was journaled "
+                    "without its batch payload"
+                )
+            schema = state.active.X.schema
+            table = Table(
+                schema,
+                {name: entry.batch["columns"][name] for name in schema.names},
+            )
+            labels = np.asarray(entry.batch["labels"], dtype=np.int64)
+            builder = state.active_builder
+            if builder is None or builder.n_rows != state.active.n:
+                state.active_builder = builder = state.make_builder(state.active)
+                state.active = builder.snapshot()
+            candidate = builder.stage(table, labels)
+            builder.commit(candidate.n)
+            state.active = candidate
+            state.n_added += entry.n_generated
+            state.provenance = state.provenance.extend_synthetic(
+                [int(c) for c in entry.per_rule_counts], entry.iteration
+            )
+            state.population_stale = True
+            state.record_append(entry.n_generated, "journal-resume")
+            any_accepted = True
+            if state.active.n != entry.n_active:
+                raise JournalResumeError(
+                    f"replaying iteration {entry.iteration} produced "
+                    f"{state.active.n} active rows; journal recorded "
+                    f"{entry.n_active}"
+                )
+        state.best_loss = entry.best_loss
+        state.history.append(entry.to_record())
+        state.iteration = entry.iteration + 1
+    if any_accepted:
+        state.model = state.algorithm(state.active)
+        state.evaluation = evaluate_predictions(
+            state.active_predictions(),
+            state.active,
+            state.frs,
+            assign=state.active_assignment(),
+        )
+    if entries:
+        rng = entries[-1].rng
+        if rng is None:
+            raise JournalResumeError(
+                f"iteration {entries[-1].iteration} carries no RNG state"
+            )
+        bitgen = state.rng.bit_generator
+        if type(bitgen).__name__ != rng["bit_generator"]:
+            raise JournalResumeError(
+                f"journaled RNG is {rng['bit_generator']!r}, live is "
+                f"{type(bitgen).__name__!r}"
+            )
+        bitgen.state = rng["state"]
+    return state
+
+
+def run_journaled(session):
+    """``EditSession.run()`` with a durable journal and crash-resume.
+
+    The session's config must carry ``journal_dir`` (see
+    ``EditSession.journaled(...)``).  If the journal directory already
+    holds committed iterations for this exact session (validated by
+    config snapshot, dataset fingerprint, seed, and RNG identity) and
+    ``journal_resume`` is on, they are fast-forwarded instead of
+    recomputed; otherwise the run starts fresh (wiping the journal only
+    when ``journal_resume=False``).
+    """
+    state = session.build_state()
+    engine = session.build_engine()
+    config = state.config
+    if not config.journal_dir:
+        raise ValueError("run_journaled requires FroteConfig(journal_dir=...)")
+    name = config.journal_name or "session"
+    path = Path(config.journal_dir) / name
+    meta = {"name": name}
+
+    entries: list[ReplayIteration] = []
+    if config.journal_resume and JournalReader(path).exists:
+        scan = JournalReader(path).scan()
+        if scan.truncation is not None and not scan.truncation.repairable:
+            raise JournalResumeError(
+                f"journal at {path} is corrupt ({scan.truncation.reason}: "
+                f"{scan.truncation.detail}); move it aside or pass "
+                "journal_resume=False"
+            )
+        spans = _session_spans(scan.records)
+        if spans:
+            _validate_resume(state, dict(spans[-1].meta.data))
+            entries = _committed(spans[-1])
+
+    if entries:
+        engine.initialize(state)
+        fast_forward(state, entries)
+        journal = SessionJournal(path, meta=meta).attach(state)
+        journal.record_resumed(state, fast_forwarded=len(entries))
+        try:
+            while not state.done:
+                engine.step(state)
+            return engine.finalize(state)
+        finally:
+            journal.close()
+
+    journal = SessionJournal(
+        path, meta=meta, fresh=not config.journal_resume
+    ).attach(state)
+    try:
+        return engine.run(state)
+    finally:
+        journal.close()

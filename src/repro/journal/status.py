@@ -1,0 +1,255 @@
+"""Presenting journals: status tables, tailing, and counter export.
+
+The consumer side of :mod:`repro.journal` (the ``RunJournal`` →
+``TableModel`` presenter shape from linux-benchmark-lib): a journal tree
+full of repeated per-event records collapses into one compact row per
+session / grid workload / service, rendered through the same
+:func:`repro.experiments.report.format_table` the experiment reports
+use.  :func:`export_counters` flattens the same summaries into monotonic
+counters and gauges (one JSON object per line) for dashboard scrapers.
+
+Dispatch is by the ``journal_kind`` a writer stamped into its segment
+headers: ``session`` (edit runs), ``grid`` (experiment runners), and
+``service`` (the serving layer's admission/quantum telemetry).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.journal.reader import JournalReader, ScanResult
+from repro.journal.records import list_segments
+from repro.journal.replay import SessionReplay
+
+#: Columns of the collapsed status table, in display order.
+STATUS_COLUMNS = (
+    "journal", "kind", "records", "iters", "accepted", "rejected",
+    "added", "best_loss", "status",
+)
+
+
+def discover_journals(root: str | Path) -> list[Path]:
+    """Journal directories at or under ``root`` (sorted, stable)."""
+    root = Path(root)
+    if not root.exists():
+        return []
+    found = []
+    if list_segments(root):
+        found.append(root)
+    if root.is_dir():
+        for child in sorted(p for p in root.rglob("*") if p.is_dir()):
+            if list_segments(child):
+                found.append(child)
+    return found
+
+
+def journal_kind(scan: ScanResult) -> str:
+    """The writer-declared kind (``session``/``grid``/``service``)."""
+    header = scan.header
+    if header is None:
+        return "unknown"
+    return str(header.data.get("meta", {}).get("journal_kind", "unknown"))
+
+
+def _status_of(scan: ScanResult, finished: bool) -> str:
+    if scan.truncation is not None:
+        return f"truncated:{scan.truncation.reason}"
+    return "finished" if finished else "in-progress"
+
+
+# ---------------------------------------------------------------------- #
+# Per-kind summaries (one dict per journal).
+# ---------------------------------------------------------------------- #
+def _session_row(path: Path, rel: str, scan: ScanResult) -> dict[str, Any]:
+    replay = SessionReplay(path, scan, _spans_of(scan))
+    summary = replay.summary()
+    best = summary["best_loss"]
+    return {
+        "journal": rel,
+        "kind": "session",
+        "records": len(scan.records),
+        "iters": summary["iterations"],
+        "accepted": summary["accepted"],
+        "rejected": summary["rejected"] + summary["empty"],
+        "added": summary["n_added"],
+        "best_loss": f"{best:.4f}" if isinstance(best, float) else "",
+        "status": _status_of(scan, summary["finished"]),
+    }
+
+
+def _spans_of(scan: ScanResult):
+    from repro.journal.replay import _session_spans
+
+    return _session_spans(scan.records)
+
+
+def _grid_rows(path: Path, rel: str, scan: ScanResult) -> list[dict[str, Any]]:
+    """Grid journals collapse by (dataset, model) workload."""
+    workloads: dict[tuple[str, str], dict[str, int]] = {}
+    finished = False
+    for record in scan.records:
+        if record.kind == "grid-finished":
+            finished = True
+        if record.kind not in {"run-completed", "run-cached", "run-skipped"}:
+            continue
+        data = record.data
+        key = (str(data.get("dataset", "?")), str(data.get("model", "?")))
+        counts = workloads.setdefault(
+            key, {"completed": 0, "cached": 0, "skipped": 0}
+        )
+        counts[record.kind.removeprefix("run-")] += 1
+    if not workloads:
+        return [{
+            "journal": rel,
+            "kind": "grid",
+            "records": len(scan.records),
+            "iters": 0,
+            "accepted": 0,
+            "rejected": 0,
+            "added": 0,
+            "best_loss": "",
+            "status": _status_of(scan, finished),
+        }]
+    rows = []
+    for (dataset, model), counts in sorted(workloads.items()):
+        rows.append({
+            "journal": f"{rel}[{dataset}/{model}]",
+            "kind": "grid",
+            "records": len(scan.records),
+            "iters": counts["completed"] + counts["cached"],
+            "accepted": counts["completed"],
+            "rejected": counts["skipped"],
+            "added": counts["cached"],
+            "best_loss": "",
+            "status": _status_of(scan, finished),
+        })
+    return rows
+
+
+def _service_row(path: Path, rel: str, scan: ScanResult) -> dict[str, Any]:
+    submitted = sum(1 for r in scan.records if r.kind == "session-submitted")
+    terminal = sum(1 for r in scan.records if r.kind == "session-terminal")
+    steps = [
+        r.data["seconds"]
+        for r in scan.records
+        if r.kind == "quantum" and r.data.get("kind") == "step"
+    ]
+    return {
+        "journal": rel,
+        "kind": "service",
+        "records": len(scan.records),
+        "iters": len(steps),
+        "accepted": terminal,
+        "rejected": sum(
+            1 for r in scan.records if r.kind == "admission-rejected"
+        ),
+        "added": submitted,
+        "best_loss": "",
+        "status": _status_of(scan, submitted > 0 and terminal >= submitted),
+    }
+
+
+def summarize(path: str | Path, *, root: str | Path | None = None) -> list[dict[str, Any]]:
+    """Collapsed status rows for one journal directory."""
+    path = Path(path)
+    rel = str(path.relative_to(root)) if root and path != Path(root) else path.name
+    scan = JournalReader(path).scan()
+    kind = journal_kind(scan)
+    if kind == "grid":
+        return _grid_rows(path, rel, scan)
+    if kind == "service":
+        return [_service_row(path, rel, scan)]
+    return [_session_row(path, rel, scan)]
+
+
+def journal_rows(root: str | Path) -> tuple[tuple[str, ...], list[dict[str, Any]]]:
+    """``(columns, rows)`` for every journal under ``root``."""
+    rows: list[dict[str, Any]] = []
+    for journal in discover_journals(root):
+        rows.extend(summarize(journal, root=root))
+    return STATUS_COLUMNS, rows
+
+
+def format_status(root: str | Path) -> str:
+    """The collapsed status table as rendered text."""
+    from repro.experiments.report import format_table
+
+    columns, rows = journal_rows(root)
+    title = f"journals under {root} ({len(rows)} row(s))"
+    return format_table(rows, list(columns), title=title)
+
+
+# ---------------------------------------------------------------------- #
+# Counter export.
+# ---------------------------------------------------------------------- #
+def journal_counters(path: str | Path) -> list[dict[str, Any]]:
+    """Monotonic counters/gauges for one journal (dashboard shape).
+
+    Every entry is ``{"name", "type": "counter"|"gauge", "value",
+    "labels": {...}}``.  Counters only ever grow as the journal grows,
+    so scrapers can diff successive exports.
+    """
+    path = Path(path)
+    scan = JournalReader(path).scan()
+    kind = journal_kind(scan)
+    labels = {"journal": path.name, "kind": kind}
+
+    def counter(name: str, value: float, **extra) -> dict[str, Any]:
+        return {
+            "name": name, "type": "counter", "value": value,
+            "labels": {**labels, **extra},
+        }
+
+    def gauge(name: str, value: float, **extra) -> dict[str, Any]:
+        return {
+            "name": name, "type": "gauge", "value": value,
+            "labels": {**labels, **extra},
+        }
+
+    out = [
+        counter("journal_records_total", len(scan.records)),
+        counter("journal_segments_total", len(scan.segments)),
+        gauge("journal_last_seq", scan.last_seq),
+        gauge("journal_truncated", 0 if scan.ok else 1),
+    ]
+    by_kind: dict[str, int] = {}
+    for record in scan.records:
+        by_kind[record.kind] = by_kind.get(record.kind, 0) + 1
+    for record_kind, count in sorted(by_kind.items()):
+        out.append(counter("journal_kind_total", count, record=record_kind))
+
+    if kind == "session":
+        replay = SessionReplay(path, scan, _spans_of(scan))
+        summary = replay.summary()
+        out.extend([
+            counter("session_iterations_total", summary["iterations"]),
+            counter("session_accepted_total", summary["accepted"]),
+            counter("session_rejected_total", summary["rejected"]),
+            counter("session_empty_total", summary["empty"]),
+            counter("session_rows_added_total", summary["n_added"]),
+            counter("session_runs_total", summary["runs"]),
+            counter("session_resumes_total", summary["resumes"]),
+            gauge("session_finished", 1 if summary["finished"] else 0),
+        ])
+        if isinstance(summary["best_loss"], float):
+            out.append(gauge("session_best_loss", summary["best_loss"]))
+    elif kind == "service":
+        steps = [
+            r.data["seconds"]
+            for r in scan.records
+            if r.kind == "quantum" and r.data.get("kind") == "step"
+        ]
+        out.extend([
+            counter("service_steps_total", len(steps)),
+            counter("service_step_seconds_total", sum(steps)),
+        ])
+    return out
+
+
+def export_counters(root: str | Path) -> list[dict[str, Any]]:
+    """Counters for every journal under ``root`` (JSON-lines payload)."""
+    out: list[dict[str, Any]] = []
+    for journal in discover_journals(root):
+        out.extend(journal_counters(journal))
+    return out

@@ -37,24 +37,33 @@ def _session_spec(n: int, tau: int, seed: int):
 async def _serve_fleet(
     *,
     n_sessions: int,
-    n: int,
+    n: int | tuple[int, ...],
     tau: int,
     seed: int,
     pool_mb: float,
     session_mb: float,
     policy: str,
+    journal_dir: str | None = None,
 ) -> dict:
-    """Submit and drive the fleet; return outcomes plus service stats."""
+    """Submit and drive the fleet; return outcomes plus service stats.
+
+    ``n`` may be a tuple of per-tenant dataset sizes (cycled over the
+    fleet) — the journal bench uses a mixed fleet so small sessions
+    exercise the accepted-batch path while large ones dominate the
+    timing.
+    """
     from repro.serve import EditService
 
+    sizes = (n,) * n_sessions if isinstance(n, int) else n
     service = EditService(
         policy=policy,
         memory_budget_mb=pool_mb,
         default_session_mb=session_mb,
+        journal_dir=journal_dir,
     )
     handles = [
         service.submit(
-            _session_spec(n, tau, seed + i),
+            _session_spec(sizes[i % len(sizes)], tau, seed + i),
             name=f"tenant-{i}",
             priority=1.0 + (i % 3),  # mixed priorities: 1, 2, 3
         )
@@ -65,6 +74,9 @@ async def _serve_fleet(
     stats["results"] = results
     stats["reserved_after_mb"] = service.pool.reserved_mb
     stats["max_concurrent"] = service.scheduler.max_concurrent
+    await service.close()  # settles nothing (all done); closes the journal
+    stats["journal_errors"] = service.journal_errors
+    stats["journal_io_seconds"] = service.journal_io_seconds
     return stats
 
 

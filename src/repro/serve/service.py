@@ -195,6 +195,7 @@ class SessionHandle:
             lambda f: f.exception() if not f.cancelled() else None
         )
 
+        self._journal: Any = None
         self._events: deque[ProgressEvent] = deque()
         self._events_dropped = 0
         self._event_signal = asyncio.Event()
@@ -276,6 +277,18 @@ class SessionHandle:
         if self._state is None:
             state = self._spec.build_state()
             state.listeners.append(self._thread_listener)
+            journal_path = self._service._session_journal_path(
+                self.name, state.config
+            )
+            if journal_path is not None:
+                from repro.journal.writer import SessionJournal
+
+                self._journal = SessionJournal(
+                    journal_path, meta={"name": self.name}
+                )
+                # Attached after the forwarding listener so clients see
+                # each event before it is made durable.
+                self._journal.attach(state)
             engine = self._spec.build_engine()
             engine.initialize(state)
             self._state = state
@@ -330,6 +343,15 @@ class SessionHandle:
         if kind == _STEP:
             self._ticket.steps_done += 1
             self._service._step_latencies.append(elapsed)
+        self._service._journal_event(
+            "quantum",
+            {
+                "name": self.name,
+                "kind": kind,
+                "seconds": elapsed,
+                "iteration": 0 if self._state is None else self._state.iteration,
+            },
+        )
         self._publish_view()
         return kind
 
@@ -350,6 +372,13 @@ class SessionHandle:
             self._grant = None
         elif not self._admission_future.done():
             self._admission_future.cancel()
+        if self._journal is not None:
+            try:
+                self._journal.close()
+                self._service.journal_io_seconds += self._journal.io_seconds
+            except Exception:
+                self._service.journal_errors += 1
+            self._journal = None
         self._publish_view()
         self._event_signal.set()  # wake events() so it can finish draining
         self._service._on_terminal(self)
@@ -558,6 +587,15 @@ class EditService:
         :class:`AdmissionError` beyond it.
     event_queue_size:
         Per-session bounded event queue capacity (drop-oldest).
+    journal_dir:
+        Opt into durable serving journals: each served session writes
+        its own session journal at ``journal_dir/<name>`` (same format
+        and replay tooling as ``EditSession.journaled(...)``), and the
+        service itself appends admission decisions, per-quantum grants
+        with wall times, and terminal outcomes to
+        ``journal_dir/_service`` (see :mod:`repro.journal`).  Sessions
+        whose own config carries ``journal_dir`` are journaled there
+        even when this is unset.
 
     Notes
     -----
@@ -575,6 +613,7 @@ class EditService:
         max_active_sessions: int = 64,
         max_pending: int = 64,
         event_queue_size: int = 256,
+        journal_dir: str | None = None,
     ) -> None:
         if event_queue_size < 1:
             raise ValueError(
@@ -602,6 +641,47 @@ class EditService:
         self.n_completed = 0
         self.n_failed = 0
         self.n_cancelled = 0
+        self.journal_dir = journal_dir
+        self._journal = None
+        self.journal_errors = 0
+        #: Wall seconds spent on journal write/flush/fsync across every
+        #: settled session journal plus the service journal — the number
+        #: the journal-overhead bench compares against serving time.
+        self.journal_io_seconds = 0.0
+        if journal_dir is not None:
+            from pathlib import Path
+
+            from repro.journal.writer import JournalWriter
+
+            self._journal = JournalWriter(
+                Path(journal_dir) / "_service",
+                meta={"journal_kind": "service"},
+            )
+
+    # ------------------------------------------------------------------ #
+    def _journal_event(self, kind: str, data: dict) -> None:
+        """Append service telemetry (event-loop thread only).
+
+        Telemetry must never take down serving: failures are counted in
+        :attr:`journal_errors` and swallowed.  These records are flushed
+        but not fsynced — they are observability, not resume state.
+        """
+        if self._journal is None or self._journal.closed:
+            return
+        try:
+            self._journal.append(kind, data)
+        except Exception:
+            self.journal_errors += 1
+
+    def _session_journal_path(self, name: str, config: Any):
+        """Where a session's own journal lives, or ``None``."""
+        from pathlib import Path
+
+        if self.journal_dir is not None:
+            return Path(self.journal_dir) / name
+        if getattr(config, "journal_dir", None):
+            return Path(config.journal_dir) / (config.journal_name or name)
+        return None
 
     # ------------------------------------------------------------------ #
     def submit(
@@ -667,7 +747,28 @@ class EditService:
         )
         self.sessions[name] = handle
         self.n_submitted += 1
+        if self._journal is not None:
+            self._journal_event(
+                "session-submitted",
+                {"name": name, "priority": priority, "required_mb": required_mb},
+            )
+            admission_future.add_done_callback(
+                lambda fut, name=name: self._journal_admission(name, fut)
+            )
         return handle
+
+    def _journal_admission(self, name: str, fut: "asyncio.Future") -> None:
+        if fut.cancelled():
+            self._journal_event("admission-cancelled", {"name": name})
+        elif fut.exception() is not None:
+            self._journal_event(
+                "admission-rejected",
+                {"name": name, "error": str(fut.exception())},
+            )
+        else:
+            self._journal_event(
+                "admission-granted", {"name": name, "mb": fut.result().mb}
+            )
 
     def _carve(self, session: EditSession) -> tuple[EditSession, float]:
         """Build the working copy of ``session`` with its budget slice."""
@@ -690,6 +791,16 @@ class EditService:
             self.n_failed += 1
         elif handle.status == CANCELLED:
             self.n_cancelled += 1
+        self._journal_event(
+            "session-terminal",
+            {
+                "name": handle.name,
+                "status": handle.status,
+                "iteration": handle._view.iteration,
+                "steps_done": handle._view.steps_done,
+                "cancel_reason": handle._cancel_reason,
+            },
+        )
 
     # ------------------------------------------------------------------ #
     async def run_all(self) -> dict[str, FroteResult | BaseException]:
@@ -722,6 +833,15 @@ class EditService:
         for handle in self.sessions.values():
             if not handle.done:
                 handle._settle_cancelled()
+        if self._journal is not None and not self._journal.closed:
+            try:
+                self._journal.append(
+                    "service-closed", {"stats": self.stats()}, sync=True
+                )
+            except Exception:
+                self.journal_errors += 1
+            self._journal.close()
+            self.journal_io_seconds += self._journal.io_seconds
 
     async def __aenter__(self) -> "EditService":
         """Enter the service context."""

@@ -109,6 +109,45 @@ class TestRaisingListener:
             )
         assert result.iterations > 0
 
+    def test_errors_attribute_event_kind_and_iteration(
+        self, mixed_dataset, single_rule_frs
+    ):
+        """Regression: ``listener_errors`` entries are attributable.
+
+        Entries used to be bare ``(kind, exc)`` tuples, so a consumer gap
+        (a journal missing an iteration record, a dropped serving event)
+        could not be traced to the failure that caused it.  Each entry is
+        now a :class:`ListenerError` carrying the event kind *and* the
+        iteration at emission time — while still unpacking like the old
+        tuples.
+        """
+        from repro.engine import ListenerError
+
+        observed = []
+
+        def spy_bomb(event):
+            observed.append((event.kind, event.iteration))
+            raise RuntimeError("attributable")
+
+        _, state, _ = run_with_listeners(mixed_dataset, single_rule_frs, spy_bomb)
+        assert state.listener_errors
+        assert all(isinstance(e, ListenerError) for e in state.listener_errors)
+        # Every error names exactly the event that triggered it.
+        assert [
+            (e.event_kind, e.iteration) for e in state.listener_errors
+        ] == observed
+        iteration_kinds = {"accepted", "rejected", "empty-batch"}
+        per_iteration = [
+            e for e in state.listener_errors if e.event_kind in iteration_kinds
+        ]
+        assert [e.iteration for e in per_iteration] == list(
+            range(len(per_iteration))
+        )
+        # Old tuple-unpacking consumers keep working.
+        kind, exc = state.listener_errors[0]
+        assert kind == state.listener_errors[0].event_kind
+        assert exc is state.listener_errors[0].error
+
     def test_keyboard_interrupt_propagates(
         self, mixed_dataset, single_rule_frs
     ):

@@ -47,7 +47,7 @@ class TestParser:
         assert set(EXPERIMENTS) == {
             "fig2", "fig3", "fig9", "table1", "table2", "table3", "table6",
             "ablation", "bench", "bench-check", "bench-mem", "bench-ratchet",
-            "all", "run-spec", "status",
+            "bench-journal", "all", "run-spec", "status",
         }
 
     def test_list_datasets_prints_eta(self, capsys):

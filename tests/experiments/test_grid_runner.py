@@ -112,6 +112,44 @@ class TestEvents:
         ]
 
 
+class TestGridJournal:
+    def test_journaled_grid_records_every_outcome(self, tmp_path):
+        from repro.journal import JournalReader
+
+        result = ExperimentRunner(journal_dir=str(tmp_path)).run(GRID)
+
+        journals = [p for p in tmp_path.iterdir() if p.is_dir()]
+        assert len(journals) == 1 and journals[0].name.startswith("runner-test-")
+        scan = JournalReader(journals[0]).scan()
+        assert scan.ok
+        assert scan.header.data["meta"]["journal_kind"] == "grid"
+        assert len(scan.of_kind("grid-started")) == 1
+        assert len(scan.of_kind("grid-finished")) == 1
+        outcomes = scan.of_kind("run-completed") + scan.of_kind("run-skipped")
+        assert len(outcomes) == len(GRID.expand())
+        # Each outcome record carries the spec identity and the payload.
+        for record in outcomes:
+            assert record.data["spec_hash"]
+            assert record.data["dataset"] == "car"
+            assert "record" in record.data
+        completed = {
+            record.data["spec_hash"] for record in scan.of_kind("run-completed")
+        }
+        assert len(completed) == result.executed - result.skipped
+
+    def test_journal_listener_is_removed_after_run(self, tmp_path):
+        runner = ExperimentRunner(journal_dir=str(tmp_path))
+        runner.run(GRID.expand()[:1])
+        assert runner._listeners == []  # no leak into the next run
+        runner.run(GRID.expand()[:1])  # reopens cleanly (new segment)
+        from repro.journal import JournalReader
+
+        (journal,) = [p for p in tmp_path.iterdir() if p.is_dir()]
+        scan = JournalReader(journal).scan()
+        assert scan.ok
+        assert len(scan.of_kind("grid-started")) == 2
+
+
 @pytest.mark.slow
 class TestParallelRunner:
     def test_workers_produce_identical_store(self, tmp_path):

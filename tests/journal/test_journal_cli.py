@@ -1,0 +1,105 @@
+"""``repro-journal`` CLI and status presenter: collapse, tail, gate.
+
+The presenter contract: a journal tree full of repeated per-event
+records collapses into one row per session / grid workload / service,
+and ``--strict`` turns any truncation into a non-zero exit for CI.
+"""
+
+import json
+
+import pytest
+
+from repro.journal import JournalWriter, journal_rows
+from repro.journal.cli import main
+from repro.journal.records import list_segments
+from repro.journal.status import discover_journals
+
+from test_replay_parity import make_session
+
+
+@pytest.fixture(scope="module")
+def journal_tree(tmp_path_factory):
+    """One session journal plus one synthetic service journal."""
+    root = tmp_path_factory.mktemp("journals")
+    make_session(tau=3).journaled(root, name="sess").run()
+    with JournalWriter(
+        root / "_service", meta={"journal_kind": "service"}, fsync=False
+    ) as writer:
+        writer.append("session-submitted", {"name": "t"})
+        writer.append(
+            "quantum", {"name": "t", "kind": "step", "seconds": 0.25, "iteration": 1}
+        )
+        writer.append("session-terminal", {"name": "t", "status": "done"})
+    return root
+
+
+class TestStatusPresenter:
+    def test_rows_collapse_one_per_journal(self, journal_tree):
+        columns, rows = journal_rows(journal_tree)
+        assert "journal" in columns and "status" in columns
+        by_name = {row["journal"]: row for row in rows}
+        assert by_name["sess"]["kind"] == "session"
+        assert by_name["sess"]["status"] == "finished"
+        assert by_name["sess"]["iters"] == 3
+        assert by_name["_service"]["kind"] == "service"
+        assert by_name["_service"]["iters"] == 1  # one step quantum
+
+    def test_discovery_finds_nested_journals_only(self, journal_tree, tmp_path):
+        found = [p.name for p in discover_journals(journal_tree)]
+        assert sorted(found) == ["_service", "sess"]
+        (tmp_path / "not-a-journal").mkdir()
+        assert discover_journals(tmp_path) == []
+
+
+class TestCli:
+    def test_status_command(self, journal_tree, capsys):
+        assert main(["status", str(journal_tree)]) == 0
+        out = capsys.readouterr().out
+        assert "sess" in out and "_service" in out and "finished" in out
+
+    def test_tail_command(self, journal_tree, capsys):
+        assert main(["tail", str(journal_tree / "sess"), "-n", "2"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert "run-finished" in lines[-1]
+
+    def test_replay_command_text_and_json(self, journal_tree, capsys):
+        assert main(["replay", str(journal_tree / "sess")]) == 0
+        text = capsys.readouterr().out
+        assert "3 iterations" in text and "finished" in text
+
+        assert main(["replay", str(journal_tree / "sess"), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["iterations"] == 3
+        assert len(payload["iterations"]) == 3
+        assert payload["meta"]["config"]["tau"] == 3
+
+    def test_counters_command_emits_json_lines(self, journal_tree, capsys):
+        assert main(["counters", str(journal_tree)]) == 0
+        entries = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        names = {entry["name"] for entry in entries}
+        assert "journal_records_total" in names
+        assert "session_iterations_total" in names
+        assert "service_steps_total" in names
+        assert all(
+            entry["type"] in ("counter", "gauge") and "labels" in entry
+            for entry in entries
+        )
+
+    def test_strict_gates_on_truncation(self, tmp_path, capsys):
+        with JournalWriter(
+            tmp_path / "j", meta={"journal_kind": "service"}, fsync=False
+        ) as writer:
+            writer.append("tick", {"i": 0})
+        assert main(["--strict", "status", str(tmp_path)]) == 0
+
+        seg = list_segments(tmp_path / "j")[0]
+        with open(seg, "ab") as fh:
+            fh.write(b'{"torn')
+        assert main(["--strict", "status", str(tmp_path)]) == 1
+        assert "torn-tail" in capsys.readouterr().err
+        # Without --strict the same tree still renders (exit 0).
+        assert main(["status", str(tmp_path)]) == 0

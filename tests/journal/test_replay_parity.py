@@ -1,0 +1,278 @@
+"""Replay parity and crash-resume: the journal is a faithful run record.
+
+Two acceptance criteria from the observability issue, pinned at test
+scale:
+
+* **Replay parity** — for seeded sessions across the engine's compute
+  modes (default full-refit, ``incremental=True``, out-of-core), the
+  history :class:`~repro.journal.SessionReplay` reconstructs *from the
+  journal alone* matches the live ``FroteResult.history``
+  field-for-field.
+* **Crash-resume** — a journaled run SIGKILLed mid-iteration in a
+  subprocess, then re-run, fast-forwards its committed iterations and
+  finishes with a final dataset bit-identical to the uninterrupted run.
+"""
+
+import json
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.data import Dataset, Table, make_schema
+from repro.experiments.persistence import from_jsonable
+from repro.journal import JournalReader, JournalResumeError, SessionReplay
+
+SCHEMA = make_schema(
+    numeric=["age", "income"],
+    categorical={"marital": ("single", "married", "divorced")},
+)
+
+
+def make_dataset(n=250, seed=42):
+    rng = np.random.default_rng(seed)
+    table = Table(
+        SCHEMA,
+        {
+            "age": rng.uniform(18, 80, n),
+            "income": rng.uniform(10, 200, n),
+            "marital": rng.integers(0, 3, n),
+        },
+    )
+    y = ((table.column("age") < 40) & (table.column("income") > 100)).astype(
+        np.int64
+    )
+    noise = rng.uniform(size=n) < 0.05
+    y[noise] = 1 - y[noise]
+    return Dataset(table, y, ("deny", "approve"))
+
+
+def make_session(dataset=None, *, tau=4, seed=42, **configure):
+    return (
+        repro.edit(dataset if dataset is not None else make_dataset())
+        .with_rules(
+            "age < 35 => approve",
+            "income < 40 AND marital = 'single' => deny",
+        )
+        .with_algorithm("LR")
+        .configure(tau=tau, q=0.5, random_state=seed, **configure)
+    )
+
+
+class TestReplayParity:
+    @pytest.mark.parametrize(
+        "mode, configure",
+        [
+            ("default", {}),
+            ("incremental", {"incremental": True}),
+            ("out-of-core", {"max_resident_mb": 0.05, "shard_rows": 64}),
+        ],
+    )
+    def test_history_matches_live_run_field_for_field(
+        self, tmp_path, mode, configure
+    ):
+        result = (
+            make_session(**configure).journaled(tmp_path, name=mode).run()
+        )
+        replay = SessionReplay.load(tmp_path / mode)
+
+        assert replay.truncation is None
+        assert replay.history() == result.history  # IterationRecord equality
+        assert replay.summary()["iterations"] == result.iterations
+        assert replay.summary()["n_added"] == result.n_added
+        assert replay.summary()["finished"]
+        assert replay.summary()["runs"] == 1
+        # The objective trajectory is the monotone best-so-far curve.
+        trajectory = replay.objective_trajectory()
+        assert trajectory == sorted(trajectory, reverse=True)
+
+    def test_replay_carries_timings_and_rng(self, tmp_path):
+        make_session().journaled(tmp_path, name="s").run()
+        replay = SessionReplay.load(tmp_path / "s")
+        for it in replay.iterations:
+            assert it.stage_seconds and it.iteration_seconds > 0
+            assert it.rng is not None and "state" in it.rng
+        accepted = [it for it in replay.iterations if it.accepted]
+        for it in accepted:
+            assert it.batch is not None
+            assert sum(it.per_rule_counts) == it.n_generated
+            assert len(it.batch["labels"]) == it.n_generated
+        assert replay.meta["dataset"]["n"] == 250
+        assert replay.summary()["seconds"] > 0
+
+    def test_journaled_run_equals_plain_run(self, tmp_path):
+        plain = make_session().run()
+        journaled = make_session().journaled(tmp_path, name="s").run()
+        assert journaled.history == plain.history
+        np.testing.assert_array_equal(journaled.dataset.y, plain.dataset.y)
+        for name in SCHEMA.names:
+            np.testing.assert_array_equal(
+                journaled.dataset.X.column(name), plain.dataset.X.column(name)
+            )
+
+    def test_finished_journal_fast_forwards_to_same_result(self, tmp_path):
+        first = make_session().journaled(tmp_path, name="s").run()
+        again = make_session().journaled(tmp_path, name="s").run()
+        assert again.history == first.history
+        np.testing.assert_array_equal(again.dataset.y, first.dataset.y)
+        replay = SessionReplay.load(tmp_path / "s")
+        assert replay.summary()["resumes"] == 1  # one run-resumed record
+        assert replay.summary()["runs"] == 1  # ...extending the same run
+
+    def test_resume_false_starts_fresh(self, tmp_path):
+        make_session().journaled(tmp_path, name="s").run()
+        make_session().journaled(tmp_path, name="s", resume=False).run()
+        replay = SessionReplay.load(tmp_path / "s")
+        assert replay.summary()["runs"] == 1
+        assert replay.summary()["resumes"] == 0
+
+
+class TestResumeValidation:
+    """Resume refuses journals that belong to a different run."""
+
+    def test_config_mismatch(self, tmp_path):
+        make_session(tau=2).journaled(tmp_path, name="s").run()
+        with pytest.raises(JournalResumeError, match="tau"):
+            make_session(tau=5).journaled(tmp_path, name="s").run()
+
+    def test_seed_mismatch(self, tmp_path):
+        make_session(tau=2, seed=1).journaled(tmp_path, name="s").run()
+        with pytest.raises(JournalResumeError, match="random_state"):
+            make_session(tau=2, seed=2).journaled(tmp_path, name="s").run()
+
+    def test_dataset_mismatch(self, tmp_path):
+        make_session(tau=2).journaled(tmp_path, name="s").run()
+        other = make_dataset(seed=7)
+        with pytest.raises(JournalResumeError, match="fingerprint"):
+            make_session(other, tau=2).journaled(tmp_path, name="s").run()
+
+    def test_unseeded_session_cannot_resume(self, tmp_path):
+        session = make_session(tau=2)
+        session._config_kwargs["random_state"] = None
+        session.journaled(tmp_path, name="s").run()
+        fresh = make_session(tau=2)
+        fresh._config_kwargs["random_state"] = None
+        with pytest.raises(JournalResumeError, match="integer random_state"):
+            fresh.journaled(tmp_path, name="s").run()
+
+    def test_journal_name_requires_journal_dir(self):
+        from repro.core.config import FroteConfig
+
+        with pytest.raises(ValueError, match="journal_name"):
+            FroteConfig(journal_name="s")
+
+
+# --------------------------------------------------------------------- #
+# SIGKILL crash-resume (subprocess: a real process dies mid-iteration).
+# --------------------------------------------------------------------- #
+CHILD = """
+import os, signal, sys
+sys.path.insert(0, {test_dir!r})
+from test_replay_parity import make_session
+
+mode, jdir, out = sys.argv[1], sys.argv[2], sys.argv[3]
+kill_at_fit = int(os.environ.get("KILL_AT_FIT", "0"))
+
+from repro.models import paper_algorithm
+base = paper_algorithm("LR")
+fits = 0
+
+def algorithm(dataset):
+    global fits
+    fits += 1
+    if mode == "kill" and fits == kill_at_fit:
+        os.kill(os.getpid(), signal.SIGKILL)  # dies mid-iteration
+    return base(dataset)
+
+session = make_session(tau=6).with_algorithm(algorithm)
+result = session.journaled(jdir, name="crash").run()
+
+import json
+from repro.experiments.persistence import to_jsonable
+payload = {{
+    "columns": {{
+        name: result.dataset.X.column(name)
+        for name in result.dataset.X.schema.names
+    }},
+    "y": result.dataset.y,
+    "n_added": result.n_added,
+    "history": [
+        [r.iteration, r.candidate_loss, r.accepted, r.n_generated,
+         r.n_added_total]
+        for r in result.history
+    ],
+}}
+with open(out, "w") as fh:
+    json.dump(to_jsonable(payload), fh, allow_nan=False)
+"""
+
+
+def run_child(tmp_path, mode, jdir, out, *, kill_at_fit=0):
+    script = tmp_path / "child.py"
+    script.write_text(CHILD.format(test_dir=str(Path(__file__).parent)))
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    import os
+
+    env = dict(os.environ, PYTHONPATH=src, KILL_AT_FIT=str(kill_at_fit))
+    return subprocess.run(
+        [sys.executable, str(script), mode, str(jdir), str(out)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.slow
+class TestCrashResume:
+    def test_sigkill_mid_iteration_resumes_bit_identical(self, tmp_path):
+        # Reference: the same journaled session, uninterrupted.
+        full = run_child(tmp_path, "run", tmp_path / "j-full", tmp_path / "full.json")
+        assert full.returncode == 0, full.stderr
+
+        # Fit #4 happens inside loop iteration 2 (setup fit + one
+        # candidate fit per iteration), so the process dies with two
+        # iterations committed and the third in flight.
+        crashed = run_child(
+            tmp_path, "kill", tmp_path / "j", tmp_path / "unused.json",
+            kill_at_fit=4,
+        )
+        assert crashed.returncode == -signal.SIGKILL
+
+        scan = JournalReader(tmp_path / "j" / "crash").scan()
+        assert scan.truncation is None or scan.truncation.repairable
+        committed = SessionReplay.load(tmp_path / "j" / "crash").committed()
+        assert 0 < len(committed) < 6  # partial progress survived the kill
+
+        # Re-running the same spec fast-forwards and finishes the run.
+        resumed = run_child(
+            tmp_path, "run", tmp_path / "j", tmp_path / "resumed.json"
+        )
+        assert resumed.returncode == 0, resumed.stderr
+
+        with open(tmp_path / "full.json") as fh:
+            want = from_jsonable(json.load(fh))
+        with open(tmp_path / "resumed.json") as fh:
+            got = from_jsonable(json.load(fh))
+        assert got["history"] == want["history"]
+        assert got["n_added"] == want["n_added"]
+        np.testing.assert_array_equal(np.asarray(got["y"]), np.asarray(want["y"]))
+        for name, column in want["columns"].items():
+            np.testing.assert_array_equal(
+                np.asarray(got["columns"][name]), np.asarray(column)
+            )
+
+        replay = SessionReplay.load(tmp_path / "j" / "crash")
+        assert replay.summary()["resumes"] == 1
+        assert replay.summary()["finished"]
+        assert replay.summary()["iterations"] == 6
+        # The resumed journal alone reconstructs the full history.
+        assert [
+            [r.iteration, r.candidate_loss, r.accepted, r.n_generated,
+             r.n_added_total]
+            for r in replay.history()
+        ] == want["history"]

@@ -1,0 +1,293 @@
+"""Journal format round-trip and corruption-taxonomy tests.
+
+The writer/reader pair's contract, pinned here:
+
+* whatever the writer appends — including NaN/±inf payloads via the
+  repo-wide ``{"__float__": ...}`` markers — the reader returns
+  bit-identical, across segment rotation and reopen;
+* whatever bytes end up on disk — torn final lines, flipped bytes,
+  rewritten or deleted records, missing segments, future schema
+  versions — ``scan()`` never raises: it reports a structured
+  :class:`Truncation` naming the reason and the last good sequence
+  number.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.journal import JournalError, JournalReader, JournalWriter
+from repro.journal.records import (
+    SCHEMA_VERSION,
+    encode_line,
+    list_segments,
+    segment_index,
+)
+
+
+def random_payload(rng: np.random.Generator, depth: int = 0):
+    """A random strict-jsonable-after-markers value, non-finites included."""
+    kind = rng.integers(0, 8 if depth < 2 else 6)
+    if kind == 0:
+        return int(rng.integers(-(10**9), 10**9))
+    if kind == 1:
+        return float(rng.normal(0, 1e6))
+    if kind == 2:
+        return rng.choice([math.nan, math.inf, -math.inf]).item()
+    if kind == 3:
+        return "".join(rng.choice(list("abcé\"\\ {}")) for _ in range(5))
+    if kind == 4:
+        return bool(rng.integers(0, 2))
+    if kind == 5:
+        return None
+    if kind == 6:
+        return [random_payload(rng, depth + 1) for _ in range(rng.integers(0, 4))]
+    return {
+        f"k{i}": random_payload(rng, depth + 1)
+        for i in range(rng.integers(0, 4))
+    }
+
+
+def equal_payload(a, b) -> bool:
+    """Recursive equality where NaN == NaN (JSON has no NaN identity)."""
+    if isinstance(a, float) and isinstance(b, float):
+        return (math.isnan(a) and math.isnan(b)) or a == b
+    if isinstance(a, list) and isinstance(b, list):
+        return len(a) == len(b) and all(map(equal_payload, a, b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return set(a) == set(b) and all(equal_payload(v, b[k]) for k, v in a.items())
+    return type(a) is type(b) and a == b
+
+
+def write_journal(path, payloads, *, segment_max_records=4096, meta=None):
+    with JournalWriter(
+        path, meta=meta, segment_max_records=segment_max_records, fsync=False
+    ) as writer:
+        for kind, data in payloads:
+            writer.append(kind, data, sync=True)
+    return path
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_streams_read_back_bit_identical(self, tmp_path, seed):
+        rng = np.random.default_rng(seed)
+        payloads = [
+            (f"kind-{rng.integers(0, 3)}", random_payload(rng))
+            for _ in range(60)
+        ]
+        write_journal(tmp_path / "j", payloads, segment_max_records=16)
+
+        scan = JournalReader(tmp_path / "j").scan()
+        assert scan.ok
+        body = [r for r in scan.records if r.kind != "header"]
+        assert len(body) == len(payloads)
+        for record, (kind, data) in zip(body, payloads):
+            assert record.kind == kind
+            assert equal_payload(record.data, data)
+        # The whole journal is one gapless sequence.
+        assert [r.seq for r in scan.records] == list(range(len(scan.records)))
+
+    def test_nonfinite_floats_travel_as_markers(self, tmp_path):
+        data = {"a": math.nan, "b": math.inf, "c": -math.inf, "v": [1.5, math.nan]}
+        write_journal(tmp_path / "j", [("metrics", data)])
+
+        (seg,) = list_segments(tmp_path / "j")
+        raw = seg.read_text()
+        assert "__float__" in raw
+        assert "NaN" not in raw and "Infinity" not in raw  # strict JSON only
+        (record,) = JournalReader(tmp_path / "j").scan().of_kind("metrics")
+        assert math.isnan(record.data["a"])
+        assert record.data["b"] == math.inf and record.data["c"] == -math.inf
+        assert math.isnan(record.data["v"][1])
+
+    def test_numpy_payloads_decode_to_plain_python(self, tmp_path):
+        data = {
+            "arr": np.array([1.5, 2.5], dtype=np.float64),
+            "n": np.int64(7),
+            "x": np.float64(0.25),
+        }
+        write_journal(tmp_path / "j", [("np", data)])
+        (record,) = JournalReader(tmp_path / "j").scan().of_kind("np")
+        assert record.data == {"arr": [1.5, 2.5], "n": 7, "x": 0.25}
+
+    def test_segment_rotation_keeps_one_chain(self, tmp_path):
+        payloads = [("tick", {"i": i}) for i in range(23)]
+        write_journal(tmp_path / "j", payloads, segment_max_records=5)
+
+        segments = list_segments(tmp_path / "j")
+        assert len(segments) > 1
+        assert [segment_index(p) for p in segments] == list(range(len(segments)))
+        scan = JournalReader(tmp_path / "j").scan()
+        assert scan.ok
+        assert [r.data["i"] for r in scan.of_kind("tick")] == list(range(23))
+        # Every segment opens with a header carrying the format version.
+        headers = scan.of_kind("header")
+        assert len(headers) == len(segments)
+        assert all(h.data["schema_version"] == SCHEMA_VERSION for h in headers)
+
+    def test_reopen_continues_chain_in_new_segment(self, tmp_path):
+        write_journal(tmp_path / "j", [("a", {"i": i}) for i in range(3)])
+        n_before = len(list_segments(tmp_path / "j"))
+        write_journal(tmp_path / "j", [("b", {"i": i}) for i in range(3)])
+
+        assert len(list_segments(tmp_path / "j")) == n_before + 1
+        scan = JournalReader(tmp_path / "j").scan()
+        assert scan.ok
+        assert len(scan.of_kind("a")) == 3 and len(scan.of_kind("b")) == 3
+
+    def test_fresh_wipes_previous_segments(self, tmp_path):
+        write_journal(tmp_path / "j", [("a", {})] * 4)
+        with JournalWriter(tmp_path / "j", fresh=True, fsync=False) as writer:
+            writer.append("b", {})
+        scan = JournalReader(tmp_path / "j").scan()
+        assert scan.ok
+        assert not scan.of_kind("a") and len(scan.of_kind("b")) == 1
+
+    def test_tail_and_iter_records(self, tmp_path):
+        write_journal(tmp_path / "j", [("tick", {"i": i}) for i in range(9)])
+        reader = JournalReader(tmp_path / "j")
+        assert [r.data["i"] for r in reader.tail(3)] == [6, 7, 8]
+        assert len(list(reader.iter_records())) == 10  # header + 9
+        assert reader.exists
+        assert not JournalReader(tmp_path / "nope").exists
+
+
+class TestCorruptionTaxonomy:
+    """Damaged bytes are reported, never raised."""
+
+    def journal(self, tmp_path, n=8):
+        path = write_journal(tmp_path / "j", [("tick", {"i": i}) for i in range(n)])
+        lines = list_segments(path)[0].read_bytes().decode().splitlines()
+        return path, lines
+
+    def test_torn_final_line_is_repairable(self, tmp_path):
+        path, lines = self.journal(tmp_path)
+        seg = list_segments(path)[0]
+        with open(seg, "ab") as fh:
+            fh.write(b'{"seq": 99, "torn mid-wri')  # crash during append
+
+        scan = JournalReader(path).scan()
+        assert scan.truncation is not None
+        assert scan.truncation.reason == "torn-tail"
+        assert scan.truncation.repairable
+        assert scan.truncation.last_good_seq == len(lines) - 1
+        assert len(scan.records) == len(lines)  # every full line survived
+
+        # Reopening repairs the tail in place and appending verifies again.
+        with JournalWriter(path, fsync=False) as writer:
+            writer.append("after-repair", {})
+        healed = JournalReader(path).scan()
+        assert healed.ok
+        assert healed.of_kind("after-repair")
+
+    def test_flipped_byte_is_checksum_mismatch(self, tmp_path):
+        path, lines = self.journal(tmp_path)
+        damaged = lines[3].replace('"i":2', '"i":7')  # silent value edit
+        assert damaged != lines[3]
+        list_segments(path)[0].write_text("\n".join(lines[:3] + [damaged] + lines[4:]) + "\n")
+
+        scan = JournalReader(path).scan()
+        assert scan.truncation is not None
+        assert scan.truncation.reason == "checksum-mismatch"
+        assert not scan.truncation.repairable
+        assert scan.truncation.last_good_seq == 2
+
+    def test_garbage_middle_line_is_corrupt_record(self, tmp_path):
+        path, lines = self.journal(tmp_path)
+        list_segments(path)[0].write_text(
+            "\n".join(lines[:4] + ["!!not json!!"] + lines[5:]) + "\n"
+        )
+        scan = JournalReader(path).scan()
+        assert scan.truncation is not None
+        assert scan.truncation.reason == "corrupt-record"
+        assert scan.truncation.last_good_seq == 3
+
+    def test_rewritten_record_is_hash_chain_break(self, tmp_path):
+        path, lines = self.journal(tmp_path)
+        # A perfectly well-formed record whose prev doesn't match line 3:
+        # passes its own checksum, so only the chain can catch it.
+        forged = encode_line(4, "f" * 16, "tick", 0.0, {"i": "forged"}).decode()
+        list_segments(path)[0].write_text(
+            "\n".join(lines[:4] + [forged] + lines[5:]) + "\n"
+        )
+        scan = JournalReader(path).scan()
+        assert scan.truncation is not None
+        assert scan.truncation.reason == "hash-chain-break"
+        # Conservative: the record the forgery refused to chain to is
+        # dropped too — we cannot tell which of the pair was replaced.
+        assert scan.truncation.last_good_seq == 2
+        assert scan.records[-1].seq == 2
+
+    def test_deleted_line_is_sequence_gap(self, tmp_path):
+        path, lines = self.journal(tmp_path)
+        list_segments(path)[0].write_text("\n".join(lines[:4] + lines[5:]) + "\n")
+        scan = JournalReader(path).scan()
+        assert scan.truncation is not None
+        assert scan.truncation.reason == "sequence-gap"
+        assert scan.truncation.last_good_seq == 3
+
+    def test_missing_segment_is_sequence_gap(self, tmp_path):
+        path = write_journal(
+            tmp_path / "j",
+            [("tick", {"i": i}) for i in range(20)],
+            segment_max_records=5,
+        )
+        segments = list_segments(path)
+        assert len(segments) >= 3
+        segments[1].unlink()
+        scan = JournalReader(path).scan()
+        assert scan.truncation is not None
+        assert scan.truncation.reason == "sequence-gap"
+
+    def test_future_schema_version_is_refused_loudly(self, tmp_path):
+        path = tmp_path / "j"
+        path.mkdir()
+        header = encode_line(
+            0, "", "header", 0.0,
+            {"schema_version": SCHEMA_VERSION + 1, "segment": 0, "meta": {}},
+        )
+        (path / "segment-00000.jsonl").write_bytes(header + b"\n")
+        scan = JournalReader(path).scan()
+        assert scan.truncation is not None
+        assert scan.truncation.reason == "schema-version"
+        assert str(SCHEMA_VERSION + 1) in scan.truncation.detail
+
+    def test_scan_of_missing_or_empty_journal_is_clean(self, tmp_path):
+        assert JournalReader(tmp_path / "absent").scan().ok
+        (tmp_path / "empty").mkdir()
+        scan = JournalReader(tmp_path / "empty").scan()
+        assert scan.ok and scan.records == [] and scan.last_seq == -1
+
+
+class TestWriterSafety:
+    def test_reopen_refuses_deep_corruption(self, tmp_path):
+        path = write_journal(tmp_path / "j", [("tick", {"i": i}) for i in range(6)])
+        seg = list_segments(path)[0]
+        lines = seg.read_bytes().decode().splitlines()
+        seg.write_text("\n".join(lines[:3] + ["garbage"] + lines[4:]) + "\n")
+
+        with pytest.raises(JournalError, match="corrupt-record"):
+            JournalWriter(path)
+        # fresh=True is the documented escape hatch.
+        with JournalWriter(path, fresh=True, fsync=False) as writer:
+            writer.append("reborn", {})
+        assert JournalReader(path).scan().ok
+
+    def test_closed_writer_refuses_appends(self, tmp_path):
+        writer = JournalWriter(tmp_path / "j", fsync=False)
+        writer.close()
+        writer.close()  # idempotent
+        assert writer.closed
+        with pytest.raises(JournalError, match="closed"):
+            writer.append("tick", {})
+
+    def test_segment_files_are_valid_jsonl(self, tmp_path):
+        """Each line parses standalone — the format is greppable JSONL."""
+        path = write_journal(tmp_path / "j", [("tick", {"i": i}) for i in range(5)])
+        for seg in list_segments(path):
+            for line in seg.read_text().splitlines():
+                record = json.loads(line)
+                assert set(record) == {"seq", "prev", "h", "t", "kind", "data"}
