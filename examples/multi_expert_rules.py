@@ -1,10 +1,13 @@
-"""Multiple experts, conflicting feedback, and probabilistic rules.
+"""Multiple experts streaming conflicting feedback into a live run.
 
-Two claims adjusters provide overlapping feedback rules with contradictory
-labels (paper §3.1).  The edit session accumulates rules incrementally —
-each expert adds theirs with a separate ``with_rules`` call — and resolves
-the conflict at run time with the mixture strategy, producing a partly
-probabilistic rule set.
+Two claims adjusters no longer hand in their rules up front — they
+stream them into a running edit session (paper §3.1) through
+:class:`~repro.feedback.sources.ScriptedFeedbackSource` objects, one per
+expert.  A :class:`~repro.feedback.aggregate.FeedbackAggregator` with a
+quorum policy gates what lands: expert A's rule needs a second approval
+before the engine sees it, and expert B's contradicting rule triggers a
+live carve-out rebuild mid-run.  The final rule timeline is read back
+from ``result.ruleset_log``.
 
 Run:  python examples/multi_expert_rules.py
 """
@@ -12,8 +15,9 @@ Run:  python examples/multi_expert_rules.py
 import numpy as np
 
 import repro
-from repro import FeedbackRuleSet, evaluate_model, parse_rule
+from repro import evaluate_model, parse_rule
 from repro.datasets import load_dataset
+from repro.feedback import RuleProposal, RuleVerdict, ScriptedFeedbackSource
 from repro.models import paper_algorithm
 
 
@@ -30,49 +34,58 @@ def main() -> None:
     rule_b = parse_rule(
         "wife-age < 36 AND wife-edu = 'high' => long-term", schema, labels, name="expertB"
     )
+    proposal_a = RuleProposal(rule_a, source="expertA")
+    proposal_b = RuleProposal(rule_b, source="expertB")
 
-    frs = FeedbackRuleSet((rule_a, rule_b))
-    conflicts = frs.find_conflicts(schema)
-    print(f"Rule A: {rule_a}")
-    print(f"Rule B: {rule_b}")
-    print(f"Conflicting pairs: {conflicts}\n")
+    # Each expert streams through their own source.  Expert A proposes at
+    # iteration 2; under a quorum-of-2 policy nothing happens until the
+    # reviewer seconds it at iteration 4.  Expert B's conflicting rule
+    # arrives at iteration 8 and, once seconded at 10, forces a carve-out
+    # rebuild of the live rule set.
+    expert_a = ScriptedFeedbackSource({2: proposal_a}, name="expertA")
+    expert_b = ScriptedFeedbackSource({8: proposal_b}, name="expertB")
+    reviewer = ScriptedFeedbackSource(
+        {
+            4: RuleVerdict(proposal_a.proposal_id, approve=True, source="reviewer"),
+            10: RuleVerdict(proposal_b.proposal_id, approve=True, source="reviewer"),
+        },
+        name="reviewer",
+    )
 
-    # Resolution option 1: carve the intersection out of both rules.
-    carved = frs.resolve_conflicts(schema, strategy="carve")
-    print("After carve resolution:")
-    for r in carved:
-        print(f"  {r}")
-    print(f"  conflict-free: {carved.is_conflict_free(schema)}\n")
-
-    # Resolution option 2 (used below): a 50/50 mixture rule on the
-    # intersection.  The session accepts each expert's rule separately and
-    # applies the resolution when it runs.
     algorithm = paper_algorithm("LGBM")
     session = (
         repro.edit(data)
         .with_algorithm(algorithm)
-        .with_rules(rule_a)  # expert A submits first...
-        .with_rules(rule_b)  # ...expert B arrives later
-        .resolve_conflicts("mixture")
+        .with_feedback(
+            expert_a, reviewer, expert_b,
+            policy="quorum", quorum=2, resolve="carve",
+        )
         .configure(tau=15, q=0.5, eta=25, random_state=42)
     )
-    mixed = session.build_state().frs
-    print("After mixture resolution (note the probabilistic third rule):")
-    for r in mixed:
-        print(f"  {r}")
-    print()
 
-    before = evaluate_model(algorithm(data), data, mixed)
     result = session.run()
-    after = evaluate_model(result.model, data, mixed)
 
+    print("Rule timeline (from result.ruleset_log):")
+    for delta in result.ruleset_log:
+        names = ", ".join(r.name or "?" for r in delta.rules_added)
+        print(
+            f"  iteration {delta.iteration:>2}: {delta.kind:<7} "
+            f"{names}  ({delta.provenance})"
+        )
+    print("\nFinal rule set (note the carved exceptions):")
+    for r in result.frs:
+        print(f"  {r}")
+    print(f"  conflict-free: {result.frs.is_conflict_free(schema)}\n")
+
+    before = evaluate_model(algorithm(data), data, result.frs)
+    after = evaluate_model(result.model, data, result.frs)
     print(f"MRA before: {before.mra:.3f}   after: {after.mra:.3f}")
     print(f"F1 outside coverage before: {before.f1_outside:.3f}   "
           f"after: {after.f1_outside:.3f}")
     print(f"Per-rule agreement after edit: "
           + ", ".join(
               f"{r.name or i}={m:.2f}"
-              for i, (r, m) in enumerate(zip(mixed, after.per_rule_mra))
+              for i, (r, m) in enumerate(zip(result.frs, after.per_rule_mra))
               if not np.isnan(m)
           ))
 

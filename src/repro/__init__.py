@@ -11,6 +11,9 @@ model-editing library.  The public API surface:
 * :class:`repro.FROTE` / :func:`repro.run_frote` — the original
   paper-faithful API, kept as a thin compatibility layer over the engine;
 * :mod:`repro.rules` — feedback rules (parse, learn, perturb, resolve);
+* :mod:`repro.feedback` — streaming rule feedback: sources, multi-expert
+  vote aggregation, and live ruleset deltas applied to running sessions
+  (``EditSession.with_feedback`` / served ``SessionHandle.feed``);
 * :mod:`repro.models` — from-scratch LR / RF / GBDT classifiers and the
   black-box training-algorithm wrapper;
 * :mod:`repro.datasets` — synthetic UCI-equivalent benchmark datasets;
@@ -74,6 +77,16 @@ from repro.engine import (
     register_sampler,
     register_selector,
 )
+from repro.feedback import (
+    AGGREGATION_POLICIES,
+    FeedbackAggregator,
+    QueueFeedbackSource,
+    RuleProposal,
+    RuleSetDelta,
+    RuleVerdict,
+    ScriptedFeedbackSource,
+    register_aggregation_policy,
+)
 from repro.rules import (
     Clause,
     FeedbackRule,
@@ -115,4 +128,12 @@ __all__ = [
     "FeedbackRule",
     "FeedbackRuleSet",
     "parse_rule",
+    "AGGREGATION_POLICIES",
+    "FeedbackAggregator",
+    "QueueFeedbackSource",
+    "RuleProposal",
+    "RuleSetDelta",
+    "RuleVerdict",
+    "ScriptedFeedbackSource",
+    "register_aggregation_policy",
 ]

@@ -71,6 +71,10 @@ def find_disagreements(
     """
     assign = frs.assign(dataset.X)
     disagree = np.zeros(dataset.n, dtype=bool)
+    if len(frs) == 0:
+        # Feedback-driven sessions may start with an empty rule set;
+        # nothing is covered, so nothing can disagree.
+        return disagree, np.flatnonzero(disagree), assign
     pi_matrix = np.stack([r.pi_array() for r in frs])
     covered = assign >= 0
     rows = np.flatnonzero(covered)

@@ -28,7 +28,8 @@ import numpy as np
 from repro.data.dataset import Dataset
 from repro.engine.registry import register_objective
 from repro.metrics.agreement import mra_probabilistic
-from repro.metrics.classification import default_f1
+from repro.metrics.classification import confusion_matrix, f1_from_confusion
+from repro.rules.rule import FeedbackRule
 from repro.rules.ruleset import FeedbackRuleSet
 
 
@@ -42,6 +43,16 @@ class Evaluation:
     f1_outside: float
     n_covered: int
     n_outside: int
+    # Additive merge carriers (None on hand-built legacy instances): the
+    # per-rule agreement *sums* and the outside-coverage confusion counts.
+    # Counts are additive across disjoint row partitions, which is what
+    # makes evaluations mergeable across dataset and ruleset deltas.
+    per_rule_agreement: np.ndarray | None = None
+    outside_confusion: np.ndarray | None = None
+
+    @property
+    def mergeable(self) -> bool:
+        return self.per_rule_agreement is not None and self.outside_confusion is not None
 
     @property
     def n_total(self) -> int:
@@ -99,9 +110,22 @@ def evaluate_predictions(
     m = len(frs)
     per_rule_mra = np.full(m, np.nan)
     per_rule_count = np.zeros(m, dtype=np.int64)
+    per_rule_agreement = np.zeros(m, dtype=np.float64)
     if m == 0:
-        f1 = default_f1(dataset.y, y_pred, n_classes=dataset.n_classes)
-        return Evaluation(per_rule_mra, per_rule_count, 1.0, f1, 0, dataset.n)
+        # f1_from_confusion over the full confusion matrix is the same
+        # arithmetic default_f1 runs internally; keeping the counts makes
+        # the evaluation mergeable.
+        cm = confusion_matrix(dataset.y, y_pred, n_classes=dataset.n_classes)
+        return Evaluation(
+            per_rule_mra,
+            per_rule_count,
+            1.0,
+            f1_from_confusion(cm),
+            0,
+            dataset.n,
+            per_rule_agreement=per_rule_agreement,
+            outside_confusion=cm,
+        )
 
     if assign is None:
         assign = frs.assign(dataset.X)
@@ -114,21 +138,26 @@ def evaluate_predictions(
         per_rule_count[r] = cnt
         if cnt == 0:
             continue
-        agreement = mra_probabilistic(y_pred[rows], rule.pi_array())
+        pi = rule.pi_array()
+        rows_pred = y_pred[rows]
+        agreement = mra_probabilistic(rows_pred, pi)
         per_rule_mra[r] = agreement
+        per_rule_agreement[r] = float(np.sum(pi[rows_pred]))
         weighted_sum += agreement * cnt
     mra = weighted_sum / n_covered if n_covered else 1.0
     outside = ~covered
-    f1 = default_f1(
+    cm = confusion_matrix(
         dataset.y[outside], y_pred[outside], n_classes=dataset.n_classes
     )
     return Evaluation(
         per_rule_mra=per_rule_mra,
         per_rule_count=per_rule_count,
         mra=mra,
-        f1_outside=f1,
+        f1_outside=f1_from_confusion(cm),
         n_covered=n_covered,
         n_outside=int(outside.sum()),
+        per_rule_agreement=per_rule_agreement,
+        outside_confusion=cm,
     )
 
 
@@ -144,3 +173,105 @@ def evaluate_model(
     ``assign`` optionally reuses a memoized ``frs.assign(dataset.X)``.
     """
     return evaluate_predictions(model.predict(dataset.X), dataset, frs, assign=assign)
+
+
+def append_rule_evaluation(
+    base: Evaluation,
+    y_pred: np.ndarray,
+    dataset: Dataset,
+    rule: FeedbackRule,
+    moved_mask: np.ndarray,
+) -> Evaluation:
+    """Evaluation under ``frs + (rule,)`` derived from the one under ``frs``.
+
+    ``moved_mask`` flags the rows the appended rule claims — previously
+    outside coverage (first-match assignment is append-stable, so those
+    are the *only* rows that change hands).  O(new rule's coverage), and
+    bitwise-equal to a full :func:`evaluate_predictions` pass under the
+    extended rule set: every existing rule keeps exactly its rows, so the
+    stored per-rule means are reused verbatim; the coverage-weighted MRA
+    fold is re-accumulated in the same left-to-right order over the same
+    floats; and the outside F1 comes from the confusion counts minus the
+    moved rows' counts (integer-exact).
+    """
+    if not base.mergeable:
+        raise ValueError(
+            "base evaluation carries no merge fields; run evaluate_predictions"
+        )
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    moved = np.asarray(moved_mask, dtype=bool)
+    cnt = int(moved.sum())
+    m = base.per_rule_mra.shape[0]
+    per_rule_mra = np.append(base.per_rule_mra, np.nan)
+    per_rule_count = np.append(base.per_rule_count, np.int64(cnt))
+    per_rule_agreement = np.append(base.per_rule_agreement, 0.0)
+    if cnt:
+        pi = rule.pi_array()
+        moved_pred = y_pred[moved]
+        per_rule_mra[m] = mra_probabilistic(moved_pred, pi)
+        per_rule_agreement[m] = float(np.sum(pi[moved_pred]))
+    moved_cm = confusion_matrix(
+        dataset.y[moved], y_pred[moved], n_classes=dataset.n_classes
+    )
+    n_covered = base.n_covered + cnt
+    weighted_sum = 0.0
+    for r in range(m + 1):
+        if per_rule_count[r] == 0:
+            continue
+        weighted_sum += per_rule_mra[r] * int(per_rule_count[r])
+    mra = float(weighted_sum / n_covered) if n_covered else 1.0
+    outside_cm = base.outside_confusion - moved_cm
+    return Evaluation(
+        per_rule_mra=per_rule_mra,
+        per_rule_count=per_rule_count,
+        mra=mra,
+        f1_outside=f1_from_confusion(outside_cm),
+        n_covered=n_covered,
+        n_outside=base.n_outside - cnt,
+        per_rule_agreement=per_rule_agreement,
+        outside_confusion=outside_cm,
+    )
+
+
+def merge_evaluations(a: Evaluation, b: Evaluation) -> Evaluation:
+    """Merge evaluations of two *disjoint* row partitions under one FRS.
+
+    Counts — per-rule coverage and the outside confusion matrix — are
+    additive and merge integer-exactly, so the merged F1 equals the
+    monolithic one bit-for-bit.  The per-rule means and MRA are exact
+    ratios of the summed agreement carriers; they can differ from a
+    single monolithic pass in the last ulp (floating-point summation
+    order), which is the documented precision of the dataset-axis merge.
+    """
+    if not (a.mergeable and b.mergeable):
+        raise ValueError("both evaluations must carry merge fields")
+    if a.per_rule_count.shape != b.per_rule_count.shape:
+        raise ValueError(
+            "evaluations cover different rule sets: "
+            f"{a.per_rule_count.shape[0]} vs {b.per_rule_count.shape[0]} rules"
+        )
+    if a.outside_confusion.shape != b.outside_confusion.shape:
+        raise ValueError("evaluations disagree on the number of classes")
+    count = a.per_rule_count + b.per_rule_count
+    sums = a.per_rule_agreement + b.per_rule_agreement
+    per_rule_mra = np.full(count.shape[0], np.nan)
+    nz = count > 0
+    per_rule_mra[nz] = sums[nz] / count[nz]
+    n_covered = a.n_covered + b.n_covered
+    weighted_sum = 0.0
+    for r in range(count.shape[0]):
+        if count[r] == 0:
+            continue
+        weighted_sum += per_rule_mra[r] * int(count[r])
+    mra = float(weighted_sum / n_covered) if n_covered else 1.0
+    cm = a.outside_confusion + b.outside_confusion
+    return Evaluation(
+        per_rule_mra=per_rule_mra,
+        per_rule_count=count,
+        mra=mra,
+        f1_outside=f1_from_confusion(cm),
+        n_covered=n_covered,
+        n_outside=a.n_outside + b.n_outside,
+        per_rule_agreement=sums,
+        outside_confusion=cm,
+    )

@@ -35,6 +35,7 @@ from repro.engine.session import EditSession, edit
 from repro.engine.stages import (
     AcceptanceStage,
     EditEngine,
+    FeedbackStage,
     GenerationStage,
     ModificationStage,
     PreselectStage,
@@ -65,6 +66,7 @@ __all__ = [
     "register_sampler",
     "register_objective",
     "Stage",
+    "FeedbackStage",
     "ModificationStage",
     "PreselectStage",
     "SelectionStage",

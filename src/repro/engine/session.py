@@ -51,6 +51,14 @@ class EditSession:
         self._stages: tuple[Stage, ...] | None = None
         self._prior: FroteResult | None = None
         self._resolve_strategy: str | None = None
+        # Streaming feedback (see with_feedback / with_scheduled_rules).
+        self._feedback_enabled = False
+        self._feedback_sources: list[Any] = []
+        self._feedback_policy: Any = "unanimous"
+        self._feedback_policy_kwargs: dict[str, Any] = {}
+        self._feedback_resolve: str = "carve"
+        self._feedback_mixture_weight: float = 0.5
+        self._scheduled_rules: dict[int, list[FeedbackRule]] = {}
 
     # ------------------------------------------------------------------ #
     # Rules (incremental — the multi-expert scenario).
@@ -63,30 +71,93 @@ class EditSession:
         return self
 
     def _add_rule(self, rule: Any) -> None:
+        self._rules.extend(self._coerce_rules(rule))
+
+    def _coerce_rules(self, rule: Any) -> list[FeedbackRule]:
         if isinstance(rule, FeedbackRule):
-            self._rules.append(rule)
-        elif isinstance(rule, FeedbackRuleSet):
-            self._rules.extend(rule)
-        elif isinstance(rule, str):
+            return [rule]
+        if isinstance(rule, FeedbackRuleSet):
+            return list(rule)
+        if isinstance(rule, str):
             from repro.rules.parser import parse_rule
 
-            self._rules.append(
-                parse_rule(rule, self.dataset.X.schema, self.dataset.label_names)
-            )
-        elif isinstance(rule, Iterable):
+            return [parse_rule(rule, self.dataset.X.schema, self.dataset.label_names)]
+        if isinstance(rule, Iterable):
+            out: list[FeedbackRule] = []
             for r in rule:
-                self._add_rule(r)
-        else:
-            raise TypeError(
-                f"cannot interpret {type(rule).__name__} as a feedback rule; "
-                "pass a FeedbackRule, FeedbackRuleSet, rule string, or an "
-                "iterable of those"
-            )
+                out.extend(self._coerce_rules(r))
+            return out
+        raise TypeError(
+            f"cannot interpret {type(rule).__name__} as a feedback rule; "
+            "pass a FeedbackRule, FeedbackRuleSet, rule string, or an "
+            "iterable of those"
+        )
 
     def resolve_conflicts(self, strategy: str = "carve") -> "EditSession":
         """Resolve overlapping contradictory rules at run time
         (``"carve"`` or ``"mixture"``, paper §3.1)."""
         self._resolve_strategy = strategy
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Streaming feedback (rules arriving *during* the run).
+    def with_feedback(
+        self,
+        *sources: Any,
+        policy: Any = None,
+        resolve: str | None = None,
+        mixture_weight: float | None = None,
+        **policy_kwargs: Any,
+    ) -> "EditSession":
+        """Attach streaming feedback sources (see :mod:`repro.feedback`).
+
+        Each source is polled at every iteration boundary; its
+        proposals/verdicts flow through a
+        :class:`~repro.feedback.aggregate.FeedbackAggregator` (``policy``
+        — registry name or instance, default ``"unanimous"``;
+        ``policy_kwargs`` forward to a named policy's constructor), and
+        approved rules land on the running engine as
+        :class:`~repro.feedback.delta.RuleSetDelta` s — append deltas
+        when coverage-compatible, carve-out rebuilds (``resolve``:
+        ``"carve"`` or ``"mixture"``) otherwise.  Rules apply at
+        iteration boundaries only, never mid-iteration.  A session may
+        start with no batch rules at all: the run begins with an empty
+        rule set and rules stream in.
+        """
+        self._feedback_enabled = True
+        for source in sources:
+            if not hasattr(source, "poll"):
+                raise TypeError(
+                    f"feedback source must expose poll(iteration); got "
+                    f"{type(source).__name__}"
+                )
+            self._feedback_sources.append(source)
+        if policy is not None:
+            self._feedback_policy = policy
+        if policy_kwargs:
+            self._feedback_policy_kwargs.update(policy_kwargs)
+        if resolve is not None:
+            self._feedback_resolve = resolve
+        if mixture_weight is not None:
+            self._feedback_mixture_weight = float(mixture_weight)
+        return self
+
+    def with_scheduled_rules(self, iteration: int, *rules: Any) -> "EditSession":
+        """Schedule rules to activate at iteration boundary ``iteration``.
+
+        The rules are held by the session ("present but inactive") and
+        applied unconditionally — no aggregation — the first time the
+        loop reaches that boundary, through the same delta path streamed
+        rules take.  This is the reference half of the streamed-parity
+        contract: a run receiving an append-only rule from a source at
+        iteration k is bit-identical to one scheduling it at k.
+        """
+        if iteration < 0:
+            raise ValueError(f"iteration must be >= 0, got {iteration}")
+        self._feedback_enabled = True
+        bucket = self._scheduled_rules.setdefault(int(iteration), [])
+        for rule in rules:
+            bucket.extend(self._coerce_rules(rule))
         return self
 
     # ------------------------------------------------------------------ #
@@ -259,8 +330,11 @@ class EditSession:
                 "no training algorithm; call .with_algorithm('RF') or pass "
                 "a Dataset -> model callable"
             )
-        if not self._rules:
-            raise ValueError("no feedback rules; call .with_rules(...) first")
+        if not self._rules and not self._feedback_enabled:
+            raise ValueError(
+                "no feedback rules; call .with_rules(...) first (or attach "
+                "a stream with .with_feedback(...))"
+            )
         frs = FeedbackRuleSet(tuple(self._rules))
         if self._resolve_strategy is not None:
             frs = frs.resolve_conflicts(
@@ -293,13 +367,40 @@ class EditSession:
             state.n_relabelled = prior.n_relabelled
             state.n_dropped = prior.n_dropped
             state.provenance = prior.provenance
+        if self._feedback_enabled:
+            from repro.feedback.pipeline import FeedbackPipeline
+
+            # A fresh pipeline per run keeps reruns deterministic;
+            # scripted sources rewind, live queue sources keep whatever
+            # has been pushed (their feeds are external inputs).
+            for source in self._feedback_sources:
+                reset = getattr(source, "reset", None)
+                if callable(reset):
+                    reset()
+            state.feedback = FeedbackPipeline(
+                list(self._feedback_sources),
+                policy=self._feedback_policy,
+                policy_kwargs=dict(self._feedback_policy_kwargs),
+                resolve=self._feedback_resolve,
+                mixture_weight=self._feedback_mixture_weight,
+                schedule={
+                    it: list(rules) for it, rules in self._scheduled_rules.items()
+                },
+            )
         return state
 
     def build_engine(self) -> EditEngine:
         if self._engine is not None:
             return self._engine
-        if self._stages is not None:
-            return EditEngine(stages=self._stages)
+        stages: tuple[Stage, ...] | None = self._stages
+        if self._feedback_enabled:
+            from repro.engine.stages import FeedbackStage, default_stages
+
+            return EditEngine(
+                stages=(FeedbackStage(), *(stages if stages is not None else default_stages()))
+            )
+        if stages is not None:
+            return EditEngine(stages=stages)
         return EditEngine()
 
     def run(self) -> FroteResult:

@@ -86,11 +86,10 @@ class ModificationStage:
         state.model = state.algorithm(state.active)
         # Routing the initial evaluation through the prediction cache
         # seeds it for the first SelectionStage — one full predict pass
-        # at setup instead of two (values identical either way).
-        state.evaluation = evaluate_predictions(
-            state.active_predictions(), state.active, state.frs,
-            assign=state.active_assignment(),
-        )
+        # at setup instead of two (values identical either way); going
+        # through evaluate_active additionally seeds the evaluation
+        # cache a feedback delta at iteration 0 would otherwise redo.
+        state.evaluation = state.evaluate_active()
         state.best_loss = state.loss_of(state.evaluation)
         state.initial_evaluation = state.evaluation
 
@@ -112,6 +111,22 @@ class ModificationStage:
                 mod.touched_rows, mod.touched_rules, mod.original_labels
             )
         return provenance
+
+
+class FeedbackStage:
+    """Drain streamed rule feedback at the iteration boundary.
+
+    Prepended to the loop chain by :meth:`EditSession.build_engine` when
+    the session enabled feedback — it runs *first*, so a rule delivered
+    "at iteration k" is visible to iteration k's preselect/selection
+    (the streamed-parity contract's definition of delivery time).  The
+    default chain never includes it: sessions without feedback keep the
+    seed-identical stage sequence.
+    """
+
+    def run(self, state: EditState) -> None:
+        if state.feedback is not None:
+            state.feedback.drain(state)
 
 
 class PreselectStage:
@@ -426,11 +441,10 @@ class EditEngine:
         """
         # The delta-aware prediction cache was seeded by the last accepted
         # batch, so this costs one pass over at most the appended rows in
-        # incremental mode (and matches evaluate_model exactly otherwise).
-        final_evaluation = evaluate_predictions(
-            state.active_predictions(), state.active, state.frs,
-            assign=state.active_assignment(),
-        )
+        # incremental mode (and matches evaluate_model exactly otherwise);
+        # a ruleset delta applied at the final boundary already left the
+        # identical evaluation in the cache.
+        final_evaluation = state.evaluate_active()
         # Out-of-loop events carry no stage breakdown (the last
         # iteration's timings already went out with its own event).
         state.stage_seconds = {}

@@ -50,6 +50,11 @@ class FroteResult:
     n_relabelled: int = 0
     n_dropped: int = 0
     provenance: RowProvenance | None = None
+    #: The feedback rule set the run *ended* with.  Differs from the
+    #: starting set when streaming feedback applied ruleset deltas; the
+    #: deltas themselves are in ``ruleset_log``.
+    frs: FeedbackRuleSet | None = None
+    ruleset_log: list = field(default_factory=list)
 
     @property
     def accepted_iterations(self) -> int:
@@ -73,10 +78,10 @@ class ProgressEvent:
     """A structured notification from the edit loop.
 
     ``kind`` is one of ``"started"``, ``"accepted"``, ``"rejected"``,
-    ``"empty-batch"``, or ``"finished"``.  ``record`` is the
+    ``"empty-batch"``, ``"ruleset"``, or ``"finished"``.  ``record`` is the
     :class:`IterationRecord` just appended (``None`` for ``started`` /
-    ``finished``); ``model`` and ``evaluation`` describe the *current best*
-    model at emission time.
+    ``ruleset`` / ``finished``); ``model`` and ``evaluation`` describe the
+    *current best* model at emission time.
     """
 
     kind: str
@@ -89,6 +94,9 @@ class ProgressEvent:
     #: finished (stage class name → seconds); ``None`` for events emitted
     #: outside the loop or by drivers that do not time stages.
     stage_seconds: dict[str, float] | None = None
+    #: The :class:`~repro.feedback.delta.RuleSetDelta` just applied
+    #: (``"ruleset"`` events only).
+    ruleset: Any = None
 
     @property
     def accepted(self) -> bool:
@@ -186,7 +194,17 @@ class EditState:
     journal: DeltaJournal = field(default_factory=DeltaJournal)
     predictions_cache: tuple[int, Any, np.ndarray] | None = None
     assign_cache: tuple[int, np.ndarray] | None = None
+    evaluation_cache: tuple[int, Any, Any, Any] | None = None
     stage_seconds: dict[str, float] = field(default_factory=dict)
+
+    # Streaming rule feedback (None unless the session enabled it):
+    # ``feedback`` is the run's :class:`~repro.feedback.pipeline
+    # .FeedbackPipeline`, drained by ``FeedbackStage`` at iteration
+    # boundaries; ``ruleset_log`` accumulates every applied
+    # :class:`~repro.feedback.delta.RuleSetDelta` in order — the run's
+    # rule timeline.
+    feedback: Any = None
+    ruleset_log: list = field(default_factory=list)
 
     # Transient slots written by one stage, consumed by the next.
     predictions: np.ndarray | None = None
@@ -391,6 +409,36 @@ class EditState:
         self.assign_cache = (self.dataset_version, assign)
         return assign
 
+    def evaluate_active(self) -> Any:
+        """Current model's evaluation on (active dataset, FRS), memoized.
+
+        Keyed on (dataset version, model identity, rule-set identity), so
+        the boundary work of applying a ruleset delta is free when
+        nothing changed since the last evaluation, and a delta-refreshed
+        evaluation is reused verbatim by :meth:`EditEngine.finalize`.
+        The computation routes through the prediction and assignment
+        caches exactly like the setup/finalize paths always did — values
+        are bit-identical to an uncached call.
+        """
+        cached = self.evaluation_cache
+        if (
+            cached is not None
+            and cached[0] == self.dataset_version
+            and cached[1] is self.model
+            and cached[2] is self.frs
+        ):
+            return cached[3]
+        from repro.core.objective import evaluate_predictions
+
+        evaluation = evaluate_predictions(
+            self.active_predictions(), self.active, self.frs,
+            assign=self.active_assignment(),
+        )
+        self.evaluation_cache = (
+            self.dataset_version, self.model, self.frs, evaluation,
+        )
+        return evaluation
+
     def loss_of(self, evaluation: Any) -> float:
         """Score an evaluation with the configured acceptance objective."""
         if self.objective is None:
@@ -399,7 +447,13 @@ class EditState:
             self.objective = OBJECTIVES.get(self.config.objective)
         return self.objective(evaluation, self.config)
 
-    def emit(self, kind: str, record: IterationRecord | None = None) -> None:
+    def emit(
+        self,
+        kind: str,
+        record: IterationRecord | None = None,
+        *,
+        ruleset: Any = None,
+    ) -> None:
         """Notify all listeners, isolating any that raise.
 
         A listener exception must not corrupt engine state mid-step
@@ -419,6 +473,7 @@ class EditState:
             model=self.model,
             evaluation=self.evaluation,
             stage_seconds=dict(self.stage_seconds) if self.stage_seconds else None,
+            ruleset=ruleset,
         )
         for listener in self.listeners:
             try:
@@ -449,4 +504,6 @@ class EditState:
             n_relabelled=self.n_relabelled,
             n_dropped=self.n_dropped,
             provenance=self.provenance,
+            frs=self.frs,
+            ruleset_log=list(self.ruleset_log),
         )

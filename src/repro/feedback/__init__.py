@@ -1,0 +1,77 @@
+"""Federated / streaming rule feedback with live ruleset deltas.
+
+The layer that turns the batch reproduction into a live-governance
+system: rules arrive *during* a run from many sources, per-source
+verdicts are aggregated into single decisions, and approved rules land
+on the running engine as append or rebuild deltas at iteration
+boundaries only — never mid-iteration, preserving the serving layer's
+bit-identity contract.
+
+    source(s)  ──poll──▶  FeedbackAggregator  ──approved──▶  RuleSetDelta
+                                                               │
+                                              EditState ◀──────┘
+
+See ``docs/architecture.md`` ("Feedback layer") for the full picture.
+"""
+
+from repro.feedback.aggregate import (
+    AGGREGATION_POLICIES,
+    APPROVED,
+    PENDING,
+    REJECTED,
+    FeedbackAggregator,
+    RuleDecision,
+    VoteTally,
+    register_aggregation_policy,
+)
+from repro.feedback.delta import (
+    APPEND,
+    REBUILD,
+    RuleSetDelta,
+    apply_rule,
+    classify_rule,
+    delta_from_jsonable,
+    delta_to_jsonable,
+    extend_ruleset,
+)
+from repro.feedback.pipeline import FeedbackPipeline
+from repro.feedback.sources import (
+    FeedbackSource,
+    QueueFeedbackSource,
+    RuleProposal,
+    RuleVerdict,
+    ScriptedFeedbackSource,
+    coerce_event,
+    rule_from_jsonable,
+    rule_key,
+    rule_to_jsonable,
+)
+
+__all__ = [
+    "AGGREGATION_POLICIES",
+    "APPEND",
+    "APPROVED",
+    "PENDING",
+    "REBUILD",
+    "REJECTED",
+    "FeedbackAggregator",
+    "FeedbackPipeline",
+    "FeedbackSource",
+    "QueueFeedbackSource",
+    "RuleDecision",
+    "RuleProposal",
+    "RuleSetDelta",
+    "RuleVerdict",
+    "ScriptedFeedbackSource",
+    "VoteTally",
+    "apply_rule",
+    "classify_rule",
+    "coerce_event",
+    "delta_from_jsonable",
+    "delta_to_jsonable",
+    "extend_ruleset",
+    "register_aggregation_policy",
+    "rule_from_jsonable",
+    "rule_key",
+    "rule_to_jsonable",
+]

@@ -1,0 +1,111 @@
+"""The per-run feedback pipeline: sources → aggregator → ruleset deltas.
+
+One :class:`FeedbackPipeline` is built per run by
+:meth:`EditSession.build_state` and drained by
+:class:`repro.engine.stages.FeedbackStage` at every iteration boundary.
+It owns the run's aggregator state plus an applied-rule set keyed on
+rule content, so re-delivered events (scripted sources after a
+crash-resume, duplicate proposals from several sources) apply at most
+once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.feedback.aggregate import APPROVED, FeedbackAggregator, RuleDecision
+from repro.feedback.delta import RuleSetDelta, apply_rule
+from repro.feedback.sources import FeedbackSource, rule_key
+from repro.rules.rule import FeedbackRule
+
+
+class FeedbackPipeline:
+    """Drains feedback sources into a live edit state.
+
+    Parameters
+    ----------
+    sources:
+        Streams polled at each boundary (anything with ``poll(iteration)``).
+    policy / policy_kwargs:
+        Aggregation policy (registry name or instance) deciding when a
+        proposal's votes become a ruleset change.
+    resolve / mixture_weight:
+        Conflict-resolution strategy for rebuild deltas.
+    schedule:
+        ``{iteration: [rules]}`` applied unconditionally (no aggregation)
+        the first time the boundary reaches that iteration — the
+        "present but inactive until iteration k" reference path the
+        streamed-parity contract compares against.
+    """
+
+    def __init__(
+        self,
+        sources: Iterable[FeedbackSource] = (),
+        *,
+        policy: Any = "unanimous",
+        policy_kwargs: dict[str, Any] | None = None,
+        resolve: str = "carve",
+        mixture_weight: float = 0.5,
+        schedule: dict[int, list[FeedbackRule]] | None = None,
+    ) -> None:
+        self.sources = list(sources)
+        self.aggregator = FeedbackAggregator(policy, **(policy_kwargs or {}))
+        self.resolve = resolve
+        self.mixture_weight = mixture_weight
+        self.schedule = {int(k): list(v) for k, v in (schedule or {}).items()}
+        #: content keys of rules already applied to the state this run.
+        self.applied: set[str] = set()
+        self._scheduled_done: set[int] = set()
+
+    def mark_applied(self, rule: FeedbackRule) -> None:
+        """Record an externally applied rule (journal fast-forward) so a
+        source re-delivering it is a no-op."""
+        self.applied.add(rule_key(rule))
+
+    def drain(self, state) -> list[RuleSetDelta]:
+        """Apply everything due at the current iteration boundary.
+
+        Scheduled rules go first (deterministic ordering: the schedule is
+        the reference path), then source events in source order through
+        the aggregator; newly approved decisions apply immediately.
+        """
+        boundary = state.iteration
+        deltas: list[RuleSetDelta] = []
+        for it in sorted(k for k in self.schedule if k <= boundary):
+            if it in self._scheduled_done:
+                continue
+            self._scheduled_done.add(it)
+            for rule in self.schedule[it]:
+                deltas.extend(self._apply(state, rule, provenance=f"scheduled@{it}"))
+        events = []
+        for source in self.sources:
+            events.extend(source.poll(boundary))
+        if events:
+            for decision in self.aggregator.ingest(events):
+                if decision.status == APPROVED:
+                    deltas.extend(
+                        self._apply(
+                            state, decision.rule, provenance=self._provenance(decision)
+                        )
+                    )
+        return deltas
+
+    @staticmethod
+    def _provenance(decision: RuleDecision) -> str:
+        voters = ",".join(decision.approvals) or "unattributed"
+        return f"approved by {voters}"
+
+    def _apply(self, state, rule: FeedbackRule, *, provenance: str) -> list[RuleSetDelta]:
+        key = rule_key(rule)
+        if key in self.applied:
+            return []
+        self.applied.add(key)
+        return [
+            apply_rule(
+                state,
+                rule,
+                resolve=self.resolve,
+                mixture_weight=self.mixture_weight,
+                provenance=provenance,
+            )
+        ]

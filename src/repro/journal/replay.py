@@ -41,6 +41,7 @@ in-flight state).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -50,6 +51,7 @@ import numpy as np
 from repro.journal.reader import JournalReader, ScanResult, Truncation
 from repro.journal.records import (
     KIND_ITERATION,
+    KIND_RULESET,
     KIND_RUN_FINISHED,
     KIND_RUN_META,
     KIND_RUN_RESUMED,
@@ -140,6 +142,12 @@ class _Span:
     iterations: dict[int, Record] = field(default_factory=dict)
     resumes: list[Record] = field(default_factory=list)
     finished: Record | None = None
+    #: ``ruleset-delta`` records in write order.  Unlike iterations these
+    #: are kept as a list: a crash between a delta's fsync and its
+    #: iteration's commit makes the resumed process re-apply (and
+    #: re-journal) the same delta, so consumers dedupe by content key
+    #: (see :func:`_delta_key`) rather than by position.
+    rulesets: list[Record] = field(default_factory=list)
 
 
 def _session_spans(records: list[Record]) -> list[_Span]:
@@ -155,7 +163,35 @@ def _session_spans(records: list[Record]) -> list[_Span]:
             spans[-1].resumes.append(record)
         elif record.kind == KIND_RUN_FINISHED:
             spans[-1].finished = record
+        elif record.kind == KIND_RULESET:
+            spans[-1].rulesets.append(record)
     return spans
+
+
+def _delta_key(data: dict[str, Any]) -> tuple[int, str, str]:
+    """Content identity of one journaled ruleset delta.
+
+    A crashed-then-resumed run re-journals the delta it re-applies at the
+    resume boundary; the (iteration, kind, rules-added) triple identifies
+    it regardless of how many times it was written.
+    """
+    return (
+        int(data["iteration"]),
+        str(data["kind"]),
+        json.dumps(data["rules_added"], sort_keys=True, separators=(",", ":")),
+    )
+
+
+def _dedupe_deltas(records: list[Record]) -> list[Record]:
+    seen: set[tuple[int, str, str]] = set()
+    out: list[Record] = []
+    for record in records:
+        key = _delta_key(record.data)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(record)
+    return out
 
 
 def _committed(span: _Span) -> list[ReplayIteration]:
@@ -229,6 +265,40 @@ class SessionReplay:
         span = self.span
         return _committed(span) if span else []
 
+    def rule_timeline(self) -> list[dict[str, Any]]:
+        """The run's rule-set evolution, from the journal alone.
+
+        One row per applied ruleset delta (content-deduped across crash
+        boundaries), in application order: when each rule arrived, whether
+        it appended or forced a carve-out rebuild, and the resulting
+        rule-set size.  This is the feedback-layer analogue of
+        :meth:`history` — served ``feed(...)`` sessions replay to the
+        same timeline as the live run (pinned by
+        ``tests/serve/test_serve_feed.py``).
+        """
+        span = self.span
+        if span is None:
+            return []
+        rows = []
+        for record in _dedupe_deltas(span.rulesets):
+            data = record.data
+            rows.append(
+                {
+                    "iteration": int(data["iteration"]),
+                    "kind": str(data["kind"]),
+                    "rules": [
+                        r.get("name", "") for r in data.get("rules_added", [])
+                    ],
+                    "rules_added": len(data.get("rules_added", [])),
+                    "n_rules": int(
+                        data.get("n_rules", len(data.get("ruleset", [])))
+                    ),
+                    "provenance": str(data.get("provenance", "")),
+                    "t": record.t,
+                }
+            )
+        return rows
+
     # ------------------------------------------------------------------ #
     def summary(self) -> dict[str, Any]:
         iterations = self.iterations
@@ -251,6 +321,7 @@ class SessionReplay:
             "rejected": len(rejected),
             "empty": len(empty),
             "n_added": iterations[-1].n_added_total if iterations else 0,
+            "ruleset_deltas": len(self.rule_timeline()),
             "initial_loss": meta.get("initial_loss"),
             "best_loss": iterations[-1].best_loss if iterations else meta.get("initial_loss"),
             "finished": finished is not None,
@@ -312,26 +383,68 @@ def _validate_resume(state, meta: dict[str, Any]) -> None:
         )
 
 
-def fast_forward(state, entries: list[ReplayIteration]):
+def _apply_journaled_ruleset(state, record: Record) -> None:
+    """Install one journaled ruleset delta without re-running aggregation.
+
+    Deltas are self-contained (they carry the complete resulting rule
+    set), so fast-forward swaps the rule set in and invalidates the
+    derived caches; the per-iteration ``best_loss`` bookkeeping stays
+    authoritative for committed iterations, and the tail recompute in
+    :func:`fast_forward` covers deltas at the resume boundary.  Rules are
+    marked applied on the session's feedback pipeline so re-polled
+    sources (scripted schedules re-deliver on resume) dedupe instead of
+    double-applying.
+    """
+    from repro.feedback.delta import delta_from_jsonable
+
+    delta = delta_from_jsonable(record.data)
+    state.frs = delta.ruleset
+    state.assign_cache = None
+    state.evaluation_cache = None
+    state.population_stale = True
+    state.ruleset_log.append(delta)
+    if state.feedback is not None:
+        for rule in delta.rules_added:
+            state.feedback.mark_applied(rule)
+
+
+def fast_forward(
+    state,
+    entries: list[ReplayIteration],
+    ruleset_records: list[Record] = (),  # type: ignore[assignment]
+):
     """Re-apply committed iterations onto a freshly initialized state.
 
     Must be called right after ``engine.initialize(state)``: setup
     (modification, initial fit, budgets) is deterministically re-run by
     the engine, then each journaled iteration is replayed as pure
     bookkeeping — no model fits, no generation — with accepted batches
-    re-appended from their journaled rows.  Finishes by refitting the
-    model once and restoring the journaled RNG state.
+    re-appended from their journaled rows and journaled ruleset deltas
+    re-installed at the iteration boundaries where they were applied.
+    Finishes by refitting the model once and restoring the journaled RNG
+    state.
     """
-    from repro.core.objective import evaluate_predictions
     from repro.data.table import Table
 
+    by_iter: dict[int, list[Record]] = {}
+    for record in _dedupe_deltas(list(ruleset_records)):
+        by_iter.setdefault(int(record.data["iteration"]), []).append(record)
+
     any_accepted = False
+    any_delta = False
     for entry in entries:
         if entry.iteration != state.iteration:
             raise JournalResumeError(
                 f"journal iteration {entry.iteration} does not follow "
                 f"live iteration {state.iteration}"
             )
+        # Deltas journaled at iteration k were applied by the feedback
+        # stage *before* k's loop body ran; the entry's best_loss already
+        # reflects them, so install the rule set first and let the
+        # bookkeeping below overwrite the loss.
+        for record in by_iter.pop(entry.iteration, []):
+            _apply_journaled_ruleset(state, record)
+            any_delta = True
         if entry.accepted:
             if entry.batch is None or entry.per_rule_counts is None:
                 raise JournalResumeError(
@@ -367,14 +480,31 @@ def fast_forward(state, entries: list[ReplayIteration]):
         state.best_loss = entry.best_loss
         state.history.append(entry.to_record())
         state.iteration = entry.iteration + 1
+    # Deltas at the resume boundary: journaled by a feedback stage whose
+    # iteration then crashed before committing.  The continuation's
+    # feedback stage would re-deliver them anyway (sources re-poll);
+    # installing them here keeps the journal authoritative and makes the
+    # re-delivery a dedup no-op.
+    tail_deltas = False
+    for iteration in sorted(by_iter):
+        if iteration > state.iteration:
+            raise JournalResumeError(
+                f"journaled ruleset delta at iteration {iteration} is "
+                f"beyond the committed prefix (resume point "
+                f"{state.iteration})"
+            )
+        for record in by_iter[iteration]:
+            _apply_journaled_ruleset(state, record)
+            any_delta = tail_deltas = True
     if any_accepted:
         state.model = state.algorithm(state.active)
-        state.evaluation = evaluate_predictions(
-            state.active_predictions(),
-            state.active,
-            state.frs,
-            assign=state.active_assignment(),
-        )
+    if any_accepted or any_delta:
+        state.evaluation = state.evaluate_active()
+    if tail_deltas:
+        # Committed iterations carried their own journaled best_loss; a
+        # tail delta post-dates the last commit, so recompute exactly as
+        # the live apply_rule did at this boundary.
+        state.best_loss = state.loss_of(state.evaluation)
     if entries:
         rng = entries[-1].rng
         if rng is None:
@@ -412,6 +542,7 @@ def run_journaled(session):
     meta = {"name": name}
 
     entries: list[ReplayIteration] = []
+    ruleset_records: list[Record] = []
     if config.journal_resume and JournalReader(path).exists:
         scan = JournalReader(path).scan()
         if scan.truncation is not None and not scan.truncation.repairable:
@@ -424,10 +555,11 @@ def run_journaled(session):
         if spans:
             _validate_resume(state, dict(spans[-1].meta.data))
             entries = _committed(spans[-1])
+            ruleset_records = spans[-1].rulesets
 
     if entries:
         engine.initialize(state)
-        fast_forward(state, entries)
+        fast_forward(state, entries, ruleset_records)
         journal = SessionJournal(path, meta=meta).attach(state)
         journal.record_resumed(state, fast_forwarded=len(entries))
         try:

@@ -41,6 +41,7 @@ from repro.journal.reader import JournalReader
 from repro.journal.records import (
     KIND_HEADER,
     KIND_ITERATION,
+    KIND_RULESET,
     KIND_RUN_FINISHED,
     KIND_RUN_META,
     KIND_RUN_RESUMED,
@@ -324,6 +325,14 @@ class SessionJournal:
             return
         if event.kind == "started":
             self.writer.append(KIND_RUN_META, self._run_meta(state), sync=True)
+        elif event.kind == "ruleset":
+            # A feedback delta just landed: journal the full resulting
+            # rule set (self-contained — replay reconstructs the rule
+            # timeline without re-running aggregation), fsynced like
+            # iteration records so crash-resume sees every applied rule.
+            self.writer.append(
+                KIND_RULESET, self._ruleset_data(state, event), sync=True
+            )
         elif event.record is not None:
             self.writer.append(
                 KIND_ITERATION, self._iteration_data(state, event), sync=True
@@ -361,6 +370,13 @@ class SessionJournal:
             "warm_start": state.warm_start,
             "n_rules": len(tuple(state.frs)),
         }
+
+    def _ruleset_data(self, state, event) -> dict[str, Any]:
+        from repro.feedback.delta import delta_to_jsonable
+
+        data = delta_to_jsonable(event.ruleset)
+        data["n_rules"] = len(tuple(state.frs))
+        return data
 
     def _iteration_data(self, state, event) -> dict[str, Any]:
         record = event.record

@@ -111,6 +111,30 @@ def f1_score(
     )[2]
 
 
+def f1_from_confusion(cm: np.ndarray, *, pos_label: int = 1) -> float:
+    """The paper's F1 convention computed from confusion counts alone.
+
+    Bitwise-identical to :func:`default_f1` over the predictions that
+    produced ``cm`` — the same per-class arithmetic over the same integer
+    counts (an all-zero matrix is the empty partition, scored 1.0; a 2×2
+    matrix scores binary F1 on ``pos_label``, larger matrices macro F1).
+    Confusion counts are additive, so evaluations over disjoint row
+    partitions merge exactly by summing matrices before scoring.
+    """
+    cm = np.asarray(cm, dtype=np.int64)
+    if cm.ndim != 2 or cm.shape[0] != cm.shape[1]:
+        raise ValueError(f"cm must be square, got shape {cm.shape}")
+    if cm.sum() == 0:
+        return 1.0
+    if cm.shape[0] == 2:
+        if pos_label >= cm.shape[0]:
+            return 0.0
+        _, _, f1, _ = _per_class_prf(cm)
+        return float(f1[pos_label])
+    _, _, f1, _ = _per_class_prf(cm)
+    return float(f1.mean())
+
+
 def default_f1(
     y_true: np.ndarray, y_pred: np.ndarray, *, n_classes: int
 ) -> float:

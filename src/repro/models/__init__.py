@@ -105,10 +105,18 @@ register_model("NB", lambda: GaussianNB(), standardize=True)
 register_model("KNN", lambda: KNeighborsClassifier(k=5), standardize=True)
 
 
-def algorithm(name: str) -> TrainingAlgorithm:
-    """Training algorithm for any registered model (did-you-mean errors)."""
+def algorithm(name: str, *, warm_start: bool = False) -> TrainingAlgorithm:
+    """Training algorithm for any registered model (did-you-mean errors).
+
+    ``warm_start=True`` seeds each refit's optimizer with the previous
+    fit's coefficients for estimators that support it (``"LR"``); see
+    :func:`repro.models.base.make_algorithm`.  Opt-in: the default path
+    cold-starts every fit and stays parity-pinned.
+    """
     info: ModelInfo = MODELS[name]
-    return make_algorithm(info.factory, standardize=info.standardize)
+    return make_algorithm(
+        info.factory, standardize=info.standardize, warm_start=warm_start
+    )
 
 
 # Name → factory views kept for backwards compatibility; the registry is

@@ -144,11 +144,24 @@ def make_algorithm(
     estimator_factory: Callable[[], MatrixClassifier],
     *,
     standardize: bool = True,
+    warm_start: bool = False,
 ) -> TrainingAlgorithm:
     """Wrap an estimator factory into a FROTE training algorithm.
 
     Each invocation builds a fresh estimator so retraining never leaks state
     between FROTE iterations.
+
+    With ``warm_start=True``, estimators exposing ``warm_start_from(coef,
+    intercept)`` (batch LR) have each refit's optimizer seeded with the
+    previous fit's coefficients — the fresh-estimator contract is kept
+    (only a *copy* of the coefficients crosses fits, so a rejected
+    candidate's fit can never mutate the retained model), but the
+    optimizer starts near the previous optimum instead of at zero.  The
+    FROTE loop's successive training sets differ by one small batch, so
+    the iterate path shortens substantially (pinned by
+    ``tests/models/test_warm_start.py``); because the iterate *path*
+    changes, coefficient bits may differ from a cold fit within ``tol``.
+    Off by default — the parity-pinned default path always cold-starts.
 
     Example
     -------
@@ -157,7 +170,20 @@ def make_algorithm(
     >>> model = algorithm(train_dataset)  # doctest: +SKIP
     """
 
+    last_fit: dict[str, np.ndarray] = {}
+
     def algorithm(dataset: Dataset) -> TableModel:
-        return TableModel(estimator_factory(), standardize=standardize).fit(dataset)
+        estimator = estimator_factory()
+        if warm_start and last_fit and hasattr(estimator, "warm_start_from"):
+            estimator.warm_start_from(last_fit["coef"], last_fit["intercept"])
+        model = TableModel(estimator, standardize=standardize).fit(dataset)
+        if (
+            warm_start
+            and getattr(estimator, "coef_", None) is not None
+            and getattr(estimator, "intercept_", None) is not None
+        ):
+            last_fit["coef"] = estimator.coef_.copy()
+            last_fit["intercept"] = estimator.intercept_.copy()
+        return model
 
     return algorithm

@@ -32,17 +32,48 @@ class LogisticRegression:
         L-BFGS iteration cap; the paper uses 500.
     tol:
         Gradient tolerance for convergence.
+    warm_start:
+        Seed the optimizer with this instance's previous ``coef_`` /
+        ``intercept_`` (when shapes still match) instead of zeros.
+        Changes the L-BFGS iterate path, not the problem: the objective
+        is strictly convex, so the optimum is the same up to ``tol`` —
+        but iterates, iteration counts (``n_iter_``), and therefore exact
+        coefficient bits may differ from a cold fit.  Off by default;
+        the parity-pinned paths never enable it.
     """
 
-    def __init__(self, C: float = 1.0, max_iter: int = 500, tol: float = 1e-6) -> None:
+    def __init__(
+        self,
+        C: float = 1.0,
+        max_iter: int = 500,
+        tol: float = 1e-6,
+        warm_start: bool = False,
+    ) -> None:
         if C <= 0:
             raise ValueError(f"C must be positive, got {C}")
         self.C = C
         self.max_iter = max_iter
         self.tol = tol
+        self.warm_start = warm_start
         self.coef_: np.ndarray | None = None  # (n_features, n_classes)
         self.intercept_: np.ndarray | None = None  # (n_classes,)
         self.n_classes_: int | None = None
+        self.n_iter_: int | None = None  # L-BFGS iterations of the last fit
+        self._init_coef: np.ndarray | None = None
+        self._init_intercept: np.ndarray | None = None
+
+    def warm_start_from(self, coef: np.ndarray, intercept: np.ndarray) -> "LogisticRegression":
+        """Seed the next :meth:`fit`'s optimizer with explicit coefficients.
+
+        Used by :func:`repro.models.base.make_algorithm`'s warm-start
+        path, where every refit builds a *fresh* estimator (so the
+        previous fit's coefficients must be handed over explicitly
+        rather than read off ``self``).  Ignored if the shapes don't
+        match the next fit's problem.
+        """
+        self._init_coef = np.array(coef, dtype=np.float64, copy=True)
+        self._init_intercept = np.array(intercept, dtype=np.float64, copy=True)
+        return self
 
     # ------------------------------------------------------------------ #
     def fit(self, X: np.ndarray, y: np.ndarray, *, n_classes: int | None = None) -> "LogisticRegression":
@@ -77,6 +108,16 @@ class LogisticRegression:
             return loss, np.concatenate([grad_W.ravel(), grad_b])
 
         w0 = np.zeros(d * n_classes + n_classes)
+        init_coef, init_intercept = self._init_coef, self._init_intercept
+        if init_coef is None and self.warm_start and self.coef_ is not None:
+            init_coef, init_intercept = self.coef_, self.intercept_
+        if (
+            init_coef is not None
+            and init_intercept is not None
+            and init_coef.shape == (d, n_classes)
+            and init_intercept.shape == (n_classes,)
+        ):
+            w0 = np.concatenate([np.ravel(init_coef), init_intercept])
         res = minimize(
             objective,
             w0,
@@ -87,6 +128,7 @@ class LogisticRegression:
         w = res.x
         self.coef_ = w[: d * n_classes].reshape(d, n_classes)
         self.intercept_ = w[d * n_classes :]
+        self.n_iter_ = int(res.nit)
         return self
 
     # ------------------------------------------------------------------ #

@@ -39,6 +39,7 @@ from typing import Any, AsyncIterator
 
 from repro.engine.session import EditSession
 from repro.engine.state import FroteResult, ProgressEvent
+from repro.feedback.sources import QueueFeedbackSource, coerce_event
 from repro.serve.admission import AdmissionController, MemoryGrant, MemoryPool
 from repro.serve.scheduler import SchedulingPolicy, SessionScheduler, SessionTicket
 
@@ -195,6 +196,15 @@ class SessionHandle:
             lambda f: f.exception() if not f.cancelled() else None
         )
 
+        # Live feedback: feed(...) stages events on the loop thread; they
+        # are flushed into the queue source at the next quantum boundary
+        # (never mid-quantum), where the engine's feedback stage drains
+        # them.  Attached before the state is built so the engine chain
+        # includes the feedback stage from the start.
+        self._feed_source = QueueFeedbackSource(name=f"feed:{name}")
+        self._feed_buffer: list[Any] = []
+        spec.with_feedback(self._feed_source)
+
         self._journal: Any = None
         self._events: deque[ProgressEvent] = deque()
         self._events_dropped = 0
@@ -271,6 +281,70 @@ class SessionHandle:
             await self._event_signal.wait()
 
     # ------------------------------------------------------------------ #
+    # Live feedback injection.
+    def feed(self, *items: Any, source: str = "client") -> int:
+        """Inject feedback into the running session.
+
+        Accepts :class:`~repro.feedback.sources.RuleProposal` /
+        :class:`~repro.feedback.sources.RuleVerdict` events, bare
+        :class:`~repro.rules.rule.FeedbackRule` objects, or rule strings
+        (parsed against the session dataset's schema).  Items are staged
+        immediately but only become visible to the engine at the next
+        quantum boundary — never mid-quantum — so served runs keep the
+        same boundary-granular determinism as ``EditSession`` feedback,
+        and the applied deltas land in the session's journal like any
+        other feedback.
+
+        Parameters
+        ----------
+        items:
+            Events, rules, or rule strings to stage.
+        source:
+            Attributed source name for events that don't carry one.
+
+        Returns
+        -------
+        int
+            Number of events staged.
+
+        Raises
+        ------
+        ServeError
+            If the session already reached a terminal state.
+        """
+        if self.done:
+            raise ServeError(
+                f"cannot feed session {self.name!r}: already {self.status}"
+            )
+        events = []
+        for item in items:
+            if isinstance(item, str):
+                from repro.rules.parser import parse_rule
+
+                dataset = self._spec.dataset
+                item = parse_rule(
+                    item, dataset.X.schema, dataset.label_names
+                )
+            events.append(coerce_event(item, source=source))
+        self._feed_buffer.extend(events)
+        self._service._journal_event(
+            "feedback-staged",
+            {"name": self.name, "source": source, "count": len(events)},
+        )
+        return len(events)
+
+    def _flush_feed(self) -> None:
+        """Move staged feedback into the queue source (loop thread, at a
+        quantum boundary — the engine is guaranteed not to be polling)."""
+        if not self._feed_buffer:
+            return
+        staged, self._feed_buffer = self._feed_buffer, []
+        self._feed_source.push(*staged)
+        self._service._journal_event(
+            "feedback-flushed", {"name": self.name, "count": len(staged)}
+        )
+
+    # ------------------------------------------------------------------ #
     # The quantum.
     def _advance(self) -> str:
         """Run one engine quantum (worker thread). Returns the kind."""
@@ -332,6 +406,7 @@ class SessionHandle:
         await self._acquire_turn()
         if self.status == QUEUED:
             self.status = RUNNING
+        self._flush_feed()
         self._in_advance = True
         started = time.perf_counter()
         try:
@@ -776,6 +851,13 @@ class EditService:
         spec._config_kwargs = dict(session._config_kwargs)
         spec._listeners = list(session._listeners)
         spec._rules = list(session._rules)
+        # The handle attaches its own feed source; container fields must
+        # not be shared with the caller's session object.
+        spec._feedback_sources = list(session._feedback_sources)
+        spec._feedback_policy_kwargs = dict(session._feedback_policy_kwargs)
+        spec._scheduled_rules = {
+            it: list(rules) for it, rules in session._scheduled_rules.items()
+        }
         own = spec._config_kwargs.get("max_resident_mb")
         if self.pool is None:
             return spec, float(own) if own is not None else 0.0

@@ -1,0 +1,166 @@
+"""Delta-aware objective merge: additive carriers on :class:`Evaluation`.
+
+Pins the two merge axes the feedback layer relies on:
+
+* **ruleset axis** — :func:`append_rule_evaluation` derives the extended
+  evaluation in O(new rule) and matches a from-scratch pass *bitwise*;
+* **dataset axis** — :func:`merge_evaluations` over a disjoint row
+  partition is integer-exact on counts/F1 and exact-ratio on the means
+  (documented last-ulp tolerance from summation order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.objective import (
+    Evaluation,
+    append_rule_evaluation,
+    evaluate_predictions,
+    merge_evaluations,
+)
+from repro.metrics.classification import confusion_matrix, default_f1, f1_from_confusion
+from repro.rules import FeedbackRule, FeedbackRuleSet, Predicate, clause
+
+from conftest import make_tiny_dataset
+
+DATASET = make_tiny_dataset(n=200, seed=3)
+
+RULE_A = FeedbackRule.deterministic(
+    clause(Predicate("x1", "<", -0.5)), 1, 2, name="a"
+)
+RULE_B = FeedbackRule.deterministic(
+    clause(Predicate("x1", ">", 0.8)), 0, 2, name="b"
+)
+
+
+def predictions(seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, DATASET.n).astype(np.int64)
+
+
+class TestAppendAxis:
+    def test_append_matches_full_evaluation_bitwise(self):
+        y_pred = predictions()
+        base_frs = FeedbackRuleSet((RULE_A,))
+        base = evaluate_predictions(y_pred, DATASET, base_frs)
+        assigned = base_frs.assign(DATASET.X) >= 0
+        moved = (~assigned) & RULE_B.coverage_mask(DATASET.X)
+
+        derived = append_rule_evaluation(base, y_pred, DATASET, RULE_B, moved)
+        full = evaluate_predictions(
+            y_pred, DATASET, FeedbackRuleSet((RULE_A, RULE_B))
+        )
+        assert derived.mra == full.mra
+        assert derived.f1_outside == full.f1_outside
+        assert derived.n_covered == full.n_covered
+        assert derived.n_outside == full.n_outside
+        np.testing.assert_array_equal(derived.per_rule_mra, full.per_rule_mra)
+        np.testing.assert_array_equal(derived.per_rule_count, full.per_rule_count)
+        np.testing.assert_array_equal(
+            derived.per_rule_agreement, full.per_rule_agreement
+        )
+        np.testing.assert_array_equal(
+            derived.outside_confusion, full.outside_confusion
+        )
+
+    def test_append_with_empty_coverage(self):
+        y_pred = predictions()
+        base_frs = FeedbackRuleSet((RULE_A,))
+        base = evaluate_predictions(y_pred, DATASET, base_frs)
+        nowhere = FeedbackRule.deterministic(
+            clause(Predicate("x1", ">", 99.0)), 0, 2, name="nowhere"
+        )
+        derived = append_rule_evaluation(
+            base, y_pred, DATASET, nowhere, np.zeros(DATASET.n, dtype=bool)
+        )
+        assert derived.mra == base.mra
+        assert derived.f1_outside == base.f1_outside
+        assert np.isnan(derived.per_rule_mra[-1])
+        assert derived.per_rule_count[-1] == 0
+
+    def test_requires_merge_carriers(self):
+        legacy = Evaluation(
+            per_rule_mra=np.array([1.0]),
+            per_rule_count=np.array([3]),
+            mra=1.0,
+            f1_outside=1.0,
+            n_covered=3,
+            n_outside=0,
+        )
+        assert not legacy.mergeable
+        with pytest.raises(ValueError, match="merge fields"):
+            append_rule_evaluation(
+                legacy, predictions(), DATASET, RULE_B,
+                np.zeros(DATASET.n, dtype=bool),
+            )
+
+
+class TestDatasetAxis:
+    def split(self):
+        idx = np.arange(DATASET.n)
+        return DATASET.take(idx[::2]), DATASET.take(idx[1::2]), idx
+
+    def test_merge_partition_counts_are_integer_exact(self):
+        y_pred = predictions()
+        frs = FeedbackRuleSet((RULE_A, RULE_B))
+        left, right, idx = self.split()
+        merged = merge_evaluations(
+            evaluate_predictions(y_pred[idx[::2]], left, frs),
+            evaluate_predictions(y_pred[idx[1::2]], right, frs),
+        )
+        whole = evaluate_predictions(y_pred, DATASET, frs)
+        # Counts and confusion are additive -> F1 merges bit-for-bit.
+        np.testing.assert_array_equal(merged.per_rule_count, whole.per_rule_count)
+        np.testing.assert_array_equal(
+            merged.outside_confusion, whole.outside_confusion
+        )
+        assert merged.f1_outside == whole.f1_outside
+        assert merged.n_covered == whole.n_covered
+        assert merged.n_outside == whole.n_outside
+        # Means re-derive from summed carriers; summation order may move
+        # the last ulp, which is the documented dataset-axis tolerance.
+        assert merged.mra == pytest.approx(whole.mra, abs=1e-12)
+        np.testing.assert_allclose(
+            merged.per_rule_mra, whole.per_rule_mra, atol=1e-12
+        )
+
+    def test_merged_mean_is_summed_carrier_over_count(self):
+        y_pred = predictions()
+        frs = FeedbackRuleSet((RULE_A, RULE_B))
+        left, right, idx = self.split()
+        a = evaluate_predictions(y_pred[idx[::2]], left, frs)
+        b = evaluate_predictions(y_pred[idx[1::2]], right, frs)
+        merged = merge_evaluations(a, b)
+        for r in range(2):
+            cnt = a.per_rule_count[r] + b.per_rule_count[r]
+            if cnt == 0:
+                assert np.isnan(merged.per_rule_mra[r])
+                continue
+            total = a.per_rule_agreement[r] + b.per_rule_agreement[r]
+            assert merged.per_rule_mra[r] == total / cnt
+
+    def test_merge_shape_mismatch_errors(self):
+        y_pred = predictions()
+        one = evaluate_predictions(y_pred, DATASET, FeedbackRuleSet((RULE_A,)))
+        two = evaluate_predictions(
+            y_pred, DATASET, FeedbackRuleSet((RULE_A, RULE_B))
+        )
+        with pytest.raises(ValueError, match="different rule sets"):
+            merge_evaluations(one, two)
+
+
+class TestConfusionF1:
+    @pytest.mark.parametrize("n_classes", [2, 3])
+    def test_f1_from_confusion_matches_default_f1(self, n_classes):
+        rng = np.random.default_rng(9)
+        y_true = rng.integers(0, n_classes, 300)
+        y_pred = rng.integers(0, n_classes, 300)
+        cm = confusion_matrix(y_true, y_pred, n_classes=n_classes)
+        assert f1_from_confusion(cm) == default_f1(
+            y_true, y_pred, n_classes=n_classes
+        )
+
+    def test_empty_partition_scores_one(self):
+        assert f1_from_confusion(np.zeros((2, 2), dtype=np.int64)) == 1.0

@@ -1,0 +1,181 @@
+"""Aggregation policies and the per-proposal vote bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.feedback import (
+    AGGREGATION_POLICIES,
+    APPROVED,
+    PENDING,
+    REJECTED,
+    FeedbackAggregator,
+    RuleProposal,
+    RuleVerdict,
+    register_aggregation_policy,
+)
+from repro.rules import FeedbackRule, Predicate, clause
+
+
+def make_rule(threshold=35.0, name="young"):
+    return FeedbackRule.deterministic(
+        clause(Predicate("age", "<", threshold)), 1, 2, name=name
+    )
+
+
+def proposal(rule=None, source="alice"):
+    return RuleProposal(rule if rule is not None else make_rule(), source=source)
+
+
+class TestUnanimous:
+    def test_single_proposal_approves(self):
+        agg = FeedbackAggregator()
+        decisions = agg.ingest([proposal()])
+        assert len(decisions) == 1
+        assert decisions[0].status == APPROVED
+        assert decisions[0].approvals == ("alice",)
+
+    def test_any_rejection_in_batch_kills(self):
+        agg = FeedbackAggregator()
+        p = proposal()
+        # Votes inside one ingest batch all land before the decision.
+        decisions = agg.ingest(
+            [p, RuleVerdict(p.proposal_id, approve=False, source="bob")]
+        )
+        assert [d.status for d in decisions] == [REJECTED]
+
+    def test_decisions_are_final(self):
+        agg = FeedbackAggregator()
+        p = proposal()
+        assert [d.status for d in agg.ingest([p])] == [APPROVED]
+        # A reject arriving after the decision is a no-op.
+        assert agg.ingest(
+            [RuleVerdict(p.proposal_id, approve=False, source="bob")]
+        ) == []
+        assert agg.status(p.proposal_id) == APPROVED
+
+    def test_min_votes_holds_pending(self):
+        agg = FeedbackAggregator(policy="unanimous", min_votes=2)
+        p = proposal()
+        assert agg.ingest([p]) == []
+        assert agg.status(p.proposal_id) == PENDING
+        decisions = agg.ingest(
+            [RuleVerdict(p.proposal_id, approve=True, source="bob")]
+        )
+        assert [d.status for d in decisions] == [APPROVED]
+        assert set(decisions[0].approvals) == {"alice", "bob"}
+
+    def test_reject_before_quota(self):
+        agg = FeedbackAggregator(policy="unanimous", min_votes=3)
+        p = proposal()
+        agg.ingest([p])
+        decisions = agg.ingest(
+            [RuleVerdict(p.proposal_id, approve=False, source="bob")]
+        )
+        assert [d.status for d in decisions] == [REJECTED]
+
+
+class TestQuorum:
+    def test_needs_quorum_approvals(self):
+        agg = FeedbackAggregator(policy="quorum", quorum=2)
+        p = proposal()
+        assert agg.ingest([p]) == []
+        decisions = agg.ingest(
+            [RuleVerdict(p.proposal_id, approve=True, source="bob")]
+        )
+        assert [d.status for d in decisions] == [APPROVED]
+
+    def test_quorum_of_rejections_rejects(self):
+        agg = FeedbackAggregator(policy="quorum", quorum=2)
+        p = proposal()
+        agg.ingest([p, RuleVerdict(p.proposal_id, approve=False, source="eve")])
+        assert agg.status(p.proposal_id) == PENDING  # 1 approve, 1 reject
+        agg.ingest([RuleVerdict(p.proposal_id, approve=False, source="mallory")])
+        assert agg.status(p.proposal_id) == REJECTED
+
+
+class TestPriorityWeighted:
+    def test_weighted_votes(self):
+        agg = FeedbackAggregator(
+            policy="priority-weighted",
+            threshold=2.0,
+            weights={"senior": 2.0, "junior": 0.5},
+        )
+        p = proposal(source="junior")
+        assert agg.ingest([p]) == []  # score 0.5 < 2.0
+        decisions = agg.ingest(
+            [RuleVerdict(p.proposal_id, approve=True, source="senior")]
+        )
+        assert [d.status for d in decisions] == [APPROVED]
+
+    def test_negative_score_rejects(self):
+        agg = FeedbackAggregator(
+            policy="priority-weighted", threshold=1.5,
+            weights={"senior": 2.0},
+        )
+        p = proposal(source="alice")  # +1.0
+        agg.ingest([p])
+        decisions = agg.ingest(
+            [RuleVerdict(p.proposal_id, approve=False, source="senior")]
+        )  # 1.0 - 2.0 = -1.0 <= -1.5? no -> still pending
+        assert decisions == []
+        decisions = agg.ingest(
+            [RuleVerdict(p.proposal_id, approve=False, source="bob")]
+        )  # -2.0 <= -1.5 -> rejected
+        assert [d.status for d in decisions] == [REJECTED]
+
+
+class TestBookkeeping:
+    def test_latest_vote_per_source_wins(self):
+        agg = FeedbackAggregator(policy="unanimous", min_votes=2)
+        p = proposal(source="alice")  # counts as alice's approval
+        agg.ingest([p])
+        decisions = agg.ingest(
+            [RuleVerdict(p.proposal_id, approve=False, source="alice")]
+        )
+        assert [d.status for d in decisions] == [REJECTED]
+        assert decisions[0].approvals == ()
+        assert decisions[0].rejections == ("alice",)
+
+    def test_orphan_verdicts_park_until_proposal(self):
+        agg = FeedbackAggregator(policy="quorum", quorum=2)
+        rule = make_rule()
+        pid = RuleProposal(rule).proposal_id
+        assert agg.ingest([RuleVerdict(pid, approve=True, source="bob")]) == []
+        decisions = agg.ingest([RuleProposal(rule, source="alice")])
+        assert [d.status for d in decisions] == [APPROVED]
+        assert set(decisions[0].approvals) == {"alice", "bob"}
+
+    def test_same_rule_from_two_sources_shares_proposal(self):
+        agg = FeedbackAggregator(policy="quorum", quorum=2)
+        decisions = agg.ingest(
+            [proposal(source="alice"), proposal(source="bob")]
+        )
+        assert len(decisions) == 1
+        assert decisions[0].status == APPROVED
+
+    def test_pending_listing(self):
+        agg = FeedbackAggregator(policy="quorum", quorum=2)
+        p = proposal()
+        agg.ingest([p])
+        assert agg.pending() == (p.proposal_id,)
+
+
+class TestRegistry:
+    def test_unknown_policy_errors(self):
+        with pytest.raises(Exception):
+            FeedbackAggregator(policy="definitely-not-registered")
+
+    def test_builtins_registered(self):
+        for name in ("unanimous", "quorum", "priority-weighted"):
+            assert name in AGGREGATION_POLICIES
+
+    def test_custom_policy_plugs_in(self):
+        @register_aggregation_policy("always-yes", overwrite=True)
+        class AlwaysYes:
+            def decide(self, tally):
+                return APPROVED
+
+        agg = FeedbackAggregator(policy="always-yes")
+        decisions = agg.ingest([proposal()])
+        assert [d.status for d in decisions] == [APPROVED]

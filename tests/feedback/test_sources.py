@@ -1,0 +1,124 @@
+"""Feedback sources: event coercion, rule JSON round-trips, delivery order."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.feedback import (
+    QueueFeedbackSource,
+    RuleProposal,
+    RuleVerdict,
+    ScriptedFeedbackSource,
+    coerce_event,
+)
+from repro.feedback.sources import (
+    FeedbackSource,
+    rule_from_jsonable,
+    rule_key,
+    rule_to_jsonable,
+)
+from repro.rules import FeedbackRule, Predicate, clause
+
+
+def make_rule(threshold=35.0, name="young"):
+    return FeedbackRule.deterministic(
+        clause(Predicate("age", "<", threshold)), 1, 2, name=name
+    )
+
+
+class TestRuleJson:
+    def test_round_trip(self):
+        rule = make_rule()
+        back = rule_from_jsonable(rule_to_jsonable(rule))
+        assert back == rule
+        assert back.name == "young"
+
+    def test_round_trip_with_exception(self):
+        rule = make_rule().with_exception(clause(Predicate("income", ">", 90.0)))
+        assert rule_from_jsonable(rule_to_jsonable(rule)) == rule
+
+    def test_rule_key_is_content_identity(self):
+        assert rule_key(make_rule()) == rule_key(make_rule())
+        assert rule_key(make_rule()) != rule_key(make_rule(threshold=40.0))
+
+
+class TestEvents:
+    def test_proposal_id_defaults_to_rule_content(self):
+        rule = make_rule()
+        a = RuleProposal(rule, source="alice")
+        b = RuleProposal(rule, source="bob")
+        assert a.proposal_id == b.proposal_id == rule_key(rule)
+
+    def test_coerce_bare_rule(self):
+        event = coerce_event(make_rule(), source="s1")
+        assert isinstance(event, RuleProposal)
+        assert event.source == "s1"
+
+    def test_coerce_passthrough_keeps_existing_source(self):
+        proposal = RuleProposal(make_rule(), source="orig")
+        assert coerce_event(proposal, source="other").source == "orig"
+
+    def test_coerce_rejects_junk(self):
+        with pytest.raises(TypeError):
+            coerce_event(42)
+
+
+class TestQueueSource:
+    def test_push_poll_drains_in_order(self):
+        src = QueueFeedbackSource()
+        src.push(make_rule(name="a"), make_rule(threshold=40.0, name="b"))
+        events = src.poll(0)
+        assert [e.rule.name for e in events] == ["a", "b"]
+        assert src.poll(1) == []
+
+    def test_satisfies_protocol(self):
+        assert isinstance(QueueFeedbackSource(), FeedbackSource)
+        assert isinstance(ScriptedFeedbackSource([]), FeedbackSource)
+
+    def test_thread_safe_pushes(self):
+        src = QueueFeedbackSource()
+        threads = [
+            threading.Thread(target=lambda: src.push(make_rule()))
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(src.poll(0)) == 8
+
+
+class TestScriptedSource:
+    def test_delivers_at_iteration_boundaries(self):
+        src = ScriptedFeedbackSource(
+            [(2, make_rule(name="late")), (0, make_rule(name="early"))]
+        )
+        assert [e.rule.name for e in src.poll(0)] == ["early"]
+        assert src.poll(1) == []
+        assert [e.rule.name for e in src.poll(5)] == ["late"]
+        assert src.poll(6) == []
+
+    def test_dict_schedule(self):
+        src = ScriptedFeedbackSource(
+            {1: [make_rule(name="a"), make_rule(threshold=40.0, name="b")],
+             3: make_rule(name="c")}
+        )
+        assert [e.rule.name for e in src.poll(2)] == ["a", "b"]
+        assert [e.rule.name for e in src.poll(3)] == ["c"]
+
+    def test_catches_up_past_skipped_iterations(self):
+        src = ScriptedFeedbackSource([(1, make_rule(name="a"))])
+        assert [e.rule.name for e in src.poll(10)] == ["a"]
+
+    def test_reset_rewinds(self):
+        src = ScriptedFeedbackSource([(0, make_rule())])
+        assert len(src.poll(0)) == 1
+        src.reset()
+        assert len(src.poll(0)) == 1
+
+    def test_verdicts_pass_through(self):
+        verdict = RuleVerdict("pid", approve=True, source="alice")
+        src = ScriptedFeedbackSource([(0, verdict)])
+        assert src.poll(0) == [verdict]

@@ -1,0 +1,123 @@
+"""Append-stability of first-match FRS assignment (property-based).
+
+The live-ruleset-delta design rests on one invariant of
+:meth:`FeedbackRuleSet.assign`: because assignment is first-match and an
+appended rule takes the *highest* index, appending can only claim rows no
+earlier rule covered — every previously-assigned row keeps its rule, so
+an append delta recomputes nothing but the new rule's own coverage.
+Conversely, a rule whose symbolic coverage conflicts with an earlier
+rule's must be classified ``"rebuild"`` so carve-outs are re-resolved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data import Table, make_schema
+from repro.feedback import classify_rule, extend_ruleset
+from repro.feedback.delta import APPEND, REBUILD
+from repro.rules import FeedbackRule, FeedbackRuleSet, Predicate, clause
+
+SCHEMA = make_schema(numeric=["a", "b"], categorical={"c": ("u", "v", "w")})
+
+
+def make_table(seed: int, n: int = 120) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table(
+        SCHEMA,
+        {
+            "a": rng.uniform(0, 10, n),
+            "b": rng.normal(0, 1, n),
+            "c": rng.integers(0, 3, n),
+        },
+    )
+
+
+@st.composite
+def rules(draw):
+    """A random single-predicate-per-attribute rule over SCHEMA."""
+    predicates = []
+    if draw(st.booleans()):
+        lo = draw(st.floats(0.0, 10.0, allow_nan=False))
+        op = draw(st.sampled_from(["<", ">=", ">", "<="]))
+        predicates.append(Predicate("a", op, float(lo)))
+    if draw(st.booleans()):
+        predicates.append(
+            Predicate("b", draw(st.sampled_from(["<", ">"])),
+                      float(draw(st.floats(-2.0, 2.0, allow_nan=False))))
+        )
+    if not predicates or draw(st.booleans()):
+        predicates.append(Predicate("c", "==", draw(st.sampled_from(["u", "v", "w"]))))
+    label = draw(st.integers(0, 1))
+    return FeedbackRule.deterministic(clause(*predicates), label, 2)
+
+
+@st.composite
+def rulesets(draw):
+    n = draw(st.integers(1, 4))
+    return FeedbackRuleSet(tuple(draw(rules()) for _ in range(n)))
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(frs=rulesets(), rule=rules(), seed=st.integers(0, 2**16))
+def test_append_never_moves_assigned_rows(frs, rule, seed):
+    """For *any* appended rule, previously-assigned rows keep their rule."""
+    X = make_table(seed)
+    before = frs.assign(X)
+    after = FeedbackRuleSet(frs.rules + (rule,)).assign(X)
+    assigned = before >= 0
+    np.testing.assert_array_equal(after[assigned], before[assigned])
+    # Rows the new rule claimed were exactly the uncovered ones it covers.
+    claimed = after == len(frs)
+    np.testing.assert_array_equal(
+        claimed, (~assigned) & rule.coverage_mask(X)
+    )
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(frs=rulesets(), rule=rules(), seed=st.integers(0, 2**16))
+def test_classification_is_sound(frs, rule, seed):
+    """append-classified extensions change no empirical coverage conflict.
+
+    If ``classify_rule`` says ``append``, then on any concrete table no
+    row covered by both the new rule and a conflicting-label existing
+    rule exists outside the symbolically-carved exceptions — i.e. the
+    extension really is conflict-free; a ``rebuild`` verdict always comes
+    with at least one symbolic conflict.
+    """
+    kind = classify_rule(frs, rule, SCHEMA)
+    X = make_table(seed)
+    new_cov = rule.coverage_mask(X)
+    if kind == APPEND:
+        for existing in frs:
+            if not existing.conflicts_with(rule):
+                continue
+            # Conflicting label: coverage overlap must be fully blocked
+            # by the recorded exception certificates.
+            both = existing.coverage_mask(X) & new_cov
+            assert not both.any()
+    else:
+        assert kind == REBUILD
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(frs=rulesets(), rule=rules())
+def test_conflicting_extension_forces_rebuild_delta(frs, rule):
+    """extend_ruleset's kind always equals classify_rule's verdict, and a
+    carve-resolved result never conflicts with the rule it carved."""
+    kind, out = extend_ruleset(frs, rule, SCHEMA, resolve="carve")
+    assert kind == classify_rule(frs, rule, SCHEMA)
+    if kind == APPEND:
+        assert out.rules[:-1] == frs.rules
+    else:
+        assert len(out) == len(frs) + 1
+        # Re-classifying the carved result against any of its own rules
+        # must not re-detect the resolved conflict.
+        carved_new = out.rules[len(frs)]
+        rest = FeedbackRuleSet(out.rules[: len(frs)])
+        assert classify_rule(rest, carved_new, SCHEMA) == APPEND
