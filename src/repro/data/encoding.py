@@ -14,6 +14,15 @@ from repro.data.schema import Schema
 from repro.data.table import Table
 
 
+def _sharded_spans(table: Table):
+    """Shard-aligned row spans when ``table`` is sharded, else ``None``."""
+    if getattr(table, "shard_rows", None) is None:
+        return None
+    from repro.data.shards import row_block_spans
+
+    return row_block_spans(table, advise_cold=True)
+
+
 class StandardScaler:
     """Per-feature standardization to zero mean / unit variance."""
 
@@ -78,6 +87,15 @@ class TabularEncoder:
             raise RuntimeError("TabularEncoder is not fitted")
         if table.schema != self.schema_:
             raise ValueError("table schema does not match the fitted schema")
+        spans = _sharded_spans(table)
+        if spans is not None:
+            # Shard-aligned block fill: same bits as the dense pass (every
+            # step below is elementwise per row), but the transient heap is
+            # one shard's sub-table instead of whole materialized columns.
+            out = np.empty((table.n_rows, self.n_features), dtype=np.float64)
+            for start, stop in spans:
+                out[start:stop] = self.transform(table.row_slice(start, stop))
+            return out
         blocks: list[np.ndarray] = []
         if self.schema_.numeric_names:
             num = self._numeric_matrix(table)
@@ -94,6 +112,24 @@ class TabularEncoder:
         if not blocks:
             return np.zeros((table.n_rows, 0), dtype=np.float64)
         return np.hstack(blocks)
+
+    def iter_transform_blocks(self, table: Table):
+        """Yield ``(start, stop, X_block)`` encoded row blocks.
+
+        The streaming face of :meth:`transform` for row-independent
+        consumers (prediction): blocks follow the table's shard alignment
+        (one block for dense tables), and each block's values are
+        bit-identical to the matching rows of a full :meth:`transform`.
+        Peak extra heap is one encoded block, never the full matrix.
+        """
+        if self.schema_ is None:
+            raise RuntimeError("TabularEncoder is not fitted")
+        spans = _sharded_spans(table)
+        if spans is None:
+            yield (0, table.n_rows, self.transform(table))
+            return
+        for start, stop in spans:
+            yield (start, stop, self.transform(table.row_slice(start, stop)))
 
     def fit_transform(self, table: Table) -> np.ndarray:
         return self.fit(table).transform(table)
@@ -112,9 +148,22 @@ class TabularEncoder:
     def _numeric_matrix(self, table: Table) -> np.ndarray:
         assert self.schema_ is not None or table.schema is not None
         schema = self.schema_ or table.schema
-        cols = [table.column(n) for n in schema.numeric_names]
-        if not cols:
+        if not schema.numeric_names:
             return np.zeros((table.n_rows, 0), dtype=np.float64)
+        spans = _sharded_spans(table)
+        if spans is not None:
+            # Block-fill the exact matrix column_stack would build (same
+            # bits, so downstream scaler statistics are unchanged) without
+            # materializing whole sharded columns first.
+            out = np.empty(
+                (table.n_rows, len(schema.numeric_names)), dtype=np.float64
+            )
+            for start, stop in spans:
+                sub = table.row_slice(start, stop)
+                for j, name in enumerate(schema.numeric_names):
+                    out[start:stop, j] = sub.column(name)
+            return out
+        cols = [table.column(n) for n in schema.numeric_names]
         return np.column_stack(cols).astype(np.float64, copy=False)
 
 

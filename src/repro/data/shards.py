@@ -603,6 +603,46 @@ class ShardedArray:
                 shard.advise_cold()
 
 
+def row_block_spans(table, block_rows: int | None = None, *, advise_cold: bool = False):
+    """Yield ``(start, stop)`` row spans for a blocked pass over ``table``.
+
+    For a :class:`ShardedTable` the spans align with its shard width (each
+    ``table.row_slice(start, stop)`` then reads exactly one shard per
+    column, zero-copy); for a plain dense :class:`~repro.data.table.Table`
+    a single full-range span is yielded — the rows are already resident,
+    so chunking would only add overhead.  ``block_rows`` overrides the
+    span width in both cases.
+
+    With ``advise_cold=True``, ``table.advise_cold()`` (when present) runs
+    each time the generator is advanced past a span — i.e. after the
+    consumer has processed the previous block.  A sequential cold scan
+    reads each spilled shard exactly once, so dropping its mapped pages
+    immediately keeps the whole pass's RSS peak at O(block) instead of
+    letting the full spilled set accumulate in resident memory.
+
+    Row-independent whole-table passes (rule coverage, ``frs.assign``,
+    encoder transforms, prediction) iterate these spans instead of
+    densifying via :meth:`ShardedTable.column`, keeping their transient
+    working set O(block) instead of O(n).
+    """
+    n = int(table.n_rows)
+    advise = getattr(table, "advise_cold", None) if advise_cold else None
+    if block_rows is None:
+        block_rows = getattr(table, "shard_rows", None)
+    if block_rows is None or block_rows >= n:
+        if n:
+            yield (0, n)
+        if advise is not None:
+            advise()
+        return
+    if block_rows < 1:
+        raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+    for start in range(0, n, block_rows):
+        yield (start, min(start + block_rows, n))
+        if advise is not None:
+            advise()
+
+
 class _LazyColumns(Mapping):
     """Mapping façade over sharded columns, materializing on access.
 
@@ -653,6 +693,13 @@ class ShardedTable(Table):
         return table
 
     # ------------------------------------------------------------------ #
+    @property
+    def shard_rows(self) -> int:
+        """Rows per shard (every column shares one :class:`SpillPolicy`)."""
+        for arr in self._arrays.values():
+            return arr.shard_rows
+        return DEFAULT_SHARD_ROWS
+
     def column(self, name: str) -> np.ndarray:
         """Materialized full column (read-only); prefer the row-oriented
         accessors when the resident budget matters."""

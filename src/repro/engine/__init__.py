@@ -17,6 +17,7 @@ this package.
 """
 
 from repro.engine.registry import (
+    DISTANCE_BACKENDS,
     MODIFIERS,
     OBJECTIVES,
     SAMPLERS,
@@ -25,6 +26,7 @@ from repro.engine.registry import (
     Registry,
     RegistryError,
     UnknownEntryError,
+    register_distance_backend,
     register_modifier,
     register_objective,
     register_sampler,
@@ -61,10 +63,12 @@ __all__ = [
     "MODIFIERS",
     "SAMPLERS",
     "OBJECTIVES",
+    "DISTANCE_BACKENDS",
     "register_selector",
     "register_modifier",
     "register_sampler",
     "register_objective",
+    "register_distance_backend",
     "Stage",
     "FeedbackStage",
     "ModificationStage",

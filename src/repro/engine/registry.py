@@ -189,12 +189,13 @@ class InfoRegistry(Registry):
 
 
 # --------------------------------------------------------------------- #
-# The four strategy families of the edit engine.
+# The strategy families of the edit engine.
 
 SELECTORS = Registry("selection strategy")
 MODIFIERS = Registry("modification strategy")
 SAMPLERS = Registry("sampler")
 OBJECTIVES = Registry("objective")
+DISTANCE_BACKENDS = Registry("distance backend")
 
 
 def _make_decorator(registry: Registry) -> Callable:
@@ -210,6 +211,7 @@ register_selector = _make_decorator(SELECTORS)
 register_modifier = _make_decorator(MODIFIERS)
 register_sampler = _make_decorator(SAMPLERS)
 register_objective = _make_decorator(OBJECTIVES)
+register_distance_backend = _make_decorator(DISTANCE_BACKENDS)
 
 
 # Built-ins, declared lazily so config validation needs no heavy imports.
@@ -227,3 +229,8 @@ SAMPLERS.register_lazy("adasyn", "repro.sampling.adasyn:ADASYN")
 
 OBJECTIVES.register_lazy("equal", "repro.core.objective:equal_weight_objective")
 OBJECTIVES.register_lazy("weighted", "repro.core.objective:coverage_weighted_objective")
+
+# Distance backends are registered as *instances* (singletons), not
+# classes: warn-once / compiled-kernel state must persist across lookups.
+DISTANCE_BACKENDS.register_lazy("numpy", "repro.neighbors.kernels:NUMPY_BACKEND")
+DISTANCE_BACKENDS.register_lazy("numba", "repro.neighbors.kernels:NUMBA_BACKEND")

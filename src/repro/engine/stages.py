@@ -142,7 +142,12 @@ class PreselectStage:
             state.active, state.frs, k=state.config.k
         )
         state.generators = [
-            RuleConstrainedGenerator(rule, state.active.X, k=state.config.k)
+            RuleConstrainedGenerator(
+                rule,
+                state.active.X,
+                k=state.config.k,
+                distance_backend=getattr(state.config, "distance_backend", None),
+            )
             for rule in state.frs
         ]
         # Materialize each rule's base-population table once; generation
@@ -171,6 +176,7 @@ class SelectionStage:
             rng=state.rng,
             frs=state.frs,
             cache_token=state.dataset_version,
+            distance_backend=getattr(state.config, "distance_backend", None),
         )
         state.per_rule_positions = state.selector.select(state.bp, state.eta, ctx)
 

@@ -151,10 +151,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--only",
         action="append",
         default=None,
-        metavar="SCENARIO",
-        help="bench: run only this end2end scenario (repeatable; skips the "
-        "hot-path suite). The written BENCH_end2end.json is then partial — "
-        "use a dedicated --out-dir, not the bench-check baseline workflow",
+        metavar="NAME",
+        help="bench: run only this hot-path benchmark or end2end scenario "
+        "(repeatable; names are partitioned across the two suites, and a "
+        "suite with no selected names is skipped entirely). A written "
+        "BENCH_*.json is then partial — use a dedicated --out-dir, not "
+        "the bench-check baseline workflow",
     )
     parser.add_argument(
         "--scale",
@@ -252,6 +254,8 @@ def run_bench(args: argparse.Namespace) -> tuple[list[dict], str]:
     from dataclasses import asdict
 
     from repro.perf import (
+        END2END_NAMES,
+        HOTPATH_NAMES,
         format_records,
         run_end2end_benchmarks,
         run_hotpath_benchmarks,
@@ -260,25 +264,46 @@ def run_bench(args: argparse.Namespace) -> tuple[list[dict], str]:
     )
 
     only = getattr(args, "only", None)
+    if only is None:
+        hot_only: list[str] | None = None
+        e2e_only: list[str] | None = None
+        run_hot = run_e2e = True
+    else:
+        unknown = [
+            name
+            for name in only
+            if name not in HOTPATH_NAMES and name not in END2END_NAMES
+        ]
+        if unknown:
+            raise SystemExit(
+                f"unknown bench name(s) {unknown}; "
+                f"hot paths: {list(HOTPATH_NAMES)}; "
+                f"end2end scenarios: {list(END2END_NAMES)}"
+            )
+        hot_only = [name for name in only if name in HOTPATH_NAMES]
+        e2e_only = [name for name in only if name in END2END_NAMES]
+        run_hot = bool(hot_only)
+        run_e2e = bool(e2e_only)
     sections = []
     hot: list = []
-    if only is None:
-        hot = run_hotpath_benchmarks(quick=args.quick, seed=args.seed)
+    e2e: list = []
+    mode = "quick" if args.quick else "full"
+    if run_hot:
+        hot = run_hotpath_benchmarks(quick=args.quick, seed=args.seed, only=hot_only)
         hot_path = write_hotpaths_json(
             hot, out_dir=args.out_dir, quick=args.quick, seed=args.seed
         )
-    e2e = run_end2end_benchmarks(quick=args.quick, seed=args.seed, only=only)
-    e2e_path = write_end2end_json(
-        e2e, out_dir=args.out_dir, quick=args.quick, seed=args.seed
-    )
-    mode = "quick" if args.quick else "full"
-    if only is None:
         sections.append(
             format_records(hot, f"Hot-path benchmarks ({mode}) -> {hot_path}")
         )
-    sections.append(
-        format_records(e2e, f"End-to-end benchmarks ({mode}) -> {e2e_path}")
-    )
+    if run_e2e:
+        e2e = run_end2end_benchmarks(quick=args.quick, seed=args.seed, only=e2e_only)
+        e2e_path = write_end2end_json(
+            e2e, out_dir=args.out_dir, quick=args.quick, seed=args.seed
+        )
+        sections.append(
+            format_records(e2e, f"End-to-end benchmarks ({mode}) -> {e2e_path}")
+        )
     text = "\n\n".join(sections)
     return [asdict(r) for r in hot] + [asdict(r) for r in e2e], text
 

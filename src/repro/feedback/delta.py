@@ -217,7 +217,12 @@ def _apply_append(state, new_frs: FeedbackRuleSet, rule: FeedbackRule) -> None:
         pop = replace(single.per_rule[0], rule_index=m_new)
         state.bp = BasePopulation(state.bp.per_rule + (pop,))
         state.generators = list(state.generators) + [
-            RuleConstrainedGenerator(rule, state.active.X, k=state.config.k)
+            RuleConstrainedGenerator(
+                rule,
+                state.active.X,
+                k=state.config.k,
+                distance_backend=getattr(state.config, "distance_backend", None),
+            )
         ]
         state.pools = list(state.pools) + [
             state.active.X.take(pop.indices) if pop.size else None

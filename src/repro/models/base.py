@@ -124,11 +124,28 @@ class TableModel:
         self.estimator.rollback(token)
 
     def predict_proba(self, table: Table) -> np.ndarray:
+        """Class probabilities per row.
+
+        Sharded tables are predicted in shard-aligned row blocks via
+        :meth:`~repro.data.encoding.TabularEncoder.iter_transform_blocks`
+        — prediction is row-independent, so only one encoded block plus
+        the ``(n, n_classes)`` output is ever resident, never the full
+        ``(n, n_features)`` matrix.  Caveat (shared with the incremental
+        path, see ``docs/architecture.md``): estimators whose forward pass
+        runs through BLAS matmuls (logistic regression) are not guaranteed
+        *bitwise*-identical between blocked and whole-matrix evaluation;
+        elementwise/per-row estimators (GaussianNB, KNN) are.
+        """
         if self.encoder_ is None or self.n_classes_ is None:
             raise RuntimeError("TableModel is not fitted")
         if self._constant_class is not None:
             proba = np.zeros((table.n_rows, self.n_classes_))
             proba[:, self._constant_class] = 1.0
+            return proba
+        if getattr(table, "shard_rows", None) is not None:
+            proba = np.empty((table.n_rows, self.n_classes_), dtype=np.float64)
+            for start, stop, X in self.encoder_.iter_transform_blocks(table):
+                proba[start:stop] = self.estimator.predict_proba(X)
             return proba
         return self.estimator.predict_proba(self.encoder_.transform(table))
 

@@ -1,4 +1,5 @@
-"""Nearest-neighbour substrate: distances, brute-force KNN, ball tree."""
+"""Nearest-neighbour substrate: distances, brute-force KNN, ball tree,
+and the blocked kernel layer (:mod:`repro.neighbors.kernels`)."""
 
 from repro.neighbors.balltree import BallTree
 from repro.neighbors.brute import BruteKNN
@@ -7,13 +8,27 @@ from repro.neighbors.distance import (
     TableNeighborSpace,
     pairwise_euclidean,
 )
+from repro.neighbors.kernels import (
+    CODED_SELF_DISTANCE_TOL,
+    CodedLayout,
+    NumbaDistanceBackend,
+    NumpyDistanceBackend,
+    kneighbors_blocked,
+    resolve_distance_backend,
+)
 
 __all__ = [
     "BallTree",
     "BruteKNN",
+    "CODED_SELF_DISTANCE_TOL",
+    "CodedLayout",
     "MixedMetric",
+    "NumbaDistanceBackend",
+    "NumpyDistanceBackend",
     "TableNeighborSpace",
+    "kneighbors_blocked",
     "pairwise_euclidean",
+    "resolve_distance_backend",
 ]
 
 

@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.data.builder import append_rows_2d
 from repro.neighbors.distance import MixedMetric, pairwise_euclidean
+from repro.neighbors.kernels import CodedLayout, kneighbors_blocked
 
 
 class BruteKNN:
@@ -15,13 +16,23 @@ class BruteKNN:
     ----------
     metric:
         ``"euclidean"`` or a :class:`~repro.neighbors.distance.MixedMetric`.
+    backend:
+        ``None`` (default) keeps the exact float64 path, bit-identical to
+        the seed.  A ``DISTANCE_BACKENDS`` name (``"numpy"``, ``"numba"``)
+        or backend instance opts into the blocked float32 kernel layer
+        (:mod:`repro.neighbors.kernels`) — see that module's precision and
+        tie contract.
     """
 
-    def __init__(self, metric: str | MixedMetric = "euclidean") -> None:
+    def __init__(
+        self, metric: str | MixedMetric = "euclidean", *, backend=None
+    ) -> None:
         self.metric = metric
+        self.backend = backend
         self._X: np.ndarray | None = None
         self._buf: np.ndarray | None = None  # growable storage; _X = _buf[:_n]
         self._n = 0
+        self._coded: tuple[int, CodedLayout] | None = None
 
     def fit(self, X: np.ndarray) -> "BruteKNN":
         """Store the reference matrix queries are answered against.
@@ -43,6 +54,7 @@ class BruteKNN:
         self._buf = X
         self._n = X.shape[0]
         self._X = X
+        self._coded = None
         return self
 
     def append(self, X_new: np.ndarray) -> "BruteKNN":
@@ -76,6 +88,7 @@ class BruteKNN:
         self._buf = append_rows_2d(self._buf, self._n, X_new)
         self._n += X_new.shape[0]
         self._X = self._buf[: self._n]
+        self._coded = None
         return self
 
     def checkpoint(self) -> int:
@@ -99,6 +112,7 @@ class BruteKNN:
             raise ValueError(f"invalid checkpoint token {token}")
         self._n = token
         self._X = self._buf[: self._n]
+        self._coded = None
 
     @property
     def n_samples(self) -> int:
@@ -129,11 +143,36 @@ class BruteKNN:
             raise ValueError(f"Q must be 2-D, got shape {Q.shape}")
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
+        if self.backend is not None:
+            return kneighbors_blocked(
+                CodedLayout.from_encoded(Q, self._cat_mask()),
+                self._coded_base(),
+                k,
+                exclude_self=exclude_self,
+                backend=self.backend,
+            )
         if isinstance(self.metric, MixedMetric):
             D = self.metric.pairwise(Q, self._X)
         else:
             D = pairwise_euclidean(Q, self._X)
         return _topk_from_dists(D, k, exclude_self=exclude_self)
+
+    def _cat_mask(self) -> np.ndarray:
+        if isinstance(self.metric, MixedMetric):
+            return self.metric.cat_mask
+        return np.zeros(self._X.shape[1], dtype=bool)
+
+    def _coded_base(self) -> CodedLayout:
+        """Coded layout of the fitted rows, rebuilt after any mutation.
+
+        ``fit``/``append``/``rollback`` drop the cache, so the count check
+        here is belt-and-braces only.
+        """
+        if self._coded is not None and self._coded[0] == self._n:
+            return self._coded[1]
+        layout = CodedLayout.from_encoded(self._X, self._cat_mask())
+        self._coded = (self._n, layout)
+        return layout
 
 
 # Distances below this are treated as "the query itself" for exclude_self.

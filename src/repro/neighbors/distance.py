@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.table import Table
+from repro.neighbors.kernels import CodedLayout
 
 
 def pairwise_euclidean(A: np.ndarray, B: np.ndarray) -> np.ndarray:
@@ -96,6 +97,7 @@ class TableNeighborSpace:
         self._mins: np.ndarray | None = None
         self.schema_ = None
         self.metric_: MixedMetric | None = None
+        self._coded_cache: tuple[object, "CodedLayout"] | None = None
 
     def fit(self, table: Table) -> "TableNeighborSpace":
         """Learn per-column scaling from a reference table.
@@ -148,6 +150,39 @@ class TableNeighborSpace:
         if not blocks:
             return np.zeros((table.n_rows, 0))
         return np.hstack(blocks)
+
+    def encode_coded(
+        self,
+        table: Table | None = None,
+        cache_token: object | None = None,
+        *,
+        encoded: np.ndarray | None = None,
+    ) -> "CodedLayout":
+        """Return the kernel-layer :class:`~repro.neighbors.kernels.CodedLayout`.
+
+        Packs the float64 encoding into the float32/int32 coded layout the
+        blocked kernels consume.  With a ``cache_token`` (typically the
+        engine's ``dataset_version``) the layout is built once per token
+        and reused until the token changes, so repeated queries against an
+        unchanged dataset skip both the encode and the pack.
+
+        Pass ``encoded=`` to reuse an already-computed :meth:`encode`
+        matrix instead of re-reading the table.
+        """
+        if self.metric_ is None:
+            raise RuntimeError("TableNeighborSpace is not fitted")
+        if cache_token is not None and self._coded_cache is not None:
+            token, layout = self._coded_cache
+            if token == cache_token:
+                return layout
+        if encoded is None:
+            if table is None:
+                raise ValueError("encode_coded needs a table or an encoded matrix")
+            encoded = self.encode(table)
+        layout = CodedLayout.from_encoded(encoded, self.metric_.cat_mask)
+        if cache_token is not None:
+            self._coded_cache = (cache_token, layout)
+        return layout
 
     def fit_encode(self, table: Table) -> np.ndarray:
         """Fit on ``table`` and return its encoding in one call."""

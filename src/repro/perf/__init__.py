@@ -68,7 +68,23 @@ __all__ = [
     "write_end2end_json",
     "run_hotpath_benchmarks",
     "run_end2end_benchmarks",
+    "HOTPATH_NAMES",
+    "END2END_NAMES",
 ]
+
+
+def __getattr__(name):
+    # Benchmark-name vocabularies, without importing the (heavier)
+    # benchmark modules at package-import time.
+    if name == "HOTPATH_NAMES":
+        from repro.perf.hotpaths import HOTPATH_NAMES
+
+        return HOTPATH_NAMES
+    if name == "END2END_NAMES":
+        from repro.perf.end2end import END2END_NAMES
+
+        return END2END_NAMES
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def run_hotpath_benchmarks(**kwargs):

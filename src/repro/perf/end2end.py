@@ -30,6 +30,16 @@ from repro.perf.hotpaths import synthetic_mixed_table
 #: ``BENCH_REGRESSION_THRESHOLD``.
 RSS_TOLERANCE_ENV_VAR = "BENCH_RSS_TOLERANCE_MB"
 
+#: Every end-to-end scenario name, in emission order — the vocabulary for
+#: ``run_end2end_benchmarks(only=...)`` and ``repro-bench --only``.
+END2END_NAMES = (
+    "session_edit",
+    "paper_pipeline_edit",
+    "incremental_vs_rebuild",
+    "out_of_core",
+    "serving",
+)
+
 
 def _synthetic_dataset(n: int, seed: int) -> Dataset:
     """Binary dataset over the synthetic mixed table with planted structure."""
@@ -267,6 +277,7 @@ def _run_out_of_core(
                 "peak_rss_mb", "workload_rss_mb", "rss_limit_mb",
                 "within_budget", "n_shards", "n_spilled_shards",
                 "spilled_mb", "resident_mb", "batch_rows", "shard_rows",
+                "epilogue_seconds",
             )
         },
     )

@@ -5,13 +5,17 @@ RNG seeds: the *seed* side runs the original row-at-a-time implementation
 preserved in :mod:`repro.perf.seed_reference`; the *current* side runs the
 vectorized implementation now used in production.  Because the two sides
 are bit-for-bit output-compatible (pinned by ``tests/perf``), the speedup
-is a pure measure of the vectorization.
+is a pure measure of the vectorization.  The one exception is
+``kneighbors_topk``, whose current side runs the opt-in float32 coded
+kernel: equivalent under the documented tie/precision contract of
+:mod:`repro.neighbors.kernels`, not bitwise.
 
 Covered paths, per dataset (a generated mixed-type table and the adult
 registry dataset):
 
-* ``kneighbors_topk`` — top-k selection with self-exclusion over a
-  precomputed distance matrix (:mod:`repro.neighbors.brute`);
+* ``kneighbors_topk`` — HEOM distances + top-k with self-exclusion:
+  dense float64 pairwise + row-wise selection (seed) versus the blocked
+  coded kernel (:mod:`repro.neighbors.kernels`, current);
 * ``smote_majority`` — SMOTE-NC categorical aggregation;
 * ``window_sampling`` — rule-constrained numeric generation;
 * ``constrained_categorical`` — rule-constrained categorical generation;
@@ -25,8 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.table import Table, make_schema
-from repro.neighbors import BruteKNN, TableNeighborSpace
-from repro.neighbors.brute import _topk_from_dists
+from repro.neighbors import BruteKNN, TableNeighborSpace, kneighbors_blocked
 from repro.perf import seed_reference as seed_ref
 from repro.perf.harness import CompareRecord, compare
 from repro.rules.predicate import Predicate
@@ -46,6 +49,18 @@ from repro.sampling.rule_generation import (
 )
 
 K_NEIGHBORS = 5
+
+#: Every hot-path benchmark name, in emission order — the vocabulary for
+#: ``run_hotpath_benchmarks(only=...)`` and ``repro-bench --only``.
+HOTPATH_NAMES = (
+    "kneighbors_topk",
+    "smote_majority",
+    "window_sampling",
+    "constrained_categorical",
+    "borderline_weights",
+    "selection_membership",
+    "smote_generate",
+)
 
 
 def synthetic_mixed_table(n: int, seed: int) -> Table:
@@ -78,151 +93,198 @@ def _bench_table(dataset: str, n: int, seed: int) -> Table:
 
 
 def _table_benchmarks(
-    dataset: str, table: Table, *, seed: int, repeats: int
+    dataset: str,
+    table: Table,
+    *,
+    seed: int,
+    repeats: int,
+    only: set[str] | None = None,
 ) -> list[CompareRecord]:
-    """All hot-path comparisons over one table."""
+    """Hot-path comparisons over one table, optionally filtered by name."""
+
+    def want(name: str) -> bool:
+        return only is None or name in only
+
     records: list[CompareRecord] = []
     n = table.n_rows
     space = TableNeighborSpace().fit(table)
     E = space.encode(table)
-
-    # --- neighbour search: top-k with self-exclusion ------------------- #
     n_q = min(n, 2500)  # bound the dense distance matrix
-    D = space.metric_.pairwise(E[:n_q], E)
-    records.append(
-        compare(
-            "kneighbors_topk", dataset, n,
-            lambda: seed_ref.seed_topk_from_dists(D, K_NEIGHBORS, exclude_self=True),
-            lambda: _topk_from_dists(D, K_NEIGHBORS, exclude_self=True),
-            repeats=repeats,
-            extra={"n_queries": n_q, "k": K_NEIGHBORS},
-        )
-    )
 
-    # Shared neighbour matrix for the generation benchmarks.
-    knn = BruteKNN(space.metric_).fit(E)
-    _, nbr_idx = knn.kneighbors(E[:n_q], K_NEIGHBORS, exclude_self=True)
+    # --- neighbour search: distances + top-k with self-exclusion ------- #
+    if want("kneighbors_topk"):
+        # Seed side: the original whole-matrix path — dense float64 HEOM
+        # pairwise, then row-at-a-time top-k.  Current side: the blocked
+        # coded kernel (float32 sgemm tiles + streaming k-best).  Layouts
+        # are built outside the timer: production caches them per
+        # dataset_version, so the steady-state cost is the scan itself.
+        base_coded = space.encode_coded(encoded=E)
+        query_coded = base_coded.slice(0, n_q)
 
-    cat_name = table.schema.categorical_names[0]
-    cat_spec = table.schema[cat_name]
-    codes = table.column(cat_name)[nbr_idx]
+        def seed_knn():
+            D = space.metric_.pairwise(E[:n_q], E)
+            return seed_ref.seed_topk_from_dists(D, K_NEIGHBORS, exclude_self=True)
 
-    # --- SMOTE-NC categorical aggregation ------------------------------ #
-    records.append(
-        compare(
-            "smote_majority", dataset, n,
-            lambda: seed_ref.seed_majority_batch(codes, np.random.default_rng(seed)),
-            lambda: majority_categorical_batch(
-                codes, len(cat_spec.categories), np.random.default_rng(seed)
-            ),
-            repeats=repeats,
-            extra={"n_samples": n_q, "column": cat_name},
-        )
-    )
-
-    # --- rule-constrained numeric windows ------------------------------ #
-    if table.schema.numeric_names:
-        num_name = table.schema.numeric_names[0]
-        col = table.column(num_name)
-        lo, hi = float(np.quantile(col, 0.25)), float(np.quantile(col, 0.75))
-        window = window_from_conditions(
-            (Predicate(num_name, ">=", lo), Predicate(num_name, "<", hi))
-        )
-        attr_range = (float(col.min()), float(col.max()))
-        base_v = col[:n_q]
-        nbr_v = col[nbr_idx[:, 0]]
         records.append(
             compare(
-                "window_sampling", dataset, n,
-                lambda: seed_ref.seed_sample_in_window_batch(
-                    window, base_v, nbr_v, attr_range, np.random.default_rng(seed)
-                ),
-                lambda: sample_in_window_batch(
-                    window, base_v, nbr_v, attr_range, np.random.default_rng(seed)
+                "kneighbors_topk", dataset, n,
+                seed_knn,
+                lambda: kneighbors_blocked(
+                    query_coded, base_coded, K_NEIGHBORS, exclude_self=True
                 ),
                 repeats=repeats,
-                extra={"n_samples": n_q, "column": num_name},
+                extra={
+                    "n_queries": n_q,
+                    "k": K_NEIGHBORS,
+                    "backend": "numpy",
+                    "seed_side": "dense float64 pairwise + row-wise top-k",
+                    "current_side": "blocked coded kernel, layouts prebuilt",
+                },
             )
         )
 
-    # --- rule-constrained categorical picks ---------------------------- #
-    conds = (Predicate(cat_name, "!=", cat_spec.categories[0]),)
-    records.append(
-        compare(
-            "constrained_categorical", dataset, n,
-            lambda: seed_ref.seed_pick_categorical_batch(
-                codes, conds, cat_spec.categories, np.random.default_rng(seed)
-            ),
-            lambda: pick_categorical_batch(
-                codes, conds, cat_spec.categories, np.random.default_rng(seed)
-            ),
-            repeats=repeats,
-            extra={"n_samples": n_q, "column": cat_name},
-        )
-    )
+    # Shared neighbour matrix for the generation benchmarks.
+    generation = {"smote_majority", "window_sampling", "constrained_categorical"}
+    if only is None or generation & only:
+        knn = BruteKNN(space.metric_).fit(E)
+        _, nbr_idx = knn.kneighbors(E[:n_q], K_NEIGHBORS, exclude_self=True)
+
+        cat_name = table.schema.categorical_names[0]
+        cat_spec = table.schema[cat_name]
+        codes = table.column(cat_name)[nbr_idx]
+
+        # --- SMOTE-NC categorical aggregation -------------------------- #
+        if want("smote_majority"):
+            records.append(
+                compare(
+                    "smote_majority", dataset, n,
+                    lambda: seed_ref.seed_majority_batch(
+                        codes, np.random.default_rng(seed)
+                    ),
+                    lambda: majority_categorical_batch(
+                        codes, len(cat_spec.categories), np.random.default_rng(seed)
+                    ),
+                    repeats=repeats,
+                    extra={"n_samples": n_q, "column": cat_name},
+                )
+            )
+
+        # --- rule-constrained numeric windows -------------------------- #
+        if want("window_sampling") and table.schema.numeric_names:
+            num_name = table.schema.numeric_names[0]
+            col = table.column(num_name)
+            lo, hi = float(np.quantile(col, 0.25)), float(np.quantile(col, 0.75))
+            window = window_from_conditions(
+                (Predicate(num_name, ">=", lo), Predicate(num_name, "<", hi))
+            )
+            attr_range = (float(col.min()), float(col.max()))
+            base_v = col[:n_q]
+            nbr_v = col[nbr_idx[:, 0]]
+            records.append(
+                compare(
+                    "window_sampling", dataset, n,
+                    lambda: seed_ref.seed_sample_in_window_batch(
+                        window, base_v, nbr_v, attr_range, np.random.default_rng(seed)
+                    ),
+                    lambda: sample_in_window_batch(
+                        window, base_v, nbr_v, attr_range, np.random.default_rng(seed)
+                    ),
+                    repeats=repeats,
+                    extra={"n_samples": n_q, "column": num_name},
+                )
+            )
+
+        # --- rule-constrained categorical picks ------------------------ #
+        if want("constrained_categorical"):
+            conds = (Predicate(cat_name, "!=", cat_spec.categories[0]),)
+            records.append(
+                compare(
+                    "constrained_categorical", dataset, n,
+                    lambda: seed_ref.seed_pick_categorical_batch(
+                        codes, conds, cat_spec.categories, np.random.default_rng(seed)
+                    ),
+                    lambda: pick_categorical_batch(
+                        codes, conds, cat_spec.categories, np.random.default_rng(seed)
+                    ),
+                    repeats=repeats,
+                    extra={"n_samples": n_q, "column": cat_name},
+                )
+            )
 
     # --- borderline category -> weight mapping ------------------------- #
-    rng = np.random.default_rng(seed)
-    cats = np.array(
-        [(NOISY, SAFE, BORDERLINE)[i] for i in rng.integers(0, 3, size=n)],
-        dtype=object,
-    )
-    records.append(
-        compare(
-            "borderline_weights", dataset, n,
-            lambda: seed_ref.seed_borderline_weights(cats, DEFAULT_WEIGHTS),
-            lambda: category_weights(cats, DEFAULT_WEIGHTS),
-            repeats=repeats,
+    if want("borderline_weights"):
+        rng = np.random.default_rng(seed)
+        cats = np.array(
+            [(NOISY, SAFE, BORDERLINE)[i] for i in rng.integers(0, 3, size=n)],
+            dtype=object,
         )
-    )
+        records.append(
+            compare(
+                "borderline_weights", dataset, n,
+                lambda: seed_ref.seed_borderline_weights(cats, DEFAULT_WEIGHTS),
+                lambda: category_weights(cats, DEFAULT_WEIGHTS),
+                repeats=repeats,
+            )
+        )
 
     # --- IP-selection chosen-row membership ---------------------------- #
-    pops = [np.sort(rng.choice(n, size=max(n // 5, 1), replace=False)) for _ in range(5)]
-    chosen_rows = rng.choice(n, size=max(n // 10, 1), replace=False)
-
-    def seed_membership() -> list[np.ndarray]:
-        chosen_set = set(chosen_rows.tolist())
-        out = []
-        for pop in pops:
-            mask = np.fromiter(
-                (int(v) in chosen_set for v in pop), dtype=bool, count=pop.size
-            )
-            out.append(np.flatnonzero(mask).astype(np.intp))
-        return out
-
-    def current_membership() -> list[np.ndarray]:
-        return [
-            np.flatnonzero(np.isin(pop, chosen_rows)).astype(np.intp) for pop in pops
+    if want("selection_membership"):
+        rng = np.random.default_rng(seed + 1)
+        pops = [
+            np.sort(rng.choice(n, size=max(n // 5, 1), replace=False))
+            for _ in range(5)
         ]
+        chosen_rows = rng.choice(n, size=max(n // 10, 1), replace=False)
 
-    records.append(
-        compare(
-            "selection_membership", dataset, n,
-            seed_membership, current_membership, repeats=repeats,
-            extra={"n_rules": len(pops)},
+        def seed_membership() -> list[np.ndarray]:
+            chosen_set = set(chosen_rows.tolist())
+            out = []
+            for pop in pops:
+                mask = np.fromiter(
+                    (int(v) in chosen_set for v in pop), dtype=bool, count=pop.size
+                )
+                out.append(np.flatnonzero(mask).astype(np.intp))
+            return out
+
+        def current_membership() -> list[np.ndarray]:
+            return [
+                np.flatnonzero(np.isin(pop, chosen_rows)).astype(np.intp)
+                for pop in pops
+            ]
+
+        records.append(
+            compare(
+                "selection_membership", dataset, n,
+                seed_membership, current_membership, repeats=repeats,
+                extra={"n_rules": len(pops)},
+            )
         )
-    )
 
     # --- full SMOTE candidate generation ------------------------------- #
-    n_samples = min(n, 2000)
-    records.append(
-        compare(
-            "smote_generate", dataset, n,
-            lambda: seed_ref.seed_smote_generate(
-                table, n_samples, k=K_NEIGHBORS, rng=np.random.default_rng(seed)
-            ),
-            lambda: SMOTE(K_NEIGHBORS).generate(
-                table, n_samples, rng=np.random.default_rng(seed)
-            ),
-            repeats=repeats,
-            extra={"n_samples": n_samples},
+    if want("smote_generate"):
+        n_samples = min(n, 2000)
+        records.append(
+            compare(
+                "smote_generate", dataset, n,
+                lambda: seed_ref.seed_smote_generate(
+                    table, n_samples, k=K_NEIGHBORS, rng=np.random.default_rng(seed)
+                ),
+                lambda: SMOTE(K_NEIGHBORS, distance_backend="numpy").generate(
+                    table, n_samples, rng=np.random.default_rng(seed)
+                ),
+                repeats=repeats,
+                extra={"n_samples": n_samples, "backend": "numpy"},
+            )
         )
-    )
     return records
 
 
 def run_hotpath_benchmarks(
-    *, quick: bool = False, seed: int = 0, datasets: tuple[str, ...] | None = None
+    *,
+    quick: bool = False,
+    seed: int = 0,
+    datasets: tuple[str, ...] | None = None,
+    only: list[str] | None = None,
 ) -> list[CompareRecord]:
     """Run every hot-path comparison and return the records.
 
@@ -235,12 +297,30 @@ def run_hotpath_benchmarks(
     datasets : tuple of str, optional
         Override the benchmarked datasets (default: ``synthetic`` and
         ``adult``).
+    only : list of str, optional
+        Benchmark names to run (default: all of :data:`HOTPATH_NAMES`).
+        Unknown names raise ``ValueError`` so a typo fails loudly instead
+        of silently benchmarking nothing.  Shared setup (encoding, the
+        neighbour index) is only built for the selected benchmarks, so
+        iterating on one kernel stays fast.
     """
+    selected: set[str] | None = None
+    if only is not None:
+        unknown = [name for name in only if name not in HOTPATH_NAMES]
+        if unknown:
+            raise ValueError(
+                f"unknown hot-path benchmark(s) {unknown}; known: {list(HOTPATH_NAMES)}"
+            )
+        selected = set(only)
     n = 2500 if quick else 6000
     repeats = 3 if quick else 5
     names = datasets if datasets is not None else ("synthetic", "adult")
     records: list[CompareRecord] = []
     for dataset in names:
         table = _bench_table(dataset, n, seed)
-        records.extend(_table_benchmarks(dataset, table, seed=seed, repeats=repeats))
+        records.extend(
+            _table_benchmarks(
+                dataset, table, seed=seed, repeats=repeats, only=selected
+            )
+        )
     return records

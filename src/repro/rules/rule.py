@@ -94,7 +94,20 @@ class FeedbackRule:
 
     # ------------------------------------------------------------------ #
     def coverage_mask(self, table: Table) -> np.ndarray:
-        """Rows covered by the clause and by no exception clause."""
+        """Rows covered by the clause and by no exception clause.
+
+        Sharded tables are evaluated in shard-aligned row blocks (each
+        block reads one shard per column, zero-copy) instead of
+        materializing whole columns; predicate masks are elementwise, so
+        the blocked result is bit-identical to the dense one.
+        """
+        if getattr(table, "shard_rows", None) is not None:
+            from repro.data.shards import row_block_spans
+
+            out = np.empty(table.n_rows, dtype=bool)
+            for start, stop in row_block_spans(table, advise_cold=True):
+                out[start:stop] = self.coverage_mask(table.row_slice(start, stop))
+            return out
         mask = self.clause.mask(table)
         for exc in self.exceptions:
             mask &= ~exc.mask(table)

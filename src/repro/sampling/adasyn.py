@@ -24,6 +24,7 @@ def adasyn_weights(
     is_minority: np.ndarray,
     *,
     k: int = 5,
+    distance_backend=None,
 ) -> np.ndarray:
     """Per-minority-instance generation weights.
 
@@ -42,9 +43,8 @@ def adasyn_weights(
     space = TableNeighborSpace().fit(table)
     E = space.encode(table)
     k_eff = min(k, table.n_rows - 1)
-    _, nbr = BruteKNN(space.metric_).fit(E).kneighbors(
-        E[minority_idx], k_eff, exclude_self=True
-    )
+    knn = BruteKNN(space.metric_, backend=distance_backend).fit(E)
+    _, nbr = knn.kneighbors(E[minority_idx], k_eff, exclude_self=True)
     majority_frac = (~is_minority[nbr]).mean(axis=1)
     total = majority_frac.sum()
     if total <= 0:
@@ -65,11 +65,18 @@ class ADASYN:
         Seed for weight-proportional base sampling and interpolation.
     """
 
-    def __init__(self, k: int = 5, *, random_state: RandomState = None) -> None:
+    def __init__(
+        self,
+        k: int = 5,
+        *,
+        random_state: RandomState = None,
+        distance_backend=None,
+    ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.k = k
         self.random_state = random_state
+        self.distance_backend = distance_backend
 
     def fit_resample(self, dataset: Dataset) -> Dataset:
         """Oversample every minority class to the majority class count.
@@ -91,14 +98,19 @@ class ADASYN:
         rng = check_random_state(self.random_state)
         counts = dataset.class_counts()
         target = int(counts.max())
-        smote = SMOTE(self.k)
+        smote = SMOTE(self.k, distance_backend=self.distance_backend)
         parts = [dataset]
         for c in range(dataset.n_classes):
             deficit = target - int(counts[c])
             class_idx = np.flatnonzero(dataset.y == c)
             if deficit <= 0 or class_idx.size < 2:
                 continue
-            weights = adasyn_weights(dataset.X, dataset.y == c, k=self.k)
+            weights = adasyn_weights(
+                dataset.X,
+                dataset.y == c,
+                k=self.k,
+                distance_backend=self.distance_backend,
+            )
             # Draw base instances proportionally to the density weights,
             # then interpolate within the class like SMOTE.
             base_draws = rng.choice(class_idx.size, size=deficit, p=weights)

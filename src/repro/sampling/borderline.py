@@ -47,6 +47,7 @@ def classify_borderline(
     k: int = 10,
     borderline_band: float = 0.3,
     weights: dict[str, float] | None = None,
+    distance_backend=None,
 ) -> BorderlineAnalysis:
     """Classify instances as noisy / safe / borderline from neighbour labels.
 
@@ -65,6 +66,10 @@ def classify_borderline(
         Above the band it is *safe*; below, *noisy*.
     weights:
         Weight per category; defaults to the paper's {1, 1, 3}.
+    distance_backend:
+        Optional :data:`repro.engine.DISTANCE_BACKENDS` name (or backend
+        instance) for the neighbour search; ``None`` keeps the exact
+        float64 path.
     """
     labels = check_array_1d(labels, name="labels", dtype=np.int64)
     if labels.shape[0] != table.n_rows:
@@ -79,7 +84,8 @@ def classify_borderline(
     space = TableNeighborSpace().fit(table)
     E = space.encode(table)
     k_eff = min(k, table.n_rows - 1)
-    _, nbr = BruteKNN(space.metric_).fit(E).kneighbors(E, k_eff, exclude_self=True)
+    knn = BruteKNN(space.metric_, backend=distance_backend).fit(E)
+    _, nbr = knn.kneighbors(E, k_eff, exclude_self=True)
     same = labels[nbr] == labels[:, None]
     p_frac = same.mean(axis=1)
 
@@ -113,17 +119,15 @@ def category_weights(
     ndarray of float64
         One weight per instance.
     """
+    # One fused C-level pass.  The previous per-category boolean-mask
+    # version scanned the object array three times plus an `assigned`
+    # bookkeeping pass and lost to the seed loop at every size
+    # (BENCH_hotpaths `borderline_weights` 0.84×); KeyError on unknown
+    # categories is preserved by the dict lookup itself.
     w = weights or DEFAULT_WEIGHTS
-    wvec = np.empty(cats.shape[0], dtype=np.float64)
-    assigned = np.zeros(cats.shape[0], dtype=bool)
-    for cat in (NOISY, BORDERLINE, SAFE):
-        mask = cats == cat
-        if mask.any():
-            wvec[mask] = w[cat]
-            assigned |= mask
-    if not assigned.all():
-        raise KeyError(cats[~assigned][0])  # unknown category, like the seed
-    return wvec
+    return np.fromiter(
+        map(w.__getitem__, cats.tolist()), np.float64, count=cats.shape[0]
+    )
 
 
 @register_sampler("borderline")
@@ -135,10 +139,18 @@ class BorderlineSMOTE:
     restricted to the borderline set.
     """
 
-    def __init__(self, k: int = 5, *, k_classify: int = 10, random_state=None) -> None:
+    def __init__(
+        self,
+        k: int = 5,
+        *,
+        k_classify: int = 10,
+        random_state=None,
+        distance_backend=None,
+    ) -> None:
         self.k = k
         self.k_classify = k_classify
         self.random_state = random_state
+        self.distance_backend = distance_backend
 
     def fit_resample(self, dataset):
         """Oversample minority classes from their borderline instances.
@@ -160,9 +172,14 @@ class BorderlineSMOTE:
         rng = check_random_state(self.random_state)
         counts = dataset.class_counts()
         target = int(counts.max())
-        analysis = classify_borderline(dataset.X, dataset.y, k=self.k_classify)
+        analysis = classify_borderline(
+            dataset.X,
+            dataset.y,
+            k=self.k_classify,
+            distance_backend=self.distance_backend,
+        )
         parts = [dataset]
-        smote = SMOTE(self.k)
+        smote = SMOTE(self.k, distance_backend=self.distance_backend)
         for c in range(dataset.n_classes):
             deficit = target - int(counts[c])
             if deficit <= 0:

@@ -354,13 +354,25 @@ class RuleConstrainedGenerator:
         neighbour-space scaling (typically the current active dataset).
     k : int, default 5
         Neighbours per base instance (paper: 5).
+    distance_backend : str or backend, optional
+        ``None`` (default) keeps the exact float64 neighbour search; a
+        :data:`repro.engine.DISTANCE_BACKENDS` name opts into the blocked
+        kernel layer (:mod:`repro.neighbors.kernels`).
     """
 
-    def __init__(self, rule: FeedbackRule, reference: Table, *, k: int = 5) -> None:
+    def __init__(
+        self,
+        rule: FeedbackRule,
+        reference: Table,
+        *,
+        k: int = 5,
+        distance_backend=None,
+    ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.rule = rule
         self.k = k
+        self.distance_backend = distance_backend
         self.schema = reference.schema
         self._space = TableNeighborSpace().fit(reference)
         self._index_cache: tuple[object, np.ndarray, BruteKNN | None] | None = None
@@ -399,7 +411,11 @@ class RuleConstrainedGenerator:
         ):
             return self._index_cache[1], self._index_cache[2]
         E = self._space.encode(pool)
-        knn = BruteKNN(self._space.metric_).fit(E) if pool.n_rows > 1 else None
+        knn = (
+            BruteKNN(self._space.metric_, backend=self.distance_backend).fit(E)
+            if pool.n_rows > 1
+            else None
+        )
         if cache_token is not None:
             self._index_cache = (cache_token, E, knn)
         return E, knn
