@@ -1,4 +1,4 @@
-"""The paper's motivating scenario: a policy change with no supporting data.
+"""The paper's motivating scenario, extended to a live feature-space change.
 
 A lender lowers the age threshold for approvals, but the historical
 training data reflects the *old* policy — the new rule has zero coverage in
@@ -6,14 +6,52 @@ the training set (tcf = 0, paper Fig. 2's hardest case).  FROTE relaxes the
 rule to find similar instances, synthesizes new ones that satisfy the rule,
 and retrains until the decision boundary moves.
 
+Mid-run, the production schema evolves under the session — the part a
+frozen-schema editor cannot survive:
+
+* iteration 3 schedules a second policy rule referencing ``seniority``, a
+  column that **does not exist yet** — it parks instead of failing the run;
+* iteration 4 renames ``hours-per-week`` to ``weekly-hours`` (a pure
+  rename: predicates migrate in lockstep and the fitted model survives
+  without a refit);
+* iteration 6 lands ``seniority`` with a backfill value, releasing the
+  parked rule at the same boundary.
+
+The whole run is journaled; the journal's schema timeline and a
+fast-forward re-run show the migrations are part of the replayable record.
+
 Run:  python examples/loan_policy_update.py
 """
 
+import tempfile
+
 import repro
-from repro import FeedbackRuleSet, evaluate_model, parse_rule
+from repro import FeedbackRuleSet, SchemaDelta, evaluate_model, parse_rule
 from repro.data import coverage_aware_split
 from repro.datasets import load_dataset
+from repro.journal import SessionReplay
 from repro.models import paper_algorithm
+
+
+def build_session(train, frs, algorithm, journal_dir):
+    return (
+        repro.edit(train)
+        .with_rules(frs)
+        .with_algorithm(algorithm)
+        .configure(tau=12, q=0.5, eta=50, mod_strategy="none", random_state=42)
+        # Policy 2026-05 references `seniority` before the column exists:
+        # the rule text defers and parks until the migration lands.
+        .with_scheduled_rules(3, "seniority < 2 AND age < 25 => >50K")
+        # Ops renames a column mid-run; rules and the fitted model migrate.
+        .with_schema_migration(
+            4, SchemaDelta.rename_column("hours-per-week", "weekly-hours")
+        )
+        # The new feature lands (existing rows backfilled at 1 year).
+        .with_schema_migration(
+            6, SchemaDelta.add_column("seniority", fill=1.0)
+        )
+        .journaled(journal_dir, name="policy-update")
+    )
 
 
 def main() -> None:
@@ -40,26 +78,54 @@ def main() -> None:
     initial_model = algorithm(split.train)
     before = evaluate_model(initial_model, split.test, frs)
 
-    # mod_strategy="none": there is nothing to relabel (no coverage), so
-    # augmentation must do all the work via rule relaxation.  The session's
-    # track_metric scores every accepted model on the held-out test set and
-    # records it in the iteration history as external_score.
-    trace: list[float] = [before.j_weighted()]
+    with tempfile.TemporaryDirectory() as journal_dir:
+        result = build_session(split.train, frs, algorithm, journal_dir).run()
 
-    def held_out_j(model) -> float:
-        j = evaluate_model(model, split.test, frs).j_weighted()
-        trace.append(j)
-        return j
+        print("\nSchema timeline (from the run itself):")
+        for record in result.schema_log:
+            survived = "model survived" if not record.model_refit else "model refit"
+            print(
+                f"  iter {record.iteration}: {record.delta.describe():45s}"
+                f" -> version {record.version} ({survived})"
+            )
+        assert [r.delta.op for r in result.schema_log] == [
+            "rename_column", "add_column",
+        ]
+        assert "weekly-hours" in result.dataset.X.schema.names
+        assert "seniority" in result.dataset.X.schema.names
 
-    result = (
-        repro.edit(split.train)
-        .with_rules(frs)
-        .with_algorithm(algorithm)
-        .configure(tau=30, q=0.5, eta=50, mod_strategy="none", random_state=42)
-        .track_metric(held_out_j)
-        .run()
-    )
-    after = evaluate_model(result.model, split.test, frs)
+        # The parked policy-2026-05 rule landed once `seniority` existed.
+        landed = [
+            d for d in result.ruleset_log
+            if any("seniority" in r.clause.attributes for r in d.rules_added)
+        ]
+        assert landed and landed[0].iteration >= 6
+        print(
+            f"\nDeferred rule on 'seniority' (scheduled @3) landed at "
+            f"iteration {landed[0].iteration}, after its column arrived."
+        )
+
+        # The journal replays the same timeline, and a re-run of the same
+        # session fast-forwards through the migrations bit-identically.
+        replay = SessionReplay.load(f"{journal_dir}/policy-update")
+        timeline = replay.schema_timeline()
+        assert [row["version"] for row in timeline] == [
+            r.version for r in result.schema_log
+        ]
+        again = build_session(split.train, frs, algorithm, journal_dir).run()
+        assert again.history == result.history
+        assert [r.version for r in again.schema_log] == [
+            r.version for r in result.schema_log
+        ]
+        print("Journal replay: schema timeline matches; fast-forward re-run "
+              "is bit-identical.")
+
+    # The held-out test set lives in the *old* feature space; replay the
+    # same migrations over it to evaluate the final model like-for-like.
+    migrated_test = split.test
+    for record in result.schema_log:
+        migrated_test = record.delta.apply_to_dataset(migrated_test)
+    after = evaluate_model(result.model, migrated_test, result.frs)
 
     print(f"\nHeld-out test, before: J={before.j_weighted():.3f} "
           f"(MRA={before.mra:.3f}, F1={before.f1_outside:.3f})")
@@ -67,15 +133,13 @@ def main() -> None:
           f"(MRA={after.mra:.3f}, F1={after.f1_outside:.3f})")
     print(f"Synthetic instances added: {result.n_added}")
 
-    print("\nAugmentation progress (held-out J after each accepted batch):")
-    steps = ", ".join(f"{v:.3f}" for v in trace)
-    print(f"  {steps}")
-
-    print("\nWhere did the boundary move? Prediction rate for the policy region:")
+    print("\nWhere did the boundary move? Prediction rate for the "
+          "original policy region:")
     cov_test = frs.coverage_mask(split.test.X)
-    for label, model in (("before", initial_model), ("after", result.model)):
-        pred = model.predict(split.test.X.loc_mask(cov_test))
-        print(f"  {label:6s}: {100 * (pred == 1).mean():.1f}% approved")
+    pred_before = initial_model.predict(split.test.X.loc_mask(cov_test))
+    pred_after = result.model.predict(migrated_test.X.loc_mask(cov_test))
+    print(f"  before: {100 * (pred_before == 1).mean():.1f}% approved")
+    print(f"  after : {100 * (pred_after == 1).mean():.1f}% approved")
 
 
 if __name__ == "__main__":

@@ -61,8 +61,28 @@ The legacy path (identical results for identical seeds)::
                    FroteConfig(tau=30, q=0.5)).run(data)
 """
 
-from repro.core import FROTE, Evaluation, FroteConfig, FroteResult, evaluate_model, run_frote
-from repro.data import Dataset, Schema, Table, make_schema
+from repro.core import (
+    FROTE,
+    Evaluation,
+    FroteConfig,
+    FroteResult,
+    JournalOptions,
+    KernelOptions,
+    ServeOptions,
+    StorageOptions,
+    evaluate_model,
+    run_frote,
+)
+from repro.data import (
+    Dataset,
+    Migration,
+    Schema,
+    SchemaDelta,
+    SchemaMigrationError,
+    SchemaVersion,
+    Table,
+    make_schema,
+)
 from repro.engine import (
     MODIFIERS,
     OBJECTIVES,
@@ -122,6 +142,14 @@ __all__ = [
     "Table",
     "Schema",
     "make_schema",
+    "SchemaDelta",
+    "Migration",
+    "SchemaVersion",
+    "SchemaMigrationError",
+    "StorageOptions",
+    "JournalOptions",
+    "KernelOptions",
+    "ServeOptions",
     "Predicate",
     "Clause",
     "clause",

@@ -8,6 +8,12 @@ from repro.core.audit import (
     RowProvenance,
 )
 from repro.core.config import FroteConfig
+from repro.core.options import (
+    JournalOptions,
+    KernelOptions,
+    ServeOptions,
+    StorageOptions,
+)
 from repro.core.inflection import (
     InflectionTrace,
     format_inflection,
@@ -43,6 +49,10 @@ from repro.core.selection import (
 __all__ = [
     "FROTE",
     "FroteConfig",
+    "StorageOptions",
+    "JournalOptions",
+    "KernelOptions",
+    "ServeOptions",
     "FroteResult",
     "IterationRecord",
     "run_frote",

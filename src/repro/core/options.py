@@ -1,0 +1,124 @@
+"""Typed option groups: the structured face of run configuration.
+
+:class:`~repro.core.config.FroteConfig` grew one flat keyword at a time
+— paper knobs, then out-of-core storage, then journaling, then kernel
+backends — until call sites mixed unrelated concerns in one ~20-kwarg
+constructor.  The groups here carve that surface along its seams:
+
+* :class:`StorageOptions` — the out-of-core path (resident budget,
+  shard geometry, spill location);
+* :class:`JournalOptions` — the durable run journal (directory, name,
+  resume behavior);
+* :class:`KernelOptions` — compute-path opt-ins (distance backend,
+  incremental refit);
+* :class:`ServeOptions` — the serving layer's admission/scheduling
+  envelope, consumed by :class:`repro.serve.EditService`.
+
+``FroteConfig`` accepts the first three as ``storage=`` / ``journal=`` /
+``kernel=`` and expands them into its (retained) flat fields, so the
+whole downstream machinery — config snapshots, journal resume
+validation, grid spec hashing — is untouched.  Flat kwargs keep working
+as a back-compat shim; ``EditSession.configure`` emits a
+``DeprecationWarning`` when a grouped concern is passed flat (see
+``docs/migration.md``).
+
+Every group is frozen and equality-comparable, so configs built from
+groups hash and compare exactly like configs built flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "JournalOptions",
+    "KernelOptions",
+    "ServeOptions",
+    "StorageOptions",
+]
+
+
+@dataclass(frozen=True)
+class StorageOptions:
+    """The out-of-core storage envelope of one run.
+
+    Parameters mirror the flat ``FroteConfig`` fields of the same
+    meaning: ``max_resident_mb`` (resident budget for sealed column
+    shards; ``None`` keeps everything dense in RAM), ``shard_rows``
+    (rows per shard), and ``spill_dir`` (base directory for spill
+    files).  ``shard_rows`` / ``spill_dir`` require a budget, enforced
+    by ``FroteConfig`` validation after expansion.
+    """
+
+    max_resident_mb: float | None = None
+    shard_rows: int | None = None
+    spill_dir: str | None = None
+
+
+@dataclass(frozen=True)
+class JournalOptions:
+    """The durable-journal envelope of one run.
+
+    ``dir`` / ``name`` / ``resume`` expand to ``journal_dir`` /
+    ``journal_name`` / ``journal_resume``: where the append-only session
+    journal lives, its subdirectory name, and whether a re-run
+    fast-forwards from committed iterations (see :mod:`repro.journal`).
+    """
+
+    dir: str | None = None
+    name: str | None = None
+    resume: bool = True
+
+
+@dataclass(frozen=True)
+class KernelOptions:
+    """Compute-path opt-ins: numeric kernels and refit strategy.
+
+    ``distance_backend`` selects the blocked float32 distance-kernel
+    layer (``None`` keeps the exact float64 path); ``incremental`` opts
+    into delta-proportional partial refits.  Both trade bit-identity
+    for speed — see the ``FroteConfig`` field docs for the exact
+    contracts.
+    """
+
+    distance_backend: str | None = None
+    incremental: bool = False
+
+
+@dataclass(frozen=True)
+class ServeOptions:
+    """The serving layer's admission and scheduling envelope.
+
+    A typed bundle of :class:`repro.serve.EditService` constructor
+    parameters, so deployments can build, diff, and persist one value
+    instead of eight keywords.  ``EditService(options=...)`` consumes
+    it; explicitly passed flat keywords still win for targeted
+    overrides.
+    """
+
+    max_concurrent_steps: int | None = None
+    policy: Any = "round-robin"
+    memory_budget_mb: float | None = None
+    default_session_mb: float | None = None
+    max_active_sessions: int = 64
+    max_pending: int = 64
+    event_queue_size: int = 256
+    journal_dir: str | None = None
+
+
+#: group-field → flat ``FroteConfig`` field, per group type.
+STORAGE_FIELD_MAP = {
+    "max_resident_mb": "max_resident_mb",
+    "shard_rows": "shard_rows",
+    "spill_dir": "spill_dir",
+}
+JOURNAL_FIELD_MAP = {
+    "dir": "journal_dir",
+    "name": "journal_name",
+    "resume": "journal_resume",
+}
+KERNEL_FIELD_MAP = {
+    "distance_backend": "distance_backend",
+    "incremental": "incremental",
+}

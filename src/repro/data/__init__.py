@@ -10,6 +10,16 @@ from repro.data.shards import (
     spill_policy_for,
 )
 from repro.data.encoding import OrdinalEncoder, StandardScaler, TabularEncoder
+from repro.data.evolution import (
+    Migration,
+    SchemaDelta,
+    SchemaMigrationError,
+    SchemaVersion,
+    lineage,
+    migrate_dataset,
+    migrate_table,
+    schema_fingerprint,
+)
 from repro.data.io import (
     infer_schema,
     read_csv,
@@ -42,6 +52,14 @@ __all__ = [
     "SpillPolicy",
     "spill_policy_for",
     "Dataset",
+    "SchemaDelta",
+    "SchemaMigrationError",
+    "SchemaVersion",
+    "Migration",
+    "schema_fingerprint",
+    "migrate_table",
+    "migrate_dataset",
+    "lineage",
     "TabularEncoder",
     "OrdinalEncoder",
     "StandardScaler",

@@ -134,6 +134,33 @@ class TabularEncoder:
     def fit_transform(self, table: Table) -> np.ndarray:
         return self.fit(table).transform(table)
 
+    def migrate(self, schema: Schema) -> "TabularEncoder":
+        """Re-point a fitted encoder at a *layout-identical* schema.
+
+        The schema-evolution rename path: a renamed column changes no
+        stored values and no one-hot layout, so the fitted encoder (and
+        any scaler statistics) stays exact — only the schema it asserts
+        against, and the derived feature names, need updating.  Any
+        layout difference (kind, vocabulary, or column order) is refused;
+        those migrations must refit.
+        """
+        if self.schema_ is None:
+            raise RuntimeError("TabularEncoder is not fitted")
+        old_layout = [(c.kind, c.categories) for c in self.schema_.columns]
+        new_layout = [(c.kind, c.categories) for c in schema.columns]
+        if old_layout != new_layout:
+            raise ValueError(
+                "encoder can only migrate to a schema with an identical "
+                "column layout (renames); this migration must refit"
+            )
+        self.schema_ = schema
+        names: list[str] = list(schema.numeric_names)
+        for col in schema.categorical_names:
+            spec = schema[col]
+            names.extend(f"{col}={cat}" for cat in spec.categories)
+        self._feature_names = names
+        return self
+
     # ------------------------------------------------------------------ #
     @property
     def feature_names(self) -> tuple[str, ...]:

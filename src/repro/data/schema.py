@@ -34,6 +34,7 @@ class ColumnSpec:
     name: str
     kind: str
     categories: tuple[str, ...] = ()
+    _code_index: dict[str, int] = field(init=False, repr=False, compare=False, hash=False)
 
     def __post_init__(self) -> None:
         if self.kind not in (NUMERIC, CATEGORICAL):
@@ -48,6 +49,9 @@ class ColumnSpec:
                 )
             if len(set(self.categories)) != len(self.categories):
                 raise ValueError(f"categorical column {self.name!r} has duplicate categories")
+        object.__setattr__(
+            self, "_code_index", {cat: i for i, cat in enumerate(self.categories)}
+        )
 
     @property
     def is_numeric(self) -> bool:
@@ -58,10 +62,10 @@ class ColumnSpec:
         return self.kind == CATEGORICAL
 
     def code_of(self, value: str) -> int:
-        """Return the integer code of a category value."""
+        """Return the integer code of a category value (O(1) dict lookup)."""
         try:
-            return self.categories.index(value)
-        except ValueError:
+            return self._code_index[value]
+        except KeyError:
             raise KeyError(
                 f"value {value!r} not in categories of column {self.name!r}: "
                 f"{self.categories}"
@@ -114,6 +118,59 @@ class Schema:
     @property
     def categorical_names(self) -> tuple[str, ...]:
         return tuple(c.name for c in self.columns if c.is_categorical)
+
+    # ------------------------------------------------------------------ #
+    # Fluent evolution surface.  Each method returns a *new* schema (this
+    # class is immutable); the matching data-level operations live in
+    # :mod:`repro.data.evolution` as replayable :class:`SchemaDelta`s.
+    def with_column(
+        self,
+        name: str,
+        kind: str = NUMERIC,
+        categories: tuple[str, ...] = (),
+        *,
+        position: int | None = None,
+    ) -> "Schema":
+        """Return a schema with a new column appended (or at ``position``)."""
+        if name in self._index:
+            raise ValueError(f"column {name!r} already exists in schema")
+        spec = ColumnSpec(name, kind, tuple(categories))
+        cols = list(self.columns)
+        cols.insert(len(cols) if position is None else position, spec)
+        return Schema(tuple(cols))
+
+    def without(self, name: str) -> "Schema":
+        """Return a schema with column ``name`` removed."""
+        pos = self.position(name)
+        return Schema(self.columns[:pos] + self.columns[pos + 1 :])
+
+    def renamed(self, old: str, new: str) -> "Schema":
+        """Return a schema with column ``old`` renamed to ``new`` in place."""
+        pos = self.position(old)
+        if new in self._index and new != old:
+            raise ValueError(f"column {new!r} already exists in schema")
+        spec = self.columns[pos]
+        return Schema(
+            self.columns[:pos]
+            + (ColumnSpec(new, spec.kind, spec.categories),)
+            + self.columns[pos + 1 :]
+        )
+
+    def retyped(
+        self, name: str, kind: str, categories: tuple[str, ...] = ()
+    ) -> "Schema":
+        """Return a schema with column ``name`` converted to ``kind``.
+
+        Only the schema changes here; converting stored *values* needs an
+        explicit cast policy — see
+        :meth:`repro.data.evolution.SchemaDelta.retype_column`.
+        """
+        pos = self.position(name)
+        return Schema(
+            self.columns[:pos]
+            + (ColumnSpec(name, kind, tuple(categories)),)
+            + self.columns[pos + 1 :]
+        )
 
     def __hash__(self) -> int:
         return hash(self.columns)

@@ -33,6 +33,7 @@ from repro.engine.registry import (
     register_selector,
 )
 from repro.engine.delta import DatasetDelta, DeltaJournal
+from repro.engine.migration import SchemaMigrationRecord, apply_schema_delta
 from repro.engine.session import EditSession, edit
 from repro.engine.stages import (
     AcceptanceStage,
@@ -82,6 +83,8 @@ __all__ = [
     "EditState",
     "DatasetDelta",
     "DeltaJournal",
+    "SchemaMigrationRecord",
+    "apply_schema_delta",
     "ListenerError",
     "ProgressEvent",
     "IterationRecord",

@@ -27,9 +27,14 @@ from dataclasses import dataclass
 __all__ = ["DatasetDelta", "DeltaJournal"]
 
 #: Delta kinds: ``append`` adds rows ``[start, stop)`` at the end of the
-#: parent version's dataset; ``rebuild`` invalidates everything.
+#: parent version's dataset; ``rebuild`` invalidates everything;
+#: ``schema`` changes the feature space itself (row count preserved) —
+#: the recorded :class:`~repro.data.evolution.SchemaDelta` rides along so
+#: consumers can classify what survives (see ``EditState
+#: .apply_schema_delta``).
 APPEND = "append"
 REBUILD = "rebuild"
+SCHEMA = "schema"
 
 
 @dataclass(frozen=True)
@@ -58,6 +63,9 @@ class DatasetDelta:
     stop: int = 0
     kind: str = APPEND
     provenance: str = ""
+    #: The :class:`~repro.data.evolution.SchemaDelta` behind a
+    #: ``kind="schema"`` entry (``None`` for row deltas).
+    schema_delta: object = None
 
     @property
     def n_appended(self) -> int:
@@ -67,6 +75,10 @@ class DatasetDelta:
     @property
     def is_append(self) -> bool:
         return self.kind == APPEND
+
+    @property
+    def is_schema(self) -> bool:
+        return self.kind == SCHEMA
 
 
 class DeltaJournal:
@@ -117,6 +129,20 @@ class DeltaJournal:
         """Record that ``version`` shares nothing cacheable with ``parent``."""
         return self.record(
             DatasetDelta(version, parent, 0, 0, REBUILD, provenance)
+        )
+
+    def record_schema(
+        self, parent: int, version: int, schema_delta, provenance: str = ""
+    ) -> DatasetDelta:
+        """Record that ``version`` is ``parent`` after a schema migration.
+
+        Row count and row identity are preserved, but columns changed;
+        :meth:`appended_between` treats the boundary as uncrossable (the
+        safe answer), while schema-aware consumers can inspect
+        ``delta.schema_delta`` to decide per-cache survival.
+        """
+        return self.record(
+            DatasetDelta(version, parent, 0, 0, SCHEMA, provenance, schema_delta)
         )
 
     # ------------------------------------------------------------------ #

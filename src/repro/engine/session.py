@@ -23,6 +23,7 @@ calling it again replays the same edit (same seed), while
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Iterable
 
 from repro.data.dataset import Dataset
@@ -58,7 +59,8 @@ class EditSession:
         self._feedback_policy_kwargs: dict[str, Any] = {}
         self._feedback_resolve: str = "carve"
         self._feedback_mixture_weight: float = 0.5
-        self._scheduled_rules: dict[int, list[FeedbackRule]] = {}
+        self._scheduled_rules: dict[int, list[Any]] = {}
+        self._schema_migrations: dict[int, list[Any]] = {}
 
     # ------------------------------------------------------------------ #
     # Rules (incremental — the multi-expert scenario).
@@ -157,7 +159,59 @@ class EditSession:
         self._feedback_enabled = True
         bucket = self._scheduled_rules.setdefault(int(iteration), [])
         for rule in rules:
-            bucket.extend(self._coerce_rules(rule))
+            bucket.extend(self._coerce_scheduled(rule))
+        return self
+
+    def _coerce_scheduled(self, rule: Any) -> list[Any]:
+        """Like :meth:`_coerce_rules`, but rule strings referencing columns
+        the dataset does not define yet defer instead of failing — they
+        park in the pipeline until a scheduled migration lands the column
+        (see :meth:`with_schema_migration`)."""
+        if isinstance(rule, str):
+            from repro.feedback.sources import parse_rule_or_defer
+
+            return [
+                parse_rule_or_defer(
+                    rule, self.dataset.X.schema, self.dataset.label_names
+                )
+            ]
+        if isinstance(rule, Iterable) and not isinstance(rule, (FeedbackRule, FeedbackRuleSet)):
+            out: list[Any] = []
+            for r in rule:
+                out.extend(self._coerce_scheduled(r))
+            return out
+        return self._coerce_rules(rule)
+
+    def with_schema_migration(self, iteration: int, *deltas: Any) -> "EditSession":
+        """Schedule feature-space migrations at iteration boundary
+        ``iteration``.
+
+        Each delta is a :class:`~repro.data.evolution.SchemaDelta` (or a
+        whole :class:`~repro.data.evolution.Migration`, expanded in
+        order).  At the boundary they replay over the live run — active
+        dataset, rules, fitted model, caches — through
+        :func:`repro.engine.migration.apply_schema_delta`, *before* any
+        rule scheduled or streamed at the same boundary, so a rule
+        referencing a just-landed column applies in the same drain.
+        Journaled runs persist every applied delta and fast-forward
+        through migrations bit-identically on crash-resume.
+        """
+        if iteration < 0:
+            raise ValueError(f"iteration must be >= 0, got {iteration}")
+        from repro.data.evolution import Migration, SchemaDelta
+
+        self._feedback_enabled = True
+        bucket = self._schema_migrations.setdefault(int(iteration), [])
+        for delta in deltas:
+            if isinstance(delta, SchemaDelta):
+                bucket.append(delta)
+            elif isinstance(delta, Migration):
+                bucket.extend(delta.deltas)
+            else:
+                raise TypeError(
+                    "with_schema_migration accepts SchemaDelta or Migration "
+                    f"objects; got {type(delta).__name__}"
+                )
         return self
 
     # ------------------------------------------------------------------ #
@@ -177,17 +231,73 @@ class EditSession:
     def configure(self, **kwargs: Any) -> "EditSession":
         """Set :class:`~repro.core.config.FroteConfig` fields; successive
         calls merge (later wins), validated when :meth:`run` builds the
-        config."""
+        config.
+
+        Accepts the typed option groups (``storage=StorageOptions(...)``,
+        ``journal=JournalOptions(...)``, ``kernel=KernelOptions(...)``)
+        alongside scalar fields.  A group expands into its flat fields
+        at this call — the whole concern at once, so a later group wins
+        over earlier flat settings of the same fields and vice versa.
+        Passing a *grouped* field flat (``max_resident_mb=...``,
+        ``journal_dir=...``, ``incremental=...``, ...) still works but
+        is deprecated in favor of the groups; the dedicated sugars
+        (:meth:`out_of_core`, :meth:`journaled`, :meth:`incremental`)
+        are unaffected.
+        """
+        from repro.core.options import (
+            JOURNAL_FIELD_MAP,
+            KERNEL_FIELD_MAP,
+            STORAGE_FIELD_MAP,
+        )
+
+        field_maps = {
+            "storage": STORAGE_FIELD_MAP,
+            "journal": JOURNAL_FIELD_MAP,
+            "kernel": KERNEL_FIELD_MAP,
+        }
+        groups = {
+            key: kwargs.pop(key)
+            for key in tuple(field_maps)
+            if kwargs.get(key) is not None
+        }
+        grouped_flat = {
+            flat: key
+            for key, field_map in field_maps.items()
+            for flat in field_map.values()
+        }
+        deprecated = sorted(k for k in kwargs if k in grouped_flat)
+        if deprecated:
+            hints = ", ".join(
+                f"{k} -> {grouped_flat[k]}=...Options(...)" for k in deprecated
+            )
+            warnings.warn(
+                f"passing {deprecated} flat to configure() is deprecated; "
+                f"use the typed option groups instead ({hints}) — see "
+                "docs/migration.md",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self._config_kwargs.update(kwargs)
+        for key, group in groups.items():
+            for group_field, flat in field_maps[key].items():
+                value = getattr(group, group_field)
+                if flat in kwargs and kwargs[flat] != value:
+                    raise ValueError(
+                        f"conflicting values for {flat!r} in one "
+                        f"configure() call: {kwargs[flat]!r} flat vs "
+                        f"{type(group).__name__}.{group_field}={value!r}"
+                    )
+                self._config_kwargs[flat] = value
         return self
 
     def incremental(self, enabled: bool = True) -> "EditSession":
         """Opt into the delta-proportional compute path (sugar for
-        ``configure(incremental=True)``): O(batch) partial model refits
-        where supported and delta-extended prediction caches.  See
-        :class:`~repro.core.config.FroteConfig` for the exactness
-        contract."""
-        return self.configure(incremental=enabled)
+        ``configure(kernel=KernelOptions(incremental=True))``): O(batch)
+        partial model refits where supported and delta-extended
+        prediction caches.  See :class:`~repro.core.config.FroteConfig`
+        for the exactness contract."""
+        self._config_kwargs["incremental"] = enabled
+        return self
 
     def out_of_core(
         self,
@@ -213,12 +323,12 @@ class EditSession:
         # Only set the knobs the caller actually passed — configure()
         # documents merge semantics, and a bare out_of_core(budget) must
         # not clobber a shard_rows/spill_dir from an earlier call.
-        kwargs: dict[str, Any] = {"max_resident_mb": max_resident_mb}
+        self._config_kwargs["max_resident_mb"] = max_resident_mb
         if shard_rows is not None:
-            kwargs["shard_rows"] = shard_rows
+            self._config_kwargs["shard_rows"] = shard_rows
         if spill_dir is not None:
-            kwargs["spill_dir"] = spill_dir
-        return self.configure(**kwargs)
+            self._config_kwargs["spill_dir"] = spill_dir
+        return self
 
     def journaled(
         self,
@@ -239,13 +349,11 @@ class EditSession:
         integer ``random_state`` when ``resume`` is on.  Pass
         ``resume=False`` to wipe any prior journal and start fresh.
         """
-        kwargs: dict[str, Any] = {
-            "journal_dir": str(journal_dir),
-            "journal_resume": resume,
-        }
+        self._config_kwargs["journal_dir"] = str(journal_dir)
+        self._config_kwargs["journal_resume"] = resume
         if name is not None:
-            kwargs["journal_name"] = name
-        return self.configure(**kwargs)
+            self._config_kwargs["journal_name"] = name
+        return self
 
     def with_selector(self, selector: Any) -> "EditSession":
         """Use a selection strategy directly (bypasses the registry; handy
@@ -385,6 +493,10 @@ class EditSession:
                 mixture_weight=self._feedback_mixture_weight,
                 schedule={
                     it: list(rules) for it, rules in self._scheduled_rules.items()
+                },
+                migrations={
+                    it: list(deltas)
+                    for it, deltas in self._schema_migrations.items()
                 },
             )
         return state

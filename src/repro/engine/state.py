@@ -55,6 +55,10 @@ class FroteResult:
     #: deltas themselves are in ``ruleset_log``.
     frs: FeedbackRuleSet | None = None
     ruleset_log: list = field(default_factory=list)
+    #: Every :class:`~repro.engine.migration.SchemaMigrationRecord`
+    #: applied during the run, in order — the feature-space timeline
+    #: (empty for frozen-schema runs).
+    schema_log: list = field(default_factory=list)
 
     @property
     def accepted_iterations(self) -> int:
@@ -78,10 +82,10 @@ class ProgressEvent:
     """A structured notification from the edit loop.
 
     ``kind`` is one of ``"started"``, ``"accepted"``, ``"rejected"``,
-    ``"empty-batch"``, ``"ruleset"``, or ``"finished"``.  ``record`` is the
-    :class:`IterationRecord` just appended (``None`` for ``started`` /
-    ``ruleset`` / ``finished``); ``model`` and ``evaluation`` describe the
-    *current best* model at emission time.
+    ``"empty-batch"``, ``"ruleset"``, ``"schema"``, or ``"finished"``.
+    ``record`` is the :class:`IterationRecord` just appended (``None`` for
+    ``started`` / ``ruleset`` / ``schema`` / ``finished``); ``model`` and
+    ``evaluation`` describe the *current best* model at emission time.
     """
 
     kind: str
@@ -97,6 +101,9 @@ class ProgressEvent:
     #: The :class:`~repro.feedback.delta.RuleSetDelta` just applied
     #: (``"ruleset"`` events only).
     ruleset: Any = None
+    #: The :class:`~repro.engine.migration.SchemaMigrationRecord` just
+    #: applied (``"schema"`` events only).
+    schema: Any = None
 
     @property
     def accepted(self) -> bool:
@@ -206,6 +213,14 @@ class EditState:
     feedback: Any = None
     ruleset_log: list = field(default_factory=list)
 
+    # Schema evolution (see repro.engine.migration): the content-hashed
+    # :class:`~repro.data.evolution.SchemaVersion` lineage node of the
+    # active dataset's schema (``None`` until the first migration — a
+    # frozen-schema run never touches it), and the ordered log of applied
+    # :class:`~repro.engine.migration.SchemaMigrationRecord` s.
+    schema_version: Any = None
+    schema_log: list = field(default_factory=list)
+
     # Transient slots written by one stage, consumed by the next.
     predictions: np.ndarray | None = None
     per_rule_positions: list = field(default_factory=list)
@@ -295,6 +310,25 @@ class EditState:
         # was computed with; acceptance re-seeds it for the new model.
         return self.journal.record_append(
             parent, self.dataset_version, n - n_appended, n, provenance
+        )
+
+    def record_schema_delta(self, schema_delta: Any, provenance: str = "") -> DatasetDelta:
+        """Move to a fresh dataset version across a schema migration.
+
+        Row count and identity are preserved but the feature space
+        changed, so the append builder (whose staged columns follow the
+        old schema) is dropped — the acceptance stage re-homes the
+        active dataset on the next accepted batch.  Cache survival is
+        *selective*, decided per delta kind by
+        :func:`repro.engine.migration.apply_schema_delta` (which calls
+        this); the journal entry carries the schema delta so any other
+        consumer can classify for itself.
+        """
+        parent = self.dataset_version
+        self.dataset_version = next(_DATASET_VERSIONS)
+        self.active_builder = None
+        return self.journal.record_schema(
+            parent, self.dataset_version, schema_delta, provenance
         )
 
     def make_builder(self, dataset: Dataset) -> DatasetBuilder:
@@ -453,6 +487,7 @@ class EditState:
         record: IterationRecord | None = None,
         *,
         ruleset: Any = None,
+        schema: Any = None,
     ) -> None:
         """Notify all listeners, isolating any that raise.
 
@@ -474,6 +509,7 @@ class EditState:
             evaluation=self.evaluation,
             stage_seconds=dict(self.stage_seconds) if self.stage_seconds else None,
             ruleset=ruleset,
+            schema=schema,
         )
         for listener in self.listeners:
             try:
@@ -506,4 +542,5 @@ class EditState:
             provenance=self.provenance,
             frs=self.frs,
             ruleset_log=list(self.ruleset_log),
+            schema_log=list(self.schema_log),
         )

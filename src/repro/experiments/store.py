@@ -11,11 +11,20 @@ Record files are deterministic strict JSON — sorted keys, explicit
 non-finite float markers (see :mod:`repro.experiments.persistence`), no
 timestamps — so ``diff -r serial/ parallel/`` is a valid equality check
 (CI runs exactly that).
+
+The envelope format itself is versioned and **migrated on read**, the
+same delta-replay idiom the engine applies to live datasets: a store
+written by an older release is readable forever, because each
+``_migrate_vN_to_vN1`` step replays in order over the parsed payload
+before :class:`StoredRun` is built.  Writes always use the current
+version; ``diff``-style equality checks therefore compare stores written
+by the *same* version, as before.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Sequence
@@ -23,8 +32,35 @@ from typing import Iterator, Sequence
 from repro.experiments.persistence import dump_json, from_jsonable, to_jsonable
 from repro.experiments.spec import RunSpec
 
+#: Current envelope schema version.  v1 had no explicit version field and
+#: no feature-space lineage; v2 added ``schema_version`` (this integer)
+#: and ``schema`` (the run's final content-hashed schema-version token,
+#: empty for frozen-schema runs).
+RECORD_VERSION = 2
+
 #: Format tag written into every record envelope.
-RECORD_FORMAT = "repro.run-record/v1"
+RECORD_FORMAT = f"repro.run-record/v{RECORD_VERSION}"
+
+_FORMAT_RE = re.compile(r"^repro\.run-record/v(\d+)$")
+
+
+def _migrate_v1_to_v2(payload: dict) -> dict:
+    """v1 → v2: explicit ``schema_version`` int + ``schema`` lineage token.
+
+    v1 records were all written before live schema migrations existed,
+    so their feature space is by definition the frozen input schema —
+    the empty lineage token.
+    """
+    payload = dict(payload)
+    payload["schema_version"] = 2
+    payload["schema"] = ""
+    return payload
+
+
+#: Ordered migrate-on-read steps: source version → migration function.
+#: ``_read`` replays every step from the stored version up to
+#: :data:`RECORD_VERSION`; a version this mapping cannot reach raises.
+_RECORD_MIGRATIONS = {1: _migrate_v1_to_v2}
 
 #: Run completed and produced a record.
 STATUS_OK = "ok"
@@ -42,6 +78,9 @@ class StoredRun:
     spec: RunSpec
     status: str
     record: dict | None
+    #: Final content-hashed schema-version token of the run's feature
+    #: space ("" = frozen input schema, i.e. no migrations applied).
+    schema: str = ""
 
     @property
     def ok(self) -> bool:
@@ -66,11 +105,19 @@ class RunStore:
         return sum(1 for _ in self.root.glob("*.json"))
 
     # ------------------------------------------------------------------ #
-    def put(self, spec: RunSpec, record: dict | None) -> Path:
-        """Persist one run's outcome (``record=None`` → skipped draw)."""
+    def put(
+        self, spec: RunSpec, record: dict | None, *, schema: str = ""
+    ) -> Path:
+        """Persist one run's outcome (``record=None`` → skipped draw).
+
+        ``schema`` is the run's final schema-version token when the run
+        migrated its feature space mid-flight (default: frozen schema).
+        """
         status = STATUS_OK if record is not None else STATUS_SKIPPED
         envelope = {
             "format": RECORD_FORMAT,
+            "schema_version": RECORD_VERSION,
+            "schema": str(schema),
             "spec_hash": spec.spec_hash,
             "spec": to_jsonable(spec.to_dict()),  # config may hold e.g. q=inf
             "status": status,
@@ -90,19 +137,41 @@ class RunStore:
         return self._read(path)
 
     def _read(self, path: Path) -> StoredRun:
-        payload = json.loads(path.read_text())
-        if payload.get("format") != RECORD_FORMAT:
-            raise ValueError(
-                f"{path} is not a {RECORD_FORMAT} record "
-                f"(format={payload.get('format')!r})"
-            )
+        payload = self._migrate(path, json.loads(path.read_text()))
         record = from_jsonable(payload["record"])
         return StoredRun(
             spec_hash=payload["spec_hash"],
             spec=RunSpec.from_dict(payload["spec"]),
             status=payload["status"],
             record=record,
+            schema=str(payload.get("schema", "")),
         )
+
+    @staticmethod
+    def _migrate(path: Path, payload: dict) -> dict:
+        """Replay envelope migrations from the stored version to current."""
+        match = _FORMAT_RE.match(str(payload.get("format", "")))
+        if match is None:
+            raise ValueError(
+                f"{path} is not a repro.run-record envelope "
+                f"(format={payload.get('format')!r})"
+            )
+        version = int(payload.get("schema_version", match.group(1)))
+        if version > RECORD_VERSION:
+            raise ValueError(
+                f"{path} is a v{version} record; this build reads up to "
+                f"v{RECORD_VERSION} — upgrade to read it"
+            )
+        while version < RECORD_VERSION:
+            migrate = _RECORD_MIGRATIONS.get(version)
+            if migrate is None:
+                raise ValueError(
+                    f"{path} is a v{version} record with no migration path "
+                    f"to v{RECORD_VERSION}"
+                )
+            payload = migrate(payload)
+            version += 1
+        return payload
 
     def __iter__(self) -> Iterator[StoredRun]:
         for path in sorted(self.root.glob("*.json")):

@@ -36,12 +36,15 @@ from repro.feedback.delta import (
 )
 from repro.feedback.pipeline import FeedbackPipeline
 from repro.feedback.sources import (
+    DeferredRule,
     FeedbackSource,
+    MigrationRequest,
     QueueFeedbackSource,
     RuleProposal,
     RuleVerdict,
     ScriptedFeedbackSource,
     coerce_event,
+    parse_rule_or_defer,
     rule_from_jsonable,
     rule_key,
     rule_to_jsonable,
@@ -54,9 +57,11 @@ __all__ = [
     "PENDING",
     "REBUILD",
     "REJECTED",
+    "DeferredRule",
     "FeedbackAggregator",
     "FeedbackPipeline",
     "FeedbackSource",
+    "MigrationRequest",
     "QueueFeedbackSource",
     "RuleDecision",
     "RuleProposal",
@@ -70,6 +75,7 @@ __all__ = [
     "delta_from_jsonable",
     "delta_to_jsonable",
     "extend_ruleset",
+    "parse_rule_or_defer",
     "register_aggregation_policy",
     "rule_from_jsonable",
     "rule_key",

@@ -21,6 +21,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Iterable, Protocol, runtime_checkable
 
+from repro.data.evolution import Migration, SchemaDelta
 from repro.rules.clause import Clause
 from repro.rules.predicate import Predicate
 from repro.rules.rule import FeedbackRule
@@ -90,21 +91,79 @@ class RuleVerdict:
     weight: float = 1.0
 
 
-FeedbackEvent = RuleProposal | RuleVerdict
+@dataclass(frozen=True)
+class MigrationRequest:
+    """A source requesting a schema migration of the running edit.
+
+    Migrations are operator actions, not expert opinions: they bypass
+    vote aggregation and apply (in arrival order, deduplicated by
+    content) at the next iteration boundary, *before* any rule events of
+    that boundary — so a rule referencing a just-landed column can apply
+    in the same drain.
+    """
+
+    deltas: tuple[SchemaDelta, ...]
+    source: str = ""
+    name: str = ""
 
 
-def coerce_event(item: Any, *, source: str = "") -> RuleProposal | RuleVerdict:
+@dataclass(frozen=True)
+class DeferredRule:
+    """A rule string that could not parse against the current schema.
+
+    Rule text referencing a column that has not landed yet cannot be
+    validated eagerly; the pipeline re-parses it at each boundary (after
+    that boundary's migrations) and parks it until the columns exist.
+    """
+
+    text: str
+    name: str = ""
+
+
+def parse_rule_or_defer(
+    text: str, schema, label_names, *, name: str = ""
+) -> "FeedbackRule | DeferredRule":
+    """Parse rule text now, or defer it until its columns land.
+
+    Text referencing an attribute the schema does not (yet) define comes
+    back as a :class:`DeferredRule` — the pipeline re-parses it at each
+    boundary once migrations have applied.  Every other parse error
+    (malformed syntax, bad value for an *existing* column) raises
+    immediately: those can never be fixed by a migration landing.
+    """
+    from repro.rules.parser import RuleParseError, parse_rule
+
+    try:
+        return parse_rule(text, schema, label_names, name=name)
+    except RuleParseError as exc:
+        if "unknown attribute" in str(exc):
+            return DeferredRule(text=text, name=name)
+        raise
+
+
+FeedbackEvent = RuleProposal | RuleVerdict | MigrationRequest
+
+
+def coerce_event(item: Any, *, source: str = "") -> FeedbackEvent | DeferredRule:
     """Normalize an item into a feedback event.
 
     Bare :class:`FeedbackRule` objects become proposals from ``source``;
-    proposals and verdicts pass through unchanged.
+    bare :class:`~repro.data.evolution.SchemaDelta` /
+    :class:`~repro.data.evolution.Migration` objects become
+    :class:`MigrationRequest` s; proposals, verdicts, migration requests,
+    and deferred rules pass through unchanged.
     """
-    if isinstance(item, (RuleProposal, RuleVerdict)):
+    if isinstance(item, (RuleProposal, RuleVerdict, MigrationRequest, DeferredRule)):
         return item
     if isinstance(item, FeedbackRule):
         return RuleProposal(rule=item, source=source)
+    if isinstance(item, SchemaDelta):
+        return MigrationRequest(deltas=(item,), source=source)
+    if isinstance(item, Migration):
+        return MigrationRequest(deltas=item.deltas, source=source, name=item.name)
     raise TypeError(
-        "feedback items must be FeedbackRule, RuleProposal, or RuleVerdict; "
+        "feedback items must be FeedbackRule, RuleProposal, RuleVerdict, "
+        "SchemaDelta, Migration, MigrationRequest, or DeferredRule; "
         f"got {type(item).__name__}"
     )
 

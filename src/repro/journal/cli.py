@@ -109,6 +109,7 @@ def _cmd_replay(args) -> int:
         payload = {
             "summary": summary,
             "meta": replay.meta,
+            "schema_timeline": replay.schema_timeline(),
             "iterations": [
                 {
                     "iteration": it.iteration,
@@ -153,6 +154,13 @@ def _cmd_replay(args) -> int:
             f"{'finished' if summary['finished'] else 'in progress'}"
         )
         print(format_table(rows, title=title))
+        for row in replay.schema_timeline():
+            refit = "refit" if row["model_refit"] else "no refit"
+            print(
+                f"schema @ iter {row['iteration']}: {row['op']} "
+                f"{row['column']} -> version {row['version']} "
+                f"({row['provenance']}, {refit})"
+            )
         if summary["truncation"]:
             print(f"!! {summary['truncation']}", file=sys.stderr)
     return _strict_exit(args, args.journal)

@@ -60,6 +60,7 @@ KIND_RUN_RESUMED = "run-resumed"
 KIND_RUN_FINISHED = "run-finished"
 KIND_ITERATION = "iteration"
 KIND_RULESET = "ruleset-delta"
+KIND_SCHEMA = "schema-delta"
 
 #: Required top-level fields of every record line.
 _FIELDS = ("seq", "prev", "h", "t", "kind", "data")

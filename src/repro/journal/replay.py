@@ -55,6 +55,7 @@ from repro.journal.records import (
     KIND_RUN_FINISHED,
     KIND_RUN_META,
     KIND_RUN_RESUMED,
+    KIND_SCHEMA,
     Record,
 )
 from repro.journal.writer import (
@@ -148,6 +149,9 @@ class _Span:
     #: re-journal) the same delta, so consumers dedupe by content key
     #: (see :func:`_delta_key`) rather than by position.
     rulesets: list[Record] = field(default_factory=list)
+    #: ``schema-delta`` records in write order, content-deduped the same
+    #: way (see :func:`_schema_key`).
+    schemas: list[Record] = field(default_factory=list)
 
 
 def _session_spans(records: list[Record]) -> list[_Span]:
@@ -165,6 +169,8 @@ def _session_spans(records: list[Record]) -> list[_Span]:
             spans[-1].finished = record
         elif record.kind == KIND_RULESET:
             spans[-1].rulesets.append(record)
+        elif record.kind == KIND_SCHEMA:
+            spans[-1].schemas.append(record)
     return spans
 
 
@@ -187,6 +193,32 @@ def _dedupe_deltas(records: list[Record]) -> list[Record]:
     out: list[Record] = []
     for record in records:
         key = _delta_key(record.data)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(record)
+    return out
+
+
+def _schema_key(data: dict[str, Any]) -> tuple[int, str]:
+    """Content identity of one journaled schema delta.
+
+    Same contract as :func:`_delta_key`: a crashed-then-resumed run
+    re-applies (and re-journals) the migration at the resume boundary,
+    so the (iteration, canonical delta) pair identifies it regardless of
+    how many times it was written.
+    """
+    return (
+        int(data["iteration"]),
+        json.dumps(data["delta"], sort_keys=True, separators=(",", ":")),
+    )
+
+
+def _dedupe_schemas(records: list[Record]) -> list[Record]:
+    seen: set[tuple[int, str]] = set()
+    out: list[Record] = []
+    for record in records:
+        key = _schema_key(record.data)
         if key in seen:
             continue
         seen.add(key)
@@ -299,6 +331,35 @@ class SessionReplay:
             )
         return rows
 
+    def schema_timeline(self) -> list[dict[str, Any]]:
+        """The run's feature-space evolution, from the journal alone.
+
+        One row per applied schema delta (content-deduped across crash
+        boundaries), in application order, carrying the delta itself plus
+        the content-hashed version lineage — so an audit can reconstruct
+        ``SchemaVersion`` history without the dataset.
+        """
+        span = self.span
+        if span is None:
+            return []
+        rows = []
+        for record in _dedupe_schemas(span.schemas):
+            data = record.data
+            rows.append(
+                {
+                    "iteration": int(data["iteration"]),
+                    "op": str(data["delta"].get("op", "")),
+                    "column": str(data["delta"].get("column", "")),
+                    "delta": dict(data["delta"]),
+                    "version": str(data["version"]),
+                    "parent": str(data["parent"]),
+                    "provenance": str(data.get("provenance", "")),
+                    "model_refit": bool(data.get("model_refit", True)),
+                    "t": record.t,
+                }
+            )
+        return rows
+
     # ------------------------------------------------------------------ #
     def summary(self) -> dict[str, Any]:
         iterations = self.iterations
@@ -322,6 +383,7 @@ class SessionReplay:
             "empty": len(empty),
             "n_added": iterations[-1].n_added_total if iterations else 0,
             "ruleset_deltas": len(self.rule_timeline()),
+            "schema_deltas": len(self.schema_timeline()),
             "initial_loss": meta.get("initial_loss"),
             "best_loss": iterations[-1].best_loss if iterations else meta.get("initial_loss"),
             "finished": finished is not None,
@@ -408,10 +470,39 @@ def _apply_journaled_ruleset(state, record: Record) -> None:
             state.feedback.mark_applied(rule)
 
 
+def _apply_journaled_schema(state, record: Record) -> None:
+    """Re-apply one journaled schema migration during fast-forward.
+
+    Unlike ruleset deltas, a schema delta cannot be installed as pure
+    bookkeeping: the active table's columns, the rule set's attribute
+    names, and the fitted encoder all change shape, and every later
+    journaled batch is keyed by the *migrated* schema's column names.  So
+    fast-forward re-runs :func:`~repro.engine.migration.apply_schema_delta`
+    — the same deterministic function the live boundary ran — and then
+    checks the resulting content-hashed version token against the
+    journaled one, which pins the whole schema lineage bit-for-bit.
+    """
+    from repro.engine.migration import apply_schema_delta, migration_from_jsonable
+
+    migration = migration_from_jsonable(record.data)
+    applied = apply_schema_delta(
+        state, migration.delta, provenance=migration.provenance
+    )
+    if applied.version != migration.version:
+        raise JournalResumeError(
+            f"replaying the schema delta at iteration {migration.iteration} "
+            f"produced version {applied.version!r}; journal recorded "
+            f"{migration.version!r} (schema lineage diverged)"
+        )
+    if state.feedback is not None:
+        state.feedback.mark_migrated(migration.delta)
+
+
 def fast_forward(
     state,
     entries: list[ReplayIteration],
     ruleset_records: list[Record] = (),  # type: ignore[assignment]
+    schema_records: list[Record] = (),  # type: ignore[assignment]
 ):
     """Re-apply committed iterations onto a freshly initialized state.
 
@@ -419,16 +510,20 @@ def fast_forward(
     (modification, initial fit, budgets) is deterministically re-run by
     the engine, then each journaled iteration is replayed as pure
     bookkeeping — no model fits, no generation — with accepted batches
-    re-appended from their journaled rows and journaled ruleset deltas
-    re-installed at the iteration boundaries where they were applied.
-    Finishes by refitting the model once and restoring the journaled RNG
-    state.
+    re-appended from their journaled rows, journaled schema migrations
+    re-applied, and journaled ruleset deltas re-installed at the
+    iteration boundaries where they were applied (migrations before
+    rules, matching the live feedback stage's drain order).  Finishes by
+    refitting the model once and restoring the journaled RNG state.
     """
     from repro.data.table import Table
 
     by_iter: dict[int, list[Record]] = {}
     for record in _dedupe_deltas(list(ruleset_records)):
         by_iter.setdefault(int(record.data["iteration"]), []).append(record)
+    schema_by_iter: dict[int, list[Record]] = {}
+    for record in _dedupe_schemas(list(schema_records)):
+        schema_by_iter.setdefault(int(record.data["iteration"]), []).append(record)
 
     any_accepted = False
     any_delta = False
@@ -439,9 +534,15 @@ def fast_forward(
                 f"live iteration {state.iteration}"
             )
         # Deltas journaled at iteration k were applied by the feedback
-        # stage *before* k's loop body ran; the entry's best_loss already
-        # reflects them, so install the rule set first and let the
-        # bookkeeping below overwrite the loss.
+        # stage *before* k's loop body ran — schema migrations first
+        # (live drain order), so a same-boundary rule that references a
+        # just-landed column installs against the migrated schema, and
+        # the batch re-appended below matches the active column layout.
+        # The entry's best_loss already reflects them, so the bookkeeping
+        # below overwrites whatever the re-applies compute.
+        for record in schema_by_iter.pop(entry.iteration, []):
+            _apply_journaled_schema(state, record)
+            any_delta = True
         for record in by_iter.pop(entry.iteration, []):
             _apply_journaled_ruleset(state, record)
             any_delta = True
@@ -484,16 +585,20 @@ def fast_forward(
     # iteration then crashed before committing.  The continuation's
     # feedback stage would re-deliver them anyway (sources re-poll);
     # installing them here keeps the journal authoritative and makes the
-    # re-delivery a dedup no-op.
+    # re-delivery a dedup no-op.  Schema migrations apply before rules at
+    # each boundary, mirroring the committed loop above.
     tail_deltas = False
-    for iteration in sorted(by_iter):
+    for iteration in sorted(set(by_iter) | set(schema_by_iter)):
         if iteration > state.iteration:
             raise JournalResumeError(
-                f"journaled ruleset delta at iteration {iteration} is "
+                f"journaled delta at iteration {iteration} is "
                 f"beyond the committed prefix (resume point "
                 f"{state.iteration})"
             )
-        for record in by_iter[iteration]:
+        for record in schema_by_iter.get(iteration, []):
+            _apply_journaled_schema(state, record)
+            any_delta = tail_deltas = True
+        for record in by_iter.get(iteration, []):
             _apply_journaled_ruleset(state, record)
             any_delta = tail_deltas = True
     if any_accepted:
@@ -543,6 +648,7 @@ def run_journaled(session):
 
     entries: list[ReplayIteration] = []
     ruleset_records: list[Record] = []
+    schema_records: list[Record] = []
     if config.journal_resume and JournalReader(path).exists:
         scan = JournalReader(path).scan()
         if scan.truncation is not None and not scan.truncation.repairable:
@@ -556,10 +662,11 @@ def run_journaled(session):
             _validate_resume(state, dict(spans[-1].meta.data))
             entries = _committed(spans[-1])
             ruleset_records = spans[-1].rulesets
+            schema_records = spans[-1].schemas
 
     if entries:
         engine.initialize(state)
-        fast_forward(state, entries, ruleset_records)
+        fast_forward(state, entries, ruleset_records, schema_records)
         journal = SessionJournal(path, meta=meta).attach(state)
         journal.record_resumed(state, fast_forwarded=len(entries))
         try:

@@ -45,6 +45,7 @@ from repro.journal.records import (
     KIND_RUN_FINISHED,
     KIND_RUN_META,
     KIND_RUN_RESUMED,
+    KIND_SCHEMA,
     SCHEMA_VERSION,
     encode_line,
     line_hash,
@@ -332,6 +333,16 @@ class SessionJournal:
             # iteration records so crash-resume sees every applied rule.
             self.writer.append(
                 KIND_RULESET, self._ruleset_data(state, event), sync=True
+            )
+        elif event.kind == "schema":
+            # A schema migration just landed: journal the delta plus its
+            # lineage tokens, fsynced — crash-resume must fast-forward
+            # through migrations before it can re-append later batches
+            # (their journaled columns are keyed by the migrated schema).
+            from repro.engine.migration import migration_to_jsonable
+
+            self.writer.append(
+                KIND_SCHEMA, migration_to_jsonable(event.schema), sync=True
             )
         elif event.record is not None:
             self.writer.append(

@@ -1,0 +1,180 @@
+"""Typed option groups: FroteConfig expansion, back-compat, deprecation."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.core.config import FroteConfig
+from repro.core.options import (
+    JournalOptions,
+    KernelOptions,
+    ServeOptions,
+    StorageOptions,
+)
+
+
+class TestFroteConfigGroups:
+    def test_storage_group_equals_flat(self):
+        grouped = FroteConfig(
+            tau=3,
+            storage=StorageOptions(max_resident_mb=1.0, shard_rows=64),
+        )
+        flat = FroteConfig(tau=3, max_resident_mb=1.0, shard_rows=64)
+        assert grouped == flat
+
+    def test_journal_group_equals_flat(self, tmp_path):
+        grouped = FroteConfig(
+            journal=JournalOptions(dir=str(tmp_path), name="s", resume=False)
+        )
+        flat = FroteConfig(
+            journal_dir=str(tmp_path), journal_name="s", journal_resume=False
+        )
+        assert grouped == flat
+
+    def test_kernel_group_equals_flat(self):
+        grouped = FroteConfig(kernel=KernelOptions(incremental=True))
+        assert grouped == FroteConfig(incremental=True)
+
+    def test_flat_agreeing_with_group_is_fine(self):
+        config = FroteConfig(
+            max_resident_mb=1.0, storage=StorageOptions(max_resident_mb=1.0)
+        )
+        assert config.max_resident_mb == 1.0
+
+    def test_flat_conflicting_with_group_raises(self):
+        with pytest.raises(ValueError, match="conflicting values"):
+            FroteConfig(
+                max_resident_mb=2.0,
+                storage=StorageOptions(max_resident_mb=1.0),
+            )
+
+    def test_group_validation_still_applies(self):
+        # shard_rows without a budget is invalid however it is spelled.
+        with pytest.raises(ValueError, match="shard_rows"):
+            FroteConfig(storage=StorageOptions(shard_rows=64))
+
+    def test_options_properties_reconstruct_groups(self, tmp_path):
+        config = FroteConfig(
+            max_resident_mb=1.0,
+            shard_rows=32,
+            journal_dir=str(tmp_path),
+            incremental=True,
+        )
+        assert config.storage_options == StorageOptions(
+            max_resident_mb=1.0, shard_rows=32
+        )
+        assert config.journal_options == JournalOptions(dir=str(tmp_path))
+        assert config.kernel_options == KernelOptions(incremental=True)
+
+    def test_groups_are_frozen_and_hashable(self):
+        opts = StorageOptions(max_resident_mb=1.0)
+        with pytest.raises(AttributeError):
+            opts.max_resident_mb = 2.0
+        assert hash(opts) == hash(StorageOptions(max_resident_mb=1.0))
+
+
+class TestConfigureGroups:
+    def test_flat_grouped_kwarg_warns_deprecation(self, mixed_dataset):
+        session = repro.edit(mixed_dataset)
+        with pytest.warns(DeprecationWarning, match="max_resident_mb"):
+            session.configure(max_resident_mb=1.0)
+        assert session._config_kwargs["max_resident_mb"] == 1.0
+
+    def test_warning_names_the_group(self, mixed_dataset):
+        with pytest.warns(DeprecationWarning, match="journal=...Options"):
+            repro.edit(mixed_dataset).configure(journal_dir="/tmp/j")
+
+    def test_groups_do_not_warn(self, mixed_dataset, recwarn):
+        session = repro.edit(mixed_dataset).configure(
+            tau=3,
+            storage=StorageOptions(max_resident_mb=1.0, shard_rows=64),
+            kernel=KernelOptions(incremental=True),
+        )
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+        assert session._config_kwargs["max_resident_mb"] == 1.0
+        assert session._config_kwargs["incremental"] is True
+
+    def test_ungrouped_flat_kwargs_do_not_warn(self, mixed_dataset, recwarn):
+        repro.edit(mixed_dataset).configure(tau=3, q=0.5, random_state=0)
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_later_group_wins_over_earlier_flat(self, mixed_dataset):
+        session = repro.edit(mixed_dataset)
+        with pytest.warns(DeprecationWarning):
+            session.configure(max_resident_mb=2.0)
+        session.configure(storage=StorageOptions(max_resident_mb=1.0))
+        assert session._config_kwargs["max_resident_mb"] == 1.0
+
+    def test_same_call_conflict_raises(self, mixed_dataset):
+        session = repro.edit(mixed_dataset)
+        with pytest.raises(ValueError, match="conflicting values"), \
+                warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            session.configure(
+                max_resident_mb=2.0,
+                storage=StorageOptions(max_resident_mb=1.0),
+            )
+
+    def test_sugars_do_not_warn(self, mixed_dataset, tmp_path, recwarn):
+        (
+            repro.edit(mixed_dataset)
+            .incremental()
+            .out_of_core(max_resident_mb=1.0, shard_rows=64)
+            .journaled(tmp_path, name="s")
+        )
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_grouped_run_equals_flat_run(self, mixed_dataset, single_rule_frs):
+        def build(**cfg):
+            return (
+                repro.edit(mixed_dataset)
+                .with_rules(single_rule_frs)
+                .with_algorithm("LR")
+                .configure(tau=2, q=0.5, random_state=0, **cfg)
+                .run()
+            )
+
+        grouped = build(kernel=KernelOptions(incremental=True))
+        with pytest.warns(DeprecationWarning):
+            flat = build(incremental=True)
+        assert grouped.history == flat.history
+        assert grouped.n_added == flat.n_added
+
+
+class TestServeOptions:
+    def test_bundle_supplies_defaults(self):
+        from repro.serve import EditService
+
+        service = EditService(
+            options=ServeOptions(
+                max_active_sessions=3, max_pending=5, event_queue_size=9
+            )
+        )
+        assert service.admission.max_active == 3
+        assert service.admission.max_pending == 5
+        assert service.event_queue_size == 9
+
+    def test_explicit_flat_kwarg_overrides_bundle(self):
+        from repro.serve import EditService
+
+        service = EditService(
+            options=ServeOptions(max_active_sessions=3, event_queue_size=9),
+            max_active_sessions=7,
+        )
+        assert service.admission.max_active == 7
+        assert service.event_queue_size == 9
+
+    def test_memory_budget_flows_through_bundle(self):
+        from repro.serve import EditService
+
+        service = EditService(options=ServeOptions(memory_budget_mb=16.0))
+        assert service.pool is not None
+        assert service.pool.total_mb == 16.0
+        assert service.default_session_mb == 2.0

@@ -1,0 +1,445 @@
+"""Tests for schema-evolution deltas: replay, lineage, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, Table, make_schema
+from repro.data.evolution import (
+    Migration,
+    SchemaDelta,
+    SchemaMigrationError,
+    SchemaVersion,
+    delta_from_jsonable,
+    delta_to_jsonable,
+    lineage,
+    migrate_dataset,
+    migrate_rule,
+    migrate_ruleset,
+    migrate_table,
+    schema_delta_key,
+    schema_fingerprint,
+)
+from repro.data.schema import CATEGORICAL, NUMERIC
+from repro.rules import FeedbackRule, FeedbackRuleSet, Predicate, clause
+
+
+def small_schema():
+    return make_schema(
+        numeric=["age", "income"],
+        categorical={"color": ("red", "green", "blue")},
+    )
+
+
+def small_table(n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return Table(
+        small_schema(),
+        {
+            "age": rng.uniform(18, 80, n),
+            "income": rng.uniform(10, 200, n),
+            "color": rng.integers(0, 3, n),
+        },
+    )
+
+
+class TestConstructors:
+    def test_add_numeric_defaults_zero_fill(self):
+        delta = SchemaDelta.add_column("tenure")
+        assert delta.kind == NUMERIC and delta.fill == 0.0
+
+    def test_add_numeric_coerces_fill_to_float(self):
+        assert SchemaDelta.add_column("tenure", fill=3).fill == 3.0
+
+    def test_add_categorical_defaults_first_category(self):
+        delta = SchemaDelta.add_column(
+            "region", CATEGORICAL, ("north", "south")
+        )
+        assert delta.fill == "north"
+
+    def test_add_categorical_without_vocab_raises(self):
+        with pytest.raises(SchemaMigrationError, match="vocabulary"):
+            SchemaDelta.add_column("region", CATEGORICAL)
+
+    def test_add_fill_outside_vocab_raises(self):
+        with pytest.raises(SchemaMigrationError, match="not in categories"):
+            SchemaDelta.add_column(
+                "region", CATEGORICAL, ("north", "south"), fill="west"
+            )
+
+    def test_add_unknown_kind_raises(self):
+        with pytest.raises(SchemaMigrationError, match="unknown kind"):
+            SchemaDelta.add_column("x", "ordinal")
+
+    def test_rename_empty_target_raises(self):
+        with pytest.raises(SchemaMigrationError, match="empty new name"):
+            SchemaDelta.rename_column("age", "")
+
+    def test_raw_unknown_op_raises(self):
+        with pytest.raises(ValueError, match="unknown schema-delta op"):
+            SchemaDelta(op="mutate", column="age")
+
+    def test_raw_empty_column_raises(self):
+        with pytest.raises(ValueError, match="column name"):
+            SchemaDelta(op="drop_column", column="")
+
+    def test_retype_needs_exactly_one_cast(self):
+        with pytest.raises(SchemaMigrationError, match="exactly one"):
+            SchemaDelta.retype_column("color", NUMERIC)
+        with pytest.raises(SchemaMigrationError, match="exactly one"):
+            SchemaDelta.retype_column(
+                "color", NUMERIC, values={"red": 1.0}, bins=(0.5,)
+            )
+
+    def test_retype_values_targets_numeric(self):
+        with pytest.raises(SchemaMigrationError, match="numeric"):
+            SchemaDelta.retype_column(
+                "color", CATEGORICAL, ("a", "b"), values={"red": 1.0}
+            )
+
+    def test_retype_bins_must_be_sorted(self):
+        with pytest.raises(SchemaMigrationError, match="sorted"):
+            SchemaDelta.retype_column(
+                "age", CATEGORICAL, ("lo", "mid", "hi"), bins=(50.0, 30.0)
+            )
+
+    def test_retype_bins_count_matches_categories(self):
+        with pytest.raises(SchemaMigrationError, match="thresholds"):
+            SchemaDelta.retype_column(
+                "age", CATEGORICAL, ("lo", "hi"), bins=(30.0, 50.0)
+            )
+
+    def test_retype_mapping_into_vocab(self):
+        with pytest.raises(SchemaMigrationError, match="not in new vocabulary"):
+            SchemaDelta.retype_column(
+                "color", CATEGORICAL, ("warm", "cool"), mapping={"red": "hot"}
+            )
+
+
+class TestApplyToSchema:
+    def test_add_appends(self):
+        schema = SchemaDelta.add_column("tenure").apply_to_schema(small_schema())
+        assert schema.names == ("age", "income", "color", "tenure")
+        assert schema["tenure"].is_numeric
+
+    def test_add_at_position(self):
+        delta = SchemaDelta.add_column("tenure", position=1)
+        assert delta.apply_to_schema(small_schema()).names == (
+            "age", "tenure", "income", "color",
+        )
+
+    def test_add_existing_raises_migration_error(self):
+        with pytest.raises(SchemaMigrationError, match="already exists"):
+            SchemaDelta.add_column("age").apply_to_schema(small_schema())
+
+    def test_drop(self):
+        schema = SchemaDelta.drop_column("income").apply_to_schema(small_schema())
+        assert schema.names == ("age", "color")
+
+    def test_drop_missing_raises_migration_error(self):
+        with pytest.raises(SchemaMigrationError, match="zzz"):
+            SchemaDelta.drop_column("zzz").apply_to_schema(small_schema())
+
+    def test_rename_preserves_position_and_kind(self):
+        delta = SchemaDelta.rename_column("income", "annual_income")
+        schema = delta.apply_to_schema(small_schema())
+        assert schema.names == ("age", "annual_income", "color")
+        assert schema["annual_income"].is_numeric
+
+    def test_retype_source_kind_checked(self):
+        delta = SchemaDelta.retype_column(
+            "age", NUMERIC, values={"red": 1.0}
+        )
+        with pytest.raises(SchemaMigrationError, match="categorical source"):
+            delta.apply_to_schema(small_schema())
+        delta = SchemaDelta.retype_column(
+            "color", CATEGORICAL, ("lo", "hi"), bins=(0.5,)
+        )
+        with pytest.raises(SchemaMigrationError, match="numeric source"):
+            delta.apply_to_schema(small_schema())
+
+
+class TestApplyToTable:
+    def test_add_numeric_backfills(self):
+        table = small_table()
+        out = SchemaDelta.add_column("tenure", fill=3.0).apply_to_table(table)
+        assert out.n_rows == table.n_rows
+        np.testing.assert_array_equal(
+            out.column("tenure"), np.full(table.n_rows, 3.0)
+        )
+        np.testing.assert_array_equal(out.column("age"), table.column("age"))
+
+    def test_add_categorical_backfills_fill_code(self):
+        delta = SchemaDelta.add_column(
+            "region", CATEGORICAL, ("north", "south"), fill="south"
+        )
+        out = delta.apply_to_table(small_table())
+        np.testing.assert_array_equal(
+            out.column("region"), np.ones(8, dtype=np.int64)
+        )
+
+    def test_drop_removes_values(self):
+        out = SchemaDelta.drop_column("income").apply_to_table(small_table())
+        assert out.schema.names == ("age", "color")
+        with pytest.raises(KeyError):
+            out.column("income")
+
+    def test_rename_keeps_values_bitwise(self):
+        table = small_table()
+        out = SchemaDelta.rename_column("income", "annual_income").apply_to_table(table)
+        np.testing.assert_array_equal(
+            out.column("annual_income"), table.column("income")
+        )
+
+    def test_retype_values_cast(self):
+        table = small_table()
+        delta = SchemaDelta.retype_column(
+            "color", NUMERIC, values={"red": 1.0, "green": 2.0, "blue": 4.0}
+        )
+        out = delta.apply_to_table(table)
+        lut = np.array([1.0, 2.0, 4.0])
+        np.testing.assert_array_equal(
+            out.column("color"), lut[table.column("color")]
+        )
+
+    def test_retype_values_missing_category_raises(self):
+        delta = SchemaDelta.retype_column("color", NUMERIC, values={"red": 1.0})
+        with pytest.raises(SchemaMigrationError, match="misses categories"):
+            delta.apply_to_table(small_table())
+
+    def test_retype_bins_cast(self):
+        table = small_table()
+        delta = SchemaDelta.retype_column(
+            "age", CATEGORICAL, ("young", "mid", "old"), bins=(30.0, 50.0)
+        )
+        out = delta.apply_to_table(table)
+        want = np.searchsorted(
+            np.array([30.0, 50.0]), table.column("age"), side="right"
+        )
+        np.testing.assert_array_equal(out.column("age"), want)
+        assert out.schema["age"].categories == ("young", "mid", "old")
+
+    def test_retype_mapping_cast(self):
+        table = small_table()
+        delta = SchemaDelta.retype_column(
+            "color",
+            CATEGORICAL,
+            ("warm", "cool"),
+            mapping={"red": "warm", "green": "cool", "blue": "cool"},
+        )
+        out = delta.apply_to_table(table)
+        lut = np.array([0, 1, 1], dtype=np.int64)
+        np.testing.assert_array_equal(
+            out.column("color"), lut[table.column("color")]
+        )
+
+    def test_retype_mapping_missing_source_category_raises(self):
+        delta = SchemaDelta.retype_column(
+            "color", CATEGORICAL, ("warm", "cool"),
+            mapping={"red": "warm", "green": "cool"},
+        )
+        with pytest.raises(SchemaMigrationError, match="misses categories"):
+            delta.apply_to_table(small_table())
+
+
+class TestApplyToDataset:
+    def test_labels_untouched(self):
+        table = small_table()
+        y = (table.column("age") < 40).astype(np.int64)
+        data = Dataset(table, y, ("deny", "approve"))
+        out = SchemaDelta.add_column("tenure").apply_to_dataset(data)
+        assert out.X.schema.names[-1] == "tenure"
+        np.testing.assert_array_equal(out.y, y)
+        assert out.label_names == ("deny", "approve")
+
+    def test_migrate_table_and_dataset_replay_in_order(self):
+        table = small_table()
+        deltas = [
+            SchemaDelta.add_column("tenure", fill=1.0),
+            SchemaDelta.rename_column("tenure", "years"),
+        ]
+        out = migrate_table(table, deltas)
+        assert out.schema.names == ("age", "income", "color", "years")
+        y = np.zeros(table.n_rows, dtype=np.int64)
+        data = migrate_dataset(Dataset(table, y, ("a", "b")), deltas)
+        assert data.X.schema.names == out.schema.names
+
+
+class TestSurviveClassification:
+    def test_model_survives_only_rename(self):
+        assert SchemaDelta.rename_column("a", "b").model_survives
+        assert not SchemaDelta.add_column("a").model_survives
+        assert not SchemaDelta.drop_column("a").model_survives
+        assert not SchemaDelta.retype_column(
+            "a", NUMERIC, values={"x": 1.0, "y": 2.0}
+        ).model_survives
+
+    def test_coverage_survives(self):
+        attrs = ("age", "income")
+        assert SchemaDelta.add_column("tenure").coverage_survives(attrs)
+        assert SchemaDelta.rename_column("age", "years").coverage_survives(attrs)
+        assert SchemaDelta.drop_column("color").coverage_survives(attrs)
+        assert not SchemaDelta.drop_column("age").coverage_survives(attrs)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "delta",
+        [
+            SchemaDelta.add_column("tenure", fill=2.5, position=1),
+            SchemaDelta.add_column(
+                "region", CATEGORICAL, ("north", "south"), fill="south"
+            ),
+            SchemaDelta.drop_column("income"),
+            SchemaDelta.rename_column("income", "annual_income"),
+            SchemaDelta.retype_column(
+                "color", NUMERIC, values={"red": 1.0, "green": 2.0}
+            ),
+            SchemaDelta.retype_column(
+                "age", CATEGORICAL, ("lo", "hi"), bins=(40.0,)
+            ),
+            SchemaDelta.retype_column(
+                "color", CATEGORICAL, ("warm", "cool"),
+                mapping={"red": "warm", "green": "cool", "blue": "cool"},
+            ),
+        ],
+        ids=lambda d: f"{d.op}-{d.column}",
+    )
+    def test_jsonable_roundtrip(self, delta):
+        assert delta_from_jsonable(delta_to_jsonable(delta)) == delta
+
+    def test_delta_key_is_canonical(self):
+        a = SchemaDelta.retype_column(
+            "color", NUMERIC, values={"red": 1.0, "green": 2.0}
+        )
+        b = delta_from_jsonable(delta_to_jsonable(a))
+        assert schema_delta_key(a) == schema_delta_key(b)
+
+    def test_unknown_op_from_jsonable_raises(self):
+        with pytest.raises(ValueError, match="unknown schema-delta op"):
+            delta_from_jsonable({"op": "mutate", "column": "x"})
+
+
+class TestSchemaVersion:
+    def test_fingerprint_content_addressed(self):
+        assert schema_fingerprint(small_schema()) == schema_fingerprint(
+            small_schema()
+        )
+        other = SchemaDelta.add_column("t").apply_to_schema(small_schema())
+        assert schema_fingerprint(other) != schema_fingerprint(small_schema())
+
+    def test_genesis_uses_fingerprint(self):
+        node = SchemaVersion.genesis(small_schema())
+        assert node.version == schema_fingerprint(small_schema())
+        assert node.parent is None and node.delta is None
+
+    def test_advance_is_deterministic_across_lineages(self):
+        delta = SchemaDelta.add_column("tenure", fill=1.0)
+        a = SchemaVersion.genesis(small_schema()).advance(delta)
+        b = SchemaVersion.genesis(small_schema()).advance(delta)
+        assert a.version == b.version
+        assert a.parent == b.parent == schema_fingerprint(small_schema())
+        assert a.schema == b.schema
+
+    def test_different_deltas_diverge(self):
+        genesis = SchemaVersion.genesis(small_schema())
+        a = genesis.advance(SchemaDelta.add_column("t", fill=1.0))
+        b = genesis.advance(SchemaDelta.add_column("t", fill=2.0))
+        assert a.version != b.version
+
+    def test_lineage_chains(self):
+        deltas = [
+            SchemaDelta.add_column("tenure"),
+            SchemaDelta.rename_column("tenure", "years"),
+        ]
+        nodes = lineage(small_schema(), deltas)
+        assert len(nodes) == 3
+        assert [n.parent for n in nodes[1:]] == [
+            nodes[0].version, nodes[1].version,
+        ]
+        assert nodes[-1].schema.names[-1] == "years"
+
+
+class TestMigration:
+    def test_sequence_protocol(self):
+        m = Migration(
+            (SchemaDelta.add_column("a"), SchemaDelta.drop_column("a")),
+            name="noop",
+        )
+        assert len(m) == 2 and [d.op for d in m] == ["add_column", "drop_column"]
+
+    def test_apply_to_schema_replays_in_order(self):
+        m = Migration(
+            (
+                SchemaDelta.add_column("tenure"),
+                SchemaDelta.rename_column("tenure", "years"),
+            )
+        )
+        assert m.apply_to_schema(small_schema()).names[-1] == "years"
+
+    def test_jsonable_roundtrip(self):
+        m = Migration(
+            (
+                SchemaDelta.add_column("tenure", fill=2.0),
+                SchemaDelta.drop_column("income"),
+            ),
+            name="v2",
+        )
+        assert Migration.from_jsonable(m.to_jsonable()) == m
+
+
+class TestRuleMigration:
+    def _rule(self):
+        return FeedbackRule.deterministic(
+            clause(Predicate("income", ">", 100.0), Predicate("age", "<", 40.0)),
+            1,
+            2,
+            exceptions=(clause(Predicate("income", ">", 500.0)),),
+            name="r",
+        )
+
+    def test_rename_rewrites_clause_and_exceptions(self):
+        out = migrate_rule(
+            self._rule(), SchemaDelta.rename_column("income", "annual_income")
+        )
+        assert "annual_income" in out.clause.attributes
+        assert "income" not in out.clause.attributes
+        assert out.exceptions[0].attributes == ("annual_income",)
+        assert out.name == "r" and out.pi == self._rule().pi
+
+    def test_unreferenced_delta_returns_same_object(self):
+        rule = self._rule()
+        assert migrate_rule(rule, SchemaDelta.add_column("tenure")) is rule
+        assert migrate_rule(rule, SchemaDelta.drop_column("color")) is rule
+
+    def test_drop_referenced_refused(self):
+        with pytest.raises(SchemaMigrationError, match="references column"):
+            migrate_rule(self._rule(), SchemaDelta.drop_column("income"))
+
+    def test_retype_referenced_refused(self):
+        delta = SchemaDelta.retype_column(
+            "age", CATEGORICAL, ("lo", "hi"), bins=(40.0,)
+        )
+        with pytest.raises(SchemaMigrationError, match="references column"):
+            migrate_rule(self._rule(), delta)
+
+    def test_exception_only_reference_still_refused(self):
+        rule = FeedbackRule.deterministic(
+            clause(Predicate("age", "<", 40.0)),
+            1,
+            2,
+            exceptions=(clause(Predicate("income", ">", 500.0)),),
+        )
+        with pytest.raises(SchemaMigrationError, match="references column"):
+            migrate_rule(rule, SchemaDelta.drop_column("income"))
+
+    def test_migrate_ruleset_identity_when_untouched(self):
+        frs = FeedbackRuleSet((self._rule(),))
+        assert migrate_ruleset(frs, SchemaDelta.add_column("t")) is frs
+
+    def test_migrate_ruleset_rewrites_all(self):
+        frs = FeedbackRuleSet((self._rule(),))
+        out = migrate_ruleset(
+            frs, SchemaDelta.rename_column("age", "years")
+        )
+        assert out is not frs
+        assert all("years" in r.clause.attributes for r in out.rules)

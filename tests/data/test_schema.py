@@ -94,3 +94,60 @@ class TestSchema:
     def test_inequality(self):
         other = Schema((ColumnSpec("age", NUMERIC),))
         assert self._schema() != other
+
+
+class TestFluentEvolution:
+    """with_column / without / renamed / retyped return new schemas."""
+
+    def _schema(self):
+        return Schema(
+            (
+                ColumnSpec("age", NUMERIC),
+                ColumnSpec("color", CATEGORICAL, ("r", "g")),
+            )
+        )
+
+    def test_with_column_appends(self):
+        s = self._schema().with_column("income")
+        assert s.names == ("age", "color", "income")
+        assert s["income"].is_numeric
+
+    def test_with_column_at_position(self):
+        s = self._schema().with_column("income", position=0)
+        assert s.names == ("income", "age", "color")
+
+    def test_with_column_categorical(self):
+        s = self._schema().with_column("size", CATEGORICAL, ("s", "m", "l"))
+        assert s["size"].categories == ("s", "m", "l")
+
+    def test_with_column_duplicate_raises(self):
+        with pytest.raises(ValueError, match="already exists"):
+            self._schema().with_column("age")
+
+    def test_without(self):
+        assert self._schema().without("color").names == ("age",)
+
+    def test_without_missing_raises(self):
+        with pytest.raises(KeyError):
+            self._schema().without("zzz")
+
+    def test_renamed_keeps_position_and_kind(self):
+        s = self._schema().renamed("color", "hue")
+        assert s.names == ("age", "hue")
+        assert s["hue"].categories == ("r", "g")
+
+    def test_renamed_onto_existing_raises(self):
+        with pytest.raises(ValueError, match="already exists"):
+            self._schema().renamed("color", "age")
+
+    def test_retyped(self):
+        s = self._schema().retyped("age", CATEGORICAL, ("lo", "hi"))
+        assert s["age"].is_categorical
+        assert s["age"].categories == ("lo", "hi")
+
+    def test_original_schema_untouched(self):
+        base = self._schema()
+        base.with_column("x")
+        base.without("age")
+        base.renamed("age", "years")
+        assert base == self._schema()  # immutable: every call returns new

@@ -103,6 +103,77 @@ class TestRoundTrip:
             store.get(spec)
 
 
+class TestEnvelopeMigration:
+    """The envelope format is versioned and migrated on read."""
+
+    def _write_v1(self, store, spec, record):
+        """Rewrite a stored record as the v1 envelope (no version fields)."""
+        path = store.put(spec, record)
+        payload = json.loads(path.read_text())
+        payload["format"] = "repro.run-record/v1"
+        del payload["schema_version"]
+        del payload["schema"]
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_current_envelope_carries_version_and_schema(self, tmp_path):
+        from repro.experiments.store import RECORD_FORMAT, RECORD_VERSION
+
+        store = RunStore(tmp_path)
+        spec = _runs(1)[0]
+        path = store.put(spec, {"v": 1}, schema="abc123")
+        payload = json.loads(path.read_text())
+        assert payload["format"] == RECORD_FORMAT
+        assert payload["schema_version"] == RECORD_VERSION
+        assert payload["schema"] == "abc123"
+        assert store.get(spec).schema == "abc123"
+
+    def test_schema_defaults_to_frozen(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _runs(1)[0]
+        store.put(spec, {"v": 1})
+        assert store.get(spec).schema == ""
+
+    def test_v1_record_migrates_on_read(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _runs(1)[0]
+        self._write_v1(store, spec, {"j_final": 0.5})
+        stored = store.get(spec)
+        assert stored.ok
+        assert stored.record == {"j_final": 0.5}
+        assert stored.schema == ""  # v1 predates live migrations
+        assert stored.spec == spec
+
+    def test_v1_skipped_record_migrates(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _runs(1)[0]
+        self._write_v1(store, spec, None)
+        stored = store.get(spec)
+        assert not stored.ok and stored.record is None
+
+    def test_newer_version_refused(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _runs(1)[0]
+        path = store.put(spec, {"v": 1})
+        payload = json.loads(path.read_text())
+        payload["format"] = "repro.run-record/v99"
+        payload["schema_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="upgrade"):
+            store.get(spec)
+
+    def test_version_without_migration_path_refused(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _runs(1)[0]
+        path = store.put(spec, {"v": 1})
+        payload = json.loads(path.read_text())
+        payload["format"] = "repro.run-record/v0"
+        payload["schema_version"] = 0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="no migration path"):
+            store.get(spec)
+
+
 class TestGridQueries:
     def test_missing_and_completed(self, tmp_path):
         store = RunStore(tmp_path)
